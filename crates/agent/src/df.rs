@@ -1,0 +1,122 @@
+//! Directory Facilitator — JADE's yellow pages.
+
+use std::collections::HashMap;
+
+use crate::id::AgentId;
+
+/// A service advertisement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service type, e.g. `"mobility-manager"`.
+    pub service_type: String,
+    /// Service instance name.
+    pub name: String,
+}
+
+impl ServiceDescription {
+    /// Creates a description.
+    pub fn new(service_type: impl Into<String>, name: impl Into<String>) -> Self {
+        ServiceDescription {
+            service_type: service_type.into(),
+            name: name.into(),
+        }
+    }
+}
+
+/// Yellow-pages registry mapping agents to the services they provide.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_agent::{Directory, ServiceDescription, AgentId};
+///
+/// let mut df = Directory::new();
+/// let ma = AgentId::new("ma-1", "p");
+/// df.register(ma.clone(), ServiceDescription::new("mobile-agent", "player-wrapper"));
+/// assert_eq!(df.search("mobile-agent"), vec![ma]);
+/// assert!(df.search("unknown").is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    services: HashMap<AgentId, Vec<ServiceDescription>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service for an agent (idempotent per exact description).
+    pub fn register(&mut self, agent: AgentId, service: ServiceDescription) {
+        let entry = self.services.entry(agent).or_default();
+        if !entry.contains(&service) {
+            entry.push(service);
+        }
+    }
+
+    /// Removes all registrations of one agent. Returns whether any existed.
+    pub fn deregister(&mut self, agent: &AgentId) -> bool {
+        self.services.remove(agent).is_some()
+    }
+
+    /// Agents advertising the given service type, in name order.
+    pub fn search(&self, service_type: &str) -> Vec<AgentId> {
+        let mut out: Vec<AgentId> = self
+            .services
+            .iter()
+            .filter(|(_, svcs)| svcs.iter().any(|s| s.service_type == service_type))
+            .map(|(id, _)| id.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// All services of one agent.
+    pub fn services_of(&self, agent: &AgentId) -> &[ServiceDescription] {
+        self.services.get(agent).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of agents with at least one registration.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether no agent is registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_search_deregister() {
+        let mut df = Directory::new();
+        let a = AgentId::new("a", "p");
+        let b = AgentId::new("b", "p");
+        df.register(a.clone(), ServiceDescription::new("svc", "one"));
+        df.register(b.clone(), ServiceDescription::new("svc", "two"));
+        df.register(b.clone(), ServiceDescription::new("other", "three"));
+        assert_eq!(df.search("svc"), vec![a.clone(), b.clone()]);
+        assert_eq!(df.search("other"), vec![b.clone()]);
+        assert_eq!(df.services_of(&b).len(), 2);
+        assert!(df.deregister(&a));
+        assert!(!df.deregister(&a));
+        assert_eq!(df.search("svc"), vec![b]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut df = Directory::new();
+        let a = AgentId::new("a", "p");
+        let svc = ServiceDescription::new("svc", "one");
+        df.register(a.clone(), svc.clone());
+        df.register(a.clone(), svc);
+        assert_eq!(df.services_of(&a).len(), 1);
+        assert_eq!(df.len(), 1);
+        assert!(!df.is_empty());
+    }
+}

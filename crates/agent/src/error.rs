@@ -1,0 +1,72 @@
+//! Agent platform errors.
+
+use std::fmt;
+
+use crate::id::{AgentId, ContainerId};
+
+/// Errors raised by [`Platform`](crate::Platform) operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentError {
+    /// No agent registered under this id.
+    UnknownAgent(AgentId),
+    /// No container with this id.
+    UnknownContainer(ContainerId),
+    /// The agent exists but is not in a state that allows the operation.
+    NotActive(AgentId),
+    /// No factory registered for this agent type (migration impossible).
+    NoFactory(String),
+    /// The two containers' hosts are not connected.
+    NoRoute(ContainerId, ContainerId),
+    /// An agent name collision on spawn.
+    DuplicateAgent(AgentId),
+    /// Snapshot or reconstruction failed.
+    Wire(mdagent_wire::WireError),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::UnknownAgent(id) => write!(f, "unknown agent {id}"),
+            AgentError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            AgentError::NotActive(id) => write!(f, "agent {id} is not active"),
+            AgentError::NoFactory(ty) => write!(f, "no factory for agent type {ty:?}"),
+            AgentError::NoRoute(a, b) => write!(f, "no route between {a} and {b}"),
+            AgentError::DuplicateAgent(id) => write!(f, "agent {id} already exists"),
+            AgentError::Wire(e) => write!(f, "agent state serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AgentError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mdagent_wire::WireError> for AgentError {
+    fn from(e: mdagent_wire::WireError) -> Self {
+        AgentError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let id = AgentId::new("x", "p");
+        assert!(AgentError::UnknownAgent(id.clone())
+            .to_string()
+            .contains("x@p"));
+        assert!(AgentError::NoFactory("T".into())
+            .to_string()
+            .contains("\"T\""));
+        assert!(AgentError::NoRoute(ContainerId(1), ContainerId(2))
+            .to_string()
+            .contains("container-1"));
+    }
+}

@@ -1,0 +1,165 @@
+//! A small finite-state-machine helper, the analogue of JADE's
+//! `FSMBehaviour`, for use inside agent implementations.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A labelled-transition FSM over state type `S` and event type `E`.
+///
+/// Agents that run multi-step protocols (the MA's
+/// suspend → wrap → migrate → resume pipeline, for instance) keep one of
+/// these as a field and feed it events; illegal transitions are reported
+/// rather than silently ignored.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_agent::Fsm;
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// enum S { Idle, Wrapping, Migrating }
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// enum E { Prepare, Send }
+///
+/// let mut fsm = Fsm::new(S::Idle)
+///     .transition(S::Idle, E::Prepare, S::Wrapping)
+///     .transition(S::Wrapping, E::Send, S::Migrating);
+/// assert_eq!(fsm.fire(E::Prepare), Ok(S::Wrapping));
+/// assert!(fsm.fire(E::Prepare).is_err(), "no Prepare out of Wrapping");
+/// assert_eq!(fsm.state(), S::Wrapping);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fsm<S, E> {
+    state: S,
+    transitions: HashMap<(S, E), S>,
+}
+
+/// Error: no transition from the current state on the given event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition<S, E> {
+    /// State the machine was in.
+    pub state: S,
+    /// Event that had no transition.
+    pub event: E,
+}
+
+impl<S: fmt::Debug, E: fmt::Debug> fmt::Display for InvalidTransition<S, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no transition from {:?} on event {:?}",
+            self.state, self.event
+        )
+    }
+}
+
+impl<S: fmt::Debug, E: fmt::Debug> std::error::Error for InvalidTransition<S, E> {}
+
+impl<S, E> Fsm<S, E>
+where
+    S: Copy + Eq + Hash,
+    E: Copy + Eq + Hash,
+{
+    /// Creates an FSM in `initial` state with no transitions.
+    pub fn new(initial: S) -> Self {
+        Fsm {
+            state: initial,
+            transitions: HashMap::new(),
+        }
+    }
+
+    /// Adds a transition `from --event--> to` (builder style).
+    pub fn transition(mut self, from: S, event: E, to: S) -> Self {
+        self.transitions.insert((from, event), to);
+        self
+    }
+
+    /// Current state.
+    pub fn state(&self) -> S {
+        self.state
+    }
+
+    /// Whether `event` is legal in the current state.
+    pub fn can_fire(&self, event: E) -> bool {
+        self.transitions.contains_key(&(self.state, event))
+    }
+
+    /// Fires an event, moving to the target state.
+    ///
+    /// # Errors
+    ///
+    /// [`InvalidTransition`] when the current state has no edge for `event`;
+    /// the state is left unchanged.
+    pub fn fire(&mut self, event: E) -> Result<S, InvalidTransition<S, E>> {
+        match self.transitions.get(&(self.state, event)) {
+            Some(&next) => {
+                self.state = next;
+                Ok(next)
+            }
+            None => Err(InvalidTransition {
+                state: self.state,
+                event,
+            }),
+        }
+    }
+
+    /// Forces the machine into a state (used when restoring a snapshot).
+    pub fn force(&mut self, state: S) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum S {
+        A,
+        B,
+        C,
+    }
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum E {
+        Go,
+        Back,
+    }
+
+    fn machine() -> Fsm<S, E> {
+        Fsm::new(S::A)
+            .transition(S::A, E::Go, S::B)
+            .transition(S::B, E::Go, S::C)
+            .transition(S::B, E::Back, S::A)
+    }
+
+    #[test]
+    fn walks_legal_paths() {
+        let mut m = machine();
+        assert_eq!(m.state(), S::A);
+        assert!(m.can_fire(E::Go));
+        assert!(!m.can_fire(E::Back));
+        assert_eq!(m.fire(E::Go), Ok(S::B));
+        assert_eq!(m.fire(E::Back), Ok(S::A));
+        assert_eq!(m.fire(E::Go), Ok(S::B));
+        assert_eq!(m.fire(E::Go), Ok(S::C));
+    }
+
+    #[test]
+    fn illegal_transitions_leave_state_unchanged() {
+        let mut m = machine();
+        let err = m.fire(E::Back).unwrap_err();
+        assert_eq!(err.state, S::A);
+        assert_eq!(err.event, E::Back);
+        assert_eq!(m.state(), S::A);
+        assert!(err.to_string().contains("no transition"));
+    }
+
+    #[test]
+    fn force_overrides() {
+        let mut m = machine();
+        m.force(S::C);
+        assert_eq!(m.state(), S::C);
+        assert!(!m.can_fire(E::Go));
+    }
+}

@@ -1,0 +1,47 @@
+//! # mdagent-agent — a JADE-like agent platform on the simulated network
+//!
+//! The paper implements its autonomous agents (AA) and mobile agents (MA)
+//! on JADE 3.4. This crate rebuilds the slice of JADE the middleware needs:
+//!
+//! * [`AgentId`]/[`ContainerId`] — JADE-style naming; one container per
+//!   participating host.
+//! * [`AclMessage`]/[`Performative`] — FIPA-ACL messages with wire-encoded
+//!   content and size-accurate transport cost.
+//! * [`Agent`] — the agent behaviour trait: `on_start`, `on_message`,
+//!   `on_timer`, plus `snapshot()` so the platform can serialize state.
+//! * [`Platform`] — AMS + message transport + mobility: `spawn`, `send`,
+//!   timers/tickers, `suspend`/`resume`, and the two mobility primitives
+//!   the paper's taxonomy needs — [`Platform::move_agent`] (follow-me /
+//!   cut-paste) and [`Platform::clone_agent`] (clone-dispatch /
+//!   copy-paste). Agents in transit buffer their messages and check in at
+//!   the destination, where a registered factory reconstructs them from
+//!   their snapshot.
+//! * [`Directory`] — the DF (yellow pages).
+//! * [`Fsm`] — `FSMBehaviour`-style helper for protocol agents.
+//!
+//! The platform is generic over a *world* type implementing
+//! [`PlatformHost`]; the MDAgent middleware embeds a platform next to its
+//! context layer and registries and drives everything from one
+//! deterministic event loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acl;
+mod agent;
+mod df;
+mod error;
+mod fsm;
+mod id;
+mod platform;
+
+pub use acl::{AclMessage, Performative};
+pub use agent::{Agent, Cx, Journey, LifecycleState};
+pub use df::{Directory, ServiceDescription};
+pub use error::AgentError;
+pub use fsm::{Fsm, InvalidTransition};
+pub use id::{AgentId, ContainerId};
+pub use platform::{
+    AgentFactory, Platform, PlatformEnv, PlatformHost, TickerId, AGENT_FRAME_BYTES, LOCAL_DELIVERY,
+    MIGRATION_SETUP, REMOTE_OVERHEAD,
+};

@@ -1,0 +1,133 @@
+//! The follow-me editor: a stateful document editor that migrates with
+//! its user (paper §5's second named demo).
+
+use mdagent_core::{
+    AppId, Component, ComponentKind, ComponentSet, CoreError, Middleware, UserProfile,
+};
+use mdagent_simnet::{HostId, Simulator};
+
+/// Handle to a deployed follow-me editor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Editor {
+    /// The underlying application instance.
+    pub app: AppId,
+}
+
+impl Editor {
+    /// Registry name.
+    pub const NAME: &'static str = "follow-me-editor";
+
+    /// Components: editing engine, window, and the open document.
+    pub fn components(document_bytes: usize) -> ComponentSet {
+        [
+            Component::synthetic("edit-engine", ComponentKind::Logic, 240_000),
+            Component::synthetic("editor-window", ComponentKind::Presentation, 90_000),
+            Component::synthetic("document", ComponentKind::Data, document_bytes),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Deploys the editor with an empty document buffer state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment failures.
+    pub fn deploy(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        host: HostId,
+        profile: UserProfile,
+        document_bytes: usize,
+    ) -> Result<Editor, CoreError> {
+        let app = Middleware::deploy_app(
+            world,
+            sim,
+            Self::NAME,
+            host,
+            Self::components(document_bytes),
+            profile,
+        )?;
+        {
+            let a = world.app_mut(app)?;
+            a.coordinator.register_observer("editor-window");
+        }
+        let editor = Editor { app };
+        Middleware::update_app_state(world, sim, app, "buffer", "")?;
+        Middleware::update_app_state(world, sim, app, "cursor", "0")?;
+        Ok(editor)
+    }
+
+    /// Types text at the cursor (append semantics for the simulation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn type_text(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        editor: Editor,
+        text: &str,
+    ) -> Result<(), CoreError> {
+        let mut buffer = Editor::buffer(world, editor)?;
+        buffer.push_str(text);
+        let cursor = buffer.chars().count();
+        Middleware::update_app_state(world, sim, editor.app, "buffer", &buffer)?;
+        Middleware::update_app_state(world, sim, editor.app, "cursor", &cursor.to_string())?;
+        Ok(())
+    }
+
+    /// The document buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn buffer(world: &Middleware, editor: Editor) -> Result<String, CoreError> {
+        Ok(world
+            .app(editor.app)?
+            .coordinator
+            .state("buffer")
+            .unwrap_or("")
+            .to_owned())
+    }
+
+    /// The cursor position in characters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn cursor(world: &Middleware, editor: Editor) -> Result<usize, CoreError> {
+        Ok(world
+            .app(editor.app)?
+            .coordinator
+            .state("cursor")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{default_profile, two_space_world};
+
+    #[test]
+    fn typing_updates_buffer_and_cursor() {
+        let (mut world, mut sim, hosts) = two_space_world();
+        let editor = Editor::deploy(
+            &mut world,
+            &mut sim,
+            hosts.office_pc,
+            default_profile(),
+            300_000,
+        )
+        .unwrap();
+        Editor::type_text(&mut world, &mut sim, editor, "pervasive ").unwrap();
+        Editor::type_text(&mut world, &mut sim, editor, "computing").unwrap();
+        assert_eq!(
+            Editor::buffer(&world, editor).unwrap(),
+            "pervasive computing"
+        );
+        assert_eq!(Editor::cursor(&world, editor).unwrap(), 19);
+    }
+}

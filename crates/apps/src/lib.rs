@@ -1,0 +1,42 @@
+//! # mdagent-apps — the six demo applications of the paper's Section 5
+//!
+//! "We built six demo applications based on this infrastructure, namely
+//! smart media player, follow-me editor, ubiquitous slide show, handheld
+//! editor, handheld music player, and follow-me instant messenger."
+//!
+//! Each application is a thin, typed façade over the middleware's
+//! application model: a component decomposition (logic / presentation /
+//! data with realistic sizes), coordinator-backed state, and helpers that
+//! drive it. The [`testkit`] module ships the standard two-space world
+//! fixture shared by the tests, examples and benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use mdagent_apps::{testkit, MediaPlayer};
+//!
+//! let (mut world, mut sim, hosts) = testkit::two_space_world();
+//! let player = MediaPlayer::deploy(
+//!     &mut world, &mut sim, hosts.office_pc, testkit::default_profile(), 2_000_000,
+//! )?;
+//! MediaPlayer::play(&mut world, &mut sim, player, "prelude.mp3")?;
+//! sim.run(&mut world);
+//! assert!(MediaPlayer::is_playing(&world, player)?);
+//! # Ok::<(), mdagent_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod editor;
+mod handheld;
+mod media_player;
+mod messenger;
+mod slideshow;
+pub mod testkit;
+
+pub use editor::Editor;
+pub use handheld::{HandheldEditor, HandheldPlayer};
+pub use media_player::MediaPlayer;
+pub use messenger::Messenger;
+pub use slideshow::SlideShow;

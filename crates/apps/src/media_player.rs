@@ -1,0 +1,178 @@
+//! The smart media player — the paper's first demo application.
+//!
+//! "It can stop music when listener is out of the room and continue
+//! playing when the listener enters the room within the same space. In
+//! this demo, application is divided into several functional components,
+//! codec logic, interface, and data files."
+
+use mdagent_core::{
+    AppId, AppState, Binding, BindingTarget, Component, ComponentKind, ComponentSet, CoreError,
+    Middleware, UserProfile,
+};
+use mdagent_simnet::{HostId, Simulator};
+
+/// Handle to a deployed smart media player.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaPlayer {
+    /// The underlying application instance.
+    pub app: AppId,
+}
+
+impl MediaPlayer {
+    /// Registry name of the application.
+    pub const NAME: &'static str = "smart-media-player";
+
+    /// The component decomposition from the paper: codec logic, interface,
+    /// and a music data file of the given size.
+    pub fn components(track_bytes: usize) -> ComponentSet {
+        [
+            Component::synthetic("codec", ComponentKind::Logic, 180_000),
+            Component::synthetic("player-ui", ComponentKind::Presentation, 60_000),
+            Component::synthetic("music-file", ComponentKind::Data, track_bytes),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Deploys the player on `host` with a music file of `track_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment failures.
+    pub fn deploy(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        host: HostId,
+        profile: UserProfile,
+        track_bytes: usize,
+    ) -> Result<MediaPlayer, CoreError> {
+        let app = Middleware::deploy_app(
+            world,
+            sim,
+            Self::NAME,
+            host,
+            Self::components(track_bytes),
+            profile,
+        )?;
+        {
+            let a = world.app_mut(app)?;
+            a.bindings.push(Binding {
+                name: "music-data".into(),
+                required_class: "imcl:MusicData".into(),
+                target: BindingTarget::LocalFile {
+                    path: "/music/playlist".into(),
+                    bytes: track_bytes as u64,
+                },
+            });
+            a.coordinator.register_observer("player-window");
+        }
+        let player = MediaPlayer { app };
+        MediaPlayer::stop(world, sim, player)?;
+        Ok(player)
+    }
+
+    /// Starts playing a track from the beginning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn play(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        player: MediaPlayer,
+        track: &str,
+    ) -> Result<(), CoreError> {
+        Middleware::update_app_state(world, sim, player.app, "track", track)?;
+        Middleware::update_app_state(world, sim, player.app, "position-ms", "0")?;
+        Middleware::update_app_state(world, sim, player.app, "playing", "true")?;
+        Ok(())
+    }
+
+    /// Advances the playback position (the codec "tick").
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn advance(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        player: MediaPlayer,
+        by_ms: u64,
+    ) -> Result<u64, CoreError> {
+        let current = MediaPlayer::position_ms(world, player)?;
+        let next = current + by_ms;
+        Middleware::update_app_state(world, sim, player.app, "position-ms", &next.to_string())?;
+        Ok(next)
+    }
+
+    /// Stops playback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn stop(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        player: MediaPlayer,
+    ) -> Result<(), CoreError> {
+        Middleware::update_app_state(world, sim, player.app, "playing", "false")?;
+        Ok(())
+    }
+
+    /// Current playback position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn position_ms(world: &Middleware, player: MediaPlayer) -> Result<u64, CoreError> {
+        Ok(world
+            .app(player.app)?
+            .coordinator
+            .state("position-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0))
+    }
+
+    /// Whether the player reports itself playing and runnable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn is_playing(world: &Middleware, player: MediaPlayer) -> Result<bool, CoreError> {
+        let app = world.app(player.app)?;
+        Ok(app.state == AppState::Running && app.coordinator.state("playing") == Some("true"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::two_space_world;
+    use mdagent_context::UserId;
+
+    #[test]
+    fn deploy_play_and_tick() {
+        let (mut world, mut sim, hosts) = two_space_world();
+        let player = MediaPlayer::deploy(
+            &mut world,
+            &mut sim,
+            hosts.office_pc,
+            UserProfile::new(UserId(0)),
+            2_000_000,
+        )
+        .unwrap();
+        MediaPlayer::play(&mut world, &mut sim, player, "prelude.mp3").unwrap();
+        assert!(MediaPlayer::is_playing(&world, player).unwrap());
+        MediaPlayer::advance(&mut world, &mut sim, player, 5_000).unwrap();
+        MediaPlayer::advance(&mut world, &mut sim, player, 2_500).unwrap();
+        assert_eq!(MediaPlayer::position_ms(&world, player).unwrap(), 7_500);
+        MediaPlayer::stop(&mut world, &mut sim, player).unwrap();
+        assert!(!MediaPlayer::is_playing(&world, player).unwrap());
+        // Component decomposition matches the paper.
+        let app = world.app(player.app).unwrap();
+        assert!(app.has_kind(ComponentKind::Logic));
+        assert!(app.has_kind(ComponentKind::Presentation));
+        assert!(app.has_kind(ComponentKind::Data));
+        assert_eq!(app.bindings.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! The ubiquitous slide show — the paper's clone-dispatch demo.
+//!
+//! "Our demo simplifies this process and lets agent clone the application
+//! and migrate to the separate rooms and establish the synchronization
+//! links with the main room automatically. … MAs just need to carry the
+//! slides to the destination … and synchronize the slides with the
+//! speaker's presentation controls."
+
+use mdagent_context::{ContextData, UserId};
+use mdagent_core::{
+    AppId, Component, ComponentKind, ComponentSet, CoreError, Middleware, UserProfile,
+};
+use mdagent_simnet::{HostId, Simulator, SpaceId};
+
+/// Handle to the speaker's (original) slide show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlideShow {
+    /// The underlying application instance.
+    pub app: AppId,
+}
+
+impl SlideShow {
+    /// Registry name.
+    pub const NAME: &'static str = "ubiquitous-slide-show";
+
+    /// Components: the Impress-like presenter logic, its UI, and the deck.
+    pub fn components(deck_bytes: usize) -> ComponentSet {
+        [
+            Component::synthetic("impress-core", ComponentKind::Logic, 400_000),
+            Component::synthetic("presenter-ui", ComponentKind::Presentation, 150_000),
+            Component::synthetic("slide-deck", ComponentKind::Data, deck_bytes),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// The presenter runtime without a deck — what meeting rooms have
+    /// preinstalled ("each meeting room is equipped with a presentation
+    /// application, a projector, what lacks is the slides").
+    pub fn presenter_runtime() -> ComponentSet {
+        [
+            Component::synthetic("impress-core", ComponentKind::Logic, 400_000),
+            Component::synthetic("presenter-ui", ComponentKind::Presentation, 150_000),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Deploys the speaker's slide show.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment failures.
+    pub fn deploy(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        host: HostId,
+        profile: UserProfile,
+        deck_bytes: usize,
+    ) -> Result<SlideShow, CoreError> {
+        let app = Middleware::deploy_app(
+            world,
+            sim,
+            Self::NAME,
+            host,
+            Self::components(deck_bytes),
+            profile,
+        )?;
+        {
+            let a = world.app_mut(app)?;
+            a.coordinator.register_observer("projector-output");
+        }
+        Middleware::update_app_state(world, sim, app, "slide", "1")?;
+        Ok(SlideShow { app })
+    }
+
+    /// Issues the user indication that dispatches clones to the listed
+    /// overflow rooms (the AA picks it up and plans the clone migrations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn dispatch_to_rooms(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        speaker: UserId,
+        rooms: &[SpaceId],
+    ) -> Result<(), CoreError> {
+        Middleware::publish_context(
+            world,
+            sim,
+            ContextData::UserIndication {
+                user: speaker,
+                command: "dispatch".into(),
+                args: rooms.iter().map(|s| s.0.to_string()).collect(),
+            },
+        );
+        Ok(())
+    }
+
+    /// The speaker advances to the next slide; replicas follow through the
+    /// coordinator's sync links.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn next_slide(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        show: SlideShow,
+    ) -> Result<u32, CoreError> {
+        let next = SlideShow::current_slide(world, show.app)? + 1;
+        Middleware::update_app_state(world, sim, show.app, "slide", &next.to_string())?;
+        Ok(next)
+    }
+
+    /// Reads the slide number shown by any instance (original or replica).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-app errors.
+    pub fn current_slide(world: &Middleware, app: AppId) -> Result<u32, CoreError> {
+        Ok(world
+            .app(app)?
+            .coordinator
+            .state("slide")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1))
+    }
+
+    /// All replica instances of this show.
+    pub fn replicas(world: &Middleware, show: SlideShow) -> Vec<AppId> {
+        world
+            .apps()
+            .filter(|a| a.cloned_from == Some(show.app))
+            .map(|a| a.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{default_profile, two_space_world};
+    use mdagent_core::{AutonomousAgent, BindingPolicy};
+    use mdagent_simnet::SimTime;
+
+    #[test]
+    fn lecture_scenario_clones_and_synchronizes() {
+        let (mut world, mut sim, hosts) = two_space_world();
+        let show = SlideShow::deploy(
+            &mut world,
+            &mut sim,
+            hosts.office_pc,
+            default_profile(),
+            1_200_000,
+        )
+        .unwrap();
+        world
+            .provision(
+                hosts.lab_pc,
+                SlideShow::NAME,
+                SlideShow::presenter_runtime(),
+            )
+            .unwrap();
+        Middleware::spawn_autonomous_agent(
+            &mut world,
+            &mut sim,
+            hosts.office_pc,
+            AutonomousAgent::new(UserId(0), show.app, BindingPolicy::Adaptive).manual_only(),
+        )
+        .unwrap();
+        sim.run_until(&mut world, SimTime::from_secs(1));
+
+        SlideShow::dispatch_to_rooms(&mut world, &mut sim, UserId(0), &[hosts.lab]).unwrap();
+        sim.run_until(&mut world, SimTime::from_secs(30));
+
+        let replicas = SlideShow::replicas(&world, show);
+        assert_eq!(replicas.len(), 1);
+        // The speaker flips two slides; the overflow room follows.
+        SlideShow::next_slide(&mut world, &mut sim, show).unwrap();
+        SlideShow::next_slide(&mut world, &mut sim, show).unwrap();
+        sim.run_until(&mut world, SimTime::from_secs(35));
+        assert_eq!(SlideShow::current_slide(&world, show.app).unwrap(), 3);
+        assert_eq!(SlideShow::current_slide(&world, replicas[0]).unwrap(), 3);
+    }
+}

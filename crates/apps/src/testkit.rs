@@ -1,0 +1,70 @@
+//! Shared scenario fixtures for the demo applications.
+
+use mdagent_core::{DeviceProfile, Middleware, UserProfile};
+use mdagent_simnet::{CpuFactor, HostId, Simulator, SpaceId};
+
+/// Host handles of the standard fixture.
+#[derive(Debug, Clone, Copy)]
+pub struct FixtureHosts {
+    /// The office space.
+    pub office: SpaceId,
+    /// The lab space (reached through a gateway).
+    pub lab: SpaceId,
+    /// Office desktop (primary of the office).
+    pub office_pc: HostId,
+    /// A handheld device in the office.
+    pub office_pda: HostId,
+    /// The lab desktop (primary of the lab).
+    pub lab_pc: HostId,
+}
+
+/// Builds the standard two-space world used by the app tests and
+/// examples: an office with a PC and a PDA, a lab with a PC, 10 Mbps LAN
+/// inside the office, a gateway to the lab.
+pub fn two_space_world() -> (Middleware, Simulator<Middleware>, FixtureHosts) {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let lab = b.space("lab");
+    let office_pc = b.host("office-pc", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let office_pda = b.host(
+        "office-pda",
+        office,
+        CpuFactor::new(0.25),
+        DeviceProfile::handheld,
+    );
+    let lab_pc = b.host("lab-pc", lab, CpuFactor::new(0.94), DeviceProfile::pc);
+    b.ethernet(office_pc, office_pda).expect("same-space link");
+    b.gateway(office_pc, lab_pc).expect("gateway link");
+    b.seed(11);
+    let (world, sim) = b.build();
+    (
+        world,
+        sim,
+        FixtureHosts {
+            office,
+            lab,
+            office_pc,
+            office_pda,
+            lab_pc,
+        },
+    )
+}
+
+/// A default user profile for user 0, right-handed.
+pub fn default_profile() -> UserProfile {
+    UserProfile::new(mdagent_context::UserId(0)).with_preference("handedness", "right")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_routes() {
+        let (world, _sim, hosts) = two_space_world();
+        assert_eq!(world.primary_host(hosts.office).unwrap(), hosts.office_pc);
+        assert_eq!(world.primary_host(hosts.lab).unwrap(), hosts.lab_pc);
+        assert!(world.response_time_ms(hosts.office_pc, hosts.lab_pc) > 0.0);
+        assert!(!default_profile().is_left_handed());
+    }
+}

@@ -1,0 +1,145 @@
+//! Cross-app mobility tests: each demo application survives migration
+//! with its domain state intact.
+
+use mdagent_apps::{testkit, Editor, HandheldEditor, MediaPlayer, Messenger};
+use mdagent_context::UserId;
+use mdagent_core::{BindingPolicy, Middleware, MobilityMode, UserProfile};
+
+#[test]
+fn editor_buffer_survives_migration() {
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    let editor = Editor::deploy(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        testkit::default_profile(),
+        300_000,
+    )
+    .unwrap();
+    Editor::type_text(&mut world, &mut sim, editor, "draft: mobility middleware").unwrap();
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        editor.app,
+        hosts.lab_pc,
+        MobilityMode::FollowMe,
+        BindingPolicy::Static,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    assert_eq!(world.app(editor.app).unwrap().host, hosts.lab_pc);
+    assert_eq!(
+        Editor::buffer(&world, editor).unwrap(),
+        "draft: mobility middleware"
+    );
+    assert_eq!(Editor::cursor(&world, editor).unwrap(), 26);
+}
+
+#[test]
+fn messenger_unread_count_survives_migration() {
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    let im = Messenger::deploy(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        testkit::default_profile(),
+        50_000,
+    )
+    .unwrap();
+    Messenger::receive(&mut world, &mut sim, im, "alice", "hi").unwrap();
+    Messenger::receive(&mut world, &mut sim, im, "alice", "you there?").unwrap();
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        im.app,
+        hosts.lab_pc,
+        MobilityMode::FollowMe,
+        BindingPolicy::Adaptive,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    assert_eq!(Messenger::unread(&world, im).unwrap(), 2);
+    assert_eq!(
+        Messenger::last_message(&world, im).unwrap().as_deref(),
+        Some("alice: you there?")
+    );
+}
+
+#[test]
+fn handheld_notes_migrate_from_pda_to_pc_with_adaptation() {
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    let notes = HandheldEditor::deploy(
+        &mut world,
+        &mut sim,
+        hosts.office_pda,
+        UserProfile::new(UserId(0)).with_preference("handedness", "left"),
+        10_000,
+    )
+    .unwrap();
+    HandheldEditor::jot(&mut world, &mut sim, notes, "remember the demo").unwrap();
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        notes.app,
+        hosts.lab_pc,
+        MobilityMode::FollowMe,
+        BindingPolicy::Static,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    assert_eq!(
+        HandheldEditor::note(&world, notes).unwrap(),
+        "remember the demo"
+    );
+    let report = world.migration_log().last().unwrap();
+    // PDA (120 dpi) → PC (96 dpi): density compensation; left-handed mirror.
+    assert!(report.adaptation.mirrored());
+    assert!(report
+        .adaptation
+        .actions
+        .iter()
+        .any(|a| matches!(a, mdagent_core::Adaptation::DensityCompensation { .. })));
+}
+
+#[test]
+fn player_streams_remotely_under_adaptive_binding() {
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    let player = MediaPlayer::deploy(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        testkit::default_profile(),
+        4_000_000,
+    )
+    .unwrap();
+    MediaPlayer::play(&mut world, &mut sim, player, "opus.mp3").unwrap();
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        player.app,
+        hosts.lab_pc,
+        MobilityMode::FollowMe,
+        BindingPolicy::Adaptive,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    // The data binding degraded to a remote URL back at the office PC.
+    let app = world.app(player.app).unwrap();
+    let binding = &app.bindings[0];
+    match &binding.target {
+        mdagent_core::BindingTarget::RemoteUrl { url, host_raw } => {
+            assert!(url.contains("host-0"), "streams from the source: {url}");
+            assert_eq!(*host_raw, hosts.office_pc.0);
+        }
+        other => panic!("expected a remote URL binding, got {other:?}"),
+    }
+    assert!(MediaPlayer::is_playing(&world, player).unwrap());
+    assert_eq!(
+        world.migration_log().last().unwrap().remote_bytes,
+        4_000_000
+    );
+}

@@ -1,0 +1,23 @@
+//! Ablation A2 bench: clone-dispatch fan-out scenarios at increasing
+//! overflow-room counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdagent_bench::run_clone_fanout;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_clone_dispatch");
+    group.sample_size(10);
+    for rooms in [1u32, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(rooms), &rooms, |b, &rooms| {
+            b.iter(|| {
+                let (ready_ms, replicas) = run_clone_fanout(rooms);
+                assert_eq!(replicas as u32, rooms);
+                std::hint::black_box(ready_ms)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation A3 bench: semantic vs. syntactic resource matching cost over
+//! growing catalogs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdagent_registry::{RegistryCenter, ResourceRecord};
+use mdagent_simnet::{HostId, SpaceId};
+
+fn catalog(n: usize) -> RegistryCenter {
+    let mut center = RegistryCenter::new(SpaceId(0));
+    center.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+    center.declare_subclass("imcl:epsonStylus", "imcl:Printer");
+    center.declare_subclass("imcl:Printer", "imcl:Resource");
+    for i in 0..n {
+        let class = match i % 3 {
+            0 => "imcl:hpLaserJet",
+            1 => "imcl:epsonStylus",
+            _ => "imcl:Printer",
+        };
+        center.register_resource(ResourceRecord::new(
+            format!("imcl:prn-{i}"),
+            class,
+            SpaceId(0),
+            HostId(0),
+        ));
+    }
+    center
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_matching");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("semantic", n), &n, |b, &n| {
+            b.iter_batched(
+                || catalog(n),
+                |mut center| std::hint::black_box(center.find_resources("imcl:Printer").len()),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("syntactic", n), &n, |b, &n| {
+            b.iter_batched(
+                || catalog(n),
+                |center| {
+                    std::hint::black_box(center.find_resources_syntactic("imcl:Printer").len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation A1 bench: wall-clock cost of the forward-chaining reasoner on
+//! growing fact bases (the AA's per-decision reasoning work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdagent_ontology::{Graph, Reasoner};
+
+fn chain_graph(n: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add(
+            &format!("ex:n{i}"),
+            "imcl:locatedIn",
+            &format!("ex:n{}", i + 1),
+        );
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reasoning");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = chain_graph(n);
+                let rules = mdagent_core::paper_rules(&mut g);
+                let mut r = Reasoner::new();
+                r.add_rules(rules);
+                std::hint::black_box(r.materialize(&mut g))
+            });
+        });
+    }
+    // Decision pipeline end-to-end (the AA's Fig. 6 run).
+    group.bench_function("decide_move", |b| {
+        b.iter(|| {
+            std::hint::black_box(mdagent_core::decide_move(
+                mdagent_simnet::HostId(0),
+                mdagent_simnet::HostId(1),
+                "printer",
+                120.0,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

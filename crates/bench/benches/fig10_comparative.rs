@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 10: adaptive vs. static binding head to head
+//! at the extremes of the paper's sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdagent_bench::run_follow_me;
+use mdagent_core::BindingPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_comparative");
+    group.sample_size(10);
+    for (policy, name) in [
+        (BindingPolicy::Adaptive, "adaptive"),
+        (BindingPolicy::Static, "static"),
+    ] {
+        for mb in [2.0f64, 7.5] {
+            let bytes = (mb * 1_000_000.0) as usize;
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{mb:.1}MB")),
+                &bytes,
+                |b, &bytes| {
+                    b.iter(|| {
+                        let result = run_follow_me(policy, bytes);
+                        std::hint::black_box(result.report.phases.total())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

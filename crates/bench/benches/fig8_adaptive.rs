@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 8: the adaptive-binding migration scenario,
+//! one benchmark point per paper file size. The measured quantity is the
+//! wall-clock cost of simulating the full pipeline; the *simulated*
+//! milliseconds (the paper's y-axis) are printed by the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdagent_bench::{run_follow_me, PAPER_FILE_SIZES_MB};
+use mdagent_core::BindingPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_adaptive_binding");
+    group.sample_size(10);
+    for mb in PAPER_FILE_SIZES_MB {
+        let bytes = (mb * 1_000_000.0) as usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mb:.1}MB")),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let result = run_follow_me(BindingPolicy::Adaptive, bytes);
+                    std::hint::black_box(result.report.phases.total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

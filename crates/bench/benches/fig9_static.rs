@@ -1,0 +1,28 @@
+//! Criterion bench for Fig. 9: the static-binding migration scenario
+//! (the authors' earlier framework), one point per paper file size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdagent_bench::{run_follow_me, PAPER_FILE_SIZES_MB};
+use mdagent_core::BindingPolicy;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_static_binding");
+    group.sample_size(10);
+    for mb in PAPER_FILE_SIZES_MB {
+        let bytes = (mb * 1_000_000.0) as usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mb:.1}MB")),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    let result = run_follow_me(BindingPolicy::Static, bytes);
+                    std::hint::black_box(result.report.phases.total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

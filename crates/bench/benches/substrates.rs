@@ -1,0 +1,67 @@
+//! Microbenchmarks of the substrate crates: wire encoding throughput,
+//! triple-store queries, and ACL messaging on the platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdagent_ontology::{Graph, Query};
+use mdagent_wire::{from_bytes, to_bytes, Blob};
+
+fn wire_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for size in [1024usize, 65_536, 1_048_576] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let blob = Blob::zeroed(size);
+        group.bench_with_input(BenchmarkId::new("encode", size), &blob, |b, blob| {
+            b.iter(|| std::hint::black_box(to_bytes(blob)));
+        });
+        let bytes = to_bytes(&blob);
+        group.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
+            b.iter(|| std::hint::black_box(from_bytes::<Blob>(bytes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn ontology_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ontology");
+    group.sample_size(20);
+    let mut g = Graph::new();
+    for i in 0..512u32 {
+        g.add(&format!("ex:r{i}"), "rdf:type", "imcl:Printer");
+        g.add(
+            &format!("ex:r{i}"),
+            "imcl:locatedIn",
+            &format!("ex:room{}", i % 16),
+        );
+    }
+    let q = Query::parse(
+        "(?x rdf:type imcl:Printer), (?x imcl:locatedIn ex:room3)",
+        &mut g,
+    )
+    .unwrap();
+    group.bench_function("bgp_join_512", |b| {
+        b.iter(|| std::hint::black_box(q.solve(g.store()).len()));
+    });
+    group.finish();
+}
+
+fn messaging_benches(c: &mut Criterion) {
+    use mdagent_agent::{AclMessage, AgentId, Performative};
+    let mut group = c.benchmark_group("acl");
+    let msg = AclMessage::new(
+        Performative::Request,
+        AgentId::new("aa-0", "mdagent"),
+        AgentId::new("ma-0", "mdagent"),
+    )
+    .with_ontology("mdagent.migrate")
+    .with_content(vec![7u8; 256]);
+    group.bench_function("encode_decode_256B", |b| {
+        b.iter(|| {
+            let bytes = to_bytes(&msg);
+            std::hint::black_box(from_bytes::<AclMessage>(&bytes).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, wire_benches, ontology_benches, messaging_benches);
+criterion_main!(benches);

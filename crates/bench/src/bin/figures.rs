@@ -1,0 +1,35 @@
+//! Prints every reproduced figure of the paper plus the ablations.
+//!
+//! ```text
+//! cargo run -p mdagent-bench --bin figures            # everything
+//! cargo run -p mdagent-bench --bin figures -- fig8    # one figure
+//! ```
+
+use mdagent_bench::{
+    ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
+    fig10_comparative, fig8_adaptive, fig9_static,
+};
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let want = |key: &str| filter.is_empty() || filter.iter().any(|f| f == key);
+
+    println!("MDAgent reproduction — evaluation figures");
+    println!("(simulated milliseconds on the calibrated 10 Mbps / P4-class testbed)\n");
+
+    if want("fig8") {
+        println!("{}", fig8_adaptive());
+    }
+    if want("fig9") {
+        println!("{}", fig9_static());
+    }
+    if want("fig10") {
+        println!("{}", fig10_comparative());
+    }
+    if want("ablations") || filter.is_empty() {
+        println!("{}", ablation_clone_dispatch(8));
+        println!("{}", ablation_reasoning(24));
+        println!("{}", ablation_matching(24));
+        println!("{}", ablation_prestaging());
+    }
+}

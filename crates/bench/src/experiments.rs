@@ -1,0 +1,528 @@
+//! The experiments behind each reproduced figure.
+
+use mdagent_context::UserId;
+use mdagent_core::{
+    AppState, BindingPolicy, Component, ComponentKind, DeviceProfile, Middleware, MigrationReport,
+    MobilityMode, UserProfile,
+};
+use mdagent_simnet::{CpuFactor, SimDuration, SimTime};
+
+use crate::table::Figure;
+
+/// The file sizes swept in the paper's evaluation (MB labels as printed
+/// on its x-axes).
+pub const PAPER_FILE_SIZES_MB: [f64; 6] = [2.0, 3.0, 4.3, 5.6, 6.5, 7.5];
+
+/// Outcome of one follow-me migration experiment.
+#[derive(Debug, Clone)]
+pub struct FollowMeResult {
+    /// The recorded migration report.
+    pub report: MigrationReport,
+}
+
+/// Runs the paper's §5 experiment once: a smart media player with a music
+/// file of `file_bytes` migrates between two machines calibrated to the
+/// paper's testbed (P4 1.7 GHz → PM 1.6 GHz over 10 Mbps Ethernet), where
+/// "the destination host contains the application user interface but no
+/// music data nor application logic".
+///
+/// # Panics
+///
+/// Panics on scenario construction failures (the topology is static).
+pub fn run_follow_me(policy: BindingPolicy, file_bytes: usize) -> FollowMeResult {
+    let mut b = Middleware::builder();
+    let room_a = b.space("room-a");
+    let room_b = b.space("room-b");
+    let p4 = b.host("p4-1.7ghz", room_a, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pm = b.host("pm-1.6ghz", room_b, CpuFactor::new(0.94), DeviceProfile::pc);
+    // One Ethernet segment spanning both rooms: 10 Mbps, 1 ms, 80% goodput.
+    b.link(p4, pm, SimDuration::from_millis(1), 10_000_000, 0.8, true)
+        .expect("link");
+    b.seed(1);
+    let (mut world, mut sim) = b.build();
+
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "smart-media-player",
+        p4,
+        [
+            Component::synthetic("codec", ComponentKind::Logic, 180_000),
+            Component::synthetic("player-ui", ComponentKind::Presentation, 60_000),
+            Component::synthetic("music-file", ComponentKind::Data, file_bytes),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    // Destination: UI present, no logic, no data (the paper's assumption).
+    world
+        .provision(
+            pm,
+            "smart-media-player",
+            [Component::synthetic(
+                "player-ui",
+                ComponentKind::Presentation,
+                60_000,
+            )]
+            .into_iter()
+            .collect(),
+        )
+        .expect("provision");
+    sim.run(&mut world);
+
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        pm,
+        MobilityMode::FollowMe,
+        policy,
+    )
+    .expect("migrate");
+    sim.run(&mut world);
+
+    assert_eq!(
+        world.app(app).expect("app").state,
+        AppState::Running,
+        "migration must complete"
+    );
+    let report = world
+        .migration_log()
+        .last()
+        .expect("one migration recorded")
+        .clone();
+    FollowMeResult { report }
+}
+
+fn size_label(mb: f64) -> String {
+    format!("{mb:.1}M")
+}
+
+/// Fig. 8: per-phase and total cost with **adaptive component binding**.
+pub fn fig8_adaptive() -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 8",
+        "Performance with adaptive component binding",
+        vec![
+            "suspend".into(),
+            "migrate".into(),
+            "resume".into(),
+            "total".into(),
+        ],
+        "ms",
+        "suspend & migrate flat across file sizes; resume grows mildly; \
+         total growth from 2.0M to 7.5M under 200 ms",
+    );
+    for mb in PAPER_FILE_SIZES_MB {
+        let result = run_follow_me(BindingPolicy::Adaptive, (mb * 1_000_000.0) as usize);
+        let p = result.report.phases;
+        fig.push_row(
+            size_label(mb),
+            vec![
+                p.suspend.as_millis_f64(),
+                p.migrate.as_millis_f64(),
+                p.resume.as_millis_f64(),
+                p.total().as_millis_f64(),
+            ],
+        );
+    }
+    fig
+}
+
+/// Fig. 9: per-phase cost with **static component binding** (the authors'
+/// earlier framework shipping logic + UI + data wholesale).
+pub fn fig9_static() -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 9",
+        "Performance with static component binding",
+        vec![
+            "suspend".into(),
+            "migrate".into(),
+            "resume".into(),
+            "total".into(),
+        ],
+        "ms",
+        "migrate grows roughly linearly with file size and dominates \
+         (several seconds at 7.5M); suspend and resume grow with payload",
+    );
+    for mb in PAPER_FILE_SIZES_MB {
+        let result = run_follow_me(BindingPolicy::Static, (mb * 1_000_000.0) as usize);
+        let p = result.report.phases;
+        fig.push_row(
+            size_label(mb),
+            vec![
+                p.suspend.as_millis_f64(),
+                p.migrate.as_millis_f64(),
+                p.resume.as_millis_f64(),
+                p.total().as_millis_f64(),
+            ],
+        );
+    }
+    fig
+}
+
+/// Fig. 10: comparative total cost, adaptive vs. static binding.
+pub fn fig10_comparative() -> Figure {
+    let mut fig = Figure::new(
+        "Fig. 10",
+        "Comparative time cost",
+        vec!["adaptive".into(), "static".into(), "static/adaptive".into()],
+        "ms (ratio unitless)",
+        "static exceeds adaptive everywhere; the gap widens with file \
+         size, reaching roughly an order of magnitude at 7.5M",
+    );
+    for mb in PAPER_FILE_SIZES_MB {
+        let bytes = (mb * 1_000_000.0) as usize;
+        let adaptive = run_follow_me(BindingPolicy::Adaptive, bytes)
+            .report
+            .phases
+            .total();
+        let static_ = run_follow_me(BindingPolicy::Static, bytes)
+            .report
+            .phases
+            .total();
+        fig.push_row(
+            size_label(mb),
+            vec![
+                adaptive.as_millis_f64(),
+                static_.as_millis_f64(),
+                static_.as_millis_f64() / adaptive.as_millis_f64(),
+            ],
+        );
+    }
+    fig
+}
+
+/// Ablation A2: clone-dispatch fan-out — completion time of dispatching a
+/// slide deck to 1..=n overflow rooms across gateways.
+pub fn ablation_clone_dispatch(max_rooms: u32) -> Figure {
+    let mut fig = Figure::new(
+        "Ablation A2",
+        "Clone-dispatch fan-out to overflow rooms",
+        vec!["last-replica-ready".into(), "replicas".into()],
+        "ms / count",
+        "completion time grows with room count but sublinearly (clones \
+         dispatch concurrently over independent gateways)",
+    );
+    for rooms in 1..=max_rooms {
+        let (ready_ms, replicas) = run_clone_fanout(rooms);
+        fig.push_row(format!("{rooms}"), vec![ready_ms, replicas as f64]);
+    }
+    fig
+}
+
+/// Runs the clone fan-out scenario once; returns (last-replica-ready ms,
+/// replica count).
+pub fn run_clone_fanout(rooms: u32) -> (f64, usize) {
+    let mut b = Middleware::builder();
+    let main_room = b.space("main-room");
+    let speaker_pc = b.host(
+        "speaker-pc",
+        main_room,
+        CpuFactor::REFERENCE,
+        DeviceProfile::pc,
+    );
+    let mut room_hosts = Vec::new();
+    for i in 0..rooms {
+        let space = b.space(&format!("overflow-{i}"));
+        let host = b.host(
+            &format!("room-pc-{i}"),
+            space,
+            CpuFactor::REFERENCE,
+            DeviceProfile::wall_display,
+        );
+        b.gateway(speaker_pc, host).expect("gateway");
+        room_hosts.push(host);
+    }
+    b.seed(2);
+    let (mut world, mut sim) = b.build();
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "ubiquitous-slide-show",
+        speaker_pc,
+        [
+            Component::synthetic("impress-core", ComponentKind::Logic, 400_000),
+            Component::synthetic("presenter-ui", ComponentKind::Presentation, 150_000),
+            Component::synthetic("slide-deck", ComponentKind::Data, 1_200_000),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    for host in &room_hosts {
+        world
+            .provision(
+                *host,
+                "ubiquitous-slide-show",
+                [
+                    Component::synthetic("impress-core", ComponentKind::Logic, 400_000),
+                    Component::synthetic("presenter-ui", ComponentKind::Presentation, 150_000),
+                ]
+                .into_iter()
+                .collect(),
+            )
+            .expect("provision");
+    }
+    sim.run(&mut world);
+    for host in &room_hosts {
+        Middleware::migrate_now(
+            &mut world,
+            &mut sim,
+            app,
+            *host,
+            MobilityMode::CloneDispatch,
+            BindingPolicy::Adaptive,
+        )
+        .expect("clone");
+    }
+    sim.run(&mut world);
+    let replicas = world.apps().filter(|a| a.is_replica()).count();
+    let last_ready = world
+        .migration_log()
+        .iter()
+        .map(|r| r.completed_at)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    (last_ready.as_millis_f64(), replicas)
+}
+
+/// Ablation A4: predictive pre-staging — shipped bytes per hop on the
+/// second lap of a habitual three-room tour, with and without the AA's
+/// pre-staging (§3.4's "prediction functionalities ... improve the
+/// performance").
+pub fn ablation_prestaging() -> Figure {
+    let mut fig = Figure::new(
+        "Ablation A4",
+        "Predictive pre-staging: second-lap shipped bytes per hop",
+        vec!["without".into(), "with-prestaging".into()],
+        "bytes",
+        "pre-staging moves logic/UI ahead of the user, so later hops ship \
+         only the application states",
+    );
+    let without = run_tour(false);
+    let with = run_tour(true);
+    for (i, (a, b)) in without.iter().zip(&with).enumerate() {
+        fig.push_row(format!("hop-{}", i + 1), vec![*a as f64, *b as f64]);
+    }
+    fig
+}
+
+/// Runs two laps of an office→lab→studio→office tour under an AA with or
+/// without pre-staging; returns the shipped bytes of the second lap's hops.
+pub fn run_tour(prestage: bool) -> Vec<u64> {
+    use mdagent_context::BadgeId;
+    use mdagent_core::AutonomousAgent;
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let lab = b.space("lab");
+    let studio = b.space("studio");
+    let pc0 = b.host("pc0", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pc1 = b.host("pc1", lab, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pc2 = b.host("pc2", studio, CpuFactor::REFERENCE, DeviceProfile::pc);
+    b.gateway(pc0, pc1).expect("gateway");
+    b.gateway(pc1, pc2).expect("gateway");
+    b.seed(5);
+    let (mut world, mut sim) = b.build();
+    world.attach_user(UserProfile::new(UserId(0)), BadgeId(0), office, 2.0);
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "routine-app",
+        pc0,
+        [
+            Component::synthetic("logic", ComponentKind::Logic, 150_000),
+            Component::synthetic("ui", ComponentKind::Presentation, 80_000),
+            Component::synthetic("data", ComponentKind::Data, 1_000_000),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    let mut aa = AutonomousAgent::new(UserId(0), app, BindingPolicy::Adaptive);
+    if prestage {
+        aa = aa.with_prestaging();
+    }
+    Middleware::spawn_autonomous_agent(&mut world, &mut sim, pc0, aa).expect("aa");
+    Middleware::start_sensing(&mut world, &mut sim);
+    sim.run_until(&mut world, SimTime::from_secs(2));
+    for _lap in 0..2 {
+        for space in [lab, studio, office] {
+            world.move_user(BadgeId(0), space, 2.0);
+            let deadline = sim.now() + SimDuration::from_secs(15);
+            sim.run_until(&mut world, deadline);
+        }
+    }
+    world
+        .migration_log()
+        .iter()
+        .skip(3)
+        .map(|r| r.shipped_bytes)
+        .collect()
+}
+
+/// Ablation A1: reasoning cost — simulated triples derived when running
+/// the paper's rule base over growing `locatedIn` chains.
+pub fn ablation_reasoning(max_chain: usize) -> Figure {
+    use mdagent_ontology::{Graph, Reasoner};
+    let mut fig = Figure::new(
+        "Ablation A1",
+        "Forward-chaining closure growth (paper Rule1)",
+        vec!["base-triples".into(), "derived".into()],
+        "count",
+        "derived transitive closure is n(n-1)/2 - (n-1) extra edges for an \
+         n-node chain: quadratic, motivating bounded rule bases in AAs",
+    );
+    for n in (2..=max_chain).step_by((max_chain / 8).max(1)) {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add(
+                &format!("ex:n{i}"),
+                "imcl:locatedIn",
+                &format!("ex:n{}", i + 1),
+            );
+        }
+        let base = g.len();
+        let rules = mdagent_core::paper_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        let derived = r.materialize(&mut g);
+        fig.push_row(format!("{n}"), vec![base as f64, derived as f64]);
+    }
+    fig
+}
+
+/// Ablation A3: semantic vs. syntactic matching hit rate over a resource
+/// catalog with subclass structure.
+pub fn ablation_matching(catalog_size: usize) -> Figure {
+    use mdagent_registry::{RegistryCenter, ResourceRecord};
+    use mdagent_simnet::{HostId, SpaceId};
+    let mut fig = Figure::new(
+        "Ablation A3",
+        "Semantic vs. syntactic resource matching",
+        vec!["semantic-hits".into(), "syntactic-hits".into()],
+        "count",
+        "semantic matching finds every subclass instance; syntactic \
+         matching finds only exact class names (the paper's §3.3 argument)",
+    );
+    for n in [catalog_size / 4, catalog_size / 2, catalog_size]
+        .iter()
+        .filter(|&&n| n > 0)
+    {
+        let mut center = RegistryCenter::new(SpaceId(0));
+        center.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+        center.declare_subclass("imcl:epsonStylus", "imcl:Printer");
+        center.declare_subclass("imcl:Printer", "imcl:Resource");
+        for i in 0..*n {
+            let class = match i % 3 {
+                0 => "imcl:hpLaserJet",
+                1 => "imcl:epsonStylus",
+                _ => "imcl:Printer",
+            };
+            center.register_resource(ResourceRecord::new(
+                format!("imcl:prn-{i}"),
+                class,
+                SpaceId(0),
+                HostId(0),
+            ));
+        }
+        let semantic = center.find_resources("imcl:Printer").len();
+        let syntactic = center.find_resources_syntactic("imcl:Printer").len();
+        fig.push_row(format!("{n}"), vec![semantic as f64, syntactic as f64]);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_shape_holds() {
+        let fig = fig8_adaptive();
+        let suspend = fig.series_values("suspend").unwrap();
+        let migrate = fig.series_values("migrate").unwrap();
+        let resume = fig.series_values("resume").unwrap();
+        let total = fig.series_values("total").unwrap();
+        // Suspend and migrate are flat (vary < 15 ms across the sweep).
+        assert!(suspend.last().unwrap() - suspend.first().unwrap() < 15.0);
+        assert!(migrate.last().unwrap() - migrate.first().unwrap() < 15.0);
+        // Resume grows, but the total increase stays under 200 ms (paper).
+        assert!(resume.last().unwrap() > resume.first().unwrap());
+        assert!(
+            total.last().unwrap() - total.first().unwrap() < 200.0,
+            "total grew by {}",
+            total.last().unwrap() - total.first().unwrap()
+        );
+    }
+
+    #[test]
+    fn fig9_migrate_grows_linearly_and_dominates() {
+        let fig = fig9_static();
+        let migrate = fig.series_values("migrate").unwrap();
+        let total = fig.series_values("total").unwrap();
+        // Monotone growth.
+        for pair in migrate.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        // Roughly linear in file size: migrate(7.5)/migrate(2.0) ≈ 7.5/2.0.
+        let ratio = migrate.last().unwrap() / migrate.first().unwrap();
+        assert!((2.5..=4.5).contains(&ratio), "growth ratio {ratio}");
+        // Migration dominates the total at the top end.
+        assert!(migrate.last().unwrap() / total.last().unwrap() > 0.5);
+        // Several seconds at 7.5 MB, as in the paper.
+        assert!(*migrate.last().unwrap() > 5_000.0);
+    }
+
+    #[test]
+    fn fig10_static_dwarfs_adaptive() {
+        let fig = fig10_comparative();
+        let ratio = fig.series_values("static/adaptive").unwrap();
+        for r in &ratio {
+            assert!(*r > 2.0, "static must exceed adaptive, got ratio {r}");
+        }
+        // The gap widens with file size and reaches ~an order of magnitude.
+        assert!(ratio.last().unwrap() > ratio.first().unwrap());
+        assert!(
+            *ratio.last().unwrap() > 8.0,
+            "got {}",
+            ratio.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn clone_fanout_completes_for_all_rooms() {
+        let fig = ablation_clone_dispatch(4);
+        let replicas = fig.series_values("replicas").unwrap();
+        assert_eq!(replicas, vec![1.0, 2.0, 3.0, 4.0]);
+        let ready = fig.series_values("last-replica-ready").unwrap();
+        for pair in ready.windows(2) {
+            assert!(pair[1] >= pair[0], "more rooms cannot finish earlier");
+        }
+        // Concurrency: 4 rooms take far less than 4 × one room.
+        assert!(ready[3] < ready[0] * 3.0);
+    }
+
+    #[test]
+    fn matching_ablation_shows_semantic_advantage() {
+        let fig = ablation_matching(12);
+        let semantic = fig.series_values("semantic-hits").unwrap();
+        let syntactic = fig.series_values("syntactic-hits").unwrap();
+        for (sem, syn) in semantic.iter().zip(&syntactic) {
+            assert!(sem > syn, "semantic must find strictly more");
+        }
+    }
+
+    #[test]
+    fn reasoning_ablation_is_quadratic() {
+        let fig = ablation_reasoning(16);
+        let derived = fig.series_values("derived").unwrap();
+        for pair in derived.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # mdagent-bench — the experiment harness
+//!
+//! Regenerates every evaluation artifact of the paper (Figures 8–10) plus
+//! the ablations called out in `DESIGN.md`. The harness runs scenarios on
+//! the simulated clock, so results are deterministic; the Criterion
+//! benches under `benches/` additionally measure the wall-clock cost of
+//! running each scenario.
+//!
+//! Run `cargo run -p mdagent-bench --bin figures` to print all figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
+    fig10_comparative, fig8_adaptive, fig9_static, run_clone_fanout, run_follow_me, FollowMeResult,
+    PAPER_FILE_SIZES_MB,
+};
+pub use table::{Figure, Row};

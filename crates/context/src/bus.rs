@@ -1,0 +1,157 @@
+//! Publish/subscribe context kernel.
+//!
+//! "Context kernel employs a publish/subscribe design pattern. When the
+//! subscribed events occur, the information will be multicast to the
+//! registered listeners." (paper §5). The bus is world-agnostic: `publish`
+//! returns the subscribers to notify and the host middleware routes the
+//! event to them (usually as ACL messages to autonomous agents).
+
+use std::collections::HashMap;
+
+use crate::types::ContextEvent;
+
+/// Opaque handle identifying a subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId(pub u64);
+
+/// Topic-based pub/sub with exact and prefix subscriptions.
+///
+/// A pattern either matches a topic exactly or, when it ends with `*`,
+/// matches any topic with the preceding prefix (`"context.*"`).
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_context::{ContextBus, ContextEvent, ContextData, UserId, topics};
+/// use mdagent_simnet::{SimTime, SpaceId};
+///
+/// let mut bus = ContextBus::new();
+/// let sub = bus.subscribe("context.*");
+/// let event = ContextEvent::new(
+///     SimTime::ZERO,
+///     ContextData::Location { user: UserId(1), space: SpaceId(0) },
+/// );
+/// assert_eq!(bus.publish(&event), vec![sub]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContextBus {
+    subscriptions: HashMap<SubscriberId, Vec<String>>,
+    next_id: u64,
+    published: u64,
+}
+
+fn matches(pattern: &str, topic: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => topic.starts_with(prefix),
+        None => pattern == topic,
+    }
+}
+
+impl ContextBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new subscriber for `pattern`, returning its handle.
+    pub fn subscribe(&mut self, pattern: impl Into<String>) -> SubscriberId {
+        let id = SubscriberId(self.next_id);
+        self.next_id += 1;
+        self.subscriptions.insert(id, vec![pattern.into()]);
+        id
+    }
+
+    /// Adds another pattern to an existing subscriber.
+    pub fn also_subscribe(&mut self, id: SubscriberId, pattern: impl Into<String>) {
+        self.subscriptions
+            .entry(id)
+            .or_default()
+            .push(pattern.into());
+    }
+
+    /// Removes a subscriber entirely. Returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriberId) -> bool {
+        self.subscriptions.remove(&id).is_some()
+    }
+
+    /// Publishes an event, returning the subscribers whose patterns match,
+    /// in subscription order (each at most once).
+    pub fn publish(&mut self, event: &ContextEvent) -> Vec<SubscriberId> {
+        self.published += 1;
+        let topic = event.topic();
+        let mut hits: Vec<SubscriberId> = self
+            .subscriptions
+            .iter()
+            .filter(|(_, patterns)| patterns.iter().any(|p| matches(p, topic)))
+            .map(|(&id, _)| id)
+            .collect();
+        hits.sort();
+        hits
+    }
+
+    /// Number of registered subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Number of events published so far.
+    pub fn published_count(&self) -> u64 {
+        self.published
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ContextData, UserId};
+    use mdagent_simnet::{SimTime, SpaceId};
+
+    fn location_event() -> ContextEvent {
+        ContextEvent::new(
+            SimTime::ZERO,
+            ContextData::Location {
+                user: UserId(0),
+                space: SpaceId(0),
+            },
+        )
+    }
+
+    #[test]
+    fn exact_and_prefix_matching() {
+        let mut bus = ContextBus::new();
+        let exact = bus.subscribe("context.location");
+        let prefix = bus.subscribe("context.*");
+        let other = bus.subscribe("sensor.distance");
+        let hits = bus.publish(&location_event());
+        assert!(hits.contains(&exact));
+        assert!(hits.contains(&prefix));
+        assert!(!hits.contains(&other));
+        assert_eq!(bus.published_count(), 1);
+    }
+
+    #[test]
+    fn multiple_patterns_single_notification() {
+        let mut bus = ContextBus::new();
+        let sub = bus.subscribe("context.location");
+        bus.also_subscribe(sub, "context.*");
+        let hits = bus.publish(&location_event());
+        assert_eq!(hits, vec![sub], "subscriber notified once, not twice");
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let mut bus = ContextBus::new();
+        let sub = bus.subscribe("context.*");
+        assert!(bus.unsubscribe(sub));
+        assert!(!bus.unsubscribe(sub));
+        assert!(bus.publish(&location_event()).is_empty());
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn star_alone_matches_everything() {
+        let mut bus = ContextBus::new();
+        let all = bus.subscribe("*");
+        assert_eq!(bus.publish(&location_event()), vec![all]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Context fusion: raw distance readings → room-level user locations.
+//!
+//! "Usually, the underlying sensors can only collect raw data such as
+//! distance, badge (listener) identity, etc. To map these data to useful
+//! information such as location, user identity, etc. requires context
+//! fusion mechanisms." (paper §3.4)
+
+use std::collections::HashMap;
+
+use mdagent_simnet::SpaceId;
+
+use crate::types::{BadgeId, ContextData, ContextEvent, UserId};
+
+/// Fuses distance readings per badge into debounced location estimates.
+///
+/// A badge's candidate space is the space of the nearest-reporting beacon
+/// in the current round; the fused location only switches after the same
+/// candidate repeats `debounce` consecutive rounds (hysteresis against
+/// noise), which is what keeps the music player from flapping between
+/// rooms when a user stands in a doorway.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_context::{LocationFusion, BadgeId, UserId};
+///
+/// let mut fusion = LocationFusion::new(2);
+/// fusion.bind_badge(BadgeId(1), UserId(7));
+/// assert_eq!(fusion.user_of(BadgeId(1)), Some(UserId(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocationFusion {
+    badge_users: HashMap<BadgeId, UserId>,
+    current: HashMap<BadgeId, SpaceId>,
+    streak: HashMap<BadgeId, (SpaceId, u32)>,
+    debounce: u32,
+}
+
+impl LocationFusion {
+    /// Creates a fusion stage requiring `debounce` consecutive agreeing
+    /// rounds before a location change is reported (minimum 1).
+    pub fn new(debounce: u32) -> Self {
+        LocationFusion {
+            badge_users: HashMap::new(),
+            current: HashMap::new(),
+            streak: HashMap::new(),
+            debounce: debounce.max(1),
+        }
+    }
+
+    /// Associates a badge with the user carrying it.
+    pub fn bind_badge(&mut self, badge: BadgeId, user: UserId) {
+        self.badge_users.insert(badge, user);
+    }
+
+    /// The user carrying a badge.
+    pub fn user_of(&self, badge: BadgeId) -> Option<UserId> {
+        self.badge_users.get(&badge).copied()
+    }
+
+    /// The current fused location of a user, if known.
+    pub fn location_of(&self, user: UserId) -> Option<SpaceId> {
+        self.badge_users
+            .iter()
+            .find(|(_, &u)| u == user)
+            .and_then(|(badge, _)| self.current.get(badge))
+            .copied()
+    }
+
+    /// Consumes one round of raw readings and returns the location events
+    /// produced (at most one per badge whose fused location changed).
+    pub fn ingest_round(&mut self, readings: &[ContextEvent]) -> Vec<ContextEvent> {
+        // Nearest beacon per badge this round.
+        let mut nearest: HashMap<BadgeId, (f64, SpaceId)> = HashMap::new();
+        let mut latest_at = None;
+        for event in readings {
+            let ContextData::RawDistance {
+                badge,
+                space,
+                meters,
+                ..
+            } = event.data
+            else {
+                continue;
+            };
+            latest_at =
+                Some(latest_at.map_or(event.at, |t: mdagent_simnet::SimTime| t.max(event.at)));
+            match nearest.get(&badge) {
+                Some(&(best, _)) if best <= meters => {}
+                _ => {
+                    nearest.insert(badge, (meters, space));
+                }
+            }
+        }
+        let Some(at) = latest_at else {
+            return Vec::new();
+        };
+
+        let mut out = Vec::new();
+        let mut badges: Vec<_> = nearest.into_iter().collect();
+        badges.sort_by_key(|(b, _)| *b);
+        for (badge, (_dist, candidate)) in badges {
+            let streak = match self.streak.get(&badge) {
+                Some(&(space, n)) if space == candidate => n + 1,
+                _ => 1,
+            };
+            self.streak.insert(badge, (candidate, streak));
+            let confirmed = streak >= self.debounce;
+            let changed = self.current.get(&badge) != Some(&candidate);
+            if confirmed && changed {
+                self.current.insert(badge, candidate);
+                if let Some(&user) = self.badge_users.get(&badge) {
+                    out.push(ContextEvent::new(
+                        at,
+                        ContextData::Location {
+                            user,
+                            space: candidate,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BeaconId;
+    use mdagent_simnet::SimTime;
+
+    fn reading(badge: u32, beacon: u32, space: u32, meters: f64) -> ContextEvent {
+        ContextEvent::new(
+            SimTime::ZERO,
+            ContextData::RawDistance {
+                badge: BadgeId(badge),
+                beacon: BeaconId(beacon),
+                space: SpaceId(space),
+                meters,
+            },
+        )
+    }
+
+    #[test]
+    fn nearest_beacon_wins() {
+        let mut fusion = LocationFusion::new(1);
+        fusion.bind_badge(BadgeId(1), UserId(9));
+        let events = fusion.ingest_round(&[
+            reading(1, 0, 0, 3.0),
+            reading(1, 1, 1, 1.0), // nearest → space 1
+        ]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].data,
+            ContextData::Location {
+                user: UserId(9),
+                space: SpaceId(1)
+            }
+        );
+        assert_eq!(fusion.location_of(UserId(9)), Some(SpaceId(1)));
+    }
+
+    #[test]
+    fn debounce_suppresses_single_round_flicker() {
+        let mut fusion = LocationFusion::new(2);
+        fusion.bind_badge(BadgeId(1), UserId(9));
+        // Two rounds in space 0 to establish location.
+        assert!(fusion.ingest_round(&[reading(1, 0, 0, 1.0)]).is_empty());
+        assert_eq!(fusion.ingest_round(&[reading(1, 0, 0, 1.0)]).len(), 1);
+        // One noisy round pointing at space 1: suppressed.
+        assert!(fusion.ingest_round(&[reading(1, 1, 1, 0.5)]).is_empty());
+        // Back to space 0: no change event (still space 0)... but streak reset,
+        // so one round is not enough to re-report.
+        assert!(fusion.ingest_round(&[reading(1, 0, 0, 1.0)]).is_empty());
+        assert_eq!(fusion.location_of(UserId(9)), Some(SpaceId(0)));
+        // Two consistent rounds in space 1 do switch.
+        assert!(fusion.ingest_round(&[reading(1, 1, 1, 0.5)]).is_empty());
+        let events = fusion.ingest_round(&[reading(1, 1, 1, 0.5)]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(fusion.location_of(UserId(9)), Some(SpaceId(1)));
+    }
+
+    #[test]
+    fn unbound_badges_produce_no_user_events() {
+        let mut fusion = LocationFusion::new(1);
+        let events = fusion.ingest_round(&[reading(5, 0, 0, 1.0)]);
+        assert!(events.is_empty());
+        assert_eq!(fusion.user_of(BadgeId(5)), None);
+    }
+
+    #[test]
+    fn empty_round_is_silent() {
+        let mut fusion = LocationFusion::new(1);
+        assert!(fusion.ingest_round(&[]).is_empty());
+    }
+
+    #[test]
+    fn stable_location_reports_once() {
+        let mut fusion = LocationFusion::new(1);
+        fusion.bind_badge(BadgeId(1), UserId(9));
+        assert_eq!(fusion.ingest_round(&[reading(1, 0, 0, 1.0)]).len(), 1);
+        for _ in 0..5 {
+            assert!(fusion.ingest_round(&[reading(1, 0, 0, 1.0)]).is_empty());
+        }
+    }
+
+    #[test]
+    fn multiple_badges_in_one_round() {
+        let mut fusion = LocationFusion::new(1);
+        fusion.bind_badge(BadgeId(1), UserId(1));
+        fusion.bind_badge(BadgeId(2), UserId(2));
+        let events = fusion.ingest_round(&[reading(1, 0, 0, 1.0), reading(2, 1, 1, 1.0)]);
+        assert_eq!(events.len(), 2);
+    }
+}

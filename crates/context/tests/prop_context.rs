@@ -1,0 +1,135 @@
+//! Property tests for the context layer: fusion correctness, debounce
+//! bounds, bus determinism and predictor sanity.
+
+use mdagent_context::{
+    BadgeId, BeaconId, ContextBus, ContextData, ContextEvent, LocationFusion, LocationPredictor,
+    UserId,
+};
+use mdagent_simnet::{SimTime, SpaceId};
+use proptest::prelude::*;
+
+fn reading(badge: u32, beacon: u32, space: u32, meters: f64) -> ContextEvent {
+    ContextEvent::new(
+        SimTime::ZERO,
+        ContextData::RawDistance {
+            badge: BadgeId(badge),
+            beacon: BeaconId(beacon),
+            space: SpaceId(space),
+            meters,
+        },
+    )
+}
+
+proptest! {
+    /// The fused candidate is always the space of the minimum-distance
+    /// reading, independent of reading order.
+    #[test]
+    fn nearest_beacon_wins_in_any_order(
+        mut distances in proptest::collection::vec((0u32..5, 0.1f64..50.0), 1..10),
+        seed in any::<u64>(),
+    ) {
+        // Deduplicate beacons (one reading per beacon per round).
+        distances.sort_by_key(|(b, _)| *b);
+        distances.dedup_by_key(|(b, _)| *b);
+        // Shuffle deterministically by rotating.
+        let rot = (seed as usize) % distances.len().max(1);
+        distances.rotate_left(rot);
+
+        let mut fusion = LocationFusion::new(1);
+        fusion.bind_badge(BadgeId(1), UserId(1));
+        let readings: Vec<ContextEvent> = distances
+            .iter()
+            .map(|(beacon, d)| reading(1, *beacon, *beacon, *d)) // space id = beacon id
+            .collect();
+        let events = fusion.ingest_round(&readings);
+        let best_space = distances
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(b, _)| SpaceId(*b))
+            .unwrap();
+        prop_assert_eq!(events.len(), 1);
+        prop_assert_eq!(fusion.location_of(UserId(1)), Some(best_space));
+    }
+
+    /// With debounce k, a location change is reported only after at least
+    /// k consecutive agreeing rounds — never sooner.
+    #[test]
+    fn debounce_lower_bound(k in 1u32..5, flips in proptest::collection::vec(any::<bool>(), 1..24)) {
+        let mut fusion = LocationFusion::new(k);
+        fusion.bind_badge(BadgeId(1), UserId(1));
+        let mut consecutive: u32 = 0;
+        let mut last_space: Option<u32> = None;
+        for &in_space_one in &flips {
+            let space = u32::from(in_space_one);
+            let events = fusion.ingest_round(&[reading(1, space, space, 1.0)]);
+            if last_space == Some(space) {
+                consecutive += 1;
+            } else {
+                consecutive = 1;
+                last_space = Some(space);
+            }
+            if !events.is_empty() {
+                prop_assert!(
+                    consecutive >= k,
+                    "change reported after only {consecutive} agreeing rounds (k={k})"
+                );
+            }
+        }
+    }
+
+    /// Bus delivery is deterministic and complete: every matching
+    /// subscriber is returned exactly once, in stable order.
+    #[test]
+    fn bus_delivery_is_deterministic(patterns in proptest::collection::vec(0u8..3, 1..12)) {
+        let mut bus = ContextBus::new();
+        let mut subs = Vec::new();
+        for p in &patterns {
+            let pattern = match p {
+                0 => "context.location",
+                1 => "context.*",
+                _ => "sensor.*",
+            };
+            subs.push((bus.subscribe(pattern), pattern));
+        }
+        let event = ContextEvent::new(
+            SimTime::ZERO,
+            ContextData::Location { user: UserId(1), space: SpaceId(0) },
+        );
+        let first = bus.publish(&event);
+        let second = bus.publish(&event);
+        prop_assert_eq!(&first, &second, "same subscribers every time");
+        for (id, pattern) in &subs {
+            let should_match = *pattern != "sensor.*";
+            prop_assert_eq!(first.contains(id), should_match);
+        }
+        // No duplicates.
+        let mut sorted = first.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), first.len());
+    }
+
+    /// The predictor's probabilities over successors of a state sum to 1
+    /// (when any transition was observed), and predict_next is the argmax.
+    #[test]
+    fn predictor_probabilities_are_coherent(walk in proptest::collection::vec(0u32..4, 2..40)) {
+        let mut p = LocationPredictor::new();
+        let user = UserId(0);
+        for &s in &walk {
+            p.observe(user, SpaceId(s));
+        }
+        for from in 0..4u32 {
+            let total: f64 = (0..4u32)
+                .map(|to| p.transition_probability(user, SpaceId(from), SpaceId(to)))
+                .sum();
+            prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9, "sum {total}");
+            if let Some(next) = p.predict_next(user, SpaceId(from)) {
+                let best = p.transition_probability(user, SpaceId(from), next);
+                for to in 0..4u32 {
+                    prop_assert!(
+                        best >= p.transition_probability(user, SpaceId(from), SpaceId(to)) - 1e-12
+                    );
+                }
+            }
+        }
+    }
+}

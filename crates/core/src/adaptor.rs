@@ -1,0 +1,190 @@
+//! The adaptor: bridging device mismatch after migration (paper §4.2).
+//!
+//! "The mobile agent will contact adaptor to conduct necessary adaptations
+//! according to some customizable parameters to adjust some sizes,
+//! resolutions, etc."
+
+use crate::profile::{DeviceClass, DeviceProfile, UserProfile};
+
+/// One adaptation action taken.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Adaptation {
+    /// The UI was scaled to fit the destination screen.
+    ScaleUi {
+        /// Horizontal scale factor applied.
+        factor: f64,
+        /// Resulting width in pixels.
+        width: u32,
+        /// Resulting height in pixels.
+        height: u32,
+    },
+    /// Audio output redirected or disabled.
+    AudioPolicy {
+        /// Whether audio is enabled at the destination.
+        enabled: bool,
+    },
+    /// UI mirrored for a left-handed user (the paper's §1 example).
+    MirrorForHandedness,
+    /// Density (dpi) compensation applied to fonts and icons.
+    DensityCompensation {
+        /// Ratio destination-dpi / source-dpi.
+        ratio: f64,
+    },
+}
+
+/// The adaptor's report for one migration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptationReport {
+    /// Actions applied, in order.
+    pub actions: Vec<Adaptation>,
+}
+
+impl AdaptationReport {
+    /// Whether any action of the UI-scaling kind was applied.
+    pub fn scaled(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Adaptation::ScaleUi { .. }))
+    }
+
+    /// Whether the UI was mirrored.
+    pub fn mirrored(&self) -> bool {
+        self.actions.contains(&Adaptation::MirrorForHandedness)
+    }
+}
+
+/// Computes adaptations for a UI designed at `(design_width, design_height)`
+/// moving from `source` to `destination`, honouring the user's profile.
+pub fn adapt(
+    design_width: u32,
+    design_height: u32,
+    source: &DeviceProfile,
+    destination: &DeviceProfile,
+    user: &UserProfile,
+) -> AdaptationReport {
+    let mut actions = Vec::new();
+
+    // Scale to fit if the destination cannot show the design size 1:1.
+    if destination.screen_width < design_width || destination.screen_height < design_height {
+        let fx = f64::from(destination.screen_width) / f64::from(design_width);
+        let fy = f64::from(destination.screen_height) / f64::from(design_height);
+        let factor = fx.min(fy);
+        actions.push(Adaptation::ScaleUi {
+            factor,
+            width: (f64::from(design_width) * factor).round() as u32,
+            height: (f64::from(design_height) * factor).round() as u32,
+        });
+    } else if destination.class == DeviceClass::WallDisplay
+        && destination.screen_width > design_width * 2
+    {
+        // Wall displays scale up for visibility.
+        let factor = f64::from(destination.screen_width) / f64::from(design_width);
+        let factor = factor.min(2.0);
+        actions.push(Adaptation::ScaleUi {
+            factor,
+            width: (f64::from(design_width) * factor).round() as u32,
+            height: (f64::from(design_height) * factor).round() as u32,
+        });
+    }
+
+    if source.has_audio != destination.has_audio {
+        actions.push(Adaptation::AudioPolicy {
+            enabled: destination.has_audio,
+        });
+    }
+
+    if user.is_left_handed() {
+        actions.push(Adaptation::MirrorForHandedness);
+    }
+
+    if source.dpi != destination.dpi {
+        actions.push(Adaptation::DensityCompensation {
+            ratio: f64::from(destination.dpi) / f64::from(source.dpi),
+        });
+    }
+
+    AdaptationReport { actions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdagent_context::UserId;
+    use mdagent_simnet::HostId;
+
+    fn user() -> UserProfile {
+        UserProfile::new(UserId(0))
+    }
+
+    #[test]
+    fn pc_to_handheld_scales_down() {
+        let report = adapt(
+            800,
+            600,
+            &DeviceProfile::pc(HostId(0)),
+            &DeviceProfile::handheld(HostId(1)),
+            &user(),
+        );
+        assert!(report.scaled());
+        let Adaptation::ScaleUi {
+            factor,
+            width,
+            height,
+        } = report.actions[0]
+        else {
+            panic!("first action should be scaling");
+        };
+        assert!(factor < 1.0);
+        assert!(width <= 320 && height <= 240);
+        // dpi differs (96 vs 120): density compensation present.
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| matches!(a, Adaptation::DensityCompensation { .. })));
+    }
+
+    #[test]
+    fn pc_to_pc_no_scaling() {
+        let report = adapt(
+            800,
+            600,
+            &DeviceProfile::pc(HostId(0)),
+            &DeviceProfile::pc(HostId(1)),
+            &user(),
+        );
+        assert!(!report.scaled());
+        assert!(report.actions.is_empty());
+    }
+
+    #[test]
+    fn wall_display_scales_up_capped() {
+        let report = adapt(
+            640,
+            480,
+            &DeviceProfile::pc(HostId(0)),
+            &DeviceProfile::wall_display(HostId(1)),
+            &user(),
+        );
+        let Adaptation::ScaleUi { factor, .. } = report.actions[0] else {
+            panic!("expected scaling");
+        };
+        assert_eq!(factor, 2.0, "scale-up capped at 2x");
+        // Wall display has no audio: policy action present.
+        assert!(report
+            .actions
+            .contains(&Adaptation::AudioPolicy { enabled: false }));
+    }
+
+    #[test]
+    fn left_handed_user_gets_mirrored_ui() {
+        let lefty = UserProfile::new(UserId(0)).with_preference("handedness", "left");
+        let report = adapt(
+            800,
+            600,
+            &DeviceProfile::pc(HostId(0)),
+            &DeviceProfile::pc(HostId(1)),
+            &lefty,
+        );
+        assert!(report.mirrored());
+    }
+}

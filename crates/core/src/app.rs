@@ -1,0 +1,180 @@
+//! The two-level application model (paper Fig. 3).
+
+use std::fmt;
+
+use mdagent_agent::AgentId;
+use mdagent_simnet::HostId;
+use mdagent_wire::impl_wire_enum;
+
+use crate::binding::Binding;
+use crate::component::{ComponentKind, ComponentSet};
+use crate::coordinator::Coordinator;
+use crate::profile::UserProfile;
+
+/// Identifier of a deployed application instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app-{}", self.0)
+    }
+}
+
+/// Execution state of an application instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppState {
+    /// Executing normally.
+    Running,
+    /// Suspended (state captured, awaiting migration or resumption).
+    Suspended,
+    /// Its components are in transit inside a mobile agent.
+    Migrating,
+    /// Stopped for good.
+    Stopped,
+}
+
+impl_wire_enum!(AppState {
+    Running = 0,
+    Suspended = 1,
+    Migrating = 2,
+    Stopped = 3,
+});
+
+impl fmt::Display for AppState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AppState::Running => "running",
+            AppState::Suspended => "suspended",
+            AppState::Migrating => "migrating",
+            AppState::Stopped => "stopped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A deployed application instance.
+///
+/// Upper level: [`components`](Application::components) (logic,
+/// presentation, data), [`bindings`](Application::bindings) and profiles.
+/// Base level: the [`coordinator`](Application::coordinator) (observer
+/// pattern + sync links) and the attached mobile agent; the snapshot
+/// manager and adaptor operate on instances from the outside.
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Instance id.
+    pub id: AppId,
+    /// Application name (registry key), e.g. `"smart-media-player"`.
+    pub name: String,
+    /// Host currently executing the instance.
+    pub host: HostId,
+    /// Execution state.
+    pub state: AppState,
+    /// Component inventory present at the current host.
+    pub components: ComponentSet,
+    /// Resource bindings.
+    pub bindings: Vec<Binding>,
+    /// Base-level coordinator.
+    pub coordinator: Coordinator,
+    /// Owner's profile (rides along on migration).
+    pub user_profile: UserProfile,
+    /// The mobile agent responsible for this instance, once attached.
+    pub mobile_agent: Option<AgentId>,
+    /// If this instance is a clone-dispatch replica, the original.
+    pub cloned_from: Option<AppId>,
+    /// Minimum device requirements (`key=value`; see
+    /// [`DeviceProfile::satisfies`](crate::DeviceProfile::satisfies)).
+    pub requirements: Vec<(String, String)>,
+}
+
+impl Application {
+    /// Creates a running application instance.
+    pub fn new(id: AppId, name: impl Into<String>, host: HostId) -> Self {
+        Application {
+            id,
+            name: name.into(),
+            host,
+            state: AppState::Running,
+            components: ComponentSet::new(),
+            bindings: Vec::new(),
+            coordinator: Coordinator::new(),
+            user_profile: UserProfile::default(),
+            mobile_agent: None,
+            cloned_from: None,
+            requirements: Vec::new(),
+        }
+    }
+
+    /// Whether a device profile satisfies every requirement.
+    pub fn device_compatible(&self, device: &crate::profile::DeviceProfile) -> bool {
+        self.requirements
+            .iter()
+            .all(|(k, v)| device.satisfies(k, v))
+    }
+
+    /// Whether the inventory holds a component kind.
+    pub fn has_kind(&self, kind: ComponentKind) -> bool {
+        self.components.has_kind(kind)
+    }
+
+    /// Registry component tags for the current inventory.
+    pub fn component_tags(&self) -> Vec<String> {
+        let mut tags: Vec<String> = [
+            ComponentKind::Logic,
+            ComponentKind::Presentation,
+            ComponentKind::Data,
+            ComponentKind::Resource,
+        ]
+        .into_iter()
+        .filter(|k| self.has_kind(*k))
+        .map(|k| k.tag().to_owned())
+        .collect();
+        tags.sort();
+        tags
+    }
+
+    /// Whether the instance is a clone-dispatch replica.
+    pub fn is_replica(&self) -> bool {
+        self.cloned_from.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AppId(4).to_string(), "app-4");
+        assert_eq!(AppState::Migrating.to_string(), "migrating");
+    }
+
+    #[test]
+    fn component_tags_sorted_unique() {
+        let mut app = Application::new(AppId(0), "player", HostId(0));
+        app.components
+            .insert(Component::synthetic("codec", ComponentKind::Logic, 10));
+        app.components
+            .insert(Component::synthetic("ui", ComponentKind::Presentation, 10));
+        app.components
+            .insert(Component::synthetic("ui2", ComponentKind::Presentation, 10));
+        assert_eq!(app.component_tags(), ["logic", "presentation"]);
+        assert!(app.has_kind(ComponentKind::Logic));
+        assert!(!app.has_kind(ComponentKind::Data));
+        assert!(!app.is_replica());
+    }
+
+    #[test]
+    fn app_state_wire_roundtrip() {
+        for s in [
+            AppState::Running,
+            AppState::Suspended,
+            AppState::Migrating,
+            AppState::Stopped,
+        ] {
+            let back: AppState = mdagent_wire::from_bytes(&mdagent_wire::to_bytes(&s)).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

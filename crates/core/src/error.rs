@@ -1,0 +1,98 @@
+//! Middleware errors.
+
+use std::fmt;
+
+use mdagent_agent::AgentError;
+use mdagent_simnet::{HostId, SpaceId, TopologyError};
+
+use crate::app::AppId;
+
+/// Errors raised by the MDAgent middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// No application with this id.
+    UnknownApp(AppId),
+    /// The application is not in a state that allows the operation.
+    BadAppState(AppId, &'static str),
+    /// No host found in the requested space.
+    NoHostInSpace(SpaceId),
+    /// No agent container registered for the host.
+    NoContainer(HostId),
+    /// The application has no mobile agent attached.
+    NoMobileAgent(AppId),
+    /// Underlying agent platform failure.
+    Agent(AgentError),
+    /// Underlying topology failure.
+    Topology(TopologyError),
+    /// Registry lookup failed.
+    Registry(String),
+    /// Payload (de)serialization failed.
+    Wire(mdagent_wire::WireError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownApp(id) => write!(f, "unknown application {id}"),
+            CoreError::BadAppState(id, needed) => {
+                write!(f, "application {id} is not {needed}")
+            }
+            CoreError::NoHostInSpace(s) => write!(f, "no host available in {s}"),
+            CoreError::NoContainer(h) => write!(f, "no agent container on {h}"),
+            CoreError::NoMobileAgent(id) => write!(f, "application {id} has no mobile agent"),
+            CoreError::Agent(e) => write!(f, "agent platform error: {e}"),
+            CoreError::Topology(e) => write!(f, "topology error: {e}"),
+            CoreError::Registry(msg) => write!(f, "registry error: {msg}"),
+            CoreError::Wire(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Agent(e) => Some(e),
+            CoreError::Topology(e) => Some(e),
+            CoreError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AgentError> for CoreError {
+    fn from(e: AgentError) -> Self {
+        CoreError::Agent(e)
+    }
+}
+
+impl From<TopologyError> for CoreError {
+    fn from(e: TopologyError) -> Self {
+        CoreError::Topology(e)
+    }
+}
+
+impl From<mdagent_wire::WireError> for CoreError {
+    fn from(e: mdagent_wire::WireError) -> Self {
+        CoreError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::UnknownApp(AppId(3))
+            .to_string()
+            .contains("app-3"));
+        assert!(CoreError::NoHostInSpace(SpaceId(1))
+            .to_string()
+            .contains("space-1"));
+        assert!(CoreError::Registry("boom".into())
+            .to_string()
+            .contains("boom"));
+        let e: CoreError = TopologyError::UnknownHost(HostId(9)).into();
+        assert!(e.to_string().contains("host-9"));
+    }
+}

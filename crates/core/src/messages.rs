@@ -1,0 +1,229 @@
+//! Wire payloads of the ACL conversations between middleware parts.
+
+use mdagent_wire::{impl_wire_struct, Wire};
+
+use crate::component::ComponentSet;
+use crate::mobility::MigrationPlan;
+use crate::snapshot::Snapshot;
+
+/// Ontology slot values used by MDAgent conversations.
+pub mod ontologies {
+    /// Context event notification (kernel → AA).
+    pub const CONTEXT: &str = "mdagent.context";
+    /// Migration request (AA → MA), payload [`MigrationPlan`].
+    ///
+    /// [`MigrationPlan`]: crate::MigrationPlan
+    pub const MIGRATE: &str = "mdagent.migrate";
+    /// Clone-dispatch request (AA → MA), payload [`MigrationPlan`].
+    ///
+    /// [`MigrationPlan`]: crate::MigrationPlan
+    pub const CLONE: &str = "mdagent.clone";
+    /// Wrapped cargo hand-off (middleware → MA), payload [`Cargo`].
+    ///
+    /// [`Cargo`]: super::Cargo
+    pub const CARGO: &str = "mdagent.cargo";
+    /// State synchronization between replicas, payload [`SyncUpdate`].
+    ///
+    /// [`SyncUpdate`]: super::SyncUpdate
+    pub const SYNC: &str = "mdagent.sync";
+}
+
+/// Flattened context event, as delivered to autonomous agents.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ContextNotice {
+    /// Topic string (see [`mdagent_context::topics`]).
+    pub topic: String,
+    /// User id (when applicable).
+    pub user_raw: u32,
+    /// Space id (when applicable).
+    pub space_raw: u32,
+    /// Command verb (user indications).
+    pub command: String,
+    /// Command arguments (user indications).
+    pub args: Vec<String>,
+    /// Milliseconds value (response-time events).
+    pub millis: f64,
+}
+
+impl_wire_struct!(ContextNotice {
+    topic,
+    user_raw,
+    space_raw,
+    command,
+    args,
+    millis
+});
+
+impl ContextNotice {
+    /// Builds a notice from a context event.
+    pub fn from_event(event: &mdagent_context::ContextEvent) -> Self {
+        use mdagent_context::ContextData as D;
+        let mut notice = ContextNotice {
+            topic: event.topic().to_owned(),
+            ..Default::default()
+        };
+        match &event.data {
+            D::Location { user, space } => {
+                notice.user_raw = user.0;
+                notice.space_raw = space.0;
+            }
+            D::UserIndication {
+                user,
+                command,
+                args,
+            } => {
+                notice.user_raw = user.0;
+                notice.command = command.clone();
+                notice.args = args.clone();
+            }
+            D::ResponseTime { millis, .. } => {
+                notice.millis = *millis;
+            }
+            D::Preference { user, key, value } => {
+                notice.user_raw = user.0;
+                notice.command = key.clone();
+                notice.args = vec![value.clone()];
+            }
+            D::RawDistance { badge, meters, .. } => {
+                notice.user_raw = badge.0;
+                notice.millis = *meters;
+            }
+        }
+        notice
+    }
+}
+
+/// The wrapped bundle a mobile agent carries: plan, snapshot and the
+/// component payloads being shipped. Its wire size *is* the migration
+/// payload the platform bills for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cargo {
+    /// The plan being executed.
+    pub plan: MigrationPlan,
+    /// Application snapshot (states).
+    pub snapshot: Snapshot,
+    /// Wrapped components.
+    pub components: ComponentSet,
+    /// Bytes of data left at the source for remote streaming.
+    pub remote_bytes: u64,
+}
+
+impl_wire_struct!(Cargo {
+    plan,
+    snapshot,
+    components,
+    remote_bytes
+});
+
+impl Cargo {
+    /// Exact wire size.
+    pub fn wire_len(&self) -> u64 {
+        self.encoded_len() as u64
+    }
+}
+
+/// A replica state synchronization message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncUpdate {
+    /// Target application (raw id) on the receiving side.
+    pub app_raw: u32,
+    /// State key.
+    pub key: String,
+    /// State value.
+    pub value: String,
+    /// Source coordinator version.
+    pub version: u64,
+}
+
+impl_wire_struct!(SyncUpdate {
+    app_raw,
+    key,
+    value,
+    version
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, ComponentKind};
+    use crate::mobility::{BindingPolicy, DataStrategy, MobilityMode};
+    use mdagent_context::{ContextData, ContextEvent, UserId};
+    use mdagent_simnet::{SimTime, SpaceId};
+    use mdagent_wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn notice_from_location_event() {
+        let e = ContextEvent::new(
+            SimTime::ZERO,
+            ContextData::Location {
+                user: UserId(4),
+                space: SpaceId(2),
+            },
+        );
+        let n = ContextNotice::from_event(&e);
+        assert_eq!(n.topic, "context.location");
+        assert_eq!(n.user_raw, 4);
+        assert_eq!(n.space_raw, 2);
+        let back: ContextNotice = from_bytes(&to_bytes(&n)).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn notice_from_indication_event() {
+        let e = ContextEvent::new(
+            SimTime::ZERO,
+            ContextData::UserIndication {
+                user: UserId(1),
+                command: "dispatch-slides".into(),
+                args: vec!["2".into(), "3".into()],
+            },
+        );
+        let n = ContextNotice::from_event(&e);
+        assert_eq!(n.command, "dispatch-slides");
+        assert_eq!(n.args, ["2", "3"]);
+    }
+
+    #[test]
+    fn cargo_wire_size_tracks_components() {
+        let plan = MigrationPlan {
+            app_raw: 0,
+            mode: MobilityMode::FollowMe,
+            policy: BindingPolicy::Adaptive,
+            dest_host_raw: 1,
+            ship_components: vec!["codec".into()],
+            data_strategy: DataStrategy::RemoteStream,
+            inter_space: false,
+        };
+        let mut components = ComponentSet::new();
+        components.insert(Component::synthetic("codec", ComponentKind::Logic, 180_000));
+        let cargo = Cargo {
+            plan,
+            snapshot: Snapshot {
+                app_name: "player".into(),
+                coordinator: Default::default(),
+                profile_bytes: Vec::new(),
+                sequence: 1,
+            },
+            components,
+            remote_bytes: 2_000_000,
+        };
+        let bytes = to_bytes(&cargo);
+        assert_eq!(bytes.len() as u64, cargo.wire_len());
+        assert!(cargo.wire_len() > 180_000, "payload dominates");
+        assert!(cargo.wire_len() < 181_000, "overhead is small");
+        let back: Cargo = from_bytes(&bytes).unwrap();
+        assert_eq!(back, cargo);
+    }
+
+    #[test]
+    fn sync_update_roundtrip() {
+        let s = SyncUpdate {
+            app_raw: 7,
+            key: "slide".into(),
+            value: "13".into(),
+            version: 42,
+        };
+        let back: SyncUpdate = from_bytes(&to_bytes(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+}

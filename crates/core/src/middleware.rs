@@ -1,0 +1,1291 @@
+//! The MDAgent middleware: the world that ties all four layers together.
+
+use std::collections::HashMap;
+
+use mdagent_agent::{
+    AclMessage, Agent, AgentId, ContainerId, Performative, Platform, PlatformEnv, PlatformHost,
+};
+use mdagent_context::{
+    BadgeId, BadgePosition, ContextData, ContextEvent, ContextKernel, SensorField, SubscriberId,
+    UserId,
+};
+use mdagent_registry::{ApplicationRecord, RegistryFederation};
+use mdagent_simnet::{
+    CpuFactor, HostId, SimDuration, SimRng, SimTime, Simulator, SpaceId, Topology, TraceCategory,
+};
+
+use crate::adaptor::{adapt, AdaptationReport};
+use crate::app::{AppId, AppState, Application};
+use crate::binding::{rebind, BindingTarget, RebindOutcome};
+use crate::component::{ComponentKind, ComponentSet};
+use crate::error::CoreError;
+use crate::messages::{ontologies, Cargo, ContextNotice, SyncUpdate};
+use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
+use crate::profile::{DeviceProfile, UserProfile};
+use crate::snapshot::SnapshotManager;
+use crate::timing::{CostModel, HostClock, PhaseTimes};
+
+/// A completed migration, as recorded for the benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// The migrated (or cloned) application.
+    pub app: AppId,
+    /// Application name.
+    pub app_name: String,
+    /// Follow-me or clone-dispatch.
+    pub mode: MobilityMode,
+    /// Binding policy in force.
+    pub policy: BindingPolicy,
+    /// Per-phase durations.
+    pub phases: PhaseTimes,
+    /// Bytes shipped inside the agent.
+    pub shipped_bytes: u64,
+    /// Bytes left behind for remote streaming.
+    pub remote_bytes: u64,
+    /// Destination host.
+    pub dest_host: HostId,
+    /// Completion instant.
+    pub completed_at: SimTime,
+    /// Adaptations applied on arrival.
+    pub adaptation: AdaptationReport,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    app: AppId,
+    suspend: SimDuration,
+    departed_at: SimTime,
+    shipped_bytes: u64,
+    remote_bytes: u64,
+}
+
+/// The middleware world: platform + context kernel + registries +
+/// applications, driven by one deterministic simulator.
+///
+/// Construct it through [`MiddlewareBuilder`]; drive scenarios with the
+/// associated functions that take `(&mut Middleware, &mut Simulator<_>)`.
+pub struct Middleware {
+    pub(crate) platform: Platform<Middleware>,
+    pub(crate) env: PlatformEnv,
+    /// The context layer.
+    pub kernel: ContextKernel,
+    /// Per-space registries.
+    pub federation: RegistryFederation,
+    /// Snapshot manager (base level of every application).
+    pub snapshots: SnapshotManager,
+    /// Cost constants.
+    pub cost_model: CostModel,
+    /// Deterministic randomness.
+    pub rng: SimRng,
+    apps: Vec<Application>,
+    containers: HashMap<HostId, ContainerId>,
+    device_profiles: HashMap<HostId, DeviceProfile>,
+    user_profiles: HashMap<UserId, UserProfile>,
+    space_primary: HashMap<SpaceId, HostId>,
+    subscriber_agents: HashMap<SubscriberId, AgentId>,
+    host_clocks: HashMap<HostId, HostClock>,
+    preinstalled: HashMap<(u32, String), ComponentSet>,
+    in_flight: HashMap<AgentId, InFlight>,
+    migration_log: Vec<MigrationReport>,
+    rule_bases: HashMap<String, String>,
+    sense_period: SimDuration,
+    sensing: bool,
+}
+
+impl std::fmt::Debug for Middleware {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Middleware")
+            .field("apps", &self.apps.len())
+            .field("hosts", &self.containers.len())
+            .field("migrations", &self.migration_log.len())
+            .finish()
+    }
+}
+
+impl PlatformHost for Middleware {
+    fn platform(&self) -> &Platform<Middleware> {
+        &self.platform
+    }
+    fn platform_mut(&mut self) -> &mut Platform<Middleware> {
+        &mut self.platform
+    }
+    fn env(&self) -> &PlatformEnv {
+        &self.env
+    }
+    fn env_mut(&mut self) -> &mut PlatformEnv {
+        &mut self.env
+    }
+}
+
+/// Builder assembling the environment: spaces, hosts, links, sensors.
+#[derive(Debug)]
+pub struct MiddlewareBuilder {
+    topology: Topology,
+    sensor_noise_m: f64,
+    beacons: Vec<(SpaceId, f64)>,
+    device_profiles: HashMap<HostId, DeviceProfile>,
+    space_primary: HashMap<SpaceId, HostId>,
+    host_clock_skews: HashMap<HostId, i64>,
+    seed: u64,
+    sense_period: SimDuration,
+    cost_model: CostModel,
+}
+
+impl Default for MiddlewareBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MiddlewareBuilder {
+    /// Starts an empty environment.
+    pub fn new() -> Self {
+        MiddlewareBuilder {
+            topology: Topology::new(),
+            sensor_noise_m: 0.08,
+            beacons: Vec::new(),
+            device_profiles: HashMap::new(),
+            space_primary: HashMap::new(),
+            host_clock_skews: HashMap::new(),
+            seed: 42,
+            sense_period: SimDuration::from_millis(200),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// Adds a smart space.
+    pub fn space(&mut self, name: &str) -> SpaceId {
+        self.topology.add_space(name)
+    }
+
+    /// Adds a host; the first host of each space becomes its primary. A
+    /// beacon is mounted automatically at position 2 m.
+    pub fn host(
+        &mut self,
+        name: &str,
+        space: SpaceId,
+        cpu: CpuFactor,
+        profile_for: fn(HostId) -> DeviceProfile,
+    ) -> HostId {
+        let host = self.topology.add_host(name, space, cpu);
+        self.device_profiles.insert(host, profile_for(host));
+        self.space_primary.entry(space).or_insert(host);
+        if !self.beacons.iter().any(|(s, _)| *s == space) {
+            self.beacons.push((space, 2.0));
+        }
+        host
+    }
+
+    /// Connects two same-space hosts with the paper's 10 Mbps Ethernet
+    /// (1 ms latency, 80% efficiency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors.
+    pub fn ethernet(&mut self, a: HostId, b: HostId) -> Result<(), CoreError> {
+        self.topology
+            .add_lan_link(a, b, SimDuration::from_millis(1), 10_000_000, 0.8)?;
+        Ok(())
+    }
+
+    /// Connects two spaces' hosts with a gateway link (5 ms latency, 70%
+    /// efficiency at 10 Mbps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors.
+    pub fn gateway(&mut self, a: HostId, b: HostId) -> Result<(), CoreError> {
+        self.topology
+            .add_gateway_link(a, b, SimDuration::from_millis(5), 10_000_000, 0.7)?;
+        Ok(())
+    }
+
+    /// Adds a link with explicit parameters. `gateway` links must cross a
+    /// space boundary; LAN links must not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors.
+    pub fn link(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        latency: SimDuration,
+        bandwidth_bps: u64,
+        efficiency: f64,
+        gateway: bool,
+    ) -> Result<(), CoreError> {
+        if gateway {
+            self.topology
+                .add_gateway_link(a, b, latency, bandwidth_bps, efficiency)?;
+        } else {
+            self.topology
+                .add_lan_link(a, b, latency, bandwidth_bps, efficiency)?;
+        }
+        Ok(())
+    }
+
+    /// Gives a host a skewed wall clock (µs; used to exercise Fig. 7's
+    /// measurement method).
+    pub fn clock_skew(&mut self, host: HostId, skew_micros: i64) -> &mut Self {
+        self.host_clock_skews.insert(host, skew_micros);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sensing period.
+    pub fn sense_period(&mut self, period: SimDuration) -> &mut Self {
+        self.sense_period = period;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn cost_model(&mut self, model: CostModel) -> &mut Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Finalizes the world and a simulator to drive it.
+    pub fn build(self) -> (Middleware, Simulator<Middleware>) {
+        let mut field = SensorField::new(self.sensor_noise_m);
+        for (space, pos) in &self.beacons {
+            field.add_beacon(*space, *pos);
+        }
+        let mut platform = Platform::new("mdagent");
+        let mut containers = HashMap::new();
+        for host in self.topology.hosts() {
+            let container = platform.create_container(host.name().to_owned(), host.id());
+            containers.insert(host.id(), container);
+        }
+        platform.register_factory(
+            "mobile-agent",
+            Box::new(|bytes| {
+                mdagent_wire::from_bytes::<crate::agents::MobileAgent>(bytes)
+                    .map(|a| Box::new(a) as Box<dyn Agent<Middleware>>)
+            }),
+        );
+        platform.register_factory(
+            "autonomous-agent",
+            Box::new(|bytes| {
+                mdagent_wire::from_bytes::<crate::agents::AutonomousAgent>(bytes)
+                    .map(|a| Box::new(a) as Box<dyn Agent<Middleware>>)
+            }),
+        );
+        let mut federation = RegistryFederation::new();
+        let mut host_clocks = HashMap::new();
+        for host in self.topology.hosts() {
+            let skew = self.host_clock_skews.get(&host.id()).copied().unwrap_or(0);
+            host_clocks.insert(host.id(), HostClock::with_skew(skew));
+        }
+        for idx in 0..self.topology.space_count() {
+            federation.add_center(SpaceId(idx as u32));
+        }
+        let world = Middleware {
+            platform,
+            env: PlatformEnv::new(self.topology),
+            kernel: ContextKernel::new(field),
+            federation,
+            snapshots: SnapshotManager::new(8),
+            cost_model: self.cost_model,
+            rng: SimRng::seed_from(self.seed),
+            apps: Vec::new(),
+            containers,
+            device_profiles: self.device_profiles,
+            user_profiles: HashMap::new(),
+            space_primary: self.space_primary,
+            subscriber_agents: HashMap::new(),
+            host_clocks,
+            preinstalled: HashMap::new(),
+            in_flight: HashMap::new(),
+            migration_log: Vec::new(),
+            rule_bases: HashMap::from([(
+                "default".to_owned(),
+                crate::rules::PAPER_RULES.to_owned(),
+            )]),
+            sense_period: self.sense_period,
+            sensing: false,
+        };
+        (world, Simulator::new())
+    }
+}
+
+impl Middleware {
+    /// Starts building an environment.
+    pub fn builder() -> MiddlewareBuilder {
+        MiddlewareBuilder::new()
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// The application with the given id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownApp`] for bad ids.
+    pub fn app(&self, id: AppId) -> Result<&Application, CoreError> {
+        self.apps
+            .get(id.0 as usize)
+            .ok_or(CoreError::UnknownApp(id))
+    }
+
+    /// Mutable application access.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownApp`] for bad ids.
+    pub fn app_mut(&mut self, id: AppId) -> Result<&mut Application, CoreError> {
+        self.apps
+            .get_mut(id.0 as usize)
+            .ok_or(CoreError::UnknownApp(id))
+    }
+
+    /// Number of deployed applications (including replicas).
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// All applications.
+    pub fn apps(&self) -> impl Iterator<Item = &Application> {
+        self.apps.iter()
+    }
+
+    /// The agent container on a host.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoContainer`] when the host has none.
+    pub fn container_on(&self, host: HostId) -> Result<ContainerId, CoreError> {
+        self.containers
+            .get(&host)
+            .copied()
+            .ok_or(CoreError::NoContainer(host))
+    }
+
+    /// The primary (migration-target) host of a space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoHostInSpace`] when the space has no hosts.
+    pub fn primary_host(&self, space: SpaceId) -> Result<HostId, CoreError> {
+        self.space_primary
+            .get(&space)
+            .copied()
+            .ok_or(CoreError::NoHostInSpace(space))
+    }
+
+    /// The space a host belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors.
+    pub fn space_of(&self, host: HostId) -> Result<SpaceId, CoreError> {
+        Ok(self.env.topology.host(host)?.space())
+    }
+
+    /// The device profile of a host (PC default when not configured).
+    pub fn device_profile(&self, host: HostId) -> DeviceProfile {
+        self.device_profiles
+            .get(&host)
+            .cloned()
+            .unwrap_or_else(|| DeviceProfile::pc(host))
+    }
+
+    /// The wall clock of a host (synchronized default).
+    pub fn host_clock(&self, host: HostId) -> HostClock {
+        self.host_clocks
+            .get(&host)
+            .copied()
+            .unwrap_or_else(HostClock::synchronized)
+    }
+
+    /// All completed migrations, oldest first.
+    pub fn migration_log(&self) -> &[MigrationReport] {
+        &self.migration_log
+    }
+
+    /// The shared trace.
+    pub fn trace(&self) -> &mdagent_simnet::Trace {
+        &self.env.trace
+    }
+
+    /// The shared metrics.
+    pub fn metrics(&self) -> &mdagent_simnet::MetricsRegistry {
+        &self.env.metrics
+    }
+
+    /// Installs a named rule base after validating that it parses (the AA
+    /// manager's rule-manager role, §4.1). Autonomous agents reference
+    /// rule bases by name via
+    /// [`AutonomousAgent::with_rule_base`](crate::AutonomousAgent::with_rule_base).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rule parse errors; nothing is installed on failure.
+    pub fn install_rule_base(
+        &mut self,
+        name: impl Into<String>,
+        text: impl Into<String>,
+    ) -> Result<(), mdagent_ontology::parser::ParseError> {
+        let text = text.into();
+        let mut scratch = mdagent_ontology::Graph::new();
+        mdagent_ontology::parser::parse_rules(&text, &mut scratch)?;
+        self.rule_bases.insert(name.into(), text);
+        Ok(())
+    }
+
+    /// The text of a named rule base; unknown names fall back to the
+    /// shipped Fig. 6 default.
+    pub fn rule_base(&self, name: &str) -> &str {
+        self.rule_bases
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(crate::rules::PAPER_RULES)
+    }
+
+    /// A stored user profile (empty default).
+    pub fn user_profile(&self, user: UserId) -> UserProfile {
+        self.user_profiles
+            .get(&user)
+            .cloned()
+            .unwrap_or_else(|| UserProfile::new(user))
+    }
+
+    // ---- environment setup --------------------------------------------------
+
+    /// Registers a user: profile, badge binding and initial placement.
+    pub fn attach_user(
+        &mut self,
+        profile: UserProfile,
+        badge: BadgeId,
+        space: SpaceId,
+        position_m: f64,
+    ) {
+        let user = profile.user();
+        self.kernel.fusion.bind_badge(badge, user);
+        self.kernel
+            .field
+            .place_badge(badge, BadgePosition { space, position_m });
+        self.user_profiles.insert(user, profile);
+    }
+
+    /// Moves a user's badge (scenario ground truth); the sensing loop will
+    /// notice within a few rounds.
+    pub fn move_user(&mut self, badge: BadgeId, space: SpaceId, position_m: f64) {
+        self.kernel
+            .field
+            .place_badge(badge, BadgePosition { space, position_m });
+    }
+
+    /// Declares that `host` has `components` of application `app_name`
+    /// preinstalled, and registers that fact in the host's space registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology errors for unknown hosts.
+    pub fn provision(
+        &mut self,
+        host: HostId,
+        app_name: &str,
+        components: ComponentSet,
+    ) -> Result<(), CoreError> {
+        let space = self.space_of(host)?;
+        let mut record = ApplicationRecord::new(app_name, space, host);
+        for kind in [
+            ComponentKind::Logic,
+            ComponentKind::Presentation,
+            ComponentKind::Data,
+            ComponentKind::Resource,
+        ] {
+            if components.has_kind(kind) {
+                record = record.with_component(kind.tag());
+            }
+        }
+        self.federation
+            .add_center(space)
+            .register_application(record);
+        self.preinstalled
+            .insert((host.0, app_name.to_owned()), components);
+        Ok(())
+    }
+
+    /// Components of `app_name` preinstalled on `host` (empty default).
+    pub fn preinstalled_components(&self, host: HostId, app_name: &str) -> ComponentSet {
+        self.preinstalled
+            .get(&(host.0, app_name.to_owned()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    // ---- application deployment ---------------------------------------------
+
+    /// Deploys an application on a host and spawns its mobile agent.
+    ///
+    /// # Errors
+    ///
+    /// Container/topology/agent errors.
+    pub fn deploy_app(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        name: &str,
+        host: HostId,
+        components: ComponentSet,
+        profile: UserProfile,
+    ) -> Result<AppId, CoreError> {
+        let container = world.container_on(host)?;
+        let id = AppId(world.apps.len() as u32);
+        let mut app = Application::new(id, name, host);
+        app.components = components;
+        app.user_profile = profile;
+        world.apps.push(app);
+        let local_name = format!("ma-{name}-{}", id.0);
+        let ma = Platform::spawn(
+            world,
+            sim,
+            container,
+            &local_name,
+            Box::new(crate::agents::MobileAgent::new(id)),
+        )?;
+        world.apps[id.0 as usize].mobile_agent = Some(ma.clone());
+        world.platform.df_mut().register(
+            ma,
+            mdagent_agent::ServiceDescription::new("mobile-agent", name),
+        );
+        Middleware::register_app_record(world, id)?;
+        let now = sim.now();
+        world.env.trace.record(
+            now,
+            TraceCategory::Application,
+            format!("deployed {name} as {id} on {host}"),
+        );
+        Ok(id)
+    }
+
+    fn register_app_record(world: &mut Middleware, id: AppId) -> Result<(), CoreError> {
+        let (name, host, tags, requirements) = {
+            let app = world.app(id)?;
+            (
+                app.name.clone(),
+                app.host,
+                app.component_tags(),
+                app.requirements.clone(),
+            )
+        };
+        let space = world.space_of(host)?;
+        let mut record = ApplicationRecord::new(&name, space, host);
+        for tag in tags {
+            record = record.with_component(tag);
+        }
+        for (k, v) in requirements {
+            record = record.with_requirement(k, v);
+        }
+        world
+            .federation
+            .add_center(space)
+            .register_application(record);
+        Ok(())
+    }
+
+    /// Sets an application's minimum device requirements and refreshes its
+    /// registry record. The AA refuses destinations whose device profile
+    /// does not satisfy them (paper §4.3: the AA checks "whether the
+    /// devices are compatible").
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownApp`] for bad ids.
+    pub fn set_app_requirements(
+        world: &mut Middleware,
+        id: AppId,
+        requirements: Vec<(String, String)>,
+    ) -> Result<(), CoreError> {
+        world.app_mut(id)?.requirements = requirements;
+        Middleware::register_app_record(world, id)
+    }
+
+    /// Spawns an autonomous agent watching a user on behalf of an app.
+    ///
+    /// # Errors
+    ///
+    /// Container/agent errors.
+    pub fn spawn_autonomous_agent(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        host: HostId,
+        agent: crate::agents::AutonomousAgent,
+    ) -> Result<AgentId, CoreError> {
+        let container = world.container_on(host)?;
+        let local_name = format!("aa-u{}-a{}", agent.user_raw, agent.app_raw);
+        let id = Platform::spawn(world, sim, container, &local_name, Box::new(agent))?;
+        let sub = world.kernel.bus.subscribe("context.*");
+        world.subscriber_agents.insert(sub, id.clone());
+        world.platform.df_mut().register(
+            id.clone(),
+            mdagent_agent::ServiceDescription::new("autonomous-agent", "context-watcher"),
+        );
+        Ok(id)
+    }
+
+    // ---- sensing loop ---------------------------------------------------------
+
+    /// Starts the recurring sensing loop (idempotent).
+    pub fn start_sensing(world: &mut Middleware, sim: &mut Simulator<Middleware>) {
+        if world.sensing {
+            return;
+        }
+        world.sensing = true;
+        Middleware::schedule_sense(sim, world.sense_period);
+    }
+
+    fn schedule_sense(sim: &mut Simulator<Middleware>, period: SimDuration) {
+        sim.schedule_in(period, move |w, sim| {
+            Middleware::sense_once(w, sim);
+            Middleware::schedule_sense(sim, period);
+        });
+    }
+
+    fn sense_once(world: &mut Middleware, sim: &mut Simulator<Middleware>) {
+        let now = sim.now();
+        let mut rng = world.rng.fork(now.as_micros());
+        let results = world.kernel.sense_round(now, &mut rng);
+        for (event, outcome) in results {
+            world.env.trace.record(
+                now,
+                TraceCategory::Context,
+                format!(
+                    "context event {:?} -> {} subscriber(s)",
+                    event.data,
+                    outcome.subscribers.len()
+                ),
+            );
+            Middleware::route_event(world, sim, &event, &outcome.subscribers);
+        }
+    }
+
+    /// Publishes an externally produced context event (user indications,
+    /// probes) and routes it to subscribed agents.
+    pub fn publish_context(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        data: ContextData,
+    ) {
+        let now = sim.now();
+        // Preference context also updates the stored (static) user profile.
+        if let ContextData::Preference { user, key, value } = &data {
+            world
+                .user_profiles
+                .entry(*user)
+                .or_insert_with(|| UserProfile::new(*user))
+                .set_preference(key.clone(), value.clone());
+        }
+        let event = ContextEvent::new(now, data);
+        let outcome = world.kernel.publish(event.clone());
+        world.env.trace.record(
+            now,
+            TraceCategory::Context,
+            format!("published {:?}", event.data),
+        );
+        Middleware::route_event(world, sim, &event, &outcome.subscribers);
+    }
+
+    fn route_event(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        event: &ContextEvent,
+        subscribers: &[SubscriberId],
+    ) {
+        let kernel_id = AgentId::new("context-kernel", world.platform.name().to_owned());
+        let notice = ContextNotice::from_event(event);
+        for sub in subscribers {
+            let Some(agent) = world.subscriber_agents.get(sub).cloned() else {
+                continue;
+            };
+            let msg = AclMessage::new(Performative::Inform, kernel_id.clone(), agent)
+                .with_ontology(ontologies::CONTEXT)
+                .with_payload(&notice);
+            Platform::send(world, sim, msg);
+        }
+    }
+
+    // ---- network utilities ------------------------------------------------------
+
+    /// Measured round-trip time between two hosts for a 1 kB probe, in
+    /// milliseconds. Also published as a context event by callers that
+    /// probe explicitly.
+    pub fn response_time_ms(&self, from: HostId, to: HostId) -> f64 {
+        match self.env.topology.transfer_time(from, to, 1024) {
+            Ok(one_way) => one_way.as_millis_f64() * 2.0,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// Starts recurring network probes between the given host pairs; each
+    /// round measures the response time and publishes it as a context
+    /// event (the "network connectivity, latency" sensors of §4.1).
+    pub fn start_network_probes(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        pairs: Vec<(HostId, HostId)>,
+        period: SimDuration,
+    ) {
+        let _ = world;
+        Middleware::schedule_probe(sim, pairs, period);
+    }
+
+    fn schedule_probe(
+        sim: &mut Simulator<Middleware>,
+        pairs: Vec<(HostId, HostId)>,
+        period: SimDuration,
+    ) {
+        sim.schedule_in(period, move |w, sim| {
+            for &(from, to) in &pairs {
+                let millis = w.response_time_ms(from, to);
+                if millis.is_finite() {
+                    Middleware::publish_context(
+                        w,
+                        sim,
+                        ContextData::ResponseTime { from, to, millis },
+                    );
+                    w.env.metrics.incr("probe.rounds");
+                }
+            }
+            Middleware::schedule_probe(sim, pairs, period);
+        });
+    }
+
+    // ---- state updates & replica sync ---------------------------------------------
+
+    /// Updates application state through the coordinator; local observers
+    /// are notified synchronously and replica apps receive sync messages.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownApp`] for bad ids.
+    pub fn update_app_state(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        id: AppId,
+        key: &str,
+        value: &str,
+    ) -> Result<u64, CoreError> {
+        let (version, links, sender) = {
+            let app = world.app_mut(id)?;
+            let version = app.coordinator.set_state(key, value);
+            // Local observers see it immediately (observer pattern).
+            let names: Vec<String> = app.coordinator.stale_observers();
+            for name in names {
+                app.coordinator.mark_seen(&name, version);
+            }
+            (
+                version,
+                app.coordinator.sync_links(),
+                app.mobile_agent.clone(),
+            )
+        };
+        let Some(sender) = sender else {
+            return Ok(version);
+        };
+        for link in links {
+            let Ok(linked) = world.app(link) else {
+                continue;
+            };
+            let Some(receiver) = linked.mobile_agent.clone() else {
+                continue;
+            };
+            let update = SyncUpdate {
+                app_raw: link.0,
+                key: key.to_owned(),
+                value: value.to_owned(),
+                version,
+            };
+            let msg = AclMessage::new(Performative::Inform, sender.clone(), receiver)
+                .with_ontology(ontologies::SYNC)
+                .with_payload(&update);
+            Platform::send(world, sim, msg);
+        }
+        world.env.metrics.incr("sync.updates_sent");
+        Ok(version)
+    }
+
+    /// Applies a replica sync update (invoked by the receiving MA).
+    pub(crate) fn apply_sync(world: &mut Middleware, update: &SyncUpdate) {
+        let Ok(app) = world.app_mut(AppId(update.app_raw)) else {
+            return;
+        };
+        if app
+            .coordinator
+            .apply_remote(&update.key, &update.value, update.version)
+        {
+            let names: Vec<String> = app.coordinator.stale_observers();
+            let version = app.coordinator.version();
+            for name in names {
+                app.coordinator.mark_seen(&name, version);
+            }
+            world.env.metrics.incr("sync.updates_applied");
+        } else {
+            world.env.metrics.incr("sync.updates_stale");
+        }
+    }
+
+    /// Pre-stages an application's logic and presentation components at a
+    /// host ahead of a predicted migration (§3.4: "prediction
+    /// functionalities should also be provided to improve the
+    /// performance"). The copy travels at normal network cost in the
+    /// background; once landed it counts as preinstalled, so a later
+    /// adaptive migration ships only the application states.
+    ///
+    /// Returns the simulated transfer duration.
+    ///
+    /// # Errors
+    ///
+    /// Unknown apps/hosts or unreachable destinations.
+    pub fn prestage(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        app_id: AppId,
+        dest_host: HostId,
+    ) -> Result<SimDuration, CoreError> {
+        let (name, src_host, staged) = {
+            let app = world.app(app_id)?;
+            let staged: ComponentSet = app
+                .components
+                .iter()
+                .filter(|c| matches!(c.kind, ComponentKind::Logic | ComponentKind::Presentation))
+                .cloned()
+                .collect();
+            (app.name.clone(), app.host, staged)
+        };
+        if staged.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        let bytes = staged.wire_len();
+        let cost = world
+            .env
+            .topology
+            .transfer_time(src_host, dest_host, bytes)?;
+        let now = sim.now();
+        world.env.trace.record(
+            now,
+            TraceCategory::Agent,
+            format!("pre-staging {bytes} bytes of {name} at {dest_host} (predicted next hop)"),
+        );
+        world.env.metrics.incr("prestage.transfers");
+        world.env.metrics.incr_by("prestage.bytes", bytes);
+        sim.schedule_in(cost, move |w, _sim| {
+            let mut existing = w.preinstalled_components(dest_host, &name);
+            existing.merge(staged);
+            let _ = w.provision(dest_host, &name, existing);
+        });
+        Ok(cost)
+    }
+
+    /// Plans and starts a migration immediately, bypassing the AA's
+    /// context trigger (used by scenario drivers and the benchmarks; the
+    /// pipeline from suspension onward is identical).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Registry`] when no plan can be built, plus the
+    /// pipeline's own errors.
+    pub fn migrate_now(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        app: AppId,
+        dest_host: HostId,
+        mode: MobilityMode,
+        policy: BindingPolicy,
+    ) -> Result<(), CoreError> {
+        let plan = crate::agents::plan_migration(world, app, dest_host, mode, policy)
+            .ok_or_else(|| CoreError::Registry("no migration plan could be built".into()))?;
+        let ma = world
+            .app(app)?
+            .mobile_agent
+            .clone()
+            .ok_or(CoreError::NoMobileAgent(app))?;
+        Middleware::suspend_and_wrap(world, sim, plan, ma)
+    }
+
+    // ---- the migration pipeline -----------------------------------------------------
+
+    /// Phase 1 (paper Fig. 4): the coordinator suspends the application,
+    /// the snapshot manager records its states, and after the simulated
+    /// suspension cost the wrapped cargo is handed to the mobile agent.
+    ///
+    /// For clone-dispatch the application keeps running; the snapshot is
+    /// taken from the live state ("the application clone first").
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] variants for unknown apps/hosts or bad states.
+    pub fn suspend_and_wrap(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        plan: MigrationPlan,
+        ma: AgentId,
+    ) -> Result<(), CoreError> {
+        let app_id = plan.app();
+        let now = sim.now();
+        // Validate reachability up front: failing here leaves the
+        // application untouched instead of stranding it suspended.
+        {
+            let src_host = world.app(app_id)?.host;
+            world
+                .env
+                .topology
+                .transfer_time(src_host, plan.dest_host(), 1)?;
+            world.container_on(plan.dest_host())?;
+        }
+        let (snapshot, components, remote_bytes, src_host) = {
+            let cost_model = world.cost_model.clone();
+            let app = world
+                .apps
+                .get(app_id.0 as usize)
+                .ok_or(CoreError::UnknownApp(app_id))?;
+            if app.state != AppState::Running {
+                return Err(CoreError::BadAppState(app_id, "running"));
+            }
+            let src_host = app.host;
+            let _ = cost_model;
+            let shipped = app.components.subset(&plan.ship_components);
+            let remote_bytes = match plan.data_strategy {
+                DataStrategy::RemoteStream => app.components.bytes_of_kind(ComponentKind::Data),
+                _ => 0,
+            };
+            (app.clone(), shipped, remote_bytes, src_host)
+        };
+        let snapshot = world.snapshots.capture(&snapshot);
+
+        if plan.mode == MobilityMode::FollowMe {
+            let app = world.app_mut(app_id)?;
+            app.state = AppState::Suspended;
+            world.env.trace.record(
+                now,
+                TraceCategory::Application,
+                format!("coordinator suspends {app_id}; snapshot manager records states"),
+            );
+        } else {
+            world.env.trace.record(
+                now,
+                TraceCategory::Application,
+                format!("snapshot manager copies live states of {app_id} for clone"),
+            );
+        }
+
+        let cargo = Cargo {
+            plan,
+            snapshot,
+            components,
+            remote_bytes,
+        };
+        let wrapped_bytes = cargo.wire_len();
+        let cpu = world.env.topology.host(src_host)?.cpu();
+        let suspend_cost = cpu.scale(world.cost_model.suspend_cost(wrapped_bytes));
+        world.env.metrics.observe("migration.suspend", suspend_cost);
+        world.in_flight.insert(
+            ma.clone(),
+            InFlight {
+                app: app_id,
+                suspend: suspend_cost,
+                departed_at: now, // refined when cargo is handed over
+                shipped_bytes: wrapped_bytes,
+                remote_bytes,
+            },
+        );
+        let kernel_name = world.platform.name().to_owned();
+        sim.schedule_in(suspend_cost, move |w, sim| {
+            let now = sim.now();
+            if let Some(flight) = w.in_flight.get_mut(&ma) {
+                flight.departed_at = now;
+            }
+            w.env.trace.record(
+                now,
+                TraceCategory::Agent,
+                format!("MA wraps components ({wrapped_bytes} bytes)"),
+            );
+            let msg = AclMessage::new(
+                Performative::Inform,
+                AgentId::new("middleware", kernel_name),
+                ma.clone(),
+            )
+            .with_ontology(ontologies::CARGO)
+            .with_payload(&cargo);
+            Platform::send(w, sim, msg);
+        });
+        Ok(())
+    }
+
+    /// Phase 3 for follow-me: the MA has checked in at the destination;
+    /// restore, rebind, adapt and resume the application there.
+    pub(crate) fn arrive_follow_me(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        ma: &AgentId,
+        cargo: Cargo,
+    ) {
+        let app_id = cargo.plan.app();
+        let dest = cargo.plan.dest_host();
+        let now = sim.now();
+        let Some(flight) = world.in_flight.remove(ma) else {
+            world.env.metrics.incr("migration.orphan_arrivals");
+            return;
+        };
+        let migrate = now.saturating_since(flight.departed_at);
+        world.env.metrics.observe("migration.migrate", migrate);
+
+        // Move the application record to the destination.
+        let src_host = world.app(app_id).map(|a| a.host).unwrap_or(dest);
+        let src_space = world.space_of(src_host).ok();
+        let dest_space = world.space_of(dest).ok();
+        {
+            let preinstalled =
+                world.preinstalled_components(dest, &cargo.snapshot.app_name.clone());
+            let Ok(app) = world.app_mut(app_id) else {
+                return;
+            };
+            app.host = dest;
+            app.state = AppState::Migrating;
+            // Destination inventory = what was preinstalled there + cargo.
+            let mut inventory = preinstalled;
+            inventory.merge(cargo.components.clone());
+            // Data left behind: replace data bindings with remote URLs.
+            app.components = inventory;
+            let _ = SnapshotManager::restore(&cargo.snapshot, app);
+        }
+        // Rebind each binding according to the destination inventory.
+        let mut rebind_cost = SimDuration::ZERO;
+        let rebind_outcomes = Middleware::rebind_app(world, app_id, &cargo, src_host);
+        for outcome in &rebind_outcomes {
+            rebind_cost += match outcome {
+                RebindOutcome::RebindLocal | RebindOutcome::Carried => {
+                    world.cost_model.rebind_local
+                }
+                RebindOutcome::StreamRemote => SimDuration::ZERO, // costed below
+            };
+        }
+
+        // Adaptation.
+        let src_profile = world.device_profile(src_host);
+        let dst_profile = world.device_profile(dest);
+        let user_profile = world
+            .app(app_id)
+            .map(|a| a.user_profile.clone())
+            .unwrap_or_default();
+        let adaptation = adapt(800, 600, &src_profile, &dst_profile, &user_profile);
+        let adapt_cost = if adaptation.actions.is_empty() {
+            SimDuration::ZERO
+        } else {
+            world.cost_model.adapt
+        };
+
+        let cpu = world
+            .env
+            .topology
+            .host(dest)
+            .map(|h| h.cpu())
+            .unwrap_or(CpuFactor::REFERENCE);
+        let resume_cost = cpu.scale(
+            world
+                .cost_model
+                .resume_cost(flight.shipped_bytes, flight.remote_bytes)
+                + rebind_cost
+                + adapt_cost,
+        );
+        world.env.metrics.observe("migration.resume", resume_cost);
+        world.env.trace.record(
+            now,
+            TraceCategory::Agent,
+            format!("MA restores {app_id} at {dest}; rebinding and adapting"),
+        );
+
+        // Registry check-out / check-in.
+        if let (Some(src_space), Some(dest_space)) = (src_space, dest_space) {
+            if src_space != dest_space {
+                if let Some(center) = world.federation.center_mut(src_space) {
+                    let name = cargo.snapshot.app_name.clone();
+                    center.deregister_application(&name);
+                }
+            }
+        }
+        let _ = Middleware::register_app_record(world, app_id);
+
+        let report_base = MigrationReport {
+            app: app_id,
+            app_name: cargo.snapshot.app_name.clone(),
+            mode: cargo.plan.mode,
+            policy: cargo.plan.policy,
+            phases: PhaseTimes {
+                suspend: flight.suspend,
+                migrate,
+                resume: resume_cost,
+            },
+            shipped_bytes: flight.shipped_bytes,
+            remote_bytes: flight.remote_bytes,
+            dest_host: dest,
+            completed_at: now + resume_cost,
+            adaptation,
+        };
+        sim.schedule_in(resume_cost, move |w, sim| {
+            let now = sim.now();
+            if let Ok(app) = w.app_mut(app_id) {
+                app.state = AppState::Running;
+            }
+            w.env.trace.record(
+                now,
+                TraceCategory::Application,
+                format!("{app_id} resumed at {dest}"),
+            );
+            w.migration_log.push(report_base.clone());
+            w.env.metrics.incr("migration.completed");
+        });
+    }
+
+    fn rebind_app(
+        world: &mut Middleware,
+        app_id: AppId,
+        cargo: &Cargo,
+        src_host: HostId,
+    ) -> Vec<RebindOutcome> {
+        let data_strategy = cargo.plan.data_strategy;
+        let Ok(app) = world.app_mut(app_id) else {
+            return Vec::new();
+        };
+        let mut outcomes = Vec::new();
+        for binding in &mut app.bindings {
+            let outcome = match data_strategy {
+                DataStrategy::AlreadyPresent => rebind(true, false),
+                DataStrategy::Carry => rebind(false, true),
+                DataStrategy::RemoteStream => rebind(false, false),
+            };
+            if outcome == RebindOutcome::StreamRemote {
+                binding.target = BindingTarget::RemoteUrl {
+                    url: format!("mdagent://host-{}/{}", src_host.0, binding.name),
+                    host_raw: src_host.0,
+                };
+            }
+            outcomes.push(outcome);
+        }
+        outcomes
+    }
+
+    /// Phase 3 for clone-dispatch: install a replica application at the
+    /// destination, linked for synchronization with its original.
+    /// Returns the replica id.
+    pub(crate) fn arrive_clone(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        clone_ma: &AgentId,
+        cargo: Cargo,
+    ) -> Option<AppId> {
+        let dest = cargo.plan.dest_host();
+        let source_app = cargo.plan.app();
+        let now = sim.now();
+
+        let replica_id = AppId(world.apps.len() as u32);
+        let mut replica = Application::new(replica_id, cargo.snapshot.app_name.clone(), dest);
+        let mut inventory = world.preinstalled_components(dest, &cargo.snapshot.app_name);
+        inventory.merge(cargo.components.clone());
+        replica.components = inventory;
+        replica.state = AppState::Migrating;
+        replica.mobile_agent = Some(clone_ma.clone());
+        replica.cloned_from = Some(source_app);
+        let _ = SnapshotManager::restore(&cargo.snapshot, &mut replica);
+        // The replica's own sync links start from the original's links; it
+        // must at least link back to the source.
+        replica.coordinator.add_sync_link(source_app);
+        world.apps.push(replica);
+
+        // Link the source to the new replica.
+        if let Ok(src) = world.app_mut(source_app) {
+            src.coordinator.add_sync_link(replica_id);
+        }
+
+        let shipped = cargo.wire_len();
+        let cpu = world
+            .env
+            .topology
+            .host(dest)
+            .map(|h| h.cpu())
+            .unwrap_or(CpuFactor::REFERENCE);
+        let resume_cost = cpu.scale(world.cost_model.resume_cost(shipped, 0));
+        let flight = world.in_flight.remove(clone_ma);
+        let (suspend, migrate) = match flight {
+            Some(f) => (f.suspend, now.saturating_since(f.departed_at)),
+            None => (SimDuration::ZERO, SimDuration::ZERO),
+        };
+        world.env.trace.record(
+            now,
+            TraceCategory::Agent,
+            format!("clone MA installs replica {replica_id} of {source_app} at {dest}"),
+        );
+        let report = MigrationReport {
+            app: replica_id,
+            app_name: cargo.snapshot.app_name.clone(),
+            mode: MobilityMode::CloneDispatch,
+            policy: cargo.plan.policy,
+            phases: PhaseTimes {
+                suspend,
+                migrate,
+                resume: resume_cost,
+            },
+            shipped_bytes: shipped,
+            remote_bytes: cargo.remote_bytes,
+            dest_host: dest,
+            completed_at: now + resume_cost,
+            adaptation: AdaptationReport::default(),
+        };
+        let _ = Middleware::register_app_record(world, replica_id);
+        sim.schedule_in(resume_cost, move |w, sim| {
+            let now = sim.now();
+            if let Ok(app) = w.app_mut(replica_id) {
+                app.state = AppState::Running;
+            }
+            w.env.trace.record(
+                now,
+                TraceCategory::Application,
+                format!("replica {replica_id} running; synchronization link established"),
+            );
+            w.migration_log.push(report.clone());
+            w.env.metrics.incr("migration.clones_completed");
+        });
+        Some(replica_id)
+    }
+
+    /// Notes a clone departure for timing purposes (called by the source
+    /// MA when it dispatches a clone).
+    pub(crate) fn note_clone_departure(
+        world: &mut Middleware,
+        now: SimTime,
+        clone_id: AgentId,
+        app: AppId,
+        shipped_bytes: u64,
+        suspend: SimDuration,
+    ) {
+        world.in_flight.insert(
+            clone_id,
+            InFlight {
+                app,
+                suspend,
+                departed_at: now,
+                shipped_bytes,
+                remote_bytes: 0,
+            },
+        );
+    }
+
+    /// The suspend cost recorded for an MA currently in flight (clone
+    /// bookkeeping).
+    pub(crate) fn in_flight_suspend(&self, ma: &AgentId) -> Option<(AppId, SimDuration, u64)> {
+        self.in_flight
+            .get(ma)
+            .map(|f| (f.app, f.suspend, f.shipped_bytes))
+    }
+
+    /// Drops in-flight bookkeeping for an MA (after clone dispatch).
+    pub(crate) fn remove_in_flight(&mut self, ma: &AgentId) {
+        self.in_flight.remove(ma);
+    }
+}

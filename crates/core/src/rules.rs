@@ -1,0 +1,166 @@
+//! The shipped rule base (paper Fig. 6) and the AA's decision procedure
+//! over it.
+
+use mdagent_ontology::{parser::parse_rules, Graph, Reasoner, Rule};
+use mdagent_simnet::HostId;
+
+/// The paper's Fig. 6 rule base, verbatim in intent with its two typos
+/// normalized (`?addr1/?add1` unified; Rule2's first atom reads the
+/// printer-class marker as published by the registry):
+///
+/// * **Rule1** — `locatedIn` is transitive.
+/// * **Rule2** — two resources whose classes carry the `'printer'` marker
+///   are compatible.
+/// * **Rule3** — compatible resources plus a response time below 1000 ms
+///   derive a `move` action with source and destination addresses.
+pub const PAPER_RULES: &str = r#"
+[Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]
+[Rule2: (?ptr imcl:printerObj 'printer'), (?srcRsc rdf:type ?ptr), (?destRsc rdf:type ?ptr)
+    -> (?srcRsc imcl:compatible ?destRsc)]
+[Rule3: (?srcRsc imcl:address ?value1), (?destRsc imcl:address ?value2),
+    (?srcRsc imcl:compatible ?destRsc), (?n imcl:responseTime ?t),
+    lessThan(?t, '1000'^^xsd:double)
+    -> (?action imcl:actName "move"), (?action imcl:srcAddress ?value1),
+       (?action imcl:destAddress ?value2)]
+"#;
+
+/// Parses the shipped rule base into `graph`'s namespace.
+///
+/// # Panics
+///
+/// Never panics: the shipped text is covered by tests.
+pub fn paper_rules(graph: &mut Graph) -> Vec<Rule> {
+    parse_rules(PAPER_RULES, graph).expect("shipped rule base parses")
+}
+
+/// The derived decision of one reasoning pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveDecision {
+    /// Source address literal derived by Rule3.
+    pub src_address: String,
+    /// Destination address literal derived by Rule3.
+    pub dest_address: String,
+}
+
+/// Runs the paper's reasoning pipeline: assert the facts of one candidate
+/// migration, materialize Rules 1–3, and look for a derived `move` action.
+///
+/// Facts asserted, mirroring §4.4's example: both resources typed with a
+/// marker class, their addresses, and the measured network response time.
+pub fn decide_move(
+    src_host: HostId,
+    dest_host: HostId,
+    resource_marker: &str,
+    response_time_ms: f64,
+) -> Option<MoveDecision> {
+    decide_move_with(
+        PAPER_RULES,
+        src_host,
+        dest_host,
+        resource_marker,
+        response_time_ms,
+    )
+}
+
+/// [`decide_move`] against a custom rule base (the AA manager's "rule
+/// manager" role, §4.1: rules are per-application policy, not hard-coded).
+///
+/// Malformed rule text derives nothing (and is counted by the caller).
+pub fn decide_move_with(
+    rule_text: &str,
+    src_host: HostId,
+    dest_host: HostId,
+    resource_marker: &str,
+    response_time_ms: f64,
+) -> Option<MoveDecision> {
+    let mut g = Graph::new();
+    // The registry publishes a marker class for the resource family.
+    let marker = g.str_lit(resource_marker);
+    g.add_with_object("imcl:ResourceCls", "imcl:printerObj", marker);
+    g.add("imcl:srcRes", "rdf:type", "imcl:ResourceCls");
+    g.add("imcl:dstRes", "rdf:type", "imcl:ResourceCls");
+    let src_addr = g.str_lit(&format!("host-{}", src_host.0));
+    let dst_addr = g.str_lit(&format!("host-{}", dest_host.0));
+    g.add_with_object("imcl:srcRes", "imcl:address", src_addr);
+    g.add_with_object("imcl:dstRes", "imcl:address", dst_addr);
+    let rt = g.double_lit(response_time_ms);
+    g.add_with_object("imcl:net", "imcl:responseTime", rt);
+
+    let rules = parse_rules(rule_text, &mut g).ok()?;
+    let mut reasoner = Reasoner::new();
+    reasoner.add_rules(rules);
+    reasoner.materialize(&mut g);
+
+    // Find an action with actName "move" and both addresses. Rule3 derives
+    // both orientations (src↔dst compatibility is symmetric); keep the one
+    // whose source matches our source host.
+    let q = mdagent_ontology::Query::parse(
+        "(?a imcl:actName 'move'), (?a imcl:srcAddress ?s), (?a imcl:destAddress ?d)",
+        &mut g,
+    )
+    .expect("decision query parses");
+    let wanted_src = format!("host-{}", src_host.0);
+    for row in q.solve(g.store()) {
+        let (Some(s), Some(d)) = (row.get("s"), row.get("d")) else {
+            continue;
+        };
+        let s = g.term_to_string(s);
+        let d = g.term_to_string(d);
+        // term_to_string quotes string literals.
+        let s = s.trim_matches('\'').to_owned();
+        let d = d.trim_matches('\'').to_owned();
+        if s == wanted_src && d != wanted_src {
+            return Some(MoveDecision {
+                src_address: s,
+                dest_address: d,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_rules_parse() {
+        let mut g = Graph::new();
+        let rules = paper_rules(&mut g);
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].name, "Rule1");
+        assert_eq!(rules[2].conclusions.len(), 3);
+    }
+
+    #[test]
+    fn fast_network_derives_move() {
+        let decision = decide_move(HostId(0), HostId(1), "printer", 120.0);
+        let decision = decision.expect("move derived under 1000 ms");
+        assert_eq!(decision.src_address, "host-0");
+        assert_eq!(decision.dest_address, "host-1");
+    }
+
+    #[test]
+    fn slow_network_blocks_move() {
+        assert_eq!(decide_move(HostId(0), HostId(1), "printer", 2500.0), None);
+    }
+
+    #[test]
+    fn threshold_is_strict_less_than() {
+        assert!(decide_move(HostId(0), HostId(1), "printer", 999.9).is_some());
+        assert!(decide_move(HostId(0), HostId(1), "printer", 1000.0).is_none());
+    }
+
+    #[test]
+    fn rule1_transitivity_in_isolation() {
+        let mut g = Graph::new();
+        g.add("imcl:prn", "imcl:locatedIn", "imcl:Office821");
+        g.add("imcl:Office821", "imcl:locatedIn", "imcl:Floor8");
+        g.add("imcl:Floor8", "imcl:locatedIn", "imcl:Building1");
+        let rules = paper_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        assert!(g.contains("imcl:prn", "imcl:locatedIn", "imcl:Building1"));
+    }
+}

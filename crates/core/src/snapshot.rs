@@ -1,0 +1,203 @@
+//! Snapshot management: state persistence across migrations (paper §4.2).
+//!
+//! "The snapshot management is responsible for persistence process control
+//! of running applications."
+
+use std::collections::BTreeMap;
+
+use mdagent_wire::{impl_wire_struct, to_bytes, Wire, WireError};
+
+use crate::app::Application;
+use crate::component::ComponentSet;
+use crate::coordinator::Coordinator;
+
+/// A captured application snapshot: everything needed to resume elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Application name.
+    pub app_name: String,
+    /// Coordinator (state map, version, observers, sync links).
+    pub coordinator: Coordinator,
+    /// Serialized user profile bytes.
+    pub profile_bytes: Vec<u8>,
+    /// Monotonic capture counter.
+    pub sequence: u64,
+}
+
+impl_wire_struct!(Snapshot {
+    app_name,
+    coordinator,
+    profile_bytes,
+    sequence
+});
+
+impl Snapshot {
+    /// Exact wire size of the snapshot.
+    pub fn wire_len(&self) -> u64 {
+        self.encoded_len() as u64
+    }
+}
+
+/// Captures and restores application snapshots, keeping bounded history.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_core::{Application, AppId, SnapshotManager};
+/// use mdagent_simnet::HostId;
+///
+/// let mut mgr = SnapshotManager::new(4);
+/// let mut app = Application::new(AppId(0), "player", HostId(0));
+/// app.coordinator.set_state("track", "prelude.mp3");
+/// let snap = mgr.capture(&app);
+/// assert_eq!(snap.coordinator.state("track"), Some("prelude.mp3"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotManager {
+    history: BTreeMap<String, Vec<Snapshot>>,
+    capacity: usize,
+    sequence: u64,
+}
+
+impl SnapshotManager {
+    /// Creates a manager retaining up to `capacity` snapshots per app.
+    pub fn new(capacity: usize) -> Self {
+        SnapshotManager {
+            history: BTreeMap::new(),
+            capacity: capacity.max(1),
+            sequence: 0,
+        }
+    }
+
+    /// Captures the application's migratable state.
+    pub fn capture(&mut self, app: &Application) -> Snapshot {
+        self.sequence += 1;
+        let snap = Snapshot {
+            app_name: app.name.clone(),
+            coordinator: app.coordinator.clone(),
+            profile_bytes: to_bytes(&app.user_profile),
+            sequence: self.sequence,
+        };
+        let entry = self.history.entry(app.name.clone()).or_default();
+        if entry.len() == self.capacity {
+            entry.remove(0);
+        }
+        entry.push(snap.clone());
+        snap
+    }
+
+    /// Restores a snapshot into an application (coordinator + profile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile decoding failures.
+    pub fn restore(snap: &Snapshot, app: &mut Application) -> Result<(), WireError> {
+        app.coordinator = snap.coordinator.clone();
+        app.user_profile = mdagent_wire::from_bytes(&snap.profile_bytes)?;
+        Ok(())
+    }
+
+    /// The latest retained snapshot of an app.
+    pub fn latest(&self, app_name: &str) -> Option<&Snapshot> {
+        self.history.get(app_name).and_then(|v| v.last())
+    }
+
+    /// Number of retained snapshots for an app.
+    pub fn retained(&self, app_name: &str) -> usize {
+        self.history.get(app_name).map_or(0, Vec::len)
+    }
+}
+
+/// Consistency check used by the tests and the MA after restore: the
+/// restored application must agree with the snapshot on state version and
+/// content.
+pub fn is_consistent(snap: &Snapshot, app: &Application) -> bool {
+    app.name == snap.app_name
+        && app.coordinator.version() == snap.coordinator.version()
+        && app.coordinator.state_map() == snap.coordinator.state_map()
+}
+
+/// Reconstructs a component set from shipped bytes (what the MA does at
+/// check-in).
+///
+/// # Errors
+///
+/// Propagates wire decoding failures.
+pub fn decode_components(bytes: &[u8]) -> Result<ComponentSet, WireError> {
+    mdagent_wire::from_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppId;
+    use crate::profile::UserProfile;
+    use mdagent_context::UserId;
+    use mdagent_simnet::HostId;
+
+    fn app() -> Application {
+        let mut app = Application::new(AppId(0), "player", HostId(0));
+        app.coordinator.set_state("track", "prelude.mp3");
+        app.coordinator.set_state("position-ms", "92000");
+        app.user_profile = UserProfile::new(UserId(1)).with_preference("volume", "8");
+        app
+    }
+
+    #[test]
+    fn capture_restore_identity() {
+        let mut mgr = SnapshotManager::new(4);
+        let source = app();
+        let snap = mgr.capture(&source);
+        assert!(is_consistent(&snap, &source));
+
+        let mut fresh = Application::new(AppId(1), "player", HostId(1));
+        SnapshotManager::restore(&snap, &mut fresh).unwrap();
+        assert_eq!(fresh.coordinator.state("position-ms"), Some("92000"));
+        assert_eq!(fresh.user_profile.preference("volume"), Some("8"));
+        assert!(is_consistent(&snap, &fresh));
+    }
+
+    #[test]
+    fn history_is_bounded_and_ordered() {
+        let mut mgr = SnapshotManager::new(2);
+        let mut a = app();
+        for i in 0..5 {
+            a.coordinator.set_state("i", i.to_string());
+            mgr.capture(&a);
+        }
+        assert_eq!(mgr.retained("player"), 2);
+        let latest = mgr.latest("player").unwrap();
+        assert_eq!(latest.coordinator.state("i"), Some("4"));
+        assert!(latest.sequence >= 5);
+        assert_eq!(mgr.retained("ghost"), 0);
+        assert!(mgr.latest("ghost").is_none());
+    }
+
+    #[test]
+    fn consistency_detects_divergence() {
+        let mut mgr = SnapshotManager::new(4);
+        let mut a = app();
+        let snap = mgr.capture(&a);
+        a.coordinator.set_state("track", "changed.mp3");
+        assert!(!is_consistent(&snap, &a));
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip() {
+        let mut mgr = SnapshotManager::new(4);
+        let snap = mgr.capture(&app());
+        let bytes = to_bytes(&snap);
+        assert_eq!(bytes.len() as u64, snap.wire_len());
+        let back: Snapshot = mdagent_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn corrupt_profile_restore_errors() {
+        let mut mgr = SnapshotManager::new(4);
+        let mut snap = mgr.capture(&app());
+        snap.profile_bytes = vec![0xFF, 0xFF, 0xFF];
+        let mut fresh = Application::new(AppId(1), "player", HostId(1));
+        assert!(SnapshotManager::restore(&snap, &mut fresh).is_err());
+    }
+}

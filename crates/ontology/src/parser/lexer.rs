@@ -1,0 +1,416 @@
+//! Shared tokenizer for the rule and triple grammars.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:` appearing alone (rule-name separator).
+    Colon,
+    /// `->`
+    Arrow,
+    /// `?name`
+    Var(String),
+    /// Bare or prefixed identifier: `lessThan`, `imcl:locatedIn`, `@prefix`.
+    Ident(String),
+    /// `<full-iri>`
+    FullIri(String),
+    /// Quoted string, possibly typed: `('printer', None)` or
+    /// `('1000', Some("xsd:double"))`.
+    Literal(String, Option<String>),
+    /// Bare number: `1000` or `3.14`.
+    Number(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Colon => f.write_str(":"),
+            Token::Arrow => f.write_str("->"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::Ident(s) => f.write_str(s),
+            Token::FullIri(s) => write!(f, "<{s}>"),
+            Token::Literal(s, None) => write!(f, "'{s}'"),
+            Token::Literal(s, Some(ty)) => write!(f, "'{s}'^^{ty}"),
+            Token::Number(n) => f.write_str(n),
+        }
+    }
+}
+
+/// Error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '#' | '/')
+}
+
+/// Tokenizes rule/triple text. `#`-to-end-of-line and `//` comments are
+/// skipped.
+pub fn tokenize(text: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: "stray '/'".into(),
+                    });
+                }
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::RBracket);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token::Arrow);
+                } else {
+                    // Negative number.
+                    let mut num = String::from("-");
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_digit() || d == '.' {
+                            num.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if num == "-" {
+                        return Err(LexError {
+                            line,
+                            message: "stray '-'".into(),
+                        });
+                    }
+                    // A trailing '.' is the statement terminator, not part of
+                    // the number.
+                    if num.ends_with('.') {
+                        num.pop();
+                        tokens.push(Token::Number(num));
+                        tokens.push(Token::Dot);
+                    } else {
+                        tokens.push(Token::Number(num));
+                    }
+                }
+            }
+            '?' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(LexError {
+                        line,
+                        message: "'?' without variable name".into(),
+                    });
+                }
+                tokens.push(Token::Var(name));
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                loop {
+                    match chars.next() {
+                        Some('>') => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated IRI".into(),
+                            })
+                        }
+                        Some(d) => iri.push(d),
+                    }
+                }
+                tokens.push(Token::FullIri(iri));
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut lit = String::new();
+                loop {
+                    match chars.next() {
+                        Some(d) if d == quote => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                line,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('\\') => match chars.next() {
+                            Some('n') => lit.push('\n'),
+                            Some('t') => lit.push('\t'),
+                            Some(other) => lit.push(other),
+                            None => {
+                                return Err(LexError {
+                                    line,
+                                    message: "dangling escape".into(),
+                                })
+                            }
+                        },
+                        Some(d) => lit.push(d),
+                    }
+                }
+                // Optional ^^datatype suffix.
+                let mut datatype = None;
+                if chars.peek() == Some(&'^') {
+                    chars.next();
+                    if chars.next() != Some('^') {
+                        return Err(LexError {
+                            line,
+                            message: "expected '^^' before datatype".into(),
+                        });
+                    }
+                    let mut ty = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if is_ident_char(d) {
+                            ty.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if ty.is_empty() {
+                        return Err(LexError {
+                            line,
+                            message: "missing datatype after '^^'".into(),
+                        });
+                    }
+                    datatype = Some(ty);
+                }
+                tokens.push(Token::Literal(lit, datatype));
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' {
+                        num.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if num.ends_with('.') {
+                    num.pop();
+                    tokens.push(Token::Number(num));
+                    tokens.push(Token::Dot);
+                } else {
+                    tokens.push(Token::Number(num));
+                }
+            }
+            '@' => {
+                chars.next();
+                let mut name = String::from("@");
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_char(d) {
+                        name.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            ':' => {
+                chars.next();
+                tokens.push(Token::Colon);
+            }
+            other => {
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paper_rule1() {
+        let text =
+            "[Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]";
+        let tokens = tokenize(text).unwrap();
+        assert_eq!(tokens[0], Token::LBracket);
+        // ':' is an identifier character (prefixed names), so the rule-name
+        // colon rides along with the name; the parser strips it.
+        assert_eq!(tokens[1], Token::Ident("Rule1:".into()));
+        assert!(tokens.contains(&Token::Arrow));
+        assert!(tokens.contains(&Token::Var("p".into())));
+        assert!(tokens.contains(&Token::Ident("imcl:locatedIn".into())));
+        assert_eq!(*tokens.last().unwrap(), Token::RBracket);
+    }
+
+    #[test]
+    fn typed_literal_with_datatype() {
+        let tokens = tokenize("lessThan(?t, '1000'^^xsd:double)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("lessThan".into()),
+                Token::LParen,
+                Token::Var("t".into()),
+                Token::Comma,
+                Token::Literal("1000".into(), Some("xsd:double".into())),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_dots_disambiguate() {
+        let tokens = tokenize("ex:a ex:p 42 .").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("ex:a".into()),
+                Token::Ident("ex:p".into()),
+                Token::Number("42".into()),
+                Token::Dot,
+            ]
+        );
+        let tokens = tokenize("2.75").unwrap();
+        assert_eq!(tokens, vec![Token::Number("2.75".into())]);
+        let tokens = tokenize("-5").unwrap();
+        assert_eq!(tokens, vec![Token::Number("-5".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = tokenize("# a comment\nex:a // trailing\n?x").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Ident("ex:a".into()), Token::Var("x".into())]
+        );
+    }
+
+    #[test]
+    fn full_iris_and_prefix_directive() {
+        let tokens = tokenize("@prefix imcl: <http://example.org/imcl#> .").unwrap();
+        assert_eq!(tokens[0], Token::Ident("@prefix".into()));
+        assert!(matches!(&tokens[1], Token::Ident(s) if s == "imcl:"));
+        assert_eq!(tokens[2], Token::FullIri("http://example.org/imcl#".into()));
+    }
+
+    #[test]
+    fn double_quoted_strings_and_escapes() {
+        let tokens = tokenize(r#""move" 'a\'b'"#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Literal("move".into(), None),
+                Token::Literal("a'b".into(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = tokenize("ok\n  'unterminated").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("<open").is_err());
+        assert!(tokenize("'x'^^").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Text formats: Jena-style rules and Turtle-lite triples.
+//!
+//! The paper expresses its reasoning rules in Jena's rule syntax (Fig. 6)
+//! and its resource descriptions in OWL/RDF (Fig. 5). These parsers accept
+//! both, so the shipped rule base is the paper's text verbatim.
+
+mod lexer;
+mod rules;
+mod triples;
+
+pub use lexer::{tokenize, LexError, Token};
+pub use rules::parse_rules;
+pub use triples::parse_triples;
+
+use std::fmt;
+
+/// Error from the rule/triple parsers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenizer failure.
+    Lex(LexError),
+    /// Structural failure with context.
+    Syntax {
+        /// What was being parsed.
+        context: &'static str,
+        /// What was found (or "end of input").
+        found: String,
+    },
+    /// A numeric literal did not parse.
+    BadNumber(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax { context, found } => {
+                write!(f, "syntax error in {context}: unexpected {found}")
+            }
+            ParseError::BadNumber(n) => write!(f, "malformed number {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Lex(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+pub(crate) fn syntax_error(context: &'static str, found: Option<&Token>) -> ParseError {
+    ParseError::Syntax {
+        context,
+        found: found.map_or_else(|| "end of input".to_owned(), |t| t.to_string()),
+    }
+}

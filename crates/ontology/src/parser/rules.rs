@@ -1,0 +1,331 @@
+//! Parser for Jena-style rule text (paper Fig. 6).
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::parser::lexer::{tokenize, Token};
+use crate::parser::{syntax_error, ParseError};
+use crate::rule::{BuiltinAtom, BuiltinOp, Rule, RuleAtom};
+use crate::term::{Literal, Term};
+use crate::triple::{PatternTerm, TriplePattern, VarId};
+
+struct RuleParser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    graph: &'a mut Graph,
+}
+
+impl<'a> RuleParser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token, context: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == expected => Ok(()),
+            other => Err(syntax_error(context, other.as_ref())),
+        }
+    }
+
+    fn parse_literal(&mut self, lex: String, datatype: Option<String>) -> Result<Term, ParseError> {
+        let term = match datatype.as_deref() {
+            None | Some("xsd:string") => self.graph.str_lit(&lex),
+            Some("xsd:integer") | Some("xsd:int") | Some("xsd:long") => {
+                Term::Literal(Literal::Int(
+                    lex.parse()
+                        .map_err(|_| ParseError::BadNumber(lex.clone()))?,
+                ))
+            }
+            Some("xsd:double") | Some("xsd:float") | Some("xsd:decimal") => {
+                Term::Literal(Literal::double(
+                    lex.parse()
+                        .map_err(|_| ParseError::BadNumber(lex.clone()))?,
+                ))
+            }
+            Some("xsd:boolean") => match lex.as_str() {
+                "true" | "1" => Term::Literal(Literal::Bool(true)),
+                "false" | "0" => Term::Literal(Literal::Bool(false)),
+                _ => return Err(ParseError::BadNumber(lex)),
+            },
+            // Unknown datatypes degrade to interned strings tagged with the type.
+            Some(ty) => {
+                let tagged = format!("{lex}^^{ty}");
+                self.graph.str_lit(&tagged)
+            }
+        };
+        Ok(term)
+    }
+
+    fn parse_pattern_term(
+        &mut self,
+        vars: &mut Vec<String>,
+        var_ids: &mut HashMap<String, VarId>,
+    ) -> Result<PatternTerm, ParseError> {
+        match self.next() {
+            Some(Token::Var(name)) => {
+                let id = *var_ids.entry(name.clone()).or_insert_with(|| {
+                    let id = VarId(vars.len() as u32);
+                    vars.push(name.clone());
+                    id
+                });
+                Ok(PatternTerm::Var(id))
+            }
+            Some(Token::Ident(name)) => Ok(PatternTerm::Ground(self.graph.iri(&name))),
+            Some(Token::FullIri(iri)) => Ok(PatternTerm::Ground(self.graph.iri(&iri))),
+            Some(Token::Literal(lex, ty)) => Ok(PatternTerm::Ground(self.parse_literal(lex, ty)?)),
+            Some(Token::Number(n)) => {
+                let term = if n.contains('.') {
+                    Term::Literal(Literal::double(
+                        n.parse().map_err(|_| ParseError::BadNumber(n.clone()))?,
+                    ))
+                } else {
+                    Term::Literal(Literal::Int(
+                        n.parse().map_err(|_| ParseError::BadNumber(n.clone()))?,
+                    ))
+                };
+                Ok(PatternTerm::Ground(term))
+            }
+            other => Err(syntax_error("term", other.as_ref())),
+        }
+    }
+
+    /// Parses `(?s p ?o)` or `builtin(arg, arg)`.
+    fn parse_atom(
+        &mut self,
+        vars: &mut Vec<String>,
+        var_ids: &mut HashMap<String, VarId>,
+    ) -> Result<RuleAtom, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.next();
+                let s = self.parse_pattern_term(vars, var_ids)?;
+                let p = self.parse_pattern_term(vars, var_ids)?;
+                let o = self.parse_pattern_term(vars, var_ids)?;
+                self.expect(&Token::RParen, "triple pattern")?;
+                Ok(RuleAtom::Pattern(TriplePattern { s, p, o }))
+            }
+            Some(Token::Ident(name)) => {
+                let Some(op) = BuiltinOp::from_name(name) else {
+                    return Err(syntax_error("builtin name", self.peek()));
+                };
+                self.next();
+                self.expect(&Token::LParen, "builtin arguments")?;
+                let lhs = self.parse_pattern_term(vars, var_ids)?;
+                self.expect(&Token::Comma, "builtin arguments")?;
+                let rhs = self.parse_pattern_term(vars, var_ids)?;
+                self.expect(&Token::RParen, "builtin arguments")?;
+                Ok(RuleAtom::Builtin(BuiltinAtom { op, lhs, rhs }))
+            }
+            other => Err(syntax_error("rule atom", other)),
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        self.expect(&Token::LBracket, "rule opening")?;
+        // The lexer treats ':' as an identifier character, so "Rule1:" may
+        // arrive as one token or as Ident + Colon.
+        let name = match self.next() {
+            Some(Token::Ident(n)) => match n.strip_suffix(':') {
+                Some(stripped) => stripped.to_owned(),
+                None => {
+                    self.expect(&Token::Colon, "rule name separator")?;
+                    n
+                }
+            },
+            other => return Err(syntax_error("rule name", other.as_ref())),
+        };
+        let mut vars = Vec::new();
+        let mut var_ids = HashMap::new();
+        let mut premises = Vec::new();
+        loop {
+            premises.push(self.parse_atom(&mut vars, &mut var_ids)?);
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                Some(Token::Arrow) => {
+                    self.next();
+                    break;
+                }
+                other => return Err(syntax_error("rule body", other)),
+            }
+        }
+        let mut conclusions = Vec::new();
+        loop {
+            match self.parse_atom(&mut vars, &mut var_ids)? {
+                RuleAtom::Pattern(p) => conclusions.push(p),
+                RuleAtom::Builtin(_) => {
+                    return Err(ParseError::Syntax {
+                        context: "rule head",
+                        found: "builtin call (heads must be triple patterns)".into(),
+                    })
+                }
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                Some(Token::RBracket) => {
+                    self.next();
+                    break;
+                }
+                other => return Err(syntax_error("rule head", other)),
+            }
+        }
+        Ok(Rule::new(name, premises, conclusions, vars))
+    }
+}
+
+/// Parses a rule file: any number of `[Name: body -> head]` blocks, with
+/// `#`/`//` comments between them.
+///
+/// Variables are scoped per rule. Prefixed names are interned into `graph`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first lexical or structural
+/// problem.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_ontology::{Graph, parser::parse_rules};
+///
+/// let mut g = Graph::new();
+/// let rules = parse_rules(
+///     "[Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]",
+///     &mut g,
+/// )?;
+/// assert_eq!(rules.len(), 1);
+/// assert_eq!(rules[0].name, "Rule1");
+/// assert_eq!(rules[0].var_count(), 3);
+/// # Ok::<(), mdagent_ontology::parser::ParseError>(())
+/// ```
+pub fn parse_rules(text: &str, graph: &mut Graph) -> Result<Vec<Rule>, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut parser = RuleParser {
+        tokens,
+        pos: 0,
+        graph,
+    };
+    let mut rules = Vec::new();
+    while parser.peek().is_some() {
+        rules.push(parser.parse_rule()?);
+    }
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    /// The paper's Fig. 6 rule base, with its two typos fixed
+    /// (`imcl:printerObj` appears once as subject-position class lookup, and
+    /// `?add1`/`?addr1` are unified).
+    pub const PAPER_FIG6: &str = r#"
+        [Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]
+        [Rule2: (?ptr imcl:printerObj 'printer'), (?srcRsc rdf:type ?ptr), (?destRsc rdf:type ?ptr)
+            -> (?srcRsc imcl:compatible ?destRsc)]
+        [Rule3: (?srcRsc imcl:address ?value1), (?destRsc imcl:address ?value2),
+            (?srcRsc imcl:compatible ?destRsc), (?n imcl:responseTime ?t),
+            lessThan(?t, '1000'^^xsd:double)
+            -> (?action imcl:actName "move"), (?action imcl:srcAddress ?value1),
+               (?action imcl:destAddress ?value2)]
+    "#;
+
+    #[test]
+    fn parses_the_paper_rule_base() {
+        let mut g = Graph::new();
+        let rules = parse_rules(PAPER_FIG6, &mut g).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].name, "Rule1");
+        assert_eq!(rules[0].premises.len(), 2);
+        assert_eq!(rules[0].conclusions.len(), 1);
+        assert_eq!(rules[2].premises.len(), 5);
+        assert_eq!(rules[2].conclusions.len(), 3);
+        // Rule3's ?action is a head-only skolem variable, like Jena makeSkolem.
+        let action = rules[2].var("action").unwrap();
+        assert_eq!(rules[2].skolem_vars(), [action]);
+        // The typed literal parsed as a double.
+        let has_thousand = rules[2].premises.iter().any(|a| match a {
+            RuleAtom::Builtin(b) => {
+                b.op == BuiltinOp::LessThan
+                    && b.rhs.ground().and_then(|t| t.as_f64()) == Some(1000.0)
+            }
+            _ => false,
+        });
+        assert!(has_thousand);
+    }
+
+    #[test]
+    fn variables_are_rule_scoped() {
+        let mut g = Graph::new();
+        let rules = parse_rules(
+            "[A: (?x ex:p ?y) -> (?y ex:p ?x)]\n[B: (?y ex:p ?x) -> (?x ex:p ?y)]",
+            &mut g,
+        )
+        .unwrap();
+        assert_eq!(rules[0].var("x"), Some(VarId(0)));
+        assert_eq!(rules[1].var("y"), Some(VarId(0)), "fresh table per rule");
+    }
+
+    #[test]
+    fn bare_numbers_in_rules() {
+        let mut g = Graph::new();
+        let rules = parse_rules(
+            "[N: (?n ex:rt ?t), lessThan(?t, 500) -> (?n ex:fast 'yes')]",
+            &mut g,
+        )
+        .unwrap();
+        let RuleAtom::Builtin(b) = rules[0].premises[1] else {
+            panic!("expected builtin")
+        };
+        assert_eq!(b.rhs.ground().unwrap().as_f64(), Some(500.0));
+    }
+
+    #[test]
+    fn builtin_in_head_is_rejected() {
+        let mut g = Graph::new();
+        let err = parse_rules("[X: (?a ex:p ?b) -> lessThan(?a, ?b)]", &mut g).unwrap_err();
+        assert!(err.to_string().contains("head"));
+    }
+
+    #[test]
+    fn unknown_builtin_is_rejected() {
+        let mut g = Graph::new();
+        assert!(parse_rules("[X: frobnicate(?a, ?b) -> (?a ex:p ?b)]", &mut g).is_err());
+    }
+
+    #[test]
+    fn truncated_rules_error_cleanly() {
+        let mut g = Graph::new();
+        for bad in [
+            "[X: (?a ex:p ?b)",
+            "[X (?a ex:p ?b) -> (?a ex:p ?b)]",
+            "[X: (?a ex:p) -> (?a ex:p ?b)]",
+            "[",
+        ] {
+            assert!(parse_rules(bad, &mut g).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn rdf_type_interned_consistently() {
+        let mut g = Graph::new();
+        g.add("ex:inst", vocab::rdf::TYPE, "ex:T");
+        let rules = parse_rules("[T: (?x rdf:type ex:T) -> (?x ex:checked 'y')]", &mut g).unwrap();
+        let RuleAtom::Pattern(p) = rules[0].premises[0] else {
+            panic!()
+        };
+        assert_eq!(p.p.ground(), g.try_iri(vocab::rdf::TYPE));
+    }
+}

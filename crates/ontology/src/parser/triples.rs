@@ -1,0 +1,226 @@
+//! Turtle-lite triple parser for resource descriptions (paper Fig. 5).
+
+use crate::graph::Graph;
+use crate::parser::lexer::{tokenize, Token};
+use crate::parser::{syntax_error, ParseError};
+use crate::term::{Literal, Term};
+use crate::triple::Triple;
+
+/// Parses a simple Turtle-like document into `graph`.
+///
+/// Grammar per statement: `subject predicate object .` where subject and
+/// predicate are prefixed names or `<IRIs>` and the object may additionally
+/// be a (typed) literal or a bare number. `@prefix` directives are accepted
+/// and ignored (prefixed names are used verbatim as identifiers throughout
+/// MDAgent). Returns the number of triples added.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first malformed statement.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_ontology::{Graph, parser::parse_triples, vocab};
+///
+/// let mut g = Graph::new();
+/// let n = parse_triples(
+///     "imcl:hpLaserJet rdf:type imcl:Printer .\n\
+///      imcl:hpLaserJet rdfs:comment 'hp color printer' .",
+///     &mut g,
+/// )?;
+/// assert_eq!(n, 2);
+/// assert!(g.contains("imcl:hpLaserJet", vocab::rdf::TYPE, "imcl:Printer"));
+/// # Ok::<(), mdagent_ontology::parser::ParseError>(())
+/// ```
+pub fn parse_triples(text: &str, graph: &mut Graph) -> Result<usize, ParseError> {
+    let tokens = tokenize(text)?;
+    let mut pos = 0usize;
+    let mut added = 0usize;
+    while pos < tokens.len() {
+        // @prefix name: <iri> .
+        if matches!(&tokens[pos], Token::Ident(s) if s == "@prefix") {
+            // Skip until the terminating dot.
+            while pos < tokens.len() && tokens[pos] != Token::Dot {
+                pos += 1;
+            }
+            if pos == tokens.len() {
+                return Err(syntax_error("@prefix directive", None));
+            }
+            pos += 1;
+            continue;
+        }
+        let subject = parse_iri(&tokens, &mut pos, graph, "subject")?;
+        let predicate = parse_iri(&tokens, &mut pos, graph, "predicate")?;
+        let object = parse_object(&tokens, &mut pos, graph)?;
+        match tokens.get(pos) {
+            Some(Token::Dot) => pos += 1,
+            other => return Err(syntax_error("statement terminator", other)),
+        }
+        if graph.add_triple(Triple::new(subject, predicate, object)) {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+fn parse_iri(
+    tokens: &[Token],
+    pos: &mut usize,
+    graph: &mut Graph,
+    context: &'static str,
+) -> Result<Term, ParseError> {
+    match tokens.get(*pos) {
+        Some(Token::Ident(name)) => {
+            *pos += 1;
+            Ok(graph.iri(name))
+        }
+        Some(Token::FullIri(iri)) => {
+            *pos += 1;
+            Ok(graph.iri(iri))
+        }
+        other => Err(syntax_error(context, other)),
+    }
+}
+
+fn parse_object(tokens: &[Token], pos: &mut usize, graph: &mut Graph) -> Result<Term, ParseError> {
+    match tokens.get(*pos) {
+        Some(Token::Ident(name)) => {
+            *pos += 1;
+            Ok(graph.iri(name))
+        }
+        Some(Token::FullIri(iri)) => {
+            *pos += 1;
+            Ok(graph.iri(iri))
+        }
+        Some(Token::Literal(lex, ty)) => {
+            let term = match ty.as_deref() {
+                None | Some("xsd:string") => graph.str_lit(lex),
+                Some("xsd:integer") | Some("xsd:int") | Some("xsd:long") => {
+                    Term::Literal(Literal::Int(
+                        lex.parse()
+                            .map_err(|_| ParseError::BadNumber(lex.clone()))?,
+                    ))
+                }
+                Some("xsd:double") | Some("xsd:float") | Some("xsd:decimal") => {
+                    Term::Literal(Literal::double(
+                        lex.parse()
+                            .map_err(|_| ParseError::BadNumber(lex.clone()))?,
+                    ))
+                }
+                Some("xsd:boolean") => match lex.as_str() {
+                    "true" | "1" => Term::Literal(Literal::Bool(true)),
+                    "false" | "0" => Term::Literal(Literal::Bool(false)),
+                    _ => return Err(ParseError::BadNumber(lex.clone())),
+                },
+                Some(other_ty) => {
+                    let tagged = format!("{lex}^^{other_ty}");
+                    graph.str_lit(&tagged)
+                }
+            };
+            *pos += 1;
+            Ok(term)
+        }
+        Some(Token::Number(n)) => {
+            let term = if n.contains('.') {
+                Term::Literal(Literal::double(
+                    n.parse().map_err(|_| ParseError::BadNumber(n.clone()))?,
+                ))
+            } else {
+                Term::Literal(Literal::Int(
+                    n.parse().map_err(|_| ParseError::BadNumber(n.clone()))?,
+                ))
+            };
+            *pos += 1;
+            Ok(term)
+        }
+        other => Err(syntax_error("object", other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    /// The paper's Fig. 5 description rendered in our Turtle-lite form.
+    const FIG5: &str = r#"
+        @prefix imcl: <http://imcl.comp.polyu.edu.hk/ont#> .
+        imcl:hpLaserJet rdf:type owl:Class .
+        imcl:hpLaserJet rdfs:comment 'hp color printer' .
+        imcl:hpLaserJet rdfs:subClassOf imcl:Printer .
+        imcl:hpLaserJet rdfs:subClassOf imcl:Substitutable .
+        imcl:hpLaserJet rdfs:subClassOf imcl:UnTransferable .
+        imcl:locatedIn rdf:type owl:ObjectProperty .
+        imcl:locatedIn rdfs:range imcl:Office821 .
+        imcl:locatedIn rdf:type owl:TransitiveProperty .
+    "#;
+
+    #[test]
+    fn parses_the_fig5_description() {
+        let mut g = Graph::new();
+        let n = parse_triples(FIG5, &mut g).unwrap();
+        assert_eq!(n, 8);
+        assert!(g.contains("imcl:hpLaserJet", vocab::rdfs::SUB_CLASS_OF, "imcl:Printer"));
+        assert!(g.contains(
+            "imcl:locatedIn",
+            vocab::rdf::TYPE,
+            vocab::owl::TRANSITIVE_PROPERTY
+        ));
+        let comments = g.objects_of("imcl:hpLaserJet", vocab::rdfs::COMMENT);
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].is_literal());
+    }
+
+    #[test]
+    fn literals_of_every_kind() {
+        let mut g = Graph::new();
+        let n = parse_triples(
+            "ex:n ex:rt '350'^^xsd:double .\n\
+             ex:n ex:hops 3 .\n\
+             ex:n ex:up 'true'^^xsd:boolean .\n\
+             ex:n ex:name 'gw' .",
+            &mut g,
+        )
+        .unwrap();
+        assert_eq!(n, 4);
+        let rt = g.objects_of("ex:n", "ex:rt");
+        assert_eq!(rt[0].as_f64(), Some(350.0));
+        let hops = g.objects_of("ex:n", "ex:hops");
+        assert_eq!(hops[0].as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn duplicates_do_not_count() {
+        let mut g = Graph::new();
+        let n = parse_triples("ex:a ex:p ex:b .\nex:a ex:p ex:b .", &mut g).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn malformed_statements_error() {
+        let mut g = Graph::new();
+        assert!(parse_triples("ex:a ex:p", &mut g).is_err());
+        assert!(
+            parse_triples("ex:a ex:p ex:b", &mut g).is_err(),
+            "missing dot"
+        );
+        assert!(
+            parse_triples("'lit' ex:p ex:b .", &mut g).is_err(),
+            "literal subject"
+        );
+        assert!(
+            parse_triples("@prefix ex: <http://x>", &mut g).is_err(),
+            "unterminated prefix"
+        );
+    }
+
+    #[test]
+    fn unknown_datatype_degrades_to_tagged_string() {
+        let mut g = Graph::new();
+        parse_triples("ex:a ex:p 'v'^^ex:custom .", &mut g).unwrap();
+        let o = g.objects_of("ex:a", "ex:p");
+        assert_eq!(g.term_to_string(o[0]), "'v^^ex:custom'");
+    }
+}

@@ -1,0 +1,268 @@
+//! Conjunctive (basic-graph-pattern) queries — the OWL-QL stand-in.
+//!
+//! The paper's autonomous agents retrieve destination resources "in the
+//! standard OWL Query Language"; this module provides the equivalent
+//! operation: solve a conjunction of triple patterns plus builtin filters
+//! against a graph and return variable bindings.
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+use crate::parser::{syntax_error, tokenize, ParseError};
+use crate::rule::{BuiltinAtom, BuiltinOp, Rule, RuleAtom};
+use crate::store::Store;
+use crate::term::Term;
+use crate::triple::VarId;
+
+/// A compiled conjunctive query.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_ontology::{Graph, Query};
+///
+/// let mut g = Graph::new();
+/// g.add("imcl:prn1", "rdf:type", "imcl:Printer");
+/// g.add("imcl:prn1", "imcl:locatedIn", "imcl:Office821");
+/// g.add("imcl:prn2", "rdf:type", "imcl:Printer");
+///
+/// let q = Query::parse("(?x rdf:type imcl:Printer), (?x imcl:locatedIn ?where)", &mut g)?;
+/// let rows = q.solve(g.store());
+/// assert_eq!(rows.len(), 1);
+/// assert_eq!(rows[0].get("x"), g.try_iri("imcl:prn1"));
+/// # Ok::<(), mdagent_ontology::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    rule: Rule,
+}
+
+/// One solution row: variable name → term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    names: Vec<String>,
+    values: Vec<Option<Term>>,
+}
+
+impl Row {
+    /// The binding of a named variable.
+    pub fn get(&self, name: &str) -> Option<Term> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        self.values.get(idx).copied().flatten()
+    }
+
+    /// All `(name, term)` pairs with bound values.
+    pub fn bindings(&self) -> impl Iterator<Item = (&str, Term)> {
+        self.names
+            .iter()
+            .zip(&self.values)
+            .filter_map(|(n, v)| v.map(|t| (n.as_str(), t)))
+    }
+}
+
+impl Query {
+    /// Parses query text: comma-separated atoms in rule-body syntax, e.g.
+    /// `"(?x rdf:type imcl:Printer), lessThan(?t, 1000)"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed text.
+    pub fn parse(text: &str, graph: &mut Graph) -> Result<Query, ParseError> {
+        // Reuse the rule parser by wrapping the atoms in a dummy rule with an
+        // empty head marker pattern that we strip.
+        let tokens = tokenize(text)?;
+        if tokens.is_empty() {
+            return Err(syntax_error("query", None));
+        }
+        let wrapped = format!("[q: {text} -> (?q_dummy_s ?q_dummy_p ?q_dummy_o)]");
+        let mut rules = crate::parser::parse_rules(&wrapped, graph)?;
+        let mut rule = rules.pop().expect("one rule parsed");
+        rule.conclusions.clear();
+        // Drop the three dummy head vars from the table tail (they were the
+        // last ones introduced and are referenced nowhere after clearing).
+        for _ in 0..3 {
+            if rule
+                .var_names
+                .last()
+                .is_some_and(|n| n.starts_with("q_dummy_"))
+            {
+                rule.var_names.pop();
+            }
+        }
+        Ok(Query { rule })
+    }
+
+    /// Builds a query directly from atoms (used by the registry layer).
+    pub fn from_atoms(atoms: Vec<RuleAtom>, var_names: Vec<String>) -> Query {
+        Query {
+            rule: Rule::new("query", atoms, Vec::new(), var_names),
+        }
+    }
+
+    /// The variable names, in first-mention order.
+    pub fn var_names(&self) -> &[String] {
+        &self.rule.var_names
+    }
+
+    /// Solves the query, returning all rows.
+    pub fn solve(&self, store: &Store) -> Vec<Row> {
+        crate::reason::match_rule(store, &self.rule)
+            .into_iter()
+            .map(|values| Row {
+                names: self.rule.var_names.clone(),
+                values,
+            })
+            .collect()
+    }
+
+    /// Whether at least one solution exists (ASK-style).
+    pub fn ask(&self, store: &Store) -> bool {
+        !self.solve(store).is_empty()
+    }
+
+    /// Solves and projects one variable, deduplicated, in stable order.
+    pub fn select(&self, store: &Store, var: &str) -> Vec<Term> {
+        let mut seen = HashMap::new();
+        let mut out = Vec::new();
+        for row in self.solve(store) {
+            if let Some(t) = row.get(var) {
+                if seen.insert(t, ()).is_none() {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: one-shot ASK of a single `(s p o)` pattern with optional
+/// wildcards, by name.
+pub fn ask_pattern(graph: &Graph, s: Option<&str>, p: Option<&str>, o: Option<&str>) -> bool {
+    let resolve = |name: Option<&str>| -> Option<Option<Term>> {
+        match name {
+            None => Some(None),
+            Some(n) => graph.try_iri(n).map(Some),
+        }
+    };
+    let (Some(s), Some(p), Some(o)) = (resolve(s), resolve(p), resolve(o)) else {
+        return false; // A named term that was never interned matches nothing.
+    };
+    !graph.store().match_spo(s, p, o).is_empty()
+}
+
+/// Builds a [`BuiltinAtom`] filter for use with [`Query::from_atoms`].
+pub fn filter(op: BuiltinOp, lhs: VarId, rhs: Term) -> RuleAtom {
+    RuleAtom::Builtin(BuiltinAtom {
+        op,
+        lhs: lhs.into(),
+        rhs: rhs.into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.add("imcl:prn1", "rdf:type", "imcl:Printer");
+        g.add("imcl:prn1", "imcl:locatedIn", "imcl:Office821");
+        g.add("imcl:prn2", "rdf:type", "imcl:Printer");
+        g.add("imcl:prn2", "imcl:locatedIn", "imcl:Office822");
+        g.add("imcl:scanner", "rdf:type", "imcl:Scanner");
+        let rt = g.double_lit(120.0);
+        g.add_with_object("imcl:net1", "imcl:responseTime", rt);
+        g
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let mut g = sample();
+        let q = Query::parse(
+            "(?x rdf:type imcl:Printer), (?x imcl:locatedIn imcl:Office821)",
+            &mut g,
+        )
+        .unwrap();
+        let rows = q.solve(g.store());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("x"), g.try_iri("imcl:prn1"));
+        assert!(q.ask(g.store()));
+    }
+
+    #[test]
+    fn select_projects_and_dedups() {
+        let mut g = sample();
+        let q = Query::parse("(?x rdf:type imcl:Printer)", &mut g).unwrap();
+        let printers = q.select(g.store(), "x");
+        assert_eq!(printers.len(), 2);
+        assert!(q.select(g.store(), "nope").is_empty());
+    }
+
+    #[test]
+    fn builtin_filters_apply() {
+        let mut g = sample();
+        let q = Query::parse(
+            "(?n imcl:responseTime ?t), lessThan(?t, '1000'^^xsd:double)",
+            &mut g,
+        )
+        .unwrap();
+        assert!(q.ask(g.store()));
+        let q2 = Query::parse(
+            "(?n imcl:responseTime ?t), greaterThan(?t, '1000'^^xsd:double)",
+            &mut g,
+        )
+        .unwrap();
+        assert!(!q2.ask(g.store()));
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let mut g = sample();
+        let q = Query::parse("(?x rdf:type imcl:Projector)", &mut g).unwrap();
+        assert!(q.solve(g.store()).is_empty());
+        assert!(!q.ask(g.store()));
+    }
+
+    #[test]
+    fn var_names_exclude_dummies() {
+        let mut g = sample();
+        let q = Query::parse("(?a rdf:type ?b)", &mut g).unwrap();
+        assert_eq!(q.var_names(), ["a", "b"]);
+    }
+
+    #[test]
+    fn row_bindings_iterate() {
+        let mut g = sample();
+        let q = Query::parse("(?x imcl:locatedIn imcl:Office821)", &mut g).unwrap();
+        let rows = q.solve(g.store());
+        let pairs: Vec<_> = rows[0].bindings().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, "x");
+    }
+
+    #[test]
+    fn ask_pattern_wildcards() {
+        let g = sample();
+        assert!(ask_pattern(&g, Some("imcl:prn1"), None, None));
+        assert!(ask_pattern(
+            &g,
+            None,
+            Some("rdf:type"),
+            Some("imcl:Scanner")
+        ));
+        assert!(!ask_pattern(&g, Some("imcl:ghost"), None, None));
+        assert!(!ask_pattern(
+            &g,
+            Some("imcl:prn1"),
+            Some("rdf:type"),
+            Some("imcl:Scanner")
+        ));
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let mut g = Graph::new();
+        assert!(Query::parse("", &mut g).is_err());
+        assert!(Query::parse("   # only a comment", &mut g).is_err());
+    }
+}

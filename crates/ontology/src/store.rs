@@ -1,0 +1,346 @@
+//! Indexed triple store.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::term::Term;
+use crate::triple::{PatternTerm, Triple, TriplePattern};
+
+type TwoLevel = HashMap<Term, HashMap<Term, BTreeSet<Term>>>;
+
+/// An in-memory triple store with SPO, POS and OSP indexes.
+///
+/// All three indexes are maintained on every insert/remove so any pattern
+/// with at least one ground position scans a narrow slice.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_ontology::{Interner, Store, Term, Triple};
+///
+/// let mut interner = Interner::new();
+/// let mut store = Store::new();
+/// let s = Term::Iri(interner.intern("imcl:hpLaserJet"));
+/// let p = Term::Iri(interner.intern("rdf:type"));
+/// let o = Term::Iri(interner.intern("imcl:Printer"));
+/// assert!(store.insert(Triple::new(s, p, o)));
+/// assert!(!store.insert(Triple::new(s, p, o)), "duplicate insert is a no-op");
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.match_spo(Some(s), None, None).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    all: HashSet<Triple>,
+    spo: TwoLevel,
+    pos: TwoLevel,
+    osp: TwoLevel,
+}
+
+fn index_insert(index: &mut TwoLevel, a: Term, b: Term, c: Term) {
+    index.entry(a).or_default().entry(b).or_default().insert(c);
+}
+
+fn index_remove(index: &mut TwoLevel, a: Term, b: Term, c: Term) {
+    if let Some(level2) = index.get_mut(&a) {
+        if let Some(level3) = level2.get_mut(&b) {
+            level3.remove(&c);
+            if level3.is_empty() {
+                level2.remove(&b);
+            }
+        }
+        if level2.is_empty() {
+            index.remove(&a);
+        }
+    }
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if !self.all.insert(t) {
+            return false;
+        }
+        index_insert(&mut self.spo, t.s, t.p, t.o);
+        index_insert(&mut self.pos, t.p, t.o, t.s);
+        index_insert(&mut self.osp, t.o, t.s, t.p);
+        true
+    }
+
+    /// Removes a triple; returns `false` if it was absent.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        if !self.all.remove(t) {
+            return false;
+        }
+        index_remove(&mut self.spo, t.s, t.p, t.o);
+        index_remove(&mut self.pos, t.p, t.o, t.s);
+        index_remove(&mut self.osp, t.o, t.s, t.p);
+        true
+    }
+
+    /// Whether the triple is present.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.all.contains(t)
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Iterates over every triple (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.all.iter()
+    }
+
+    /// Matches a `(s?, p?, o?)` mask, picking the best index.
+    pub fn match_spo(&self, s: Option<Term>, p: Option<Term>, o: Option<Term>) -> Vec<Triple> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                if self.contains(&t) {
+                    vec![t]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .get(&s)
+                .and_then(|m| m.get(&p))
+                .map(|objects| {
+                    objects
+                        .iter()
+                        .map(|&o| Triple::new(s, p, o))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .get(&o)
+                .and_then(|m| m.get(&s))
+                .map(|preds| {
+                    preds
+                        .iter()
+                        .map(|&p| Triple::new(s, p, o))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .get(&p)
+                .and_then(|m| m.get(&o))
+                .map(|subjects| {
+                    subjects
+                        .iter()
+                        .map(|&s| Triple::new(s, p, o))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            (Some(s), None, None) => self
+                .spo
+                .get(&s)
+                .map(|m| {
+                    m.iter()
+                        .flat_map(|(&p, objects)| {
+                            objects.iter().map(move |&o| Triple::new(s, p, o))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            (None, Some(p), None) => self
+                .pos
+                .get(&p)
+                .map(|m| {
+                    m.iter()
+                        .flat_map(|(&o, subjects)| {
+                            subjects.iter().map(move |&s| Triple::new(s, p, o))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            (None, None, Some(o)) => self
+                .osp
+                .get(&o)
+                .map(|m| {
+                    m.iter()
+                        .flat_map(|(&s, preds)| preds.iter().map(move |&p| Triple::new(s, p, o)))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            (None, None, None) => self.all.iter().copied().collect(),
+        }
+    }
+
+    /// Matches a pattern under partial bindings, extending them per match.
+    ///
+    /// For every stored triple matching the pattern (with bound variables
+    /// substituted), calls `sink` with the bindings extended by the
+    /// pattern's own variables. `bindings` must be at least as long as the
+    /// highest variable index used.
+    pub fn match_pattern(
+        &self,
+        pattern: &TriplePattern,
+        bindings: &[Option<Term>],
+        mut sink: impl FnMut(Vec<Option<Term>>),
+    ) {
+        let resolve = |pt: PatternTerm| -> Option<Term> {
+            match pt {
+                PatternTerm::Ground(t) => Some(t),
+                PatternTerm::Var(v) => bindings.get(v.0 as usize).copied().flatten(),
+            }
+        };
+        let (ms, mp, mo) = (resolve(pattern.s), resolve(pattern.p), resolve(pattern.o));
+        for triple in self.match_spo(ms, mp, mo) {
+            let mut next = bindings.to_vec();
+            let mut consistent = true;
+            for (pt, actual) in [
+                (pattern.s, triple.s),
+                (pattern.p, triple.p),
+                (pattern.o, triple.o),
+            ] {
+                if let PatternTerm::Var(v) = pt {
+                    let slot = &mut next[v.0 as usize];
+                    match slot {
+                        Some(existing) if *existing != actual => {
+                            consistent = false;
+                            break;
+                        }
+                        _ => *slot = Some(actual),
+                    }
+                }
+            }
+            if consistent {
+                sink(next);
+            }
+        }
+    }
+}
+
+impl Extend<Triple> for Store {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Store {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut store = Store::new();
+        store.extend(iter);
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Interner, Literal};
+    use crate::triple::VarId;
+
+    struct Fixture {
+        store: Store,
+        alice: Term,
+        bob: Term,
+        knows: Term,
+        age: Term,
+    }
+
+    fn fixture() -> Fixture {
+        let mut i = Interner::new();
+        let alice = Term::Iri(i.intern("ex:alice"));
+        let bob = Term::Iri(i.intern("ex:bob"));
+        let knows = Term::Iri(i.intern("ex:knows"));
+        let age = Term::Iri(i.intern("ex:age"));
+        let mut store = Store::new();
+        store.insert(Triple::new(alice, knows, bob));
+        store.insert(Triple::new(bob, knows, alice));
+        store.insert(Triple::new(alice, age, Term::Literal(Literal::Int(30))));
+        Fixture {
+            store,
+            alice,
+            bob,
+            knows,
+            age,
+        }
+    }
+
+    #[test]
+    fn all_masks_agree() {
+        let f = fixture();
+        assert_eq!(f.store.len(), 3);
+        assert_eq!(f.store.match_spo(Some(f.alice), None, None).len(), 2);
+        assert_eq!(f.store.match_spo(None, Some(f.knows), None).len(), 2);
+        assert_eq!(f.store.match_spo(None, None, Some(f.bob)).len(), 1);
+        assert_eq!(
+            f.store
+                .match_spo(Some(f.alice), Some(f.knows), Some(f.bob))
+                .len(),
+            1
+        );
+        assert_eq!(f.store.match_spo(Some(f.bob), Some(f.age), None).len(), 0);
+        assert_eq!(f.store.match_spo(None, None, None).len(), 3);
+        assert_eq!(f.store.match_spo(Some(f.alice), None, Some(f.bob)).len(), 1);
+        assert_eq!(
+            f.store.match_spo(None, Some(f.knows), Some(f.alice)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn remove_cleans_indexes() {
+        let mut f = fixture();
+        let t = Triple::new(f.alice, f.knows, f.bob);
+        assert!(f.store.remove(&t));
+        assert!(!f.store.remove(&t));
+        assert_eq!(f.store.len(), 2);
+        assert!(f
+            .store
+            .match_spo(Some(f.alice), Some(f.knows), None)
+            .is_empty());
+        assert_eq!(f.store.match_spo(None, Some(f.knows), None).len(), 1);
+    }
+
+    #[test]
+    fn pattern_matching_extends_bindings() {
+        let f = fixture();
+        // (?x knows ?y)
+        let pat = TriplePattern::new(VarId(0), f.knows, VarId(1));
+        let mut results = Vec::new();
+        f.store
+            .match_pattern(&pat, &[None, None], |b| results.push(b));
+        assert_eq!(results.len(), 2);
+        // (?x knows ?x) matches nothing: nobody knows themselves.
+        let self_pat = TriplePattern::new(VarId(0), f.knows, VarId(0));
+        let mut hits = 0;
+        f.store.match_pattern(&self_pat, &[None], |_| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn pattern_respects_existing_bindings() {
+        let f = fixture();
+        let pat = TriplePattern::new(VarId(0), f.knows, VarId(1));
+        let mut results = Vec::new();
+        f.store
+            .match_pattern(&pat, &[Some(f.bob), None], |b| results.push(b));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0][1], Some(f.alice));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let f = fixture();
+        let copy: Store = f.store.iter().copied().collect();
+        assert_eq!(copy.len(), f.store.len());
+    }
+}

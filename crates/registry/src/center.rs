@@ -1,0 +1,378 @@
+//! The per-space application & resource registry center.
+//!
+//! The paper uses Juddi + MySQL; this center keeps records in memory and
+//! mirrors resource facts into an ontology graph so lookups can be
+//! *semantic* (class subsumption via the reasoner) rather than merely
+//! syntactic name matching (§3.3).
+
+use std::collections::BTreeMap;
+
+use mdagent_ontology::{axiom_rules, Graph, Reasoner};
+use mdagent_simnet::SpaceId;
+
+use crate::matching::{MatchQuality, ResourceMatch};
+use crate::record::{ApplicationRecord, ResourceRecord};
+
+/// Registry center for one smart space.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_registry::{RegistryCenter, ApplicationRecord, ResourceRecord};
+/// use mdagent_simnet::{SpaceId, HostId};
+///
+/// let mut center = RegistryCenter::new(SpaceId(0));
+/// center.register_application(
+///     ApplicationRecord::new("media-player", SpaceId(0), HostId(0)).with_component("presentation"),
+/// );
+/// assert!(center.application("media-player").is_some());
+/// center.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+/// center.register_resource(
+///     ResourceRecord::new("imcl:prn-821", "imcl:hpLaserJet", SpaceId(0), HostId(0)),
+/// );
+/// let matches = center.find_resources("imcl:Printer");
+/// assert_eq!(matches.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RegistryCenter {
+    space: SpaceId,
+    applications: BTreeMap<String, ApplicationRecord>,
+    resources: BTreeMap<String, ResourceRecord>,
+    graph: Graph,
+    reasoner: Reasoner,
+    dirty: bool,
+}
+
+impl RegistryCenter {
+    /// Creates a registry for a space, preloaded with the OWL axiom rules.
+    pub fn new(space: SpaceId) -> Self {
+        let mut graph = Graph::new();
+        let reasoner = {
+            let mut r = Reasoner::new();
+            r.add_rules(axiom_rules(&mut graph));
+            r
+        };
+        RegistryCenter {
+            space,
+            applications: BTreeMap::new(),
+            resources: BTreeMap::new(),
+            graph,
+            reasoner,
+            dirty: false,
+        }
+    }
+
+    /// The space this registry serves.
+    pub fn space(&self) -> SpaceId {
+        self.space
+    }
+
+    /// Registers (or replaces) an application record.
+    pub fn register_application(&mut self, record: ApplicationRecord) {
+        self.applications.insert(record.name.clone(), record);
+    }
+
+    /// Removes an application record. Returns whether it existed.
+    pub fn deregister_application(&mut self, name: &str) -> bool {
+        self.applications.remove(name).is_some()
+    }
+
+    /// Looks up an application by name.
+    pub fn application(&self, name: &str) -> Option<&ApplicationRecord> {
+        self.applications.get(name)
+    }
+
+    /// All registered applications, name-ordered.
+    pub fn applications(&self) -> impl Iterator<Item = &ApplicationRecord> {
+        self.applications.values()
+    }
+
+    /// Declares a `rdfs:subClassOf` axiom in this registry's ontology
+    /// (e.g. `hpLaserJet ⊑ Printer`); future semantic lookups use it.
+    pub fn declare_subclass(&mut self, class: &str, super_class: &str) {
+        self.graph.add(
+            class,
+            mdagent_ontology::vocab::rdfs::SUB_CLASS_OF,
+            super_class,
+        );
+        self.dirty = true;
+    }
+
+    /// Loads Turtle-lite ontology text into the registry graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn load_ontology(
+        &mut self,
+        text: &str,
+    ) -> Result<usize, mdagent_ontology::parser::ParseError> {
+        let n = mdagent_ontology::parser::parse_triples(text, &mut self.graph)?;
+        self.dirty = true;
+        Ok(n)
+    }
+
+    /// Registers (or replaces) a resource, mirroring its facts into the
+    /// ontology graph (`rdf:type`, `imcl:locatedIn`, transferability
+    /// markers and address).
+    pub fn register_resource(&mut self, record: ResourceRecord) {
+        use mdagent_ontology::vocab::{imcl, rdf};
+        self.graph.add(&record.name, rdf::TYPE, &record.class);
+        let space_iri = format!("imcl:space-{}", record.space.0);
+        self.graph.add(&record.name, imcl::LOCATED_IN, &space_iri);
+        let marker = if record.transferable {
+            imcl::TRANSFERABLE
+        } else {
+            imcl::UNTRANSFERABLE
+        };
+        self.graph.add(&record.name, rdf::TYPE, marker);
+        let marker = if record.substitutable {
+            imcl::SUBSTITUTABLE
+        } else {
+            imcl::UNSUBSTITUTABLE
+        };
+        self.graph.add(&record.name, rdf::TYPE, marker);
+        if !record.address.is_empty() {
+            let addr = self.graph.str_lit(&record.address);
+            self.graph
+                .add_with_object(&record.name, imcl::ADDRESS, addr);
+        }
+        self.dirty = true;
+        self.resources.insert(record.name.clone(), record);
+    }
+
+    /// Removes a resource record (ontology facts are retained as history).
+    pub fn deregister_resource(&mut self, name: &str) -> bool {
+        self.resources.remove(name).is_some()
+    }
+
+    /// Looks up a resource by individual name.
+    pub fn resource(&self, name: &str) -> Option<&ResourceRecord> {
+        self.resources.get(name)
+    }
+
+    /// All registered resources, name-ordered.
+    pub fn resources(&self) -> impl Iterator<Item = &ResourceRecord> {
+        self.resources.values()
+    }
+
+    /// Runs the reasoner if new facts arrived since the last run.
+    fn ensure_materialized(&mut self) {
+        if self.dirty {
+            self.reasoner.materialize(&mut self.graph);
+            self.dirty = false;
+        }
+    }
+
+    /// Semantic resource lookup: all resources whose class satisfies
+    /// `required_class`, ranked best-first (see [`MatchQuality`]).
+    ///
+    /// A resource matches *exactly* when its class equals the requirement,
+    /// and *by subsumption* when its class is a (derived) subclass. A
+    /// resource marked substitutable whose class shares the requirement
+    /// only through substitution still matches, ranked last.
+    pub fn find_resources(&mut self, required_class: &str) -> Vec<ResourceMatch> {
+        use mdagent_ontology::vocab::rdfs;
+        self.ensure_materialized();
+        let mut out = Vec::new();
+        for record in self.resources.values() {
+            let quality = if record.class == required_class {
+                Some(MatchQuality::Exact)
+            } else if self
+                .graph
+                .contains(&record.class, rdfs::SUB_CLASS_OF, required_class)
+            {
+                Some(MatchQuality::Subsumed)
+            } else if record.substitutable
+                && self
+                    .graph
+                    .contains(required_class, rdfs::SUB_CLASS_OF, &record.class)
+            {
+                // The requirement is more specific than what we have, but
+                // the resource is declared an acceptable stand-in.
+                Some(MatchQuality::Substitutable)
+            } else {
+                None
+            };
+            if let Some(quality) = quality {
+                out.push(ResourceMatch {
+                    resource: record.clone(),
+                    quality,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            a.quality
+                .cmp(&b.quality)
+                .then_with(|| a.resource.name.cmp(&b.resource.name))
+        });
+        out
+    }
+
+    /// Purely syntactic lookup for comparison (the paper argues this is
+    /// too strict): exact class-name equality only.
+    pub fn find_resources_syntactic(&self, required_class: &str) -> Vec<ResourceMatch> {
+        self.resources
+            .values()
+            .filter(|r| r.class == required_class)
+            .map(|r| ResourceMatch {
+                resource: r.clone(),
+                quality: MatchQuality::Exact,
+            })
+            .collect()
+    }
+
+    /// Read access to the underlying ontology graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Mutable access to the ontology graph (marks it dirty).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        self.dirty = true;
+        &mut self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdagent_simnet::HostId;
+
+    fn center() -> RegistryCenter {
+        let mut c = RegistryCenter::new(SpaceId(0));
+        c.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+        c.declare_subclass("imcl:Printer", "imcl:Resource");
+        c.register_resource(
+            ResourceRecord::new("imcl:prn-821", "imcl:hpLaserJet", SpaceId(0), HostId(0))
+                .address("host-0:9100"),
+        );
+        c.register_resource(ResourceRecord::new(
+            "imcl:proj-821",
+            "imcl:Projector",
+            SpaceId(0),
+            HostId(0),
+        ));
+        c
+    }
+
+    #[test]
+    fn semantic_match_uses_subsumption() {
+        let mut c = center();
+        let matches = c.find_resources("imcl:Printer");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].resource.name, "imcl:prn-821");
+        assert_eq!(matches[0].quality, MatchQuality::Subsumed);
+        // Transitively: an hpLaserJet is also a Resource.
+        let matches = c.find_resources("imcl:Resource");
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn syntactic_match_misses_subclasses() {
+        let c = center();
+        assert!(c.find_resources_syntactic("imcl:Printer").is_empty());
+        assert_eq!(c.find_resources_syntactic("imcl:hpLaserJet").len(), 1);
+    }
+
+    #[test]
+    fn exact_match_ranks_before_subsumed() {
+        let mut c = center();
+        c.register_resource(ResourceRecord::new(
+            "imcl:generic-prn",
+            "imcl:Printer",
+            SpaceId(0),
+            HostId(0),
+        ));
+        let matches = c.find_resources("imcl:Printer");
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].quality, MatchQuality::Exact);
+        assert_eq!(matches[0].resource.name, "imcl:generic-prn");
+        assert_eq!(matches[1].quality, MatchQuality::Subsumed);
+    }
+
+    #[test]
+    fn substitutable_super_class_matches_last() {
+        let mut c = RegistryCenter::new(SpaceId(0));
+        c.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+        // Only a generic printer is available but an hpLaserJet is requested.
+        c.register_resource(
+            ResourceRecord::new("imcl:generic-prn", "imcl:Printer", SpaceId(0), HostId(0))
+                .substitutable(true),
+        );
+        let matches = c.find_resources("imcl:hpLaserJet");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].quality, MatchQuality::Substitutable);
+        // If not substitutable, no match.
+        c.register_resource(
+            ResourceRecord::new("imcl:generic-prn", "imcl:Printer", SpaceId(0), HostId(0))
+                .substitutable(false),
+        );
+        assert!(c.find_resources("imcl:hpLaserJet").is_empty());
+    }
+
+    #[test]
+    fn application_lifecycle() {
+        let mut c = center();
+        c.register_application(
+            ApplicationRecord::new("player", SpaceId(0), HostId(0)).with_component("presentation"),
+        );
+        assert!(c
+            .application("player")
+            .unwrap()
+            .has_component("presentation"));
+        assert_eq!(c.applications().count(), 1);
+        assert!(c.deregister_application("player"));
+        assert!(!c.deregister_application("player"));
+        assert!(c.application("player").is_none());
+    }
+
+    #[test]
+    fn resource_facts_land_in_ontology() {
+        use mdagent_ontology::vocab::{imcl, rdf};
+        let mut c = center();
+        c.ensure_materialized();
+        assert!(c
+            .graph()
+            .contains("imcl:prn-821", rdf::TYPE, "imcl:hpLaserJet"));
+        assert!(
+            c.graph()
+                .contains("imcl:prn-821", rdf::TYPE, "imcl:Printer"),
+            "derived"
+        );
+        assert!(c
+            .graph()
+            .contains("imcl:prn-821", imcl::LOCATED_IN, "imcl:space-0"));
+        assert!(c
+            .graph()
+            .contains("imcl:prn-821", rdf::TYPE, imcl::UNTRANSFERABLE));
+        assert!(c
+            .graph()
+            .contains("imcl:prn-821", rdf::TYPE, imcl::SUBSTITUTABLE));
+    }
+
+    #[test]
+    fn deregistered_resources_stop_matching() {
+        let mut c = center();
+        assert!(c.deregister_resource("imcl:prn-821"));
+        assert!(c.find_resources("imcl:Printer").is_empty());
+        assert!(c.resource("imcl:prn-821").is_none());
+    }
+
+    #[test]
+    fn load_ontology_text() {
+        let mut c = RegistryCenter::new(SpaceId(1));
+        let n = c
+            .load_ontology("imcl:epson-x1 rdfs:subClassOf imcl:Printer .")
+            .unwrap();
+        assert_eq!(n, 1);
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-x",
+            "imcl:epson-x1",
+            SpaceId(1),
+            HostId(2),
+        ));
+        assert_eq!(c.find_resources("imcl:Printer").len(), 1);
+        assert!(c.load_ontology("garbage {{{").is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Registry records: WSDL-like interface descriptions, application and
+//! resource advertisements.
+
+use std::fmt;
+
+use mdagent_simnet::{HostId, SpaceId};
+
+/// One operation of a service interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name, e.g. `"play"`.
+    pub name: String,
+    /// Input message parts.
+    pub inputs: Vec<String>,
+    /// Output message parts.
+    pub outputs: Vec<String>,
+}
+
+impl Operation {
+    /// Creates an operation.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: impl IntoIterator<Item = &'static str>,
+        outputs: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        Operation {
+            name: name.into(),
+            inputs: inputs.into_iter().map(str::to_owned).collect(),
+            outputs: outputs.into_iter().map(str::to_owned).collect(),
+        }
+    }
+}
+
+/// A WSDL-like interface description (paper §4.2.2: applications register
+/// "with their interface descriptions … in a WSDL-like format").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InterfaceDescription {
+    /// Service name.
+    pub service: String,
+    /// Exposed operations.
+    pub operations: Vec<Operation>,
+    /// Transport endpoint, e.g. `"acl://ma-player@mdagent"`.
+    pub endpoint: String,
+}
+
+impl InterfaceDescription {
+    /// Creates an empty description for a service.
+    pub fn new(service: impl Into<String>) -> Self {
+        InterfaceDescription {
+            service: service.into(),
+            operations: Vec::new(),
+            endpoint: String::new(),
+        }
+    }
+
+    /// Adds an operation (builder style).
+    pub fn operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Sets the endpoint (builder style).
+    pub fn endpoint(mut self, endpoint: impl Into<String>) -> Self {
+        self.endpoint = endpoint.into();
+        self
+    }
+
+    /// Whether the interface offers an operation by name.
+    pub fn has_operation(&self, name: &str) -> bool {
+        self.operations.iter().any(|o| o.name == name)
+    }
+}
+
+impl fmt::Display for InterfaceDescription {
+    /// Renders a compact WSDL-like textual form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "<service name=\"{}\" endpoint=\"{}\">",
+            self.service, self.endpoint
+        )?;
+        for op in &self.operations {
+            writeln!(
+                f,
+                "  <operation name=\"{}\" input=\"{}\" output=\"{}\"/>",
+                op.name,
+                op.inputs.join(","),
+                op.outputs.join(",")
+            )?;
+        }
+        write!(f, "</service>")
+    }
+}
+
+/// Advertisement of a deployed application (or application component set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationRecord {
+    /// Application name, e.g. `"smart-media-player"`.
+    pub name: String,
+    /// The space it is available in.
+    pub space: SpaceId,
+    /// The host it runs on / is installed on.
+    pub host: HostId,
+    /// Which component kinds are installed there (`"logic"`,
+    /// `"presentation"`, `"data"` …).
+    pub components: Vec<String>,
+    /// Its interface.
+    pub interface: InterfaceDescription,
+    /// Minimum device requirements, free-form `key=value` pairs
+    /// (`"screen-width=800"`).
+    pub requirements: Vec<(String, String)>,
+}
+
+impl ApplicationRecord {
+    /// Creates a record with no components or requirements.
+    pub fn new(name: impl Into<String>, space: SpaceId, host: HostId) -> Self {
+        let name = name.into();
+        ApplicationRecord {
+            interface: InterfaceDescription::new(name.clone()),
+            name,
+            space,
+            host,
+            components: Vec::new(),
+            requirements: Vec::new(),
+        }
+    }
+
+    /// Marks a component kind as installed (builder style).
+    pub fn with_component(mut self, kind: impl Into<String>) -> Self {
+        self.components.push(kind.into());
+        self
+    }
+
+    /// Adds a device requirement (builder style).
+    pub fn with_requirement(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.requirements.push((key.into(), value.into()));
+        self
+    }
+
+    /// Whether a component kind is installed.
+    pub fn has_component(&self, kind: &str) -> bool {
+        self.components.iter().any(|c| c == kind)
+    }
+}
+
+/// Advertisement of a shareable resource (printer, projector, data file…).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceRecord {
+    /// Individual name (ontology IRI), e.g. `"imcl:prn-821"`.
+    pub name: String,
+    /// Ontology class, e.g. `"imcl:hpLaserJet"`.
+    pub class: String,
+    /// The space the resource is in.
+    pub space: SpaceId,
+    /// The host that serves it.
+    pub host: HostId,
+    /// Whether the resource can be shipped to another host.
+    pub transferable: bool,
+    /// Whether a same-class resource elsewhere is an acceptable stand-in.
+    pub substitutable: bool,
+    /// Network address string (the paper's `imcl:address`).
+    pub address: String,
+}
+
+impl ResourceRecord {
+    /// Creates a resource record.
+    pub fn new(
+        name: impl Into<String>,
+        class: impl Into<String>,
+        space: SpaceId,
+        host: HostId,
+    ) -> Self {
+        ResourceRecord {
+            name: name.into(),
+            class: class.into(),
+            space,
+            host,
+            transferable: false,
+            substitutable: true,
+            address: String::new(),
+        }
+    }
+
+    /// Sets transferability (builder style).
+    pub fn transferable(mut self, yes: bool) -> Self {
+        self.transferable = yes;
+        self
+    }
+
+    /// Sets substitutability (builder style).
+    pub fn substitutable(mut self, yes: bool) -> Self {
+        self.substitutable = yes;
+        self
+    }
+
+    /// Sets the address (builder style).
+    pub fn address(mut self, addr: impl Into<String>) -> Self {
+        self.address = addr.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_renders_wsdl_like_text() {
+        let iface = InterfaceDescription::new("media-player")
+            .endpoint("acl://ma-player@mdagent")
+            .operation(Operation::new("play", ["track"], ["status"]))
+            .operation(Operation::new("stop", [], ["status"]));
+        let text = iface.to_string();
+        assert!(text.contains("<service name=\"media-player\""));
+        assert!(text.contains("<operation name=\"play\" input=\"track\" output=\"status\"/>"));
+        assert!(text.ends_with("</service>"));
+        assert!(iface.has_operation("play"));
+        assert!(!iface.has_operation("seek"));
+    }
+
+    #[test]
+    fn application_record_builders() {
+        let rec = ApplicationRecord::new("editor", SpaceId(0), HostId(1))
+            .with_component("presentation")
+            .with_component("logic")
+            .with_requirement("screen-width", "800");
+        assert!(rec.has_component("logic"));
+        assert!(!rec.has_component("data"));
+        assert_eq!(rec.requirements.len(), 1);
+        assert_eq!(rec.interface.service, "editor");
+    }
+
+    #[test]
+    fn resource_record_builders() {
+        let rec = ResourceRecord::new("imcl:prn-821", "imcl:hpLaserJet", SpaceId(0), HostId(0))
+            .transferable(false)
+            .substitutable(true)
+            .address("host-0:9100");
+        assert!(!rec.transferable);
+        assert!(rec.substitutable);
+        assert_eq!(rec.address, "host-0:9100");
+    }
+}

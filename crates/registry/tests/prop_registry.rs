@@ -1,0 +1,85 @@
+//! Property tests for the registry: semantic matching always dominates
+//! syntactic matching, and ranking is stable.
+
+use mdagent_registry::{MatchQuality, RegistryCenter, ResourceRecord};
+use mdagent_simnet::{HostId, SpaceId};
+use proptest::prelude::*;
+
+fn class_name(i: u8) -> String {
+    format!("imcl:Class{i}")
+}
+
+proptest! {
+    /// For any catalog and any subclass forest, every syntactic hit is
+    /// also a semantic hit, and semantic hits are ranked Exact before
+    /// Subsumed before Substitutable.
+    #[test]
+    fn semantic_dominates_syntactic(
+        // Resources: (individual idx, class idx)
+        resources in proptest::collection::vec((0u8..30, 0u8..6), 1..25),
+        // Subclass axioms: child -> parent (child > parent avoids cycles)
+        axioms in proptest::collection::vec((1u8..6, 0u8..6), 0..8),
+        query_class in 0u8..6,
+    ) {
+        let mut center = RegistryCenter::new(SpaceId(0));
+        for (child, parent) in &axioms {
+            if child > parent {
+                center.declare_subclass(&class_name(*child), &class_name(*parent));
+            }
+        }
+        for (idx, class) in &resources {
+            center.register_resource(ResourceRecord::new(
+                format!("imcl:res-{idx}"),
+                class_name(*class),
+                SpaceId(0),
+                HostId(0),
+            ));
+        }
+        let query = class_name(query_class);
+        let semantic = center.find_resources(&query);
+        let syntactic = center.find_resources_syntactic(&query);
+
+        // Domination: every syntactic hit appears among the semantic hits.
+        for hit in &syntactic {
+            prop_assert!(
+                semantic.iter().any(|m| m.resource.name == hit.resource.name),
+                "syntactic hit {} missing from semantic results",
+                hit.resource.name
+            );
+        }
+        // Ranking: qualities are nondecreasing.
+        for pair in semantic.windows(2) {
+            prop_assert!(pair[0].quality <= pair[1].quality);
+        }
+        // Exact matches are exactly the syntactic hits.
+        let exact = semantic
+            .iter()
+            .filter(|m| m.quality == MatchQuality::Exact)
+            .count();
+        prop_assert_eq!(exact, syntactic.len());
+        // Determinism: a second query returns the same ranking.
+        prop_assert_eq!(center.find_resources(&query), semantic);
+    }
+
+    /// Deregistering every resource empties all lookups.
+    #[test]
+    fn deregistration_is_complete(
+        resources in proptest::collection::vec(0u8..20, 1..15),
+    ) {
+        let mut center = RegistryCenter::new(SpaceId(0));
+        for idx in &resources {
+            center.register_resource(ResourceRecord::new(
+                format!("imcl:res-{idx}"),
+                "imcl:Thing",
+                SpaceId(0),
+                HostId(0),
+            ));
+        }
+        let names: Vec<String> = center.resources().map(|r| r.name.clone()).collect();
+        for name in &names {
+            prop_assert!(center.deregister_resource(name));
+        }
+        prop_assert!(center.find_resources("imcl:Thing").is_empty());
+        prop_assert_eq!(center.resources().count(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)` so that two events scheduled for
+//! the same instant fire in the order they were scheduled — this is what
+//! makes whole-scenario replays bit-identical.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Boxed event handler stored in the queue.
+pub(crate) type Action<W> = Box<dyn FnOnce(&mut W, &mut crate::sim::Simulator<W>)>;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_simnet::{Simulator, SimDuration};
+///
+/// let mut sim: Simulator<u32> = Simulator::new();
+/// let id = sim.schedule_in(SimDuration::from_millis(5), |w, _| *w += 1);
+/// sim.cancel(id);
+/// let mut world = 0;
+/// sim.run(&mut world);
+/// assert_eq!(world, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u64);
+
+pub(crate) struct Scheduled<W> {
+    pub at: SimTime,
+    pub id: EventId,
+    pub action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest id)
+        // event pops first.
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Min-queue of scheduled events with O(1) logical cancellation.
+pub(crate) struct EventQueue<W> {
+    heap: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<W> EventQueue<W> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    pub fn push(&mut self, at: SimTime, action: Action<W>) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled { at, id, action });
+        id
+    }
+
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the next live (non-cancelled) event, discarding tombstones.
+    pub fn pop(&mut self) -> Option<Scheduled<W>> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// The instant of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let discard = match self.heap.peek() {
+                None => return None,
+                Some(ev) => {
+                    if self.cancelled.contains(&ev.id) {
+                        true
+                    } else {
+                        return Some(ev.at);
+                    }
+                }
+            };
+            if discard {
+                let ev = self.heap.pop().expect("peeked event exists");
+                self.cancelled.remove(&ev.id);
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    type W = Vec<u32>;
+
+    fn noop() -> Action<W> {
+        Box::new(|_, _| {})
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q: EventQueue<W> = EventQueue::new();
+        let t1 = SimTime::ZERO + SimDuration::from_millis(5);
+        let t0 = SimTime::ZERO + SimDuration::from_millis(1);
+        let a = q.push(t1, noop());
+        let b = q.push(t0, noop());
+        let c = q.push(t1, noop());
+        assert_eq!(q.pop().unwrap().id, b);
+        assert_eq!(q.pop().unwrap().id, a);
+        assert_eq!(q.pop().unwrap().id, c);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q: EventQueue<W> = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        let a = q.push(t, noop());
+        let b = q.push(t, noop());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert!(!q.cancel(EventId(999)), "unknown id reports false");
+        assert_eq!(q.pop().unwrap().id, b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q: EventQueue<W> = EventQueue::new();
+        let a = q.push(SimTime::from_millis(1), noop());
+        q.push(SimTime::from_millis(2), noop());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 1);
+    }
+}

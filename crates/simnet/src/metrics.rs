@@ -1,0 +1,219 @@
+//! Lightweight measurement plumbing for experiments.
+//!
+//! The benchmark harness reads counters and duration histograms out of a
+//! [`MetricsRegistry`] after a scenario run; nothing here touches wall-clock
+//! time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A distribution of simulated durations with simple summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DurationStats {
+    samples: Vec<SimDuration>,
+}
+
+impl DurationStats {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        self.samples.iter().copied().sum()
+    }
+
+    /// Arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.total() / self.samples.len() as u64
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Largest sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The q-quantile (0.0–1.0) by nearest-rank, or zero when empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// All raw samples in recording order.
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+}
+
+impl fmt::Display for DurationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} max={}",
+            self.count(),
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.max()
+        )
+    }
+}
+
+/// Named counters and duration histograms for one scenario run.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_simnet::{MetricsRegistry, SimDuration};
+///
+/// let mut metrics = MetricsRegistry::new();
+/// metrics.incr("messages.sent");
+/// metrics.incr_by("bytes.sent", 1500);
+/// metrics.observe("migration.total", SimDuration::from_millis(950));
+/// assert_eq!(metrics.counter("messages.sent"), 1);
+/// assert_eq!(metrics.durations("migration.total").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    durations: BTreeMap<String, DurationStats>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a named counter.
+    pub fn incr(&mut self, name: &str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn incr_by(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_default() += delta;
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a duration sample under `name`.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.durations.entry(name.to_owned()).or_default().record(d);
+    }
+
+    /// Duration distribution for `name`, if any samples were recorded.
+    pub fn durations(&self, name: &str) -> Option<&DurationStats> {
+        self.durations.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all duration series in name order.
+    pub fn duration_series(&self) -> impl Iterator<Item = (&str, &DurationStats)> {
+        self.durations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Clears everything.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.durations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.incr("a");
+        m.incr_by("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn duration_stats_summaries() {
+        let mut s = DurationStats::new();
+        for ms in [10, 20, 30, 40] {
+            s.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), SimDuration::from_millis(25));
+        assert_eq!(s.min(), SimDuration::from_millis(10));
+        assert_eq!(s.max(), SimDuration::from_millis(40));
+        assert_eq!(s.quantile(0.5), SimDuration::from_millis(20));
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(40));
+        assert_eq!(s.quantile(0.0), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DurationStats::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        assert_eq!(s.quantile(0.5), SimDuration::ZERO);
+        assert_eq!(s.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = MetricsRegistry::new();
+        m.incr("x");
+        m.observe("d", SimDuration::from_millis(1));
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.durations("d").is_none());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.incr("b");
+        m.incr("a");
+        let names: Vec<_> = m.counters().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Network topology: smart spaces, hosts, links and gateways.
+//!
+//! A pervasive environment is a set of *smart spaces* (rooms, buildings),
+//! each containing hosts joined by LAN links. Spaces are joined to each
+//! other only through *gateway* links, mirroring the paper's requirement
+//! that inter-space migration needs gateway support (Fig. 1).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Identifier of a smart space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpaceId(pub u32);
+
+/// Identifier of a host (device) in the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Identifier of a link between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space-{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link-{}", self.0)
+    }
+}
+
+/// How fast a host's CPU is relative to the paper's reference machine
+/// (a Pentium 4 @ 1.7 GHz). CPU-bound costs are divided by this factor.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct CpuFactor(f64);
+
+impl CpuFactor {
+    /// The reference machine (factor 1.0).
+    pub const REFERENCE: CpuFactor = CpuFactor(1.0);
+
+    /// Creates a factor; values are clamped to a sane positive range.
+    pub fn new(factor: f64) -> Self {
+        CpuFactor(factor.clamp(0.01, 1000.0))
+    }
+
+    /// The raw multiplier.
+    pub fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// Scales a CPU-bound cost by this host's speed.
+    pub fn scale(self, reference_cost: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(reference_cost.as_secs_f64() / self.0)
+    }
+}
+
+impl Default for CpuFactor {
+    fn default() -> Self {
+        CpuFactor::REFERENCE
+    }
+}
+
+/// A device participating in the environment.
+#[derive(Debug, Clone)]
+pub struct Host {
+    id: HostId,
+    name: String,
+    space: SpaceId,
+    cpu: CpuFactor,
+}
+
+impl Host {
+    /// Host identifier.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// Human-readable name, e.g. `"office-pc"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The smart space the host lives in.
+    pub fn space(&self) -> SpaceId {
+        self.space
+    }
+
+    /// Relative CPU speed.
+    pub fn cpu(&self) -> CpuFactor {
+        self.cpu
+    }
+}
+
+/// Whether a link is an in-space LAN link or an inter-space gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// Ordinary link between hosts of the same space.
+    Lan,
+    /// Gateway link bridging two spaces (extra protocol cost applies).
+    Gateway,
+}
+
+/// A bidirectional network link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    id: LinkId,
+    endpoints: (HostId, HostId),
+    kind: LinkKind,
+    latency: SimDuration,
+    bandwidth_bps: u64,
+    efficiency: f64,
+}
+
+impl Link {
+    /// Link identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The two endpoints (unordered).
+    pub fn endpoints(&self) -> (HostId, HostId) {
+        self.endpoints
+    }
+
+    /// LAN or gateway.
+    pub fn kind(&self) -> LinkKind {
+        self.kind
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Raw bandwidth in bits per second.
+    pub fn bandwidth_bps(&self) -> u64 {
+        self.bandwidth_bps
+    }
+
+    /// Fraction of raw bandwidth usable as goodput (protocol overheads).
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Time to push `bytes` through this link, excluding latency.
+    pub fn transmission_time(&self, bytes: u64) -> SimDuration {
+        let goodput = self.bandwidth_bps as f64 * self.efficiency / 8.0; // bytes/s
+        if goodput <= 0.0 {
+            return SimDuration::MAX;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / goodput)
+    }
+
+    /// Total one-way time for a `bytes`-sized payload: latency + transmission.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + self.transmission_time(bytes)
+    }
+
+    fn other_end(&self, from: HostId) -> Option<HostId> {
+        if self.endpoints.0 == from {
+            Some(self.endpoints.1)
+        } else if self.endpoints.1 == from {
+            Some(self.endpoints.0)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors raised while building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The referenced host does not exist.
+    UnknownHost(HostId),
+    /// The referenced space does not exist.
+    UnknownSpace(SpaceId),
+    /// No path connects the two hosts.
+    NoRoute(HostId, HostId),
+    /// A LAN link may only join hosts of the same space.
+    CrossSpaceLan(HostId, HostId),
+    /// A gateway link must join hosts of different spaces.
+    SameSpaceGateway(HostId, HostId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            TopologyError::UnknownSpace(s) => write!(f, "unknown space {s}"),
+            TopologyError::NoRoute(a, b) => write!(f, "no route between {a} and {b}"),
+            TopologyError::CrossSpaceLan(a, b) => {
+                write!(f, "lan link may not cross spaces ({a} vs {b})")
+            }
+            TopologyError::SameSpaceGateway(a, b) => {
+                write!(f, "gateway link must cross spaces ({a} vs {b})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The environment graph: spaces, hosts and links.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_simnet::{Topology, CpuFactor, SimDuration};
+///
+/// let mut topo = Topology::new();
+/// let office = topo.add_space("office");
+/// let lab = topo.add_space("lab");
+/// let pc = topo.add_host("office-pc", office, CpuFactor::REFERENCE);
+/// let laptop = topo.add_host("lab-laptop", lab, CpuFactor::new(0.9));
+/// topo.add_gateway_link(pc, laptop, SimDuration::from_millis(8), 10_000_000, 0.8)?;
+/// assert!(topo.requires_gateway(pc, laptop)?);
+/// let route = topo.route(pc, laptop)?;
+/// assert_eq!(route.len(), 1);
+/// # Ok::<(), mdagent_simnet::TopologyError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Topology {
+    spaces: Vec<String>,
+    hosts: Vec<Host>,
+    links: Vec<Link>,
+    adjacency: HashMap<HostId, Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a smart space and returns its id.
+    pub fn add_space(&mut self, name: impl Into<String>) -> SpaceId {
+        let id = SpaceId(self.spaces.len() as u32);
+        self.spaces.push(name.into());
+        id
+    }
+
+    /// Adds a host to `space` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` was not created by this topology.
+    pub fn add_host(&mut self, name: impl Into<String>, space: SpaceId, cpu: CpuFactor) -> HostId {
+        assert!(
+            (space.0 as usize) < self.spaces.len(),
+            "space {space} does not exist"
+        );
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host {
+            id,
+            name: name.into(),
+            space,
+            cpu,
+        });
+        self.adjacency.entry(id).or_default();
+        id
+    }
+
+    /// Adds an in-space LAN link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::CrossSpaceLan`] if the endpoints are in
+    /// different spaces, or [`TopologyError::UnknownHost`] for bad ids.
+    pub fn add_lan_link(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        latency: SimDuration,
+        bandwidth_bps: u64,
+        efficiency: f64,
+    ) -> Result<LinkId, TopologyError> {
+        let (sa, sb) = (self.host(a)?.space(), self.host(b)?.space());
+        if sa != sb {
+            return Err(TopologyError::CrossSpaceLan(a, b));
+        }
+        Ok(self.push_link(a, b, LinkKind::Lan, latency, bandwidth_bps, efficiency))
+    }
+
+    /// Adds a gateway link bridging two spaces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::SameSpaceGateway`] if the endpoints share a
+    /// space, or [`TopologyError::UnknownHost`] for bad ids.
+    pub fn add_gateway_link(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        latency: SimDuration,
+        bandwidth_bps: u64,
+        efficiency: f64,
+    ) -> Result<LinkId, TopologyError> {
+        let (sa, sb) = (self.host(a)?.space(), self.host(b)?.space());
+        if sa == sb {
+            return Err(TopologyError::SameSpaceGateway(a, b));
+        }
+        Ok(self.push_link(a, b, LinkKind::Gateway, latency, bandwidth_bps, efficiency))
+    }
+
+    fn push_link(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        kind: LinkKind,
+        latency: SimDuration,
+        bandwidth_bps: u64,
+        efficiency: f64,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            endpoints: (a, b),
+            kind,
+            latency,
+            bandwidth_bps,
+            efficiency: efficiency.clamp(0.01, 1.0),
+        });
+        self.adjacency.entry(a).or_default().push(id);
+        self.adjacency.entry(b).or_default().push(id);
+        id
+    }
+
+    /// Looks up a host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownHost`] for ids not in this topology.
+    pub fn host(&self, id: HostId) -> Result<&Host, TopologyError> {
+        self.hosts
+            .get(id.0 as usize)
+            .ok_or(TopologyError::UnknownHost(id))
+    }
+
+    /// Looks up a link by id.
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(id.0 as usize)
+    }
+
+    /// Name of a space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSpace`] for ids not in this topology.
+    pub fn space_name(&self, id: SpaceId) -> Result<&str, TopologyError> {
+        self.spaces
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .ok_or(TopologyError::UnknownSpace(id))
+    }
+
+    /// All hosts, in creation order.
+    pub fn hosts(&self) -> impl Iterator<Item = &Host> {
+        self.hosts.iter()
+    }
+
+    /// All hosts within one space.
+    pub fn hosts_in(&self, space: SpaceId) -> impl Iterator<Item = &Host> {
+        self.hosts.iter().filter(move |h| h.space == space)
+    }
+
+    /// Number of spaces.
+    pub fn space_count(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Whether migrating between two hosts crosses a space boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownHost`] for bad ids.
+    pub fn requires_gateway(&self, a: HostId, b: HostId) -> Result<bool, TopologyError> {
+        Ok(self.host(a)?.space() != self.host(b)?.space())
+    }
+
+    /// Fewest-hops route between two hosts (BFS), as a sequence of links.
+    ///
+    /// An empty route means `from == to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoRoute`] when the hosts are disconnected,
+    /// or [`TopologyError::UnknownHost`] for bad ids.
+    pub fn route(&self, from: HostId, to: HostId) -> Result<Vec<LinkId>, TopologyError> {
+        self.host(from)?;
+        self.host(to)?;
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let mut prev: HashMap<HostId, (HostId, LinkId)> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            let neighbours = self.adjacency.get(&cur).map(Vec::as_slice).unwrap_or(&[]);
+            for &lid in neighbours {
+                let link = &self.links[lid.0 as usize];
+                let Some(next) = link.other_end(cur) else {
+                    continue;
+                };
+                if next == from || prev.contains_key(&next) {
+                    continue;
+                }
+                prev.insert(next, (cur, lid));
+                if next == to {
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let Some(&(parent, lid)) = prev.get(&cur) else {
+                return Err(TopologyError::NoRoute(from, to));
+            };
+            path.push(lid);
+            cur = parent;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// End-to-end one-way transfer time of `bytes` along the fewest-hops
+    /// route between two hosts (store-and-forward per hop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors; see [`route`](Self::route).
+    pub fn transfer_time(
+        &self,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+    ) -> Result<SimDuration, TopologyError> {
+        let route = self.route(from, to)?;
+        Ok(route
+            .iter()
+            .map(|lid| self.links[lid.0 as usize].transfer_time(bytes))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_space_topo() -> (Topology, HostId, HostId, HostId) {
+        let mut topo = Topology::new();
+        let s1 = topo.add_space("room-821");
+        let s2 = topo.add_space("room-822");
+        let a = topo.add_host("pc-a", s1, CpuFactor::REFERENCE);
+        let b = topo.add_host("pc-b", s1, CpuFactor::new(0.94));
+        let c = topo.add_host("pc-c", s2, CpuFactor::REFERENCE);
+        topo.add_lan_link(a, b, SimDuration::from_millis(1), 10_000_000, 0.8)
+            .unwrap();
+        topo.add_gateway_link(b, c, SimDuration::from_millis(5), 10_000_000, 0.7)
+            .unwrap();
+        (topo, a, b, c)
+    }
+
+    #[test]
+    fn lan_links_cannot_cross_spaces() {
+        let (mut topo, a, _, c) = two_space_topo();
+        assert_eq!(
+            topo.add_lan_link(a, c, SimDuration::ZERO, 1, 1.0),
+            Err(TopologyError::CrossSpaceLan(a, c))
+        );
+    }
+
+    #[test]
+    fn gateway_links_must_cross_spaces() {
+        let (mut topo, a, b, _) = two_space_topo();
+        assert_eq!(
+            topo.add_gateway_link(a, b, SimDuration::ZERO, 1, 1.0),
+            Err(TopologyError::SameSpaceGateway(a, b))
+        );
+    }
+
+    #[test]
+    fn routes_are_fewest_hops() {
+        let (topo, a, b, c) = two_space_topo();
+        assert_eq!(topo.route(a, a).unwrap(), Vec::<LinkId>::new());
+        assert_eq!(topo.route(a, b).unwrap().len(), 1);
+        assert_eq!(topo.route(a, c).unwrap().len(), 2);
+        assert!(topo.requires_gateway(a, c).unwrap());
+        assert!(!topo.requires_gateway(a, b).unwrap());
+    }
+
+    #[test]
+    fn disconnected_hosts_report_no_route() {
+        let mut topo = Topology::new();
+        let s = topo.add_space("s");
+        let a = topo.add_host("a", s, CpuFactor::REFERENCE);
+        let b = topo.add_host("b", s, CpuFactor::REFERENCE);
+        assert_eq!(topo.route(a, b), Err(TopologyError::NoRoute(a, b)));
+    }
+
+    #[test]
+    fn transfer_time_matches_ten_megabit_ethernet() {
+        // 10 Mbps at 80% efficiency = 1 MB/s goodput: 2 MB takes ~2 s + latency.
+        let (topo, a, b, _) = two_space_topo();
+        let t = topo.transfer_time(a, b, 2_000_000).unwrap();
+        let expected = SimDuration::from_millis(1) + SimDuration::from_secs_f64(2.0);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn cpu_factor_scales_costs() {
+        let slow = CpuFactor::new(0.5);
+        assert_eq!(
+            slow.scale(SimDuration::from_millis(100)),
+            SimDuration::from_millis(200)
+        );
+        assert_eq!(CpuFactor::new(-3.0).factor(), 0.01, "clamped");
+    }
+
+    #[test]
+    fn zero_payload_costs_only_latency() {
+        let (topo, a, b, _) = two_space_topo();
+        assert_eq!(
+            topo.transfer_time(a, b, 0).unwrap(),
+            SimDuration::from_millis(1)
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Scenario event tracing.
+//!
+//! A [`Trace`] is an append-only log of notable simulation events. The
+//! integration tests use it to assert the paper's Fig. 4 interaction
+//! sequence, and examples print it for narration.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Broad category of a trace entry, used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Sensor layer activity (readings, detections).
+    Sensor,
+    /// Context layer activity (fusion, classification, events).
+    Context,
+    /// Agent layer activity (messages, reasoning, migration).
+    Agent,
+    /// Application layer activity (suspend, resume, adaptation).
+    Application,
+    /// Network transfers.
+    Network,
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Sensor => "sensor",
+            TraceCategory::Context => "context",
+            TraceCategory::Agent => "agent",
+            TraceCategory::Application => "application",
+            TraceCategory::Network => "network",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the event happened on the simulated clock.
+    pub at: SimTime,
+    /// Which layer produced it.
+    pub category: TraceCategory,
+    /// Free-form description, stable enough to assert on.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.at, self.category, self.message)
+    }
+}
+
+/// Append-only log of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_simnet::{Trace, TraceCategory, SimTime};
+///
+/// let mut trace = Trace::new();
+/// trace.record(SimTime::from_millis(5), TraceCategory::Agent, "MA check-out");
+/// assert_eq!(trace.entries().len(), 1);
+/// assert!(trace.contains("check-out"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that drops all records (for benchmarks).
+    pub fn disabled() -> Self {
+        Trace {
+            entries: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether records are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an entry (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, category: TraceCategory, message: impl Into<String>) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                category,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All entries in recording order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries of one category, in order.
+    pub fn by_category(&self, category: TraceCategory) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.category == category)
+    }
+
+    /// Whether any entry's message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.entries.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Index of the first entry containing `needle`, if any.
+    pub fn position_of(&self, needle: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.message.contains(needle))
+    }
+
+    /// Asserts that the given needles occur in order (not necessarily
+    /// adjacent). Returns the first missing or out-of-order needle.
+    pub fn check_sequence<'a>(&self, needles: &[&'a str]) -> Result<(), &'a str> {
+        let mut from = 0usize;
+        for needle in needles {
+            match self.entries[from..]
+                .iter()
+                .position(|e| e.message.contains(needle))
+            {
+                Some(offset) => from += offset + 1,
+                None => return Err(needle),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops all entries (keeps enablement).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, TraceCategory::Sensor, "beacon 3 fired");
+        t.record(SimTime::from_millis(1), TraceCategory::Agent, "AA decision");
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.by_category(TraceCategory::Agent).count(), 1);
+        assert!(t.contains("decision"));
+        assert_eq!(t.position_of("beacon"), Some(0));
+    }
+
+    #[test]
+    fn disabled_trace_drops_records() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceCategory::Sensor, "x");
+        assert!(t.entries().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn sequence_checking() {
+        let mut t = Trace::new();
+        for msg in ["suspend", "wrap", "migrate", "resume"] {
+            t.record(SimTime::ZERO, TraceCategory::Application, msg);
+        }
+        assert_eq!(t.check_sequence(&["suspend", "migrate", "resume"]), Ok(()));
+        assert_eq!(t.check_sequence(&["resume", "suspend"]), Err("suspend"));
+        assert_eq!(t.check_sequence(&["missing"]), Err("missing"));
+    }
+
+    #[test]
+    fn display_formats_entry() {
+        let e = TraceEntry {
+            at: SimTime::from_millis(2),
+            category: TraceCategory::Network,
+            message: "transfer".into(),
+        };
+        assert_eq!(e.to_string(), "[2.000ms network] transfer");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the simulation kernel: causal ordering, determinism
+//! and routing sanity.
+
+use mdagent_simnet::{CpuFactor, SimDuration, SimTime, Simulator, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always fire in nondecreasing time order, with FIFO order at
+    /// equal instants.
+    #[test]
+    fn events_fire_in_causal_order(delays in proptest::collection::vec(0u64..50, 1..64)) {
+        let mut sim: Simulator<Vec<(u64, usize)>> = Simulator::new();
+        for (idx, &d) in delays.iter().enumerate() {
+            sim.schedule_in(SimDuration::from_millis(d), move |w, sim| {
+                w.push((sim.now().as_micros(), idx));
+            });
+        }
+        let mut world = Vec::new();
+        sim.run(&mut world);
+        prop_assert_eq!(world.len(), delays.len());
+        for pair in world.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO violated at equal instants");
+            }
+        }
+    }
+
+    /// Two runs of the same schedule produce identical traces.
+    #[test]
+    fn replays_are_identical(delays in proptest::collection::vec(0u64..100, 1..32)) {
+        let run = |delays: &[u64]| {
+            let mut sim: Simulator<Vec<u64>> = Simulator::new();
+            for &d in delays {
+                sim.schedule_in(SimDuration::from_micros(d), move |w, sim| {
+                    w.push(sim.now().as_micros() ^ d);
+                });
+            }
+            let mut world = Vec::new();
+            sim.run(&mut world);
+            world
+        };
+        prop_assert_eq!(run(&delays), run(&delays));
+    }
+
+    /// run_until never advances past its deadline unless an event sits
+    /// exactly on it, and pending events stay pending.
+    #[test]
+    fn run_until_respects_deadline(
+        delays in proptest::collection::vec(1u64..100, 1..32),
+        deadline in 0u64..100,
+    ) {
+        let mut sim: Simulator<u32> = Simulator::new();
+        let total = delays.len();
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_millis(d), |w, _| *w += 1);
+        }
+        let mut world = 0;
+        sim.run_until(&mut world, SimTime::from_millis(deadline));
+        let expected = delays.iter().filter(|&&d| d <= deadline).count() as u32;
+        prop_assert_eq!(world, expected);
+        prop_assert_eq!(sim.pending(), total - expected as usize);
+    }
+
+    /// In a random linear chain of hosts, transfer time grows monotonically
+    /// with payload size and with hop count.
+    #[test]
+    fn transfer_time_is_monotonic(
+        hops in 1usize..6,
+        base in 1u64..1000,
+        extra in 1u64..1_000_000,
+    ) {
+        let mut topo = Topology::new();
+        let space = topo.add_space("s");
+        let hosts: Vec<_> = (0..=hops)
+            .map(|i| topo.add_host(format!("h{i}"), space, CpuFactor::REFERENCE))
+            .collect();
+        for w in hosts.windows(2) {
+            topo.add_lan_link(w[0], w[1], SimDuration::from_millis(1), 10_000_000, 0.8).unwrap();
+        }
+        let first = hosts[0];
+        let last = hosts[hops];
+        let small = topo.transfer_time(first, last, base).unwrap();
+        let large = topo.transfer_time(first, last, base + extra).unwrap();
+        prop_assert!(small <= large, "bigger payloads can't be faster");
+        if hops >= 2 {
+            let mid = hosts[1];
+            let one_hop = topo.transfer_time(first, mid, base).unwrap();
+            prop_assert!(one_hop <= small, "subpath can't be slower than full path");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # mdagent-wire — serialization with exact size accounting
+//!
+//! Mobile agents wrap application components and carry them across the
+//! network; the paper's migration cost is dominated by how many bytes the
+//! agent ships. This crate provides the deterministic binary encoding those
+//! payloads use:
+//!
+//! * [`Wire`] — encode/decode/`encoded_len` (exact, ahead of time).
+//! * [`impl_wire_struct!`] / [`impl_wire_enum!`] — impl-writing macros.
+//! * [`Blob`] — verbatim byte payloads (music files, slide decks).
+//! * [`Envelope`] — checksummed framing used on links, so the fault-injection
+//!   tests can corrupt frames in flight and watch the middleware recover.
+//!
+//! A custom format (rather than `serde`) is used because the offline crate
+//! set has no serde *format* crate, and because byte-exact size accounting
+//! is load-bearing for the reproduction (see `DESIGN.md` §5).
+//!
+//! # Examples
+//!
+//! ```
+//! use mdagent_wire::{to_bytes, from_bytes, Wire};
+//!
+//! let snapshot = (String::from("track-3"), 42_000u64);
+//! let bytes = to_bytes(&snapshot);
+//! assert_eq!(bytes.len(), snapshot.encoded_len());
+//! let restored: (String, u64) = from_bytes(&bytes)?;
+//! assert_eq!(restored, snapshot);
+//! # Ok::<(), mdagent_wire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod envelope;
+mod error;
+mod macros;
+mod reader;
+mod wire;
+
+pub use bytes;
+
+pub use envelope::{fnv1a, Envelope};
+pub use error::WireError;
+pub use reader::{Reader, MAX_DECLARED_LEN};
+pub use wire::{from_bytes, to_bytes, Blob, Wire};

@@ -1,0 +1,87 @@
+//! Handheld handoff: the media session follows its user from an office PC
+//! onto a PDA in the courtyard, and the adaptor rescales the interface for
+//! the small screen (paper §3.3 "service customization ... for different
+//! devices"; §4.2 adaptor).
+//!
+//! ```text
+//! cargo run --example handheld_handoff
+//! ```
+
+use mdagent::apps::MediaPlayer;
+use mdagent::context::{BadgeId, UserId};
+use mdagent::core::{
+    Adaptation, AutonomousAgent, BindingPolicy, DeviceProfile, Middleware, UserProfile,
+};
+use mdagent::simnet::{CpuFactor, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let courtyard = b.space("courtyard");
+    let pc = b.host("office-pc", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pda = b.host(
+        "pda",
+        courtyard,
+        CpuFactor::new(0.25),
+        DeviceProfile::handheld,
+    );
+    b.gateway(pc, pda)?;
+    let (mut world, mut sim) = b.build();
+
+    let user = UserId(0);
+    let profile = UserProfile::new(user).with_preference("handedness", "left");
+    world.attach_user(profile.clone(), BadgeId(0), office, 2.0);
+
+    let player = MediaPlayer::deploy(&mut world, &mut sim, pc, profile, 3_000_000)?;
+    MediaPlayer::play(&mut world, &mut sim, player, "nocturne.mp3")?;
+    Middleware::spawn_autonomous_agent(
+        &mut world,
+        &mut sim,
+        pc,
+        AutonomousAgent::new(user, player.app, BindingPolicy::Adaptive),
+    )?;
+    Middleware::start_sensing(&mut world, &mut sim);
+
+    sim.run_until(&mut world, SimTime::from_secs(2));
+    MediaPlayer::advance(&mut world, &mut sim, player, 30_000)?;
+    println!("user steps out to the courtyard with only a PDA around...");
+    world.move_user(BadgeId(0), courtyard, 2.0);
+    sim.run_until(&mut world, SimTime::from_secs(20));
+
+    let app = world.app(player.app)?;
+    assert_eq!(app.host, pda);
+    println!(
+        "the session now runs on {} at {} ms into the track",
+        app.host,
+        MediaPlayer::position_ms(&world, player)?
+    );
+
+    let report = world.migration_log().last().expect("migrated");
+    println!("\nadaptations applied on the handheld:");
+    for action in &report.adaptation.actions {
+        match action {
+            Adaptation::ScaleUi {
+                factor,
+                width,
+                height,
+            } => {
+                println!("  UI scaled by {factor:.2} to {width}x{height}");
+            }
+            Adaptation::AudioPolicy { enabled } => {
+                println!("  audio {}", if *enabled { "enabled" } else { "disabled" });
+            }
+            Adaptation::MirrorForHandedness => {
+                println!("  UI mirrored for the left-handed user");
+            }
+            Adaptation::DensityCompensation { ratio } => {
+                println!("  density compensated by {ratio:.2}");
+            }
+        }
+    }
+    assert!(report.adaptation.scaled(), "PDA screen forces scaling");
+    assert!(
+        report.adaptation.mirrored(),
+        "left-handed preference honoured"
+    );
+    Ok(())
+}

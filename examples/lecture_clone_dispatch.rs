@@ -1,0 +1,106 @@
+//! The paper's lecture scenario: the speaker's slide show clones itself
+//! into overflow rooms across space gateways, carrying only the slides,
+//! and stays synchronized with the speaker's presentation controls.
+//!
+//! ```text
+//! cargo run --example lecture_clone_dispatch
+//! ```
+
+use mdagent::apps::SlideShow;
+use mdagent::context::UserId;
+use mdagent::core::{AutonomousAgent, BindingPolicy, DeviceProfile, Middleware, UserProfile};
+use mdagent::simnet::{CpuFactor, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The main lecture room plus two overflow rooms, each its own smart
+    // space behind a gateway.
+    let mut b = Middleware::builder();
+    let main_room = b.space("main-room");
+    let speaker_pc = b.host(
+        "speaker-pc",
+        main_room,
+        CpuFactor::REFERENCE,
+        DeviceProfile::pc,
+    );
+    let mut rooms = Vec::new();
+    for i in 0..2 {
+        let space = b.space(&format!("overflow-{i}"));
+        let host = b.host(
+            &format!("room-pc-{i}"),
+            space,
+            CpuFactor::REFERENCE,
+            DeviceProfile::wall_display,
+        );
+        b.gateway(speaker_pc, host)?;
+        rooms.push((space, host));
+    }
+    let (mut world, mut sim) = b.build();
+
+    // The speaker's deck: 1.2 MB of slides on top of the presenter runtime.
+    let show = SlideShow::deploy(
+        &mut world,
+        &mut sim,
+        speaker_pc,
+        UserProfile::new(UserId(0)),
+        1_200_000,
+    )?;
+    // Overflow rooms have the presenter app and a projector; slides lack.
+    for (_, host) in &rooms {
+        world.provision(*host, SlideShow::NAME, SlideShow::presenter_runtime())?;
+    }
+    Middleware::spawn_autonomous_agent(
+        &mut world,
+        &mut sim,
+        speaker_pc,
+        AutonomousAgent::new(UserId(0), show.app, BindingPolicy::Adaptive).manual_only(),
+    )?;
+    sim.run_until(&mut world, SimTime::from_secs(1));
+
+    // The speaker indicates the dispatch; the AA plans one clone per room.
+    println!(
+        "dispatching slide show to {} overflow rooms...",
+        rooms.len()
+    );
+    SlideShow::dispatch_to_rooms(
+        &mut world,
+        &mut sim,
+        UserId(0),
+        &rooms.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+    )?;
+    sim.run_until(&mut world, SimTime::from_secs(30));
+
+    let replicas = SlideShow::replicas(&world, show);
+    println!("{} replicas installed", replicas.len());
+    for report in world.migration_log() {
+        println!(
+            "  clone to {}: carried {} bytes, ready after {}",
+            report.dest_host,
+            report.shipped_bytes,
+            report.phases.total()
+        );
+    }
+
+    // The lecture: the speaker flips through five slides.
+    for _ in 0..5 {
+        SlideShow::next_slide(&mut world, &mut sim, show)?;
+    }
+    sim.run_until(&mut world, SimTime::from_secs(35));
+
+    println!(
+        "speaker shows slide {}",
+        SlideShow::current_slide(&world, show.app)?
+    );
+    for replica in &replicas {
+        println!(
+            "  {} shows slide {}",
+            replica,
+            SlideShow::current_slide(&world, *replica)?
+        );
+        assert_eq!(
+            SlideShow::current_slide(&world, *replica)?,
+            SlideShow::current_slide(&world, show.app)?
+        );
+    }
+    println!("replicas stayed in sync with the speaker.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: deploy the smart media player and watch it follow its user
+//! from the office to the lab.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mdagent::apps::{testkit, MediaPlayer};
+use mdagent::context::{BadgeId, UserId};
+use mdagent::core::{AutonomousAgent, BindingPolicy, Middleware};
+use mdagent::simnet::SimTime;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-space world: office (PC + PDA) and lab (PC), gateway between.
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+
+    // A user with a Cricket badge, starting in the office.
+    let profile = testkit::default_profile();
+    world.attach_user(profile.clone(), BadgeId(0), hosts.office, 2.0);
+
+    // Deploy the player on the office PC with a 2 MB track.
+    let player = MediaPlayer::deploy(&mut world, &mut sim, hosts.office_pc, profile, 2_000_000)?;
+    MediaPlayer::play(&mut world, &mut sim, player, "prelude.mp3")?;
+
+    // An autonomous agent watches the user and migrates the app adaptively.
+    Middleware::spawn_autonomous_agent(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        AutonomousAgent::new(UserId(0), player.app, BindingPolicy::Adaptive),
+    )?;
+    Middleware::start_sensing(&mut world, &mut sim);
+
+    // Listen for a while in the office, then walk to the lab.
+    sim.run_until(&mut world, SimTime::from_secs(2));
+    MediaPlayer::advance(&mut world, &mut sim, player, 2_000)?;
+    println!("t={} user walks to the lab...", sim.now());
+    world.move_user(BadgeId(0), hosts.lab, 2.0);
+    sim.run_until(&mut world, SimTime::from_secs(20));
+
+    // The music followed the user.
+    let app = world.app(player.app)?;
+    println!("t={} the player now runs on {}", sim.now(), app.host);
+    assert_eq!(app.host, hosts.lab_pc);
+    println!(
+        "playback position survived: {} ms",
+        MediaPlayer::position_ms(&world, player)?
+    );
+
+    let report = world.migration_log().last().expect("one migration");
+    println!(
+        "migration phases: suspend {} | migrate {} | resume {} | total {}",
+        report.phases.suspend,
+        report.phases.migrate,
+        report.phases.resume,
+        report.phases.total()
+    );
+
+    println!("\n--- interaction trace (paper Fig. 4) ---");
+    for entry in world.trace().entries().iter().take(30) {
+        println!("{entry}");
+    }
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Resource description and reasoning (paper §4.4): describe the
+//! `hpLaserJet` printer in OWL (Fig. 5), load the Fig. 6 rule base, and
+//! watch the autonomous agent's decision procedure derive a `move` action
+//! — or refuse one when the network is slow.
+//!
+//! ```text
+//! cargo run --example semantic_matching
+//! ```
+
+use mdagent::core::decide_move;
+use mdagent::ontology::{parser::parse_rules, ClassDescription, Graph, Query, Reasoner};
+use mdagent::registry::{MatchQuality, RegistryCenter, ResourceRecord};
+use mdagent::simnet::{HostId, SpaceId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Fig. 5: the OWL description of the hp printer -------------------
+    let mut g = Graph::new();
+    ClassDescription::new("imcl:hpLaserJet")
+        .comment("hp color printer")
+        .sub_class_of("imcl:Printer")
+        .sub_class_of("imcl:Substitutable")
+        .sub_class_of("imcl:UnTransferable")
+        .transitive_object_property("imcl:locatedIn", "imcl:Office821")
+        .apply(&mut g);
+    println!("Fig. 5 description emitted: {} triples", g.len());
+
+    // --- Fig. 6 Rule1: locatedIn is transitive ----------------------------
+    g.add("imcl:Office821", "imcl:locatedIn", "imcl:Floor8");
+    g.add("imcl:Floor8", "imcl:locatedIn", "imcl:Building1");
+    let rules = parse_rules(
+        "[Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]",
+        &mut g,
+    )?;
+    let mut reasoner = Reasoner::new();
+    reasoner.add_rules(rules);
+    let derived = reasoner.materialize(&mut g);
+    println!("Rule1 derived {derived} new triples");
+    assert!(g.contains("imcl:hpLaserJet", "imcl:locatedIn", "imcl:Building1"));
+    let q = Query::parse("(?what imcl:locatedIn imcl:Building1)", &mut g)?;
+    println!(
+        "things located (transitively) in Building1: {}",
+        q.solve(g.store()).len()
+    );
+
+    // --- semantic registry lookup ----------------------------------------
+    let mut center = RegistryCenter::new(SpaceId(0));
+    center.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+    center.register_resource(
+        ResourceRecord::new("imcl:prn-821", "imcl:hpLaserJet", SpaceId(0), HostId(0))
+            .address("host-0:9100"),
+    );
+    let hits = center.find_resources("imcl:Printer");
+    println!(
+        "\nrequest for any imcl:Printer found {:?} ({} match)",
+        hits[0].resource.name, hits[0].quality
+    );
+    assert_eq!(hits[0].quality, MatchQuality::Subsumed);
+    assert!(
+        center.find_resources_syntactic("imcl:Printer").is_empty(),
+        "syntactic matching misses the subclass — the paper's point"
+    );
+
+    // --- Fig. 6 Rule2+Rule3: the move decision ----------------------------
+    println!(
+        "\nAA decision with a 120 ms network: {:?}",
+        decide_move(HostId(0), HostId(1), "printer", 120.0)
+    );
+    println!(
+        "AA decision with a 2500 ms network: {:?}",
+        decide_move(HostId(0), HostId(1), "printer", 2500.0)
+    );
+    assert!(decide_move(HostId(0), HostId(1), "printer", 120.0).is_some());
+    assert!(decide_move(HostId(0), HostId(1), "printer", 2500.0).is_none());
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! A tour through three smart spaces: the follow-me messenger and a
+//! handheld editor trail their user from room to room while the location
+//! predictor learns the route.
+//!
+//! ```text
+//! cargo run --example smart_space_tour
+//! ```
+
+use mdagent::apps::{HandheldEditor, Messenger};
+use mdagent::context::{BadgeId, UserId};
+use mdagent::core::{AutonomousAgent, BindingPolicy, DeviceProfile, Middleware, UserProfile};
+use mdagent::simnet::{CpuFactor, SimDuration, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let corridor = b.space("corridor");
+    let meeting = b.space("meeting-room");
+    let office_pc = b.host("office-pc", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let corridor_panel = b.host(
+        "corridor-panel",
+        corridor,
+        CpuFactor::new(0.5),
+        DeviceProfile::handheld,
+    );
+    let meeting_pc = b.host(
+        "meeting-pc",
+        meeting,
+        CpuFactor::REFERENCE,
+        DeviceProfile::pc,
+    );
+    b.gateway(office_pc, corridor_panel)?;
+    b.gateway(corridor_panel, meeting_pc)?;
+    b.sense_period(SimDuration::from_millis(150));
+    let (mut world, mut sim) = b.build();
+
+    let user = UserId(7);
+    let profile = UserProfile::new(user).with_preference("handedness", "left");
+    world.attach_user(profile.clone(), BadgeId(7), office, 2.0);
+
+    let im = Messenger::deploy(&mut world, &mut sim, office_pc, profile.clone(), 100_000)?;
+    let notes = HandheldEditor::deploy(&mut world, &mut sim, office_pc, profile, 20_000)?;
+    Messenger::receive(&mut world, &mut sim, im, "alice", "meeting at 3?")?;
+    HandheldEditor::jot(&mut world, &mut sim, notes, "prepare agenda")?;
+
+    for app in [im.app, notes.app] {
+        Middleware::spawn_autonomous_agent(
+            &mut world,
+            &mut sim,
+            office_pc,
+            AutonomousAgent::new(user, app, BindingPolicy::Adaptive),
+        )?;
+    }
+    Middleware::start_sensing(&mut world, &mut sim);
+    sim.run_until(&mut world, SimTime::from_secs(2));
+
+    // Walk the route office → corridor → meeting room, twice, so the
+    // predictor learns it.
+    for round in 0..2 {
+        for (name, space) in [
+            ("corridor", corridor),
+            ("meeting-room", meeting),
+            ("office", office),
+        ] {
+            world.move_user(BadgeId(7), space, 2.0);
+            let deadline = sim.now() + SimDuration::from_secs(15);
+            sim.run_until(&mut world, deadline);
+            println!(
+                "round {round}: user in {name}; messenger on {}, notes on {}",
+                world.app(im.app)?.host,
+                world.app(notes.app)?.host
+            );
+        }
+    }
+
+    // Both applications are wherever the user ended (the office).
+    assert_eq!(world.app(im.app)?.host, office_pc);
+    assert_eq!(world.app(notes.app)?.host, office_pc);
+    // Conversation and notes survived six migrations each.
+    assert_eq!(Messenger::unread(&world, im)?, 1);
+    assert_eq!(HandheldEditor::note(&world, notes)?, "prepare agenda");
+
+    println!(
+        "\n{} migrations completed in total",
+        world.migration_log().len()
+    );
+    // The predictor learned the user's habitual next hop from the office.
+    let next = world.kernel.predictor.predict_next(user, office);
+    println!("predicted next space after the office: {next:?}");
+    assert_eq!(next, Some(corridor));
+    Ok(())
+}

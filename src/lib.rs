@@ -1,0 +1,22 @@
+//! # MDAgent — agent-based application mobility middleware
+//!
+//! Facade crate re-exporting every MDAgent workspace crate under one roof.
+//! See the README for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map.
+//!
+//! ```
+//! // The facade exposes each layer as a module:
+//! use mdagent::simnet::SimDuration;
+//! assert_eq!(SimDuration::from_millis(1).as_micros(), 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mdagent_agent as agent;
+pub use mdagent_apps as apps;
+pub use mdagent_context as context;
+pub use mdagent_core as core;
+pub use mdagent_ontology as ontology;
+pub use mdagent_registry as registry;
+pub use mdagent_simnet as simnet;
+pub use mdagent_wire as wire;

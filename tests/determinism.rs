@@ -1,0 +1,99 @@
+//! The README's determinism claim, verified: the same `(topology, seed,
+//! workload)` replays bit-identically — same migrations, same phase
+//! timings, same trace, same metrics.
+
+use mdagent::apps::{testkit, MediaPlayer, SlideShow};
+use mdagent::context::{BadgeId, UserId};
+use mdagent::core::{AutonomousAgent, BindingPolicy, Middleware, MigrationReport};
+use mdagent::simnet::SimTime;
+
+/// Runs a full mixed scenario (follow-me + clone-dispatch + sync) and
+/// returns everything observable.
+fn run_scenario(seed_offset: u64) -> (Vec<MigrationReport>, Vec<String>, Vec<(String, u64)>) {
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    // testkit uses a fixed seed; offset 0 keeps it, nonzero perturbs.
+    if seed_offset != 0 {
+        world.rng = mdagent::simnet::SimRng::seed_from(11 + seed_offset);
+    }
+    let profile = testkit::default_profile();
+    world.attach_user(profile.clone(), BadgeId(0), hosts.office, 2.0);
+
+    let player = MediaPlayer::deploy(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        profile.clone(),
+        2_500_000,
+    )
+    .unwrap();
+    MediaPlayer::play(&mut world, &mut sim, player, "etude.mp3").unwrap();
+    let show = SlideShow::deploy(&mut world, &mut sim, hosts.office_pc, profile, 800_000).unwrap();
+    world
+        .provision(
+            hosts.lab_pc,
+            SlideShow::NAME,
+            SlideShow::presenter_runtime(),
+        )
+        .unwrap();
+    Middleware::spawn_autonomous_agent(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        AutonomousAgent::new(UserId(0), player.app, BindingPolicy::Adaptive),
+    )
+    .unwrap();
+    Middleware::spawn_autonomous_agent(
+        &mut world,
+        &mut sim,
+        hosts.office_pc,
+        AutonomousAgent::new(UserId(0), show.app, BindingPolicy::Adaptive).manual_only(),
+    )
+    .unwrap();
+    Middleware::start_sensing(&mut world, &mut sim);
+    sim.run_until(&mut world, SimTime::from_secs(1));
+    SlideShow::dispatch_to_rooms(&mut world, &mut sim, UserId(0), &[hosts.lab]).unwrap();
+    sim.run_until(&mut world, SimTime::from_secs(5));
+    SlideShow::next_slide(&mut world, &mut sim, show).unwrap();
+    world.move_user(BadgeId(0), hosts.lab, 2.0);
+    sim.run_until(&mut world, SimTime::from_secs(40));
+
+    let reports = world.migration_log().to_vec();
+    let trace: Vec<String> = world
+        .trace()
+        .entries()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let metrics: Vec<(String, u64)> = world
+        .metrics()
+        .counters()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
+    (reports, trace, metrics)
+}
+
+#[test]
+fn identical_scenarios_replay_bit_identically() {
+    let (reports_a, trace_a, metrics_a) = run_scenario(0);
+    let (reports_b, trace_b, metrics_b) = run_scenario(0);
+    assert_eq!(reports_a, reports_b, "migration logs diverged");
+    assert_eq!(trace_a, trace_b, "traces diverged");
+    assert_eq!(metrics_a, metrics_b, "metrics diverged");
+    // And the scenario actually did something worth replaying.
+    assert!(reports_a.len() >= 2, "clone + follow-me both happened");
+}
+
+#[test]
+fn different_seeds_still_converge_on_outcomes() {
+    // Sensor noise differs across seeds, but the *outcomes* (who migrated
+    // where) are robust to it — only micro-timing may shift.
+    let (reports_a, _, _) = run_scenario(0);
+    let (reports_c, _, _) = run_scenario(1000);
+    assert_eq!(reports_a.len(), reports_c.len());
+    for (a, c) in reports_a.iter().zip(&reports_c) {
+        assert_eq!(a.app_name, c.app_name);
+        assert_eq!(a.mode, c.mode);
+        assert_eq!(a.dest_host, c.dest_host);
+        assert_eq!(a.shipped_bytes, c.shipped_bytes);
+    }
+}

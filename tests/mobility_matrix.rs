@@ -1,0 +1,132 @@
+//! F1: the paper's Fig. 1 mobility classification — every quadrant of
+//! (mode × domain) is exercised end to end.
+
+use mdagent::apps::testkit;
+use mdagent::context::UserId;
+use mdagent::core::{
+    AppState, BindingPolicy, Component, ComponentKind, ComponentSet, Middleware, MobilityDomain,
+    MobilityMode, UserProfile,
+};
+use mdagent::simnet::HostId;
+
+fn components() -> ComponentSet {
+    [
+        Component::synthetic("logic", ComponentKind::Logic, 100_000),
+        Component::synthetic("ui", ComponentKind::Presentation, 50_000),
+        Component::synthetic("data", ComponentKind::Data, 400_000),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn run_quadrant(
+    mode: MobilityMode,
+    dest: fn(&testkit::FixtureHosts) -> HostId,
+) -> (MobilityDomain, usize) {
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "quadrant-app",
+        hosts.office_pc,
+        components(),
+        UserProfile::new(UserId(0)),
+    )
+    .unwrap();
+    sim.run(&mut world);
+    let dest_host = dest(&hosts);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        dest_host,
+        mode,
+        BindingPolicy::Adaptive,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    let report = world
+        .migration_log()
+        .last()
+        .expect("migration done")
+        .clone();
+    // Verify the moved/cloned instance is running at the destination.
+    let target_app = match mode {
+        MobilityMode::FollowMe => app,
+        MobilityMode::CloneDispatch => world.apps().find(|a| a.is_replica()).expect("replica").id,
+    };
+    let a = world.app(target_app).unwrap();
+    assert_eq!(a.state, AppState::Running);
+    assert_eq!(a.host, dest_host);
+    assert_eq!(report.mode, mode);
+    let domain = if world.space_of(hosts.office_pc).unwrap() == world.space_of(dest_host).unwrap() {
+        MobilityDomain::IntraSpace
+    } else {
+        MobilityDomain::InterSpace
+    };
+    (domain, world.migration_log().len())
+}
+
+#[test]
+fn follow_me_intra_space() {
+    let (domain, n) = run_quadrant(MobilityMode::FollowMe, |h| h.office_pda);
+    assert_eq!(domain, MobilityDomain::IntraSpace);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn follow_me_inter_space() {
+    let (domain, n) = run_quadrant(MobilityMode::FollowMe, |h| h.lab_pc);
+    assert_eq!(domain, MobilityDomain::InterSpace);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn clone_dispatch_intra_space() {
+    let (domain, n) = run_quadrant(MobilityMode::CloneDispatch, |h| h.office_pda);
+    assert_eq!(domain, MobilityDomain::IntraSpace);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn clone_dispatch_inter_space() {
+    let (domain, n) = run_quadrant(MobilityMode::CloneDispatch, |h| h.lab_pc);
+    assert_eq!(domain, MobilityDomain::InterSpace);
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn inter_space_pays_the_gateway_toll() {
+    // The same payload takes longer across the gateway than within a space
+    // (gateway link has higher latency and lower efficiency).
+    let run = |dest: fn(&testkit::FixtureHosts) -> HostId| {
+        let (mut world, mut sim, hosts) = testkit::two_space_world();
+        let app = Middleware::deploy_app(
+            &mut world,
+            &mut sim,
+            "toll-app",
+            hosts.office_pc,
+            components(),
+            UserProfile::new(UserId(0)),
+        )
+        .unwrap();
+        sim.run(&mut world);
+        Middleware::migrate_now(
+            &mut world,
+            &mut sim,
+            app,
+            dest(&hosts),
+            MobilityMode::FollowMe,
+            BindingPolicy::Static,
+        )
+        .unwrap();
+        sim.run(&mut world);
+        world.migration_log()[0].phases.migrate
+    };
+    let intra = run(|h| h.office_pda);
+    let inter = run(|h| h.lab_pc);
+    assert!(
+        inter > intra,
+        "gateway crossing must cost more: {inter} vs {intra}"
+    );
+}

@@ -1,0 +1,159 @@
+//! F5 + F6: the paper's Fig. 5 OWL description and Fig. 6 rule base,
+//! exercised through the facade exactly as §4.4 describes.
+
+use mdagent::core::{decide_move, paper_rules, PAPER_RULES};
+use mdagent::ontology::{
+    parser::{parse_rules, parse_triples},
+    ClassDescription, Graph, Query, Reasoner,
+};
+use mdagent::simnet::HostId;
+
+/// The Fig. 5 OWL snippet rendered in this reproduction's Turtle-lite.
+const FIG5_TEXT: &str = r#"
+    @prefix imcl: <http://imcl.comp.polyu.edu.hk/ont#> .
+    imcl:hpLaserJet rdf:type owl:Class .
+    imcl:hpLaserJet rdfs:comment 'hp color printer' .
+    imcl:hpLaserJet rdfs:subClassOf imcl:Printer .
+    imcl:hpLaserJet rdfs:subClassOf imcl:Substitutable .
+    imcl:hpLaserJet rdfs:subClassOf imcl:UnTransferable .
+    imcl:locatedIn rdf:type owl:ObjectProperty .
+    imcl:locatedIn rdfs:range imcl:Office821 .
+    imcl:locatedIn rdf:type owl:TransitiveProperty .
+"#;
+
+#[test]
+fn fig5_text_and_builder_agree() {
+    let mut parsed = Graph::new();
+    parse_triples(FIG5_TEXT, &mut parsed).unwrap();
+
+    let mut built = Graph::new();
+    ClassDescription::new("imcl:hpLaserJet")
+        .comment("hp color printer")
+        .sub_class_of("imcl:Printer")
+        .sub_class_of("imcl:Substitutable")
+        .sub_class_of("imcl:UnTransferable")
+        .transitive_object_property("imcl:locatedIn", "imcl:Office821")
+        .apply(&mut built);
+
+    // Every parsed fact also comes out of the builder (the builder adds a
+    // couple of extra bookkeeping triples such as the property's own type).
+    for t in parsed.store().iter() {
+        let s = parsed.term_to_string(t.s);
+        let p = parsed.term_to_string(t.p);
+        let o = parsed.term_to_string(t.o);
+        if o.starts_with('\'') {
+            continue; // literals intern differently; checked separately
+        }
+        assert!(
+            built.contains(&s, &p, &o),
+            "builder missing parsed triple ({s} {p} {o})"
+        );
+    }
+    let comments = built.objects_of("imcl:hpLaserJet", "rdfs:comment");
+    assert_eq!(comments.len(), 1);
+}
+
+#[test]
+fn owl_transitive_property_declared_in_fig5_actually_reasons() {
+    let mut g = Graph::new();
+    parse_triples(FIG5_TEXT, &mut g).unwrap();
+    g.add("imcl:Office821", "imcl:locatedIn", "imcl:Building1");
+    let mut r = Reasoner::with_axioms(&mut g);
+    r.materialize(&mut g);
+    // hpLaserJet locatedIn Office821 (from range assertion? no — we only get
+    // transitivity over asserted pairs). Assert the chain works:
+    g.add("imcl:prn", "imcl:locatedIn", "imcl:Office821");
+    r.materialize(&mut g);
+    assert!(g.contains("imcl:prn", "imcl:locatedIn", "imcl:Building1"));
+}
+
+#[test]
+fn shipped_rule_base_is_fig6() {
+    // The shipped constant parses into exactly Rule1, Rule2, Rule3 with the
+    // structure the paper prints.
+    let mut g = Graph::new();
+    let rules = parse_rules(PAPER_RULES, &mut g).unwrap();
+    assert_eq!(
+        rules.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+        ["Rule1", "Rule2", "Rule3"]
+    );
+    assert_eq!(rules[0].premises.len(), 2);
+    assert_eq!(rules[1].premises.len(), 3);
+    assert_eq!(rules[2].premises.len(), 5, "4 patterns + lessThan guard");
+    assert_eq!(rules[2].conclusions.len(), 3);
+    // paper_rules() is the same text.
+    let mut g2 = Graph::new();
+    assert_eq!(paper_rules(&mut g2).len(), 3);
+}
+
+#[test]
+fn rule3_move_decision_respects_threshold_boundary() {
+    for (ms, expected) in [
+        (0.0, true),
+        (500.0, true),
+        (999.99, true),
+        (1000.0, false),
+        (10_000.0, false),
+    ] {
+        assert_eq!(
+            decide_move(HostId(0), HostId(1), "printer", ms).is_some(),
+            expected,
+            "at {ms} ms"
+        );
+    }
+}
+
+#[test]
+fn move_decision_carries_correct_addresses() {
+    let d = decide_move(HostId(3), HostId(9), "printer", 100.0).unwrap();
+    assert_eq!(d.src_address, "host-3");
+    assert_eq!(d.dest_address, "host-9");
+}
+
+#[test]
+fn rule2_requires_matching_resource_classes() {
+    // Rule2's body hard-codes the literal 'printer' (as in the paper's
+    // Fig. 6), so resources published under any other marker never become
+    // compatible and no move is derived.
+    assert!(decide_move(HostId(0), HostId(1), "scanner", 100.0).is_none());
+    assert!(decide_move(HostId(0), HostId(1), "printer", 100.0).is_some());
+    // The real discriminator is the rule text; verify Rule2 in isolation.
+    let mut g = Graph::new();
+    let marker = g.str_lit("printer");
+    g.add_with_object("imcl:ClsA", "imcl:printerObj", marker);
+    g.add("imcl:src", "rdf:type", "imcl:ClsA");
+    g.add("imcl:dst", "rdf:type", "imcl:ClsB"); // different class: no pair
+    let rules = parse_rules(PAPER_RULES, &mut g).unwrap();
+    let mut r = Reasoner::new();
+    r.add_rules(rules);
+    r.materialize(&mut g);
+    assert!(!g.contains("imcl:src", "imcl:compatible", "imcl:dst"));
+    // Self-compatibility is derived (src with src) — harmless and faithful
+    // to the paper's rule as written.
+    assert!(g.contains("imcl:src", "imcl:compatible", "imcl:src"));
+}
+
+#[test]
+fn owl_ql_style_query_retrieves_destination_resources() {
+    // "an autonomous agent will retrieve the resources available in the
+    // destination host … in the standard OWL Query Language" (§4.4).
+    let mut g = Graph::new();
+    parse_triples(
+        "imcl:prn-822 rdf:type imcl:Printer .\n\
+         imcl:prn-822 imcl:locatedIn imcl:space-1 .\n\
+         imcl:proj-822 rdf:type imcl:Projector .\n\
+         imcl:proj-822 imcl:locatedIn imcl:space-1 .\n\
+         imcl:prn-821 rdf:type imcl:Printer .\n\
+         imcl:prn-821 imcl:locatedIn imcl:space-0 .",
+        &mut g,
+    )
+    .unwrap();
+    let q = Query::parse(
+        "(?r rdf:type imcl:Printer), (?r imcl:locatedIn imcl:space-1)",
+        &mut g,
+    )
+    .unwrap();
+    let hits = q.select(g.store(), "r");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(g.term_to_string(hits[0]), "imcl:prn-822");
+}

@@ -1,0 +1,172 @@
+//! F7: the paper's Fig. 7 round-trip timing method — measuring migration
+//! cost with unsynchronized host clocks by summing both directions.
+
+use mdagent::apps::testkit;
+use mdagent::context::UserId;
+use mdagent::core::{
+    BindingPolicy, Component, ComponentKind, ComponentSet, HostClock, Middleware, MobilityMode,
+    RoundTrip, UserProfile,
+};
+use mdagent::simnet::SimTime;
+
+fn components() -> ComponentSet {
+    [
+        Component::synthetic("logic", ComponentKind::Logic, 100_000),
+        Component::synthetic("ui", ComponentKind::Presentation, 40_000),
+        Component::synthetic("data", ComponentKind::Data, 500_000),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Runs a migration there and back, reading each timestamp on the *local*
+/// clock of the host where the event happens, exactly as in Fig. 7.
+#[test]
+fn skewed_clocks_cancel_in_round_trip_measurement() {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let lab = b.space("lab");
+    let h1 = b.host(
+        "h1",
+        office,
+        mdagent::simnet::CpuFactor::REFERENCE,
+        mdagent::core::DeviceProfile::pc,
+    );
+    let h2 = b.host(
+        "h2",
+        lab,
+        mdagent::simnet::CpuFactor::REFERENCE,
+        mdagent::core::DeviceProfile::pc,
+    );
+    b.gateway(h1, h2).unwrap();
+    // Host 2's clock is 7 seconds ahead; host 1's is 2 seconds behind.
+    b.clock_skew(h1, -2_000_000);
+    b.clock_skew(h2, 7_000_000);
+    let (mut world, mut sim) = b.build();
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "rt-app",
+        h1,
+        components(),
+        UserProfile::new(UserId(0)),
+    )
+    .unwrap();
+    sim.run(&mut world);
+
+    // Outbound leg.
+    let clock1 = world.host_clock(h1);
+    let clock2 = world.host_clock(h2);
+    let t1_h1 = clock1.read(sim.now());
+    let depart1 = sim.now();
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        h2,
+        MobilityMode::FollowMe,
+        BindingPolicy::Static,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    let t2_h2 = clock2.read(sim.now());
+    let arrive1 = sim.now();
+
+    // Return leg (same payload shape: static binding again).
+    let t3_h2 = clock2.read(sim.now());
+    let depart2 = sim.now();
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        h1,
+        MobilityMode::FollowMe,
+        BindingPolicy::Static,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    let t4_h1 = clock1.read(sim.now());
+    let arrive2 = sim.now();
+
+    let rt = RoundTrip {
+        t1_h1,
+        t2_h2,
+        t3_h2,
+        t4_h1,
+    };
+    // True round-trip on the (hidden) global clock.
+    let true_rtt = (arrive1 - depart1) + (arrive2 - depart2);
+    assert_eq!(
+        rt.migration_cost_micros(),
+        true_rtt.as_micros() as i64,
+        "the skew terms cancel exactly"
+    );
+    // A naive one-way reading is off by the 9-second relative skew.
+    let naive_one_way = t2_h2 - t1_h1;
+    let true_one_way = (arrive1 - depart1).as_micros() as i64;
+    assert!((naive_one_way - true_one_way).abs() > 8_000_000);
+}
+
+#[test]
+fn synchronized_clocks_are_the_degenerate_case() {
+    let clock = HostClock::synchronized();
+    let rt = RoundTrip {
+        t1_h1: clock.read(SimTime::from_millis(0)),
+        t2_h2: clock.read(SimTime::from_millis(400)),
+        t3_h2: clock.read(SimTime::from_millis(500)),
+        t4_h1: clock.read(SimTime::from_millis(900)),
+    };
+    assert_eq!(rt.migration_cost_micros(), 800_000);
+}
+
+#[test]
+fn migration_reports_agree_with_round_trip_halves() {
+    // With symmetric legs, each leg's reported migrate phase is close to
+    // half the measured round trip.
+    let (mut world, mut sim, hosts) = testkit::two_space_world();
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "sym-app",
+        hosts.office_pc,
+        components(),
+        UserProfile::new(UserId(0)),
+    )
+    .unwrap();
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        hosts.lab_pc,
+        MobilityMode::FollowMe,
+        BindingPolicy::Static,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        hosts.office_pc,
+        MobilityMode::FollowMe,
+        BindingPolicy::Static,
+    )
+    .unwrap();
+    sim.run(&mut world);
+    let log = world.migration_log();
+    assert_eq!(log.len(), 2);
+    let rtt = log[0].phases.migrate + log[1].phases.migrate;
+    let half = rtt / 2;
+    let diff = if log[0].phases.migrate > half {
+        log[0].phases.migrate - half
+    } else {
+        half - log[0].phases.migrate
+    };
+    assert!(
+        diff < rtt / 10,
+        "legs should be within 10% of symmetric: {} vs {}",
+        log[0].phases.migrate,
+        log[1].phases.migrate
+    );
+}
