@@ -1,8 +1,21 @@
 //! Ablation A1 bench: wall-clock cost of the forward-chaining reasoner on
 //! growing fact bases (the AA's per-decision reasoning work).
+//!
+//! Three benchmark families:
+//!
+//! * `full/<n>` — full materialization of the paper's rule base over an
+//!   n-edge `locatedIn` chain. An n-edge chain has ~n³/6 derivation paths
+//!   under Rule1 (work any forward-chainer must perform), so the full
+//!   sweep stops at 512; the 2048-scale point is carried by the axiom
+//!   workload and the incremental family below.
+//! * `axioms/<n>` — the RDFS/OWL axiom rule set over a registry-shaped
+//!   graph with n typed individuals (subclass towers + transitive rooms).
+//! * `incremental/<workload>` — `materialize_incremental` of one new fact
+//!   against the already-closed base: the registry's and the AA's
+//!   steady-state shape, where the delta engine earns its keep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdagent_ontology::{Graph, Reasoner};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mdagent_ontology::{Graph, Reasoner, Triple};
 
 fn chain_graph(n: usize) -> Graph {
     let mut g = Graph::new();
@@ -16,10 +29,59 @@ fn chain_graph(n: usize) -> Graph {
     g
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_reasoning");
+fn axiom_graph(individuals: usize) -> Graph {
+    let mut g = Graph::new();
+    for f in 0..8 {
+        for d in 0..16 {
+            g.add(
+                &format!("ex:fam{f}-c{d}"),
+                "rdfs:subClassOf",
+                &format!("ex:fam{f}-c{}", d + 1),
+            );
+        }
+    }
+    g.add("imcl:locatedIn", "rdf:type", "owl:TransitiveProperty");
+    for r in 0..32 {
+        g.add(
+            &format!("ex:room{r}"),
+            "imcl:locatedIn",
+            &format!("ex:room{}", r + 1),
+        );
+    }
+    for i in 0..individuals {
+        g.add(
+            &format!("ex:dev{i}"),
+            "rdf:type",
+            &format!("ex:fam{}-c0", i % 8),
+        );
+    }
+    g
+}
+
+/// A chain graph closed under the paper rules, plus its reasoner — the
+/// base state incremental benches start from.
+fn closed_chain(n: usize) -> (Graph, Reasoner) {
+    let mut g = chain_graph(n);
+    let rules = mdagent_core::paper_rules(&mut g);
+    let mut r = Reasoner::new();
+    r.add_rules(rules);
+    r.materialize(&mut g);
+    (g, r)
+}
+
+fn closed_axioms(individuals: usize) -> (Graph, Reasoner) {
+    let mut g = axiom_graph(individuals);
+    let rules = mdagent_ontology::axiom_rules(&mut g);
+    let mut r = Reasoner::new();
+    r.add_rules(rules);
+    r.materialize(&mut g);
+    (g, r)
+}
+
+fn bench_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reasoning/full");
     group.sample_size(10);
-    for n in [8usize, 16, 32] {
+    for n in [32usize, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut g = chain_graph(n);
@@ -30,7 +92,76 @@ fn bench(c: &mut Criterion) {
             });
         });
     }
-    // Decision pipeline end-to-end (the AA's Fig. 6 run).
+    group.finish();
+
+    // The 512 chain is seconds per materialization: fewer samples.
+    let mut group = c.benchmark_group("ablation_reasoning/full-large");
+    group.sample_size(2);
+    group.bench_function("512", |b| {
+        b.iter(|| {
+            let mut g = chain_graph(512);
+            let rules = mdagent_core::paper_rules(&mut g);
+            let mut r = Reasoner::new();
+            r.add_rules(rules);
+            std::hint::black_box(r.materialize(&mut g))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_reasoning/axioms");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = axiom_graph(n);
+                let rules = mdagent_ontology::axiom_rules(&mut g);
+                let mut r = Reasoner::new();
+                r.add_rules(rules);
+                std::hint::black_box(r.materialize(&mut g))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reasoning/incremental");
+    group.sample_size(10);
+
+    let chain_base = closed_chain(512);
+    group.bench_function("chain-512", |b| {
+        b.iter_batched(
+            || chain_base.clone(),
+            |(mut g, mut r)| {
+                let s = g.iri("ex:n512");
+                let p = g.iri("imcl:locatedIn");
+                let o = g.iri("ex:n513");
+                std::hint::black_box(r.materialize_incremental(&mut g, [Triple::new(s, p, o)]))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    let axiom_base = closed_axioms(2048);
+    group.bench_function("axioms-2048", |b| {
+        b.iter_batched(
+            || axiom_base.clone(),
+            |(mut g, mut r)| {
+                let s = g.iri("ex:dev-late");
+                let p = g.iri("rdf:type");
+                let o = g.iri("ex:fam0-c0");
+                std::hint::black_box(r.materialize_incremental(&mut g, [Triple::new(s, p, o)]))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reasoning/decide");
+    group.sample_size(10);
+    // Decision pipeline end-to-end (the AA's Fig. 6 run), one-shot parse.
     group.bench_function("decide_move", |b| {
         b.iter(|| {
             std::hint::black_box(mdagent_core::decide_move(
@@ -41,8 +172,20 @@ fn bench(c: &mut Criterion) {
             ))
         });
     });
+    // Steady-state: rules and query parsed once, reused per decision.
+    group.bench_function("decision_engine", |b| {
+        let mut engine = mdagent_core::DecisionEngine::new(mdagent_core::PAPER_RULES);
+        b.iter(|| {
+            std::hint::black_box(engine.decide(
+                mdagent_simnet::HostId(0),
+                mdagent_simnet::HostId(1),
+                "printer",
+                120.0,
+            ))
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench_full, bench_incremental, bench_decide);
 criterion_main!(benches);

@@ -7,12 +7,26 @@
 
 use mdagent_bench::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
-    fig10_comparative, fig8_adaptive, fig9_static,
+    bench_reasoning_json, fig10_comparative, fig8_adaptive, fig9_static,
 };
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let want = |key: &str| filter.is_empty() || filter.iter().any(|f| f == key);
+
+    // Wall-clock engine benchmark: explicit opt-in only (the naive
+    // reference takes minutes at the top sizes).
+    if filter.iter().any(|f| f == "bench-reasoning") {
+        let json = bench_reasoning_json();
+        print!("{json}");
+        match std::fs::write("BENCH_reasoning.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_reasoning.json"),
+            Err(e) => eprintln!("could not write BENCH_reasoning.json: {e}"),
+        }
+        if filter.len() == 1 {
+            return;
+        }
+    }
 
     println!("MDAgent reproduction — evaluation figures");
     println!("(simulated milliseconds on the calibrated 10 Mbps / P4-class testbed)\n");

@@ -437,6 +437,234 @@ pub fn ablation_matching(catalog_size: usize) -> Figure {
     fig
 }
 
+/// One timed workload of the reasoning-engine benchmark.
+///
+/// `naive_ms` / `incremental_ms` are `None` where that engine or mode is
+/// not exercised for the workload (the naive reference is capped at the
+/// sizes where it finishes in minutes; incremental rows need a pre-closed
+/// base).
+#[derive(Debug, Clone)]
+pub struct ReasoningBenchRow {
+    /// Workload label, e.g. `"chain-512"`.
+    pub workload: String,
+    /// Triples before materialization.
+    pub base_triples: usize,
+    /// Triples after materialization (base + derived).
+    pub closure_triples: usize,
+    /// Wall-clock of the semi-naive engine's full materialization.
+    pub seminaive_ms: f64,
+    /// Wall-clock of the naive reference engine, where measured.
+    pub naive_ms: Option<f64>,
+    /// Wall-clock of `materialize_incremental` for a single-fact delta
+    /// against the pre-closed base, where measured.
+    pub incremental_ms: Option<f64>,
+}
+
+/// A `locatedIn` chain of `n` edges (the paper's Rule1 stress shape).
+fn reasoning_chain_graph(n: usize) -> mdagent_ontology::Graph {
+    let mut g = mdagent_ontology::Graph::new();
+    for i in 0..n {
+        g.add(
+            &format!("ex:n{i}"),
+            "imcl:locatedIn",
+            &format!("ex:n{}", i + 1),
+        );
+    }
+    g
+}
+
+/// A registry-shaped workload for the RDFS/OWL axiom rule set: a 16-deep
+/// `subClassOf` tower per device family, `individuals` typed resources
+/// spread over the families, and a transitive `locatedIn` tower of rooms.
+fn reasoning_axiom_graph(individuals: usize) -> mdagent_ontology::Graph {
+    let mut g = mdagent_ontology::Graph::new();
+    const FAMILIES: usize = 8;
+    const DEPTH: usize = 16;
+    for f in 0..FAMILIES {
+        for d in 0..DEPTH {
+            g.add(
+                &format!("ex:fam{f}-c{d}"),
+                "rdfs:subClassOf",
+                &format!("ex:fam{f}-c{}", d + 1),
+            );
+        }
+    }
+    g.add("imcl:locatedIn", "rdf:type", "owl:TransitiveProperty");
+    for r in 0..32 {
+        g.add(
+            &format!("ex:room{r}"),
+            "imcl:locatedIn",
+            &format!("ex:room{}", r + 1),
+        );
+    }
+    for i in 0..individuals {
+        g.add(
+            &format!("ex:dev{i}"),
+            "rdf:type",
+            &format!("ex:fam{}-c0", i % FAMILIES),
+        );
+    }
+    g
+}
+
+/// Times one full materialization of `rules` over a fresh copy of the
+/// graph built by `build`; returns (elapsed ms, closure size).
+fn time_materialize(
+    build: &dyn Fn() -> mdagent_ontology::Graph,
+    naive: bool,
+) -> (f64, usize, usize) {
+    let mut g = build();
+    let base = g.len();
+    let rules = mdagent_ontology::axiom_rules(&mut g);
+    let mut r = mdagent_ontology::Reasoner::new();
+    r.add_rules(rules);
+    let start = std::time::Instant::now();
+    if naive {
+        r.materialize_naive(&mut g);
+    } else {
+        r.materialize(&mut g);
+    }
+    (start.elapsed().as_secs_f64() * 1e3, base, g.len())
+}
+
+/// Runs every reasoning workload once per engine and returns the rows.
+///
+/// Sizing notes, so the numbers are read fairly:
+/// * Full chain closures are measured at 32/128/512 edges. An n-edge
+///   chain has ~n³/6 derivation paths under Rule1 — work *any*
+///   forward-chainer must do — so full closure at 2048 is minutes of
+///   inherent join output and is exercised through the axiom workload
+///   and the incremental rows instead.
+/// * The naive reference is measured wherever it finishes in under a few
+///   minutes (all chain sizes here); `None` marks workloads where only
+///   the semi-naive engine is run.
+/// * Incremental rows time `materialize_incremental` for one new fact
+///   against the already-closed base — the registry's and the AA's
+///   steady-state shape.
+pub fn bench_reasoning_rows() -> Vec<ReasoningBenchRow> {
+    use mdagent_ontology::{Reasoner, Triple};
+    let mut rows = Vec::new();
+
+    for n in [32usize, 128, 512] {
+        let build = move || reasoning_chain_graph(n);
+        let time_chain = |naive: bool| {
+            let mut g = build();
+            let base = g.len();
+            let rules = mdagent_core::paper_rules(&mut g);
+            let mut r = Reasoner::new();
+            r.add_rules(rules);
+            let start = std::time::Instant::now();
+            if naive {
+                r.materialize_naive(&mut g);
+            } else {
+                r.materialize(&mut g);
+            }
+            (start.elapsed().as_secs_f64() * 1e3, base, g.len())
+        };
+        let (semi_ms, base, closure) = time_chain(false);
+        let (naive_ms, _, naive_closure) = time_chain(true);
+        assert_eq!(closure, naive_closure, "engines disagree on chain-{n}");
+        // Incremental: extend the closed chain by one edge.
+        let mut g = build();
+        let rules = mdagent_core::paper_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        let s = g.iri(&format!("ex:n{n}"));
+        let p = g.iri("imcl:locatedIn");
+        let o = g.iri(&format!("ex:n{}", n + 1));
+        let start = std::time::Instant::now();
+        r.materialize_incremental(&mut g, [Triple::new(s, p, o)]);
+        let inc_ms = start.elapsed().as_secs_f64() * 1e3;
+        rows.push(ReasoningBenchRow {
+            workload: format!("chain-{n}"),
+            base_triples: base,
+            closure_triples: closure,
+            seminaive_ms: semi_ms,
+            naive_ms: Some(naive_ms),
+            incremental_ms: Some(inc_ms),
+        });
+    }
+
+    for individuals in [512usize, 2048] {
+        let build = move || reasoning_axiom_graph(individuals);
+        let (semi_ms, base, closure) = time_materialize(&build, false);
+        let naive_ms = if individuals <= 512 {
+            let (ms, _, naive_closure) = time_materialize(&build, true);
+            assert_eq!(closure, naive_closure, "engines disagree on axioms");
+            Some(ms)
+        } else {
+            None
+        };
+        // Incremental: register one more typed device.
+        let mut g = build();
+        let rules = mdagent_ontology::axiom_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        let s = g.iri("ex:dev-late");
+        let p = g.iri("rdf:type");
+        let o = g.iri("ex:fam0-c0");
+        let start = std::time::Instant::now();
+        r.materialize_incremental(&mut g, [Triple::new(s, p, o)]);
+        let inc_ms = start.elapsed().as_secs_f64() * 1e3;
+        rows.push(ReasoningBenchRow {
+            workload: format!("axioms-{individuals}"),
+            base_triples: base,
+            closure_triples: closure,
+            seminaive_ms: semi_ms,
+            naive_ms,
+            incremental_ms: Some(inc_ms),
+        });
+    }
+    rows
+}
+
+fn json_opt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.3}"),
+        None => "null".into(),
+    }
+}
+
+/// Renders [`bench_reasoning_rows`] as the machine-readable
+/// `BENCH_reasoning.json` document.
+pub fn bench_reasoning_json() -> String {
+    let rows = bench_reasoning_rows();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mdagent-bench/reasoning/v1\",\n");
+    out.push_str(
+        "  \"command\": \"cargo run --release -p mdagent-bench --bin figures -- bench-reasoning\",\n",
+    );
+    out.push_str(
+        "  \"note\": \"wall-clock ms; naive_ms null = reference engine not run at this size; \
+         incremental_ms = materialize_incremental of a single fact against the closed base\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r
+            .naive_ms
+            .map(|n| format!("{:.2}", n / r.seminaive_ms))
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"base_triples\": {}, \"closure_triples\": {}, \
+             \"seminaive_ms\": {:.3}, \"naive_ms\": {}, \"naive_over_seminaive\": {}, \
+             \"incremental_ms\": {}}}{}\n",
+            r.workload,
+            r.base_triples,
+            r.closure_triples,
+            r.seminaive_ms,
+            json_opt_ms(r.naive_ms),
+            speedup,
+            json_opt_ms(r.incremental_ms),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

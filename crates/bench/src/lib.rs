@@ -16,7 +16,7 @@ pub mod table;
 
 pub use experiments::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
-    fig10_comparative, fig8_adaptive, fig9_static, run_clone_fanout, run_follow_me, FollowMeResult,
-    PAPER_FILE_SIZES_MB,
+    bench_reasoning_json, bench_reasoning_rows, fig10_comparative, fig8_adaptive, fig9_static,
+    run_clone_fanout, run_follow_me, FollowMeResult, ReasoningBenchRow, PAPER_FILE_SIZES_MB,
 };
 pub use table::{Figure, Row};

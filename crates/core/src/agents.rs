@@ -233,6 +233,31 @@ impl Agent<Middleware> for MobileAgent {
     }
 }
 
+/// A lazily built [`crate::rules::DecisionEngine`], rebuilt when the
+/// installed rule base changes. Pure cache: excluded from equality and not
+/// serialized (a migrated AA recompiles on first decision at the
+/// destination).
+#[derive(Debug, Clone, Default)]
+struct EngineCache(Option<crate::rules::DecisionEngine>);
+
+impl PartialEq for EngineCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl EngineCache {
+    /// The engine compiled for `rule_text`, (re)compiling if the cache is
+    /// cold or was built from different text.
+    fn for_rules(&mut self, rule_text: &str) -> &mut crate::rules::DecisionEngine {
+        let stale = self.0.as_ref().is_none_or(|e| e.rule_text() != rule_text);
+        if stale {
+            self.0 = Some(crate::rules::DecisionEngine::new(rule_text));
+        }
+        self.0.as_mut().expect("engine just built")
+    }
+}
+
 /// The autonomous agent: "responsible for reasoning and decision-making
 /// according to the data received from context layer" (§4.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -246,6 +271,7 @@ pub struct AutonomousAgent {
     auto_follow: bool,
     prestage: bool,
     rule_base: String,
+    engine: EngineCache,
 }
 
 impl_wire_struct!(AutonomousAgent {
@@ -256,7 +282,7 @@ impl_wire_struct!(AutonomousAgent {
     auto_follow,
     prestage,
     rule_base
-});
+} skip { engine });
 
 impl AutonomousAgent {
     /// Creates an AA that follows `user` and manages `app` under the given
@@ -270,6 +296,7 @@ impl AutonomousAgent {
             auto_follow: true,
             prestage: false,
             rule_base: "default".to_owned(),
+            engine: EngineCache::default(),
         }
     }
 
@@ -365,8 +392,7 @@ impl AutonomousAgent {
         // response-time guard.
         let rt_ms = cx.world.response_time_ms(src_host, dest_host);
         let rule_text = cx.world.rule_base(&self.rule_base).to_owned();
-        let decision = crate::rules::decide_move_with(
-            &rule_text,
+        let decision = self.engine.for_rules(&rule_text).decide(
             src_host,
             dest_host,
             &self.resource_marker,

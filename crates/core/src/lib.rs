@@ -84,7 +84,9 @@ pub use mobility::{
     BindingPolicy, DataStrategy, MigrationPlan, MobilityDomain, MobilityMode, SpacePrimary,
 };
 pub use profile::{DeviceClass, DeviceProfile, UserProfile};
-pub use rules::{decide_move, decide_move_with, paper_rules, MoveDecision, PAPER_RULES};
+pub use rules::{
+    decide_move, decide_move_with, paper_rules, DecisionEngine, MoveDecision, PAPER_RULES,
+};
 pub use snapshot::{decode_components, is_consistent, Snapshot, SnapshotManager};
 pub use timing::{CostModel, HostClock, PhaseTimes, RoundTrip};
 

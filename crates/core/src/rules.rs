@@ -1,7 +1,7 @@
 //! The shipped rule base (paper Fig. 6) and the AA's decision procedure
 //! over it.
 
-use mdagent_ontology::{parser::parse_rules, Graph, Reasoner, Rule};
+use mdagent_ontology::{parser::parse_rules, Graph, Query, Reasoner, Rule, Triple};
 use mdagent_simnet::HostId;
 
 /// The paper's Fig. 6 rule base, verbatim in intent with its two typos
@@ -42,11 +42,127 @@ pub struct MoveDecision {
     pub dest_address: String,
 }
 
-/// Runs the paper's reasoning pipeline: assert the facts of one candidate
-/// migration, materialize Rules 1–3, and look for a derived `move` action.
-///
-/// Facts asserted, mirroring §4.4's example: both resources typed with a
-/// marker class, their addresses, and the measured network response time.
+/// A reusable decision pipeline: the rule base is parsed once, the
+/// decision query compiled once, and the reasoner's rule-occurrence index
+/// built once. Each [`DecisionEngine::decide`] call clones the prototype
+/// graph, asserts the facts of one candidate migration and runs the
+/// delta-driven reasoner seeded with exactly those facts — the per-call
+/// rule/query parsing the one-shot helpers used to pay is gone.
+#[derive(Debug, Clone)]
+pub struct DecisionEngine {
+    rule_text: String,
+    /// Interner prototype: rule and query vocabulary pre-interned, no
+    /// triples. Cloned per decision.
+    proto: Graph,
+    reasoner: Reasoner,
+    query: Query,
+    /// Whether `rule_text` parsed; a broken rule base derives nothing.
+    valid: bool,
+}
+
+impl DecisionEngine {
+    /// Compiles a rule base (falling back to "derive nothing" on parse
+    /// errors, matching the AA manager's tolerance for bad installed
+    /// rules).
+    pub fn new(rule_text: &str) -> Self {
+        let mut proto = Graph::new();
+        let mut reasoner = Reasoner::new();
+        let valid = match parse_rules(rule_text, &mut proto) {
+            Ok(rules) => {
+                reasoner.add_rules(rules);
+                true
+            }
+            Err(_) => false,
+        };
+        // Find an action with actName "move" and both addresses. Rule3
+        // derives both orientations (src↔dst compatibility is symmetric);
+        // `decide` keeps the one whose source matches the source host.
+        let query = Query::parse(
+            "(?a imcl:actName 'move'), (?a imcl:srcAddress ?s), (?a imcl:destAddress ?d)",
+            &mut proto,
+        )
+        .expect("decision query parses");
+        DecisionEngine {
+            rule_text: rule_text.to_owned(),
+            proto,
+            reasoner,
+            query,
+            valid,
+        }
+    }
+
+    /// The rule base this engine was compiled from.
+    pub fn rule_text(&self) -> &str {
+        &self.rule_text
+    }
+
+    /// Runs one reasoning pass: assert the facts of one candidate
+    /// migration, materialize the rules, and look for a derived `move`
+    /// action.
+    ///
+    /// Facts asserted, mirroring §4.4's example: both resources typed with
+    /// a marker class, their addresses, and the measured network response
+    /// time.
+    pub fn decide(
+        &mut self,
+        src_host: HostId,
+        dest_host: HostId,
+        resource_marker: &str,
+        response_time_ms: f64,
+    ) -> Option<MoveDecision> {
+        if !self.valid {
+            return None;
+        }
+        let mut g = self.proto.clone();
+        let mut delta: Vec<Triple> = Vec::with_capacity(6);
+        {
+            let mut fact = |g: &mut Graph, s: &str, p: &str, o: mdagent_ontology::Term| {
+                let t = Triple::new(g.iri(s), g.iri(p), o);
+                delta.push(t);
+            };
+            // The registry publishes a marker class for the resource family.
+            let marker = g.str_lit(resource_marker);
+            fact(&mut g, "imcl:ResourceCls", "imcl:printerObj", marker);
+            let cls = g.iri("imcl:ResourceCls");
+            fact(&mut g, "imcl:srcRes", "rdf:type", cls);
+            fact(&mut g, "imcl:dstRes", "rdf:type", cls);
+            let src_addr = g.str_lit(&format!("host-{}", src_host.0));
+            let dst_addr = g.str_lit(&format!("host-{}", dest_host.0));
+            fact(&mut g, "imcl:srcRes", "imcl:address", src_addr);
+            fact(&mut g, "imcl:dstRes", "imcl:address", dst_addr);
+            let rt = g.double_lit(response_time_ms);
+            fact(&mut g, "imcl:net", "imcl:responseTime", rt);
+        }
+        // The memo from a previous decision refers to a previous graph
+        // clone's interner; skolem names are content-derived, so clearing
+        // it re-mints identical IRIs in this clone.
+        self.reasoner.reset_skolem_memo();
+        self.reasoner.materialize_incremental(&mut g, delta);
+
+        let wanted_src = format!("host-{}", src_host.0);
+        for row in self.query.solve(g.store()) {
+            let (Some(s), Some(d)) = (row.get("s"), row.get("d")) else {
+                continue;
+            };
+            let s = g.term_to_string(s);
+            let d = g.term_to_string(d);
+            // term_to_string quotes string literals.
+            let s = s.trim_matches('\'').to_owned();
+            let d = d.trim_matches('\'').to_owned();
+            if s == wanted_src && d != wanted_src {
+                return Some(MoveDecision {
+                    src_address: s,
+                    dest_address: d,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Runs the paper's reasoning pipeline once against the shipped rule base.
+/// One-shot convenience over [`DecisionEngine`]; agents that decide
+/// repeatedly should hold an engine instead.
 pub fn decide_move(
     src_host: HostId,
     dest_host: HostId,
@@ -73,50 +189,7 @@ pub fn decide_move_with(
     resource_marker: &str,
     response_time_ms: f64,
 ) -> Option<MoveDecision> {
-    let mut g = Graph::new();
-    // The registry publishes a marker class for the resource family.
-    let marker = g.str_lit(resource_marker);
-    g.add_with_object("imcl:ResourceCls", "imcl:printerObj", marker);
-    g.add("imcl:srcRes", "rdf:type", "imcl:ResourceCls");
-    g.add("imcl:dstRes", "rdf:type", "imcl:ResourceCls");
-    let src_addr = g.str_lit(&format!("host-{}", src_host.0));
-    let dst_addr = g.str_lit(&format!("host-{}", dest_host.0));
-    g.add_with_object("imcl:srcRes", "imcl:address", src_addr);
-    g.add_with_object("imcl:dstRes", "imcl:address", dst_addr);
-    let rt = g.double_lit(response_time_ms);
-    g.add_with_object("imcl:net", "imcl:responseTime", rt);
-
-    let rules = parse_rules(rule_text, &mut g).ok()?;
-    let mut reasoner = Reasoner::new();
-    reasoner.add_rules(rules);
-    reasoner.materialize(&mut g);
-
-    // Find an action with actName "move" and both addresses. Rule3 derives
-    // both orientations (src↔dst compatibility is symmetric); keep the one
-    // whose source matches our source host.
-    let q = mdagent_ontology::Query::parse(
-        "(?a imcl:actName 'move'), (?a imcl:srcAddress ?s), (?a imcl:destAddress ?d)",
-        &mut g,
-    )
-    .expect("decision query parses");
-    let wanted_src = format!("host-{}", src_host.0);
-    for row in q.solve(g.store()) {
-        let (Some(s), Some(d)) = (row.get("s"), row.get("d")) else {
-            continue;
-        };
-        let s = g.term_to_string(s);
-        let d = g.term_to_string(d);
-        // term_to_string quotes string literals.
-        let s = s.trim_matches('\'').to_owned();
-        let d = d.trim_matches('\'').to_owned();
-        if s == wanted_src && d != wanted_src {
-            return Some(MoveDecision {
-                src_address: s,
-                dest_address: d,
-            });
-        }
-    }
-    None
+    DecisionEngine::new(rule_text).decide(src_host, dest_host, resource_marker, response_time_ms)
 }
 
 #[cfg(test)]
@@ -149,6 +222,31 @@ mod tests {
     fn threshold_is_strict_less_than() {
         assert!(decide_move(HostId(0), HostId(1), "printer", 999.9).is_some());
         assert!(decide_move(HostId(0), HostId(1), "printer", 1000.0).is_none());
+    }
+
+    #[test]
+    fn engine_is_reusable_across_decisions() {
+        let mut engine = DecisionEngine::new(PAPER_RULES);
+        // Same engine, different hosts, different outcomes — and each
+        // decision matches the one-shot path exactly.
+        for (src, dest, rt) in [
+            (HostId(0), HostId(1), 120.0),
+            (HostId(2), HostId(5), 999.9),
+            (HostId(1), HostId(0), 120.0),
+            (HostId(3), HostId(4), 2500.0),
+            (HostId(0), HostId(1), 120.0), // repeat of the first
+        ] {
+            let cached = engine.decide(src, dest, "printer", rt);
+            let one_shot = decide_move(src, dest, "printer", rt);
+            assert_eq!(cached, one_shot, "src={src:?} dest={dest:?} rt={rt}");
+        }
+    }
+
+    #[test]
+    fn broken_rule_base_derives_nothing() {
+        let mut engine = DecisionEngine::new("[broken");
+        assert_eq!(engine.decide(HostId(0), HostId(1), "printer", 1.0), None);
+        assert_eq!(engine.rule_text(), "[broken");
     }
 
     #[test]

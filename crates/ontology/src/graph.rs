@@ -130,6 +130,14 @@ impl Graph {
         &mut self.interner
     }
 
+    /// Borrows the interner mutably and the store immutably at once.
+    ///
+    /// Rule evaluation needs exactly this split: it probes the store while
+    /// minting skolem IRIs through the interner.
+    pub fn split_mut(&mut self) -> (&mut Interner, &Store) {
+        (&mut self.interner, &self.store)
+    }
+
     /// Resolves a symbol back to its lexical form.
     pub fn resolve(&self, id: SymbolId) -> &str {
         self.interner.resolve(id)

@@ -6,6 +6,7 @@
 //! against a graph and return variable bindings.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::graph::Graph;
 use crate::parser::{syntax_error, tokenize, ParseError};
@@ -35,25 +36,61 @@ use crate::triple::VarId;
 #[derive(Debug, Clone)]
 pub struct Query {
     rule: Rule,
+    schema: Arc<RowSchema>,
+}
+
+/// Shared variable-name table of a query's result rows: the names in
+/// first-mention order plus a sorted permutation for binary-search lookup.
+/// Built once per query and shared by every row, so [`Row::get`] needs no
+/// linear scan and rows don't each own a copy of the names.
+#[derive(Debug, PartialEq)]
+struct RowSchema {
+    names: Vec<String>,
+    /// Indices into `names`, ordered so the referenced names ascend.
+    sorted: Vec<u32>,
+}
+
+impl RowSchema {
+    fn new(names: Vec<String>) -> Self {
+        let mut sorted: Vec<u32> = (0..names.len() as u32).collect();
+        sorted.sort_by(|&a, &b| names[a as usize].cmp(&names[b as usize]));
+        RowSchema { names, sorted }
+    }
+
+    /// Index of a named variable, by binary search over the permutation.
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.sorted
+            .binary_search_by(|&i| self.names[i as usize].as_str().cmp(name))
+            .ok()
+            .map(|pos| self.sorted[pos] as usize)
+    }
 }
 
 /// One solution row: variable name → term.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {
-    names: Vec<String>,
+    schema: Arc<RowSchema>,
     values: Vec<Option<Term>>,
 }
 
 impl Row {
     /// The binding of a named variable.
     pub fn get(&self, name: &str) -> Option<Term> {
-        let idx = self.names.iter().position(|n| n == name)?;
+        let idx = self.schema.index_of(name)?;
         self.values.get(idx).copied().flatten()
+    }
+
+    /// The binding of a variable by its rule-local id — O(1), no name
+    /// lookup. Ids come from [`Query::var_names`] positions (or
+    /// [`crate::rule::Rule::var`] when the query was built from atoms).
+    pub fn get_var(&self, var: VarId) -> Option<Term> {
+        self.values.get(var.0 as usize).copied().flatten()
     }
 
     /// All `(name, term)` pairs with bound values.
     pub fn bindings(&self) -> impl Iterator<Item = (&str, Term)> {
-        self.names
+        self.schema
+            .names
             .iter()
             .zip(&self.values)
             .filter_map(|(n, v)| v.map(|t| (n.as_str(), t)))
@@ -89,13 +126,16 @@ impl Query {
                 rule.var_names.pop();
             }
         }
-        Ok(Query { rule })
+        let schema = Arc::new(RowSchema::new(rule.var_names.clone()));
+        Ok(Query { rule, schema })
     }
 
     /// Builds a query directly from atoms (used by the registry layer).
     pub fn from_atoms(atoms: Vec<RuleAtom>, var_names: Vec<String>) -> Query {
+        let schema = Arc::new(RowSchema::new(var_names.clone()));
         Query {
             rule: Rule::new("query", atoms, Vec::new(), var_names),
+            schema,
         }
     }
 
@@ -109,7 +149,7 @@ impl Query {
         crate::reason::match_rule(store, &self.rule)
             .into_iter()
             .map(|values| Row {
-                names: self.rule.var_names.clone(),
+                schema: Arc::clone(&self.schema),
                 values,
             })
             .collect()
@@ -228,6 +268,43 @@ mod tests {
         let mut g = sample();
         let q = Query::parse("(?a rdf:type ?b)", &mut g).unwrap();
         assert_eq!(q.var_names(), ["a", "b"]);
+    }
+
+    #[test]
+    fn get_var_agrees_with_named_get() {
+        let mut g = sample();
+        let q = Query::parse(
+            "(?x rdf:type imcl:Printer), (?x imcl:locatedIn ?where)",
+            &mut g,
+        )
+        .unwrap();
+        let rows = q.solve(g.store());
+        assert!(!rows.is_empty());
+        for row in &rows {
+            for (i, name) in q.var_names().iter().enumerate() {
+                assert_eq!(row.get_var(VarId(i as u32)), row.get(name), "var {name}");
+            }
+        }
+        // Out-of-range ids and unknown names are both just unbound.
+        assert_eq!(rows[0].get_var(VarId(99)), None);
+        assert_eq!(rows[0].get("no-such-var"), None);
+    }
+
+    #[test]
+    fn schema_lookup_handles_many_vars() {
+        // Enough variables that the sorted permutation actually matters
+        // (first-mention order differs from lexicographic order).
+        let mut g = Graph::new();
+        for (s, p) in [("ex:s", "ex:zz"), ("ex:s", "ex:aa"), ("ex:s", "ex:mm")] {
+            g.add(s, p, &format!("{p}-val"));
+        }
+        let q = Query::parse("(?zebra ex:zz ?apple), (?zebra ex:aa ?mango)", &mut g).unwrap();
+        assert_eq!(q.var_names(), ["zebra", "apple", "mango"]);
+        let rows = q.solve(g.store());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("zebra"), g.try_iri("ex:s"));
+        assert_eq!(rows[0].get("apple"), g.try_iri("ex:zz-val"));
+        assert_eq!(rows[0].get("mango"), g.try_iri("ex:aa-val"));
     }
 
     #[test]

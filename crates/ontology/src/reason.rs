@@ -1,23 +1,88 @@
-//! Forward-chaining rule engine with RDFS/OWL-lite axiom rules.
+//! Semi-naive forward-chaining rule engine with RDFS/OWL-lite axiom rules.
 //!
 //! This is the reproduction's stand-in for Jena's inference support: rules
 //! run to a fixpoint over the [`Graph`], deriving new ground triples.
 //! Head-only variables are skolemized per distinct firing (Jena
 //! `makeSkolem` semantics), which is what the paper's Rule3 relies on to
 //! mint its `move` action individuals.
+//!
+//! # Evaluation strategy
+//!
+//! The engine is **delta-driven (semi-naive)**: each fixpoint round only
+//! considers derivations that use at least one triple produced in the
+//! previous round. A predicate → rule-occurrence index maps every delta
+//! triple to the body patterns it can match; the triple is unified into
+//! that pattern and the *rest* of the body is solved against the full
+//! store (Δ ⋈ rest-of-body). Rules untouched by the delta are never
+//! re-evaluated, so a round's cost is proportional to what actually
+//! changed instead of to the whole rule set times the whole store.
+//!
+//! Body solving is shared with [`crate::query::Query::solve`] and uses a
+//! greedy join plan: at every step the engine picks the remaining pattern
+//! with the fewest matching triples under the current bindings (an exact
+//! O(1) count from the store's per-position cardinality stats), and
+//! evaluates builtin guards the moment their arguments are bound.
+//! Candidate probes run through the store's callback path
+//! ([`Store::match_pattern_in_place`]) without allocating per match.
+//!
+//! Skolem IRIs are derived from the rule name and the bound-variable
+//! signature (not from a mint counter), so the closure is bit-identical
+//! regardless of evaluation order — the naive reference evaluator
+//! ([`Reasoner::materialize_naive`], kept for differential testing and
+//! benchmarks) produces exactly the same triples.
 
 use std::collections::HashMap;
 
+use crate::fx::{FxHashMap, FxHashSet};
+
 use crate::graph::Graph;
-use crate::rule::{Rule, RuleAtom};
+use crate::rule::{BuiltinAtom, Rule, RuleAtom};
 use crate::store::Store;
-use crate::term::Term;
-use crate::triple::{Triple, VarId};
+use crate::term::{Interner, Term};
+use crate::triple::{PatternTerm, Triple, TriplePattern, VarId};
 use crate::vocab::{owl, rdf, rdfs};
 
 /// Hard cap on fixpoint rounds; prevents pathological rule sets from
 /// spinning forever.
 const MAX_ROUNDS: usize = 10_000;
+
+/// Where each body pattern of each rule can be seeded from: predicate term
+/// → list of `(rule index, premise index)` whose pattern has that ground
+/// predicate, plus a bucket for variable-predicate patterns that any delta
+/// triple can feed.
+#[derive(Debug, Clone, Default)]
+struct OccurrenceIndex {
+    by_predicate: FxHashMap<Term, Vec<(usize, usize)>>,
+    any_predicate: Vec<(usize, usize)>,
+    /// Rules with no body patterns at all (builtin-only or empty bodies);
+    /// they are input-independent and fire once per run.
+    pattern_free: Vec<usize>,
+    /// Precomputed [`Rule::skolem_vars`] per rule.
+    skolem_vars: Vec<Vec<VarId>>,
+}
+
+fn build_occurrences(rules: &[Rule]) -> OccurrenceIndex {
+    let mut occ = OccurrenceIndex::default();
+    for (ri, rule) in rules.iter().enumerate() {
+        let mut has_pattern = false;
+        for (ai, atom) in rule.premises.iter().enumerate() {
+            if let RuleAtom::Pattern(p) = atom {
+                has_pattern = true;
+                match p.p {
+                    PatternTerm::Ground(pred) => {
+                        occ.by_predicate.entry(pred).or_default().push((ri, ai));
+                    }
+                    PatternTerm::Var(_) => occ.any_predicate.push((ri, ai)),
+                }
+            }
+        }
+        if !has_pattern {
+            occ.pattern_free.push(ri);
+        }
+        occ.skolem_vars.push(rule.skolem_vars());
+    }
+    occ
+}
 
 /// A forward-chaining reasoner over a set of [`Rule`]s.
 ///
@@ -46,8 +111,11 @@ const MAX_ROUNDS: usize = 10_000;
 pub struct Reasoner {
     rules: Vec<Rule>,
     /// Memo of skolem terms per (rule index, bound-variable signature).
+    /// Purely a cache: names are content-derived, so a cold memo re-mints
+    /// the identical IRIs.
     skolems: HashMap<(usize, Vec<Term>), Vec<Term>>,
-    skolem_counter: u64,
+    /// Lazily (re)built when the rule set changes.
+    occurrences: Option<OccurrenceIndex>,
 }
 
 impl Reasoner {
@@ -67,11 +135,13 @@ impl Reasoner {
     /// Adds one rule.
     pub fn add_rule(&mut self, rule: Rule) {
         self.rules.push(rule);
+        self.occurrences = None;
     }
 
     /// Adds many rules.
     pub fn add_rules(&mut self, rules: impl IntoIterator<Item = Rule>) {
         self.rules.extend(rules);
+        self.occurrences = None;
     }
 
     /// The current rule set.
@@ -79,18 +149,196 @@ impl Reasoner {
         &self.rules
     }
 
+    /// Clears the skolem memo. Required before reusing one reasoner
+    /// against a *different* graph: memoized terms are relative to the
+    /// interner they were minted in, and skolem names are content-derived
+    /// anyway, so a cold memo re-mints identical IRIs.
+    pub fn reset_skolem_memo(&mut self) {
+        self.skolems.clear();
+    }
+
     /// Runs all rules to fixpoint, inserting derivations into `graph`.
     /// Returns the number of new triples added.
     pub fn materialize(&mut self, graph: &mut Graph) -> usize {
+        let seed: Vec<Triple> = graph.store().iter().copied().collect();
+        self.run_seminaive(graph, seed)
+    }
+
+    /// Extends an already-materialized graph after `delta` is asserted.
+    ///
+    /// Every delta triple is inserted (if absent) and used to seed the
+    /// delta-driven fixpoint, so only consequences of the delta are
+    /// recomputed. The rest of the store is assumed closed under the
+    /// current rules — exactly the state [`Reasoner::materialize`] leaves
+    /// behind. Returns the number of *derived* triples added (delta
+    /// insertions are not counted).
+    pub fn materialize_incremental(
+        &mut self,
+        graph: &mut Graph,
+        delta: impl IntoIterator<Item = Triple>,
+    ) -> usize {
+        let mut seed = Vec::new();
+        for t in delta {
+            graph.add_triple(t);
+            seed.push(t);
+        }
+        self.run_seminaive(graph, seed)
+    }
+
+    fn run_seminaive(&mut self, graph: &mut Graph, mut delta: Vec<Triple>) -> usize {
+        if self.occurrences.is_none() {
+            self.occurrences = Some(build_occurrences(&self.rules));
+        }
+        let occ = self
+            .occurrences
+            .take()
+            .expect("occurrence index just built");
+        let mut added_total = 0usize;
+        let mut fresh_set: FxHashSet<Triple> = FxHashSet::default();
+        for round in 0..MAX_ROUNDS {
+            fresh_set.clear();
+            let mut fresh: Vec<Triple> = Vec::new();
+            {
+                let (interner, store) = graph.split_mut();
+                if round == 0 {
+                    for &ri in &occ.pattern_free {
+                        self.fire_seeded(
+                            interner,
+                            store,
+                            ri,
+                            &occ.skolem_vars[ri],
+                            None,
+                            &mut fresh_set,
+                            &mut fresh,
+                        );
+                    }
+                }
+                for &t in &delta {
+                    if let Some(hits) = occ.by_predicate.get(&t.p) {
+                        for &(ri, ai) in hits {
+                            self.fire_seeded(
+                                interner,
+                                store,
+                                ri,
+                                &occ.skolem_vars[ri],
+                                Some((ai, t)),
+                                &mut fresh_set,
+                                &mut fresh,
+                            );
+                        }
+                    }
+                    for &(ri, ai) in &occ.any_predicate {
+                        self.fire_seeded(
+                            interner,
+                            store,
+                            ri,
+                            &occ.skolem_vars[ri],
+                            Some((ai, t)),
+                            &mut fresh_set,
+                            &mut fresh,
+                        );
+                    }
+                }
+            }
+            if fresh.is_empty() {
+                break;
+            }
+            for &t in &fresh {
+                graph.add_triple(t);
+            }
+            added_total += fresh.len();
+            delta = fresh;
+        }
+        self.occurrences = Some(occ);
+        added_total
+    }
+
+    /// Evaluates one rule with premise `seed.0` pre-bound to the delta
+    /// triple `seed.1` (or with no seeding for pattern-free rules),
+    /// pushing novel conclusions into `fresh`.
+    #[allow(clippy::too_many_arguments)]
+    fn fire_seeded(
+        &mut self,
+        interner: &mut Interner,
+        store: &Store,
+        rule_idx: usize,
+        skolem_vars: &[VarId],
+        seed: Option<(usize, Triple)>,
+        fresh_set: &mut FxHashSet<Triple>,
+        fresh: &mut Vec<Triple>,
+    ) {
+        let rule = &self.rules[rule_idx];
+        let memo = &mut self.skolems;
+        let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
+        let mut patterns: Vec<TriplePattern> = Vec::new();
+        let mut builtins: Vec<BuiltinAtom> = Vec::new();
+        for (ai, atom) in rule.premises.iter().enumerate() {
+            match atom {
+                RuleAtom::Pattern(p) => {
+                    if seed.map(|(si, _)| si) == Some(ai) {
+                        let (_, t) = seed.expect("seed checked above");
+                        if !unify_pattern(p, t, &mut binding) {
+                            return;
+                        }
+                    } else {
+                        patterns.push(*p);
+                    }
+                }
+                RuleAtom::Builtin(b) => builtins.push(*b),
+            }
+        }
+        solve_rest(
+            store,
+            &mut patterns,
+            &mut builtins,
+            &mut binding,
+            &mut |b| {
+                if skolem_vars.is_empty() {
+                    for conclusion in &rule.conclusions {
+                        if let Some(t) = conclusion.instantiate(b) {
+                            if !store.contains(&t) && fresh_set.insert(t) {
+                                fresh.push(t);
+                            }
+                        }
+                    }
+                } else {
+                    let mut full = b.to_vec();
+                    apply_skolems(memo, rule_idx, rule, interner, skolem_vars, &mut full);
+                    for conclusion in &rule.conclusions {
+                        if let Some(t) = conclusion.instantiate(&full) {
+                            if !store.contains(&t) && fresh_set.insert(t) {
+                                fresh.push(t);
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    /// Reference implementation: the naive evaluate-everything-per-round
+    /// fixpoint, joining premises in textual order with `Vec`-scan
+    /// deduplication. Kept verbatim from the pre-semi-naive engine for
+    /// differential tests and benchmark baselines; derives exactly the
+    /// same closure as [`Reasoner::materialize`] (skolem names are
+    /// content-derived in both).
+    pub fn materialize_naive(&mut self, graph: &mut Graph) -> usize {
         let mut added_total = 0usize;
         for _round in 0..MAX_ROUNDS {
             let mut new_triples: Vec<Triple> = Vec::new();
             for rule_idx in 0..self.rules.len() {
-                let bindings = match_rule(graph.store(), &self.rules[rule_idx]);
+                let bindings = match_rule_textual(graph.store(), &self.rules[rule_idx]);
                 let skolem_vars = self.rules[rule_idx].skolem_vars();
                 for mut binding in bindings {
                     if !skolem_vars.is_empty() {
-                        self.apply_skolems(graph, rule_idx, &skolem_vars, &mut binding);
+                        apply_skolems(
+                            &mut self.skolems,
+                            rule_idx,
+                            &self.rules[rule_idx],
+                            graph.interner_mut(),
+                            &skolem_vars,
+                            &mut binding,
+                        );
                     }
                     for conclusion in &self.rules[rule_idx].conclusions {
                         if let Some(t) = conclusion.instantiate(&binding) {
@@ -112,40 +360,217 @@ impl Reasoner {
         }
         added_total
     }
+}
 
-    fn apply_skolems(
-        &mut self,
-        graph: &mut Graph,
-        rule_idx: usize,
-        skolem_vars: &[VarId],
-        binding: &mut [Option<Term>],
-    ) {
-        // Signature: the values of all *bound* variables, in table order.
-        let signature: Vec<Term> = binding.iter().flatten().copied().collect();
-        let key = (rule_idx, signature);
-        if let Some(existing) = self.skolems.get(&key) {
-            for (var, term) in skolem_vars.iter().zip(existing) {
-                binding[var.0 as usize] = Some(*term);
-            }
-            return;
+/// FNV-1a, the 64-bit flavor; tiny and dependency-free, used only to
+/// derive skolem IRI names from firing signatures.
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        let rule_name = self.rules[rule_idx].name.clone();
-        let mut minted = Vec::with_capacity(skolem_vars.len());
-        for var in skolem_vars {
-            let iri = format!("skolem:{}#{}", rule_name, self.skolem_counter);
-            self.skolem_counter += 1;
-            let term = graph.iri(&iri);
-            binding[var.0 as usize] = Some(term);
-            minted.push(term);
-        }
-        self.skolems.insert(key, minted);
+    }
+
+    fn finish(self) -> u64 {
+        self.0
     }
 }
 
+/// Binds skolem variables to IRIs derived from the rule name and the
+/// rendered bound-variable signature: `skolem:{rule}#{hash16}`. The same
+/// firing always mints the same IRI, in any engine, in any evaluation
+/// order — which is what makes naive and semi-naive closures identical.
+fn apply_skolems(
+    memo: &mut HashMap<(usize, Vec<Term>), Vec<Term>>,
+    rule_idx: usize,
+    rule: &Rule,
+    interner: &mut Interner,
+    skolem_vars: &[VarId],
+    binding: &mut [Option<Term>],
+) {
+    // Signature: the values of all *bound* variables, in table order.
+    let signature: Vec<Term> = binding.iter().flatten().copied().collect();
+    let key = (rule_idx, signature);
+    if let Some(existing) = memo.get(&key) {
+        for (var, term) in skolem_vars.iter().zip(existing) {
+            binding[var.0 as usize] = Some(*term);
+        }
+        return;
+    }
+    let mut minted = Vec::with_capacity(skolem_vars.len());
+    for (pos, var) in skolem_vars.iter().enumerate() {
+        let mut h = Fnv64::new();
+        h.update(rule.name.as_bytes());
+        h.update(&[0xff]);
+        h.update(&pos.to_le_bytes());
+        for &t in &key.1 {
+            h.update(&[0xfe]);
+            h.update(t.display(interner).to_string().as_bytes());
+        }
+        let iri = format!("skolem:{}#{:016x}", rule.name, h.finish());
+        let term = Term::Iri(interner.intern(&iri));
+        binding[var.0 as usize] = Some(term);
+        minted.push(term);
+    }
+    memo.insert(key, minted);
+}
+
+/// Unifies a ground triple against a pattern, extending `binding` with the
+/// pattern's variables. Returns `false` (leaving `binding` untouched) on a
+/// ground-term mismatch, a conflict with an existing binding, or a
+/// repeated variable matching two different terms.
+pub fn unify_pattern(
+    pattern: &TriplePattern,
+    triple: Triple,
+    binding: &mut [Option<Term>],
+) -> bool {
+    let mut staged: [(u32, Term); 3] = [(0, triple.s); 3];
+    let mut staged_len = 0usize;
+    for (pt, actual) in [
+        (pattern.s, triple.s),
+        (pattern.p, triple.p),
+        (pattern.o, triple.o),
+    ] {
+        match pt {
+            PatternTerm::Ground(g) => {
+                if g != actual {
+                    return false;
+                }
+            }
+            PatternTerm::Var(v) => {
+                let earlier = staged[..staged_len]
+                    .iter()
+                    .find(|(idx, _)| *idx == v.0)
+                    .map(|(_, t)| *t)
+                    .or_else(|| binding.get(v.0 as usize).copied().flatten());
+                match earlier {
+                    Some(existing) if existing != actual => return false,
+                    Some(_) => {}
+                    None => {
+                        staged[staged_len] = (v.0, actual);
+                        staged_len += 1;
+                    }
+                }
+            }
+        }
+    }
+    for &(idx, t) in &staged[..staged_len] {
+        binding[idx as usize] = Some(t);
+    }
+    true
+}
+
+/// Exact number of stored triples matching `pattern` under `binding`
+/// (upper bound when the pattern repeats an unbound variable). O(1).
+fn pattern_cost(store: &Store, pattern: &TriplePattern, binding: &[Option<Term>]) -> usize {
+    let resolve = |pt: PatternTerm| -> Option<Term> {
+        match pt {
+            PatternTerm::Ground(t) => Some(t),
+            PatternTerm::Var(v) => binding.get(v.0 as usize).copied().flatten(),
+        }
+    };
+    store.count_match(resolve(pattern.s), resolve(pattern.p), resolve(pattern.o))
+}
+
+fn builtin_ready(b: &BuiltinAtom, binding: &[Option<Term>]) -> bool {
+    let bound = |pt: PatternTerm| -> bool {
+        match pt {
+            PatternTerm::Ground(_) => true,
+            PatternTerm::Var(v) => binding.get(v.0 as usize).copied().flatten().is_some(),
+        }
+    };
+    bound(b.lhs) && bound(b.rhs)
+}
+
+/// Greedy-ordered join over the remaining body atoms.
+///
+/// Builtins run the moment both arguments are bound (a false guard prunes
+/// the whole branch); otherwise the cheapest remaining pattern — by exact
+/// match count under the current bindings — is matched next through the
+/// store's in-place callback path. `sink` is called once per satisfying
+/// assignment. Builtins whose variables are never bound by any pattern
+/// evaluate to false, matching the naive engine's end-of-body check.
+fn solve_rest(
+    store: &Store,
+    patterns: &mut Vec<TriplePattern>,
+    builtins: &mut Vec<BuiltinAtom>,
+    binding: &mut Vec<Option<Term>>,
+    sink: &mut dyn FnMut(&[Option<Term>]),
+) {
+    if let Some(pos) = builtins.iter().position(|b| builtin_ready(b, binding)) {
+        let guard = builtins.swap_remove(pos);
+        if guard.eval(binding) {
+            solve_rest(store, patterns, builtins, binding, sink);
+        }
+        builtins.push(guard);
+        return;
+    }
+    if patterns.is_empty() {
+        // Any builtin still unresolved here has a forever-unbound variable
+        // and can never hold.
+        if builtins.is_empty() {
+            sink(binding);
+        }
+        return;
+    }
+    let mut best = 0usize;
+    let mut best_cost = usize::MAX;
+    for (i, p) in patterns.iter().enumerate() {
+        let cost = pattern_cost(store, p, binding);
+        if cost < best_cost {
+            best_cost = cost;
+            best = i;
+        }
+    }
+    if best_cost == 0 {
+        return;
+    }
+    let pat = patterns.swap_remove(best);
+    store.match_pattern_in_place(&pat, binding, |b| {
+        solve_rest(store, patterns, builtins, b, sink);
+    });
+    patterns.push(pat);
+}
+
 /// Computes every satisfying assignment of `rule`'s premises against
-/// `store`. Builtins are evaluated as soon as their arguments are bound and
-/// all are re-checked at the end.
+/// `store`, joining through the greedy planner (cheapest pattern first,
+/// builtins as soon as bound). This is the engine behind
+/// [`crate::query::Query::solve`].
 pub fn match_rule(store: &Store, rule: &Rule) -> Vec<Vec<Option<Term>>> {
+    let mut patterns: Vec<TriplePattern> = Vec::new();
+    let mut builtins: Vec<BuiltinAtom> = Vec::new();
+    for atom in &rule.premises {
+        match atom {
+            RuleAtom::Pattern(p) => patterns.push(*p),
+            RuleAtom::Builtin(b) => builtins.push(*b),
+        }
+    }
+    let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
+    let mut results = Vec::new();
+    solve_rest(
+        store,
+        &mut patterns,
+        &mut builtins,
+        &mut binding,
+        &mut |b| {
+            results.push(b.to_vec());
+        },
+    );
+    results
+}
+
+/// The pre-planner join: premises in textual order, builtins checked after
+/// all patterns, one `Vec` allocation per intermediate binding. Feeds
+/// [`Reasoner::materialize_naive`] only.
+fn match_rule_textual(store: &Store, rule: &Rule) -> Vec<Vec<Option<Term>>> {
     let patterns: Vec<_> = rule
         .premises
         .iter()
@@ -165,7 +590,7 @@ pub fn match_rule(store: &Store, rule: &Rule) -> Vec<Vec<Option<Term>>> {
 
     let mut results = Vec::new();
     let initial = vec![None; rule.var_count()];
-    join(store, &patterns, 0, initial, &mut |binding: Vec<
+    join_textual(store, &patterns, 0, initial, &mut |binding: Vec<
         Option<Term>,
     >| {
         if builtins.iter().all(|b| b.eval(&binding)) {
@@ -175,9 +600,9 @@ pub fn match_rule(store: &Store, rule: &Rule) -> Vec<Vec<Option<Term>>> {
     results
 }
 
-fn join(
+fn join_textual(
     store: &Store,
-    patterns: &[crate::triple::TriplePattern],
+    patterns: &[TriplePattern],
     idx: usize,
     binding: Vec<Option<Term>>,
     sink: &mut impl FnMut(Vec<Option<Term>>),
@@ -187,7 +612,7 @@ fn join(
         return;
     }
     store.match_pattern(&patterns[idx], &binding, |next| {
-        join(store, patterns, idx + 1, next, sink);
+        join_textual(store, patterns, idx + 1, next, sink);
     });
 }
 
@@ -234,6 +659,17 @@ pub fn axiom_rules(graph: &mut Graph) -> Vec<Rule> {
 mod tests {
     use super::*;
     use crate::parser::parse_rules;
+    use std::collections::BTreeSet;
+
+    /// Renders a graph's triples to sorted strings so closures from
+    /// different graphs (whose interners may have assigned ids in a
+    /// different order) can be compared.
+    fn rendered(g: &Graph) -> BTreeSet<String> {
+        g.store()
+            .iter()
+            .map(|t| t.display(g.interner()).to_string())
+            .collect()
+    }
 
     #[test]
     fn subclass_inheritance_and_transitivity() {
@@ -327,6 +763,33 @@ mod tests {
     }
 
     #[test]
+    fn skolem_names_are_content_derived() {
+        // Two independent reasoners over independently built graphs mint
+        // the identical skolem IRI for the same firing.
+        let build = || {
+            let mut g = Graph::new();
+            g.add("ex:x", "ex:p", "ex:y");
+            let rules = parse_rules("[mk: (?a ex:p ?b) -> (?act ex:about ?a)]", &mut g).unwrap();
+            let mut r = Reasoner::new();
+            r.add_rules(rules);
+            r.materialize(&mut g);
+            rendered(&g)
+        };
+        assert_eq!(build(), build());
+        // And the memo is a pure cache: a fresh reasoner re-derives the
+        // same name on an already-materialized graph, adding nothing.
+        let mut g = Graph::new();
+        g.add("ex:x", "ex:p", "ex:y");
+        let rules = parse_rules("[mk: (?a ex:p ?b) -> (?act ex:about ?a)]", &mut g).unwrap();
+        let mut r1 = Reasoner::new();
+        r1.add_rules(rules.clone());
+        assert_eq!(r1.materialize(&mut g), 1);
+        let mut r2 = Reasoner::new();
+        r2.add_rules(rules);
+        assert_eq!(r2.materialize(&mut g), 0, "cold memo mints identical IRIs");
+    }
+
+    #[test]
     fn builtin_guard_prunes_firings() {
         let mut g = Graph::new();
         let fast = g.int_lit(300);
@@ -391,5 +854,158 @@ mod tests {
             actual, expected,
             "closure is exactly the reachability relation"
         );
+    }
+
+    /// Builds a mixed workload exercising every axiom family plus a
+    /// skolemizing custom rule and a builtin guard.
+    fn mixed_workload() -> (Graph, Vec<Rule>) {
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.add(
+                &format!("ex:C{i}"),
+                rdfs::SUB_CLASS_OF,
+                &format!("ex:C{}", i + 1),
+            );
+            g.add(&format!("ex:inst{i}"), rdf::TYPE, &format!("ex:C{i}"));
+        }
+        g.add("imcl:locatedIn", rdf::TYPE, owl::TRANSITIVE_PROPERTY);
+        for i in 0..6 {
+            g.add(
+                &format!("ex:s{i}"),
+                "imcl:locatedIn",
+                &format!("ex:s{}", i + 1),
+            );
+        }
+        g.add("ex:near", rdf::TYPE, owl::SYMMETRIC_PROPERTY);
+        g.add("ex:s0", "ex:near", "ex:s3");
+        g.add("ex:hosts", owl::INVERSE_OF, "imcl:locatedIn");
+        g.add("ex:plays", rdfs::DOMAIN, "ex:MediaPlayer");
+        g.add("ex:app", "ex:plays", "ex:track");
+        let rt = g.int_lit(120);
+        g.add_with_object("ex:link", "ex:rt", rt);
+        let mut rules = axiom_rules(&mut g);
+        rules.extend(
+            parse_rules(
+                "[mk: (?x imcl:locatedIn ?y), (?x ex:near ?z) -> (?act ex:visits ?z)]\n\
+                 [guard: (?l ex:rt ?t), lessThan(?t, '1000'^^xsd:double) -> (?l ex:fast 'y')]",
+                &mut g,
+            )
+            .unwrap(),
+        );
+        (g, rules)
+    }
+
+    #[test]
+    fn seminaive_closure_equals_naive_closure() {
+        let (g, rules) = mixed_workload();
+        let mut g_fast = g.clone();
+        let mut g_slow = g;
+        let mut fast = Reasoner::new();
+        fast.add_rules(rules.clone());
+        let mut slow = Reasoner::new();
+        slow.add_rules(rules);
+        let added_fast = fast.materialize(&mut g_fast);
+        let added_slow = slow.materialize_naive(&mut g_slow);
+        assert_eq!(added_fast, added_slow, "same number of derivations");
+        assert_eq!(
+            rendered(&g_fast),
+            rendered(&g_slow),
+            "bit-identical closure"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_full_rematerialization() {
+        let (g, rules) = mixed_workload();
+        let mut g_inc = g.clone();
+        let mut r_inc = Reasoner::new();
+        r_inc.add_rules(rules.clone());
+        r_inc.materialize(&mut g_inc);
+
+        // Assert a new fact that interacts with the transitive chain.
+        let mut g_full = g;
+        let delta = {
+            let s = g_inc.iri("ex:s7");
+            let p = g_inc.iri("imcl:locatedIn");
+            let o = g_inc.iri("ex:s8");
+            Triple::new(s, p, o)
+        };
+        let inc_added = r_inc.materialize_incremental(&mut g_inc, [delta]);
+        assert!(inc_added > 0, "delta has consequences");
+
+        g_full.add("ex:s7", "imcl:locatedIn", "ex:s8");
+        let mut r_full = Reasoner::new();
+        r_full.add_rules(rules);
+        r_full.materialize(&mut g_full);
+        assert_eq!(rendered(&g_inc), rendered(&g_full));
+    }
+
+    #[test]
+    fn incremental_on_closed_graph_is_a_noop() {
+        let (mut g, rules) = mixed_workload();
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        // Re-asserting an existing triple derives nothing new.
+        let existing = *g.store().iter().next().unwrap();
+        assert_eq!(r.materialize_incremental(&mut g, [existing]), 0);
+    }
+
+    #[test]
+    fn planner_join_matches_textual_join() {
+        let (mut g, rules) = mixed_workload();
+        let mut r = Reasoner::new();
+        r.add_rules(rules.clone());
+        r.materialize(&mut g);
+        for rule in &rules {
+            let mut planned = match_rule(g.store(), rule);
+            let mut textual = match_rule_textual(g.store(), rule);
+            planned.sort();
+            textual.sort();
+            assert_eq!(planned, textual, "rule {}", rule.name);
+        }
+    }
+
+    #[test]
+    fn variable_predicate_rules_chain_incrementally() {
+        // rdfs7-style rule where the delta's predicate position is a
+        // variable: must be seeded via the any-predicate bucket.
+        let mut g = Graph::new();
+        g.add("ex:p", rdfs::SUB_PROPERTY_OF, "ex:q");
+        let rules = axiom_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        let delta = {
+            let s = g.iri("ex:a");
+            let p = g.iri("ex:p");
+            let o = g.iri("ex:b");
+            Triple::new(s, p, o)
+        };
+        r.materialize_incremental(&mut g, [delta]);
+        assert!(g.contains("ex:a", "ex:q", "ex:b"), "rdfs7 fired on delta");
+    }
+
+    #[test]
+    fn unify_pattern_rejects_conflicts() {
+        let mut g = Graph::new();
+        let p = g.iri("ex:p");
+        let a = g.iri("ex:a");
+        let b = g.iri("ex:b");
+        // (?x ex:p ?x) vs (a p b): repeated var mismatch.
+        let pat = TriplePattern::new(VarId(0), p, VarId(0));
+        let mut binding = vec![None];
+        assert!(!unify_pattern(&pat, Triple::new(a, p, b), &mut binding));
+        assert_eq!(binding, vec![None], "failed unify leaves binding untouched");
+        // (?x ex:p ?x) vs (a p a): binds.
+        assert!(unify_pattern(&pat, Triple::new(a, p, a), &mut binding));
+        assert_eq!(binding, vec![Some(a)]);
+        // Existing binding conflicts.
+        let pat2 = TriplePattern::new(VarId(0), p, VarId(1));
+        let mut binding2 = vec![Some(b), None];
+        assert!(!unify_pattern(&pat2, Triple::new(a, p, b), &mut binding2));
+        // Ground mismatch.
+        let pat3 = TriplePattern::new(a, p, b);
+        assert!(!unify_pattern(&pat3, Triple::new(b, p, b), &mut []));
     }
 }

@@ -1,16 +1,21 @@
 //! Indexed triple store.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
+
+use crate::fx::{FxHashMap, FxHashSet};
 
 use crate::term::Term;
 use crate::triple::{PatternTerm, Triple, TriplePattern};
 
-type TwoLevel = HashMap<Term, HashMap<Term, BTreeSet<Term>>>;
+type TwoLevel = FxHashMap<Term, FxHashMap<Term, BTreeSet<Term>>>;
 
 /// An in-memory triple store with SPO, POS and OSP indexes.
 ///
 /// All three indexes are maintained on every insert/remove so any pattern
-/// with at least one ground position scans a narrow slice.
+/// with at least one ground position scans a narrow slice. Per-position
+/// cardinality counters ride along with the indexes, giving the join
+/// planner (see [`crate::reason`]) O(1) exact counts for every match mask
+/// via [`Store::count_match`].
 ///
 /// # Examples
 ///
@@ -26,13 +31,17 @@ type TwoLevel = HashMap<Term, HashMap<Term, BTreeSet<Term>>>;
 /// assert!(!store.insert(Triple::new(s, p, o)), "duplicate insert is a no-op");
 /// assert_eq!(store.len(), 1);
 /// assert_eq!(store.match_spo(Some(s), None, None).len(), 1);
+/// assert_eq!(store.count_match(None, Some(p), None), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Store {
-    all: HashSet<Triple>,
+    all: FxHashSet<Triple>,
     spo: TwoLevel,
     pos: TwoLevel,
     osp: TwoLevel,
+    subj_count: FxHashMap<Term, usize>,
+    pred_count: FxHashMap<Term, usize>,
+    obj_count: FxHashMap<Term, usize>,
 }
 
 fn index_insert(index: &mut TwoLevel, a: Term, b: Term, c: Term) {
@@ -53,6 +62,19 @@ fn index_remove(index: &mut TwoLevel, a: Term, b: Term, c: Term) {
     }
 }
 
+fn count_incr(counts: &mut FxHashMap<Term, usize>, key: Term) {
+    *counts.entry(key).or_insert(0) += 1;
+}
+
+fn count_decr(counts: &mut FxHashMap<Term, usize>, key: Term) {
+    if let Some(n) = counts.get_mut(&key) {
+        *n -= 1;
+        if *n == 0 {
+            counts.remove(&key);
+        }
+    }
+}
+
 impl Store {
     /// Creates an empty store.
     pub fn new() -> Self {
@@ -67,6 +89,9 @@ impl Store {
         index_insert(&mut self.spo, t.s, t.p, t.o);
         index_insert(&mut self.pos, t.p, t.o, t.s);
         index_insert(&mut self.osp, t.o, t.s, t.p);
+        count_incr(&mut self.subj_count, t.s);
+        count_incr(&mut self.pred_count, t.p);
+        count_incr(&mut self.obj_count, t.o);
         true
     }
 
@@ -78,6 +103,9 @@ impl Store {
         index_remove(&mut self.spo, t.s, t.p, t.o);
         index_remove(&mut self.pos, t.p, t.o, t.s);
         index_remove(&mut self.osp, t.o, t.s, t.p);
+        count_decr(&mut self.subj_count, t.s);
+        count_decr(&mut self.pred_count, t.p);
+        count_decr(&mut self.obj_count, t.o);
         true
     }
 
@@ -101,83 +129,155 @@ impl Store {
         self.all.iter()
     }
 
-    /// Matches a `(s?, p?, o?)` mask, picking the best index.
-    pub fn match_spo(&self, s: Option<Term>, p: Option<Term>, o: Option<Term>) -> Vec<Triple> {
+    /// Number of triples whose subject is `s` (O(1)).
+    pub fn subject_cardinality(&self, s: Term) -> usize {
+        self.subj_count.get(&s).copied().unwrap_or(0)
+    }
+
+    /// Number of triples whose predicate is `p` (O(1)).
+    pub fn predicate_cardinality(&self, p: Term) -> usize {
+        self.pred_count.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Number of triples whose object is `o` (O(1)).
+    pub fn object_cardinality(&self, o: Term) -> usize {
+        self.obj_count.get(&o).copied().unwrap_or(0)
+    }
+
+    /// Exact number of triples matching a `(s?, p?, o?)` mask, in O(1) for
+    /// every mask shape (the join planner's cost oracle).
+    pub fn count_match(&self, s: Option<Term>, p: Option<Term>, o: Option<Term>) -> usize {
         match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                let t = Triple::new(s, p, o);
-                if self.contains(&t) {
-                    vec![t]
-                } else {
-                    Vec::new()
-                }
-            }
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains(&Triple::new(s, p, o))),
             (Some(s), Some(p), None) => self
                 .spo
                 .get(&s)
                 .and_then(|m| m.get(&p))
-                .map(|objects| {
-                    objects
-                        .iter()
-                        .map(|&o| Triple::new(s, p, o))
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default(),
+                .map_or(0, BTreeSet::len),
             (Some(s), None, Some(o)) => self
                 .osp
                 .get(&o)
                 .and_then(|m| m.get(&s))
-                .map(|preds| {
-                    preds
-                        .iter()
-                        .map(|&p| Triple::new(s, p, o))
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default(),
+                .map_or(0, BTreeSet::len),
             (None, Some(p), Some(o)) => self
                 .pos
                 .get(&p)
                 .and_then(|m| m.get(&o))
-                .map(|subjects| {
-                    subjects
-                        .iter()
-                        .map(|&s| Triple::new(s, p, o))
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default(),
-            (Some(s), None, None) => self
-                .spo
-                .get(&s)
-                .map(|m| {
-                    m.iter()
-                        .flat_map(|(&p, objects)| {
-                            objects.iter().map(move |&o| Triple::new(s, p, o))
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default(),
-            (None, Some(p), None) => self
-                .pos
-                .get(&p)
-                .map(|m| {
-                    m.iter()
-                        .flat_map(|(&o, subjects)| {
-                            subjects.iter().map(move |&s| Triple::new(s, p, o))
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default(),
-            (None, None, Some(o)) => self
-                .osp
-                .get(&o)
-                .map(|m| {
-                    m.iter()
-                        .flat_map(|(&s, preds)| preds.iter().map(move |&p| Triple::new(s, p, o)))
-                        .collect::<Vec<_>>()
-                })
-                .unwrap_or_default(),
-            (None, None, None) => self.all.iter().copied().collect(),
+                .map_or(0, BTreeSet::len),
+            (Some(s), None, None) => self.subject_cardinality(s),
+            (None, Some(p), None) => self.predicate_cardinality(p),
+            (None, None, Some(o)) => self.object_cardinality(o),
+            (None, None, None) => self.len(),
         }
+    }
+
+    /// Calls `f` for every triple matching a `(s?, p?, o?)` mask, picking
+    /// the best index. This is the allocation-free probe underlying
+    /// [`Store::match_spo`]; join evaluation uses it directly.
+    pub fn for_each_match(
+        &self,
+        s: Option<Term>,
+        p: Option<Term>,
+        o: Option<Term>,
+        mut f: impl FnMut(Triple),
+    ) {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                if self.contains(&t) {
+                    f(t);
+                }
+            }
+            (Some(s), Some(p), None) => {
+                if let Some(objects) = self.spo.get(&s).and_then(|m| m.get(&p)) {
+                    for &o in objects {
+                        f(Triple::new(s, p, o));
+                    }
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                if let Some(preds) = self.osp.get(&o).and_then(|m| m.get(&s)) {
+                    for &p in preds {
+                        f(Triple::new(s, p, o));
+                    }
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                if let Some(subjects) = self.pos.get(&p).and_then(|m| m.get(&o)) {
+                    for &s in subjects {
+                        f(Triple::new(s, p, o));
+                    }
+                }
+            }
+            (Some(s), None, None) => {
+                if let Some(m) = self.spo.get(&s) {
+                    for (&p, objects) in m {
+                        for &o in objects {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, Some(p), None) => {
+                if let Some(m) = self.pos.get(&p) {
+                    for (&o, subjects) in m {
+                        for &s in subjects {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                if let Some(m) = self.osp.get(&o) {
+                    for (&s, preds) in m {
+                        for &p in preds {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, None, None) => {
+                for &t in &self.all {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Matches a `(s?, p?, o?)` mask, collecting into a `Vec`.
+    ///
+    /// Convenience wrapper over [`Store::for_each_match`] for callers that
+    /// want owned results; hot paths should prefer the callback form.
+    pub fn match_spo(&self, s: Option<Term>, p: Option<Term>, o: Option<Term>) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.for_each_match(s, p, o, |t| out.push(t));
+        out
+    }
+
+    /// Calls `f` for every stored triple matching `pattern` under
+    /// `bindings`, passing the triple itself. Bound variables are
+    /// substituted into the probe mask; `f` must itself check positions
+    /// occupied by repeated variables — use
+    /// [`crate::reason::unify_pattern`] or [`Store::match_pattern`] when
+    /// full unification is wanted.
+    fn for_each_pattern_candidate(
+        &self,
+        pattern: &TriplePattern,
+        bindings: &[Option<Term>],
+        f: impl FnMut(Triple),
+    ) {
+        let resolve = |pt: PatternTerm| -> Option<Term> {
+            match pt {
+                PatternTerm::Ground(t) => Some(t),
+                PatternTerm::Var(v) => bindings.get(v.0 as usize).copied().flatten(),
+            }
+        };
+        self.for_each_match(
+            resolve(pattern.s),
+            resolve(pattern.p),
+            resolve(pattern.o),
+            f,
+        );
     }
 
     /// Matches a pattern under partial bindings, extending them per match.
@@ -192,14 +292,7 @@ impl Store {
         bindings: &[Option<Term>],
         mut sink: impl FnMut(Vec<Option<Term>>),
     ) {
-        let resolve = |pt: PatternTerm| -> Option<Term> {
-            match pt {
-                PatternTerm::Ground(t) => Some(t),
-                PatternTerm::Var(v) => bindings.get(v.0 as usize).copied().flatten(),
-            }
-        };
-        let (ms, mp, mo) = (resolve(pattern.s), resolve(pattern.p), resolve(pattern.o));
-        for triple in self.match_spo(ms, mp, mo) {
+        self.for_each_pattern_candidate(pattern, bindings, |triple| {
             let mut next = bindings.to_vec();
             let mut consistent = true;
             for (pt, actual) in [
@@ -221,7 +314,62 @@ impl Store {
             if consistent {
                 sink(next);
             }
-        }
+        });
+    }
+
+    /// In-place variant of [`Store::match_pattern`]: binds the pattern's
+    /// variables directly in `bindings`, calls `sink`, then restores the
+    /// previous state — no per-match allocation.
+    pub fn match_pattern_in_place(
+        &self,
+        pattern: &TriplePattern,
+        bindings: &mut Vec<Option<Term>>,
+        mut sink: impl FnMut(&mut Vec<Option<Term>>),
+    ) {
+        // The probe mask borrows `bindings` only to build three Options.
+        let resolve = |pt: PatternTerm, b: &[Option<Term>]| -> Option<Term> {
+            match pt {
+                PatternTerm::Ground(t) => Some(t),
+                PatternTerm::Var(v) => b.get(v.0 as usize).copied().flatten(),
+            }
+        };
+        let (ms, mp, mo) = (
+            resolve(pattern.s, bindings),
+            resolve(pattern.p, bindings),
+            resolve(pattern.o, bindings),
+        );
+        self.for_each_match(ms, mp, mo, |triple| {
+            let mut touched = [None::<u32>; 3];
+            let mut touched_len = 0;
+            let mut consistent = true;
+            for (pt, actual) in [
+                (pattern.s, triple.s),
+                (pattern.p, triple.p),
+                (pattern.o, triple.o),
+            ] {
+                if let PatternTerm::Var(v) = pt {
+                    let slot = &mut bindings[v.0 as usize];
+                    match slot {
+                        Some(existing) if *existing != actual => {
+                            consistent = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            *slot = Some(actual);
+                            touched[touched_len] = Some(v.0);
+                            touched_len += 1;
+                        }
+                    }
+                }
+            }
+            if consistent {
+                sink(bindings);
+            }
+            for idx in touched.iter().flatten() {
+                bindings[*idx as usize] = None;
+            }
+        });
     }
 }
 
@@ -297,6 +445,39 @@ mod tests {
     }
 
     #[test]
+    fn count_match_agrees_with_match_spo_on_every_mask() {
+        let f = fixture();
+        let choices = [None, Some(f.alice), Some(f.bob), Some(f.knows), Some(f.age)];
+        for s in choices {
+            for p in choices {
+                for o in choices {
+                    assert_eq!(
+                        f.store.count_match(s, p, o),
+                        f.store.match_spo(s, p, o).len(),
+                        "mask ({s:?} {p:?} {o:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cardinalities_track_inserts_and_removes() {
+        let mut f = fixture();
+        assert_eq!(f.store.subject_cardinality(f.alice), 2);
+        assert_eq!(f.store.predicate_cardinality(f.knows), 2);
+        assert_eq!(f.store.object_cardinality(f.bob), 1);
+        let t = Triple::new(f.alice, f.knows, f.bob);
+        f.store.remove(&t);
+        assert_eq!(f.store.subject_cardinality(f.alice), 1);
+        assert_eq!(f.store.predicate_cardinality(f.knows), 1);
+        assert_eq!(f.store.object_cardinality(f.bob), 0);
+        // Re-insert restores the counts.
+        f.store.insert(t);
+        assert_eq!(f.store.predicate_cardinality(f.knows), 2);
+    }
+
+    #[test]
     fn remove_cleans_indexes() {
         let mut f = fixture();
         let t = Triple::new(f.alice, f.knows, f.bob);
@@ -323,6 +504,27 @@ mod tests {
         let self_pat = TriplePattern::new(VarId(0), f.knows, VarId(0));
         let mut hits = 0;
         f.store.match_pattern(&self_pat, &[None], |_| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn in_place_matching_binds_and_restores() {
+        let f = fixture();
+        let pat = TriplePattern::new(VarId(0), f.knows, VarId(1));
+        let mut bindings = vec![None, None];
+        let mut seen = Vec::new();
+        f.store.match_pattern_in_place(&pat, &mut bindings, |b| {
+            seen.push((b[0], b[1]));
+        });
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|(a, b)| a.is_some() && b.is_some()));
+        // Bindings restored after iteration.
+        assert_eq!(bindings, vec![None, None]);
+        // Repeated-variable pattern must reject inconsistent triples.
+        let self_pat = TriplePattern::new(VarId(0), f.knows, VarId(0));
+        let mut hits = 0;
+        f.store
+            .match_pattern_in_place(&self_pat, &mut vec![None], |_| hits += 1);
         assert_eq!(hits, 0);
     }
 

@@ -4,10 +4,19 @@
 //! mirrors resource facts into an ontology graph so lookups can be
 //! *semantic* (class subsumption via the reasoner) rather than merely
 //! syntactic name matching (§3.3).
+//!
+//! Registration mirrors facts into a **pending-delta queue**; the first
+//! lookup after a batch of registrations flushes the queue through
+//! [`Reasoner::materialize_incremental`], so only the consequences of the
+//! new facts are derived instead of re-running the whole rule set over the
+//! whole graph. Arbitrary graph edits (including retraction via
+//! [`RegistryCenter::graph_mut`] or bulk ontology loads) fall back to a
+//! full re-materialization, since the incremental contract assumes the
+//! rest of the store is already closed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use mdagent_ontology::{axiom_rules, Graph, Reasoner};
+use mdagent_ontology::{axiom_rules, Graph, Reasoner, Term, Triple};
 use mdagent_simnet::SpaceId;
 
 use crate::matching::{MatchQuality, ResourceMatch};
@@ -40,7 +49,18 @@ pub struct RegistryCenter {
     resources: BTreeMap<String, ResourceRecord>,
     graph: Graph,
     reasoner: Reasoner,
-    dirty: bool,
+    /// Facts asserted since the last materialization, awaiting an
+    /// incremental flush.
+    pending: Vec<Triple>,
+    /// Set when the graph changed in ways the delta queue did not capture
+    /// (bulk loads, arbitrary edits, retraction); forces a full run.
+    needs_full: bool,
+    /// `sub → {super}` over every derived `rdfs:subClassOf` triple,
+    /// rebuilt after each materialization so `find_resources` does pure
+    /// hash lookups.
+    subclass_closure: Option<HashMap<Term, HashSet<Term>>>,
+    full_materializations: usize,
+    incremental_materializations: usize,
 }
 
 impl RegistryCenter {
@@ -58,7 +78,11 @@ impl RegistryCenter {
             resources: BTreeMap::new(),
             graph,
             reasoner,
-            dirty: false,
+            pending: Vec::new(),
+            needs_full: false,
+            subclass_closure: None,
+            full_materializations: 0,
+            incremental_materializations: 0,
         }
     }
 
@@ -87,18 +111,38 @@ impl RegistryCenter {
         self.applications.values()
     }
 
+    /// Asserts one named fact, queueing it for incremental derivation.
+    fn assert_fact(&mut self, s: &str, p: &str, o: &str) {
+        let t = Triple::new(self.graph.iri(s), self.graph.iri(p), self.graph.iri(o));
+        self.assert_triple(t);
+    }
+
+    /// Asserts a fact with an arbitrary object term.
+    fn assert_fact_with_object(&mut self, s: &str, p: &str, o: Term) {
+        let t = Triple::new(self.graph.iri(s), self.graph.iri(p), o);
+        self.assert_triple(t);
+    }
+
+    fn assert_triple(&mut self, t: Triple) {
+        if self.graph.add_triple(t) {
+            self.pending.push(t);
+        }
+    }
+
     /// Declares a `rdfs:subClassOf` axiom in this registry's ontology
     /// (e.g. `hpLaserJet ⊑ Printer`); future semantic lookups use it.
     pub fn declare_subclass(&mut self, class: &str, super_class: &str) {
-        self.graph.add(
+        self.assert_fact(
             class,
             mdagent_ontology::vocab::rdfs::SUB_CLASS_OF,
             super_class,
         );
-        self.dirty = true;
     }
 
     /// Loads Turtle-lite ontology text into the registry graph.
+    ///
+    /// Bulk loads bypass the delta queue, so the next lookup runs a full
+    /// materialization.
     ///
     /// # Errors
     ///
@@ -108,7 +152,8 @@ impl RegistryCenter {
         text: &str,
     ) -> Result<usize, mdagent_ontology::parser::ParseError> {
         let n = mdagent_ontology::parser::parse_triples(text, &mut self.graph)?;
-        self.dirty = true;
+        self.needs_full = true;
+        self.subclass_closure = None;
         Ok(n)
     }
 
@@ -117,27 +162,25 @@ impl RegistryCenter {
     /// markers and address).
     pub fn register_resource(&mut self, record: ResourceRecord) {
         use mdagent_ontology::vocab::{imcl, rdf};
-        self.graph.add(&record.name, rdf::TYPE, &record.class);
+        self.assert_fact(&record.name, rdf::TYPE, &record.class);
         let space_iri = format!("imcl:space-{}", record.space.0);
-        self.graph.add(&record.name, imcl::LOCATED_IN, &space_iri);
+        self.assert_fact(&record.name, imcl::LOCATED_IN, &space_iri);
         let marker = if record.transferable {
             imcl::TRANSFERABLE
         } else {
             imcl::UNTRANSFERABLE
         };
-        self.graph.add(&record.name, rdf::TYPE, marker);
+        self.assert_fact(&record.name, rdf::TYPE, marker);
         let marker = if record.substitutable {
             imcl::SUBSTITUTABLE
         } else {
             imcl::UNSUBSTITUTABLE
         };
-        self.graph.add(&record.name, rdf::TYPE, marker);
+        self.assert_fact(&record.name, rdf::TYPE, marker);
         if !record.address.is_empty() {
             let addr = self.graph.str_lit(&record.address);
-            self.graph
-                .add_with_object(&record.name, imcl::ADDRESS, addr);
+            self.assert_fact_with_object(&record.name, imcl::ADDRESS, addr);
         }
-        self.dirty = true;
         self.resources.insert(record.name.clone(), record);
     }
 
@@ -156,11 +199,35 @@ impl RegistryCenter {
         self.resources.values()
     }
 
-    /// Runs the reasoner if new facts arrived since the last run.
+    /// Number of full materialization runs so far.
+    pub fn full_materializations(&self) -> usize {
+        self.full_materializations
+    }
+
+    /// Number of incremental (delta-driven) materialization runs so far.
+    pub fn incremental_materializations(&self) -> usize {
+        self.incremental_materializations
+    }
+
+    /// Brings the graph up to date: a full reasoner run if un-tracked
+    /// edits happened, an incremental run if only queued facts arrived,
+    /// nothing if neither. Rebuilds the subclass-closure cache as needed.
     fn ensure_materialized(&mut self) {
-        if self.dirty {
+        if self.needs_full {
+            self.pending.clear();
             self.reasoner.materialize(&mut self.graph);
-            self.dirty = false;
+            self.full_materializations += 1;
+            self.needs_full = false;
+            self.subclass_closure = None;
+        } else if !self.pending.is_empty() {
+            let delta = std::mem::take(&mut self.pending);
+            self.reasoner
+                .materialize_incremental(&mut self.graph, delta);
+            self.incremental_materializations += 1;
+            self.subclass_closure = None;
+        }
+        if self.subclass_closure.is_none() {
+            self.subclass_closure = Some(build_subclass_closure(&self.graph));
         }
     }
 
@@ -172,22 +239,28 @@ impl RegistryCenter {
     /// resource marked substitutable whose class shares the requirement
     /// only through substitution still matches, ranked last.
     pub fn find_resources(&mut self, required_class: &str) -> Vec<ResourceMatch> {
-        use mdagent_ontology::vocab::rdfs;
         self.ensure_materialized();
+        let closure = self
+            .subclass_closure
+            .as_ref()
+            .expect("closure built by ensure_materialized");
+        let required = self.graph.try_iri(required_class);
+        let is_subclass = |sub: Option<Term>, sup: Option<Term>| -> bool {
+            let (Some(sub), Some(sup)) = (sub, sup) else {
+                return false;
+            };
+            closure
+                .get(&sub)
+                .is_some_and(|supers| supers.contains(&sup))
+        };
         let mut out = Vec::new();
         for record in self.resources.values() {
+            let class = self.graph.try_iri(&record.class);
             let quality = if record.class == required_class {
                 Some(MatchQuality::Exact)
-            } else if self
-                .graph
-                .contains(&record.class, rdfs::SUB_CLASS_OF, required_class)
-            {
+            } else if is_subclass(class, required) {
                 Some(MatchQuality::Subsumed)
-            } else if record.substitutable
-                && self
-                    .graph
-                    .contains(required_class, rdfs::SUB_CLASS_OF, &record.class)
-            {
+            } else if record.substitutable && is_subclass(required, class) {
                 // The requirement is more specific than what we have, but
                 // the resource is declared an acceptable stand-in.
                 Some(MatchQuality::Substitutable)
@@ -227,11 +300,27 @@ impl RegistryCenter {
         &self.graph
     }
 
-    /// Mutable access to the ontology graph (marks it dirty).
+    /// Mutable access to the ontology graph. Edits made through this
+    /// handle are not delta-tracked (they may include retractions), so the
+    /// next lookup runs a full re-materialization.
     pub fn graph_mut(&mut self) -> &mut Graph {
-        self.dirty = true;
+        self.needs_full = true;
+        self.subclass_closure = None;
         &mut self.graph
     }
+}
+
+/// Collects every `(sub, super)` pair of the materialized
+/// `rdfs:subClassOf` relation into a hash map for O(1) subsumption checks.
+fn build_subclass_closure(graph: &Graph) -> HashMap<Term, HashSet<Term>> {
+    let mut closure: HashMap<Term, HashSet<Term>> = HashMap::new();
+    let Some(p) = graph.try_iri(mdagent_ontology::vocab::rdfs::SUB_CLASS_OF) else {
+        return closure;
+    };
+    graph.store().for_each_match(None, Some(p), None, |t| {
+        closure.entry(t.s).or_default().insert(t.o);
+    });
+    closure
 }
 
 #[cfg(test)]
@@ -374,5 +463,139 @@ mod tests {
         ));
         assert_eq!(c.find_resources("imcl:Printer").len(), 1);
         assert!(c.load_ontology("garbage {{{").is_err());
+    }
+
+    #[test]
+    fn single_registration_runs_incremental_path() {
+        let mut c = center();
+        c.find_resources("imcl:Printer"); // flush the initial batch
+        let full_before = c.full_materializations();
+        let inc_before = c.incremental_materializations();
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-new",
+            "imcl:hpLaserJet",
+            SpaceId(0),
+            HostId(3),
+        ));
+        let matches = c.find_resources("imcl:Printer");
+        assert!(matches.iter().any(|m| m.resource.name == "imcl:prn-new"));
+        assert_eq!(
+            c.incremental_materializations(),
+            inc_before + 1,
+            "one registration flushes through the incremental path"
+        );
+        assert_eq!(
+            c.full_materializations(),
+            full_before,
+            "no full re-materialization for a tracked delta"
+        );
+    }
+
+    #[test]
+    fn one_at_a_time_equals_batch_registration() {
+        let records = |space| {
+            vec![
+                ResourceRecord::new("imcl:prn-a", "imcl:hpLaserJet", space, HostId(0))
+                    .address("host-0:9100"),
+                ResourceRecord::new("imcl:prn-b", "imcl:Printer", space, HostId(1)),
+                ResourceRecord::new("imcl:scn-a", "imcl:Scanner", space, HostId(1))
+                    .substitutable(true),
+            ]
+        };
+        let mut stepwise = RegistryCenter::new(SpaceId(0));
+        let mut batch = RegistryCenter::new(SpaceId(0));
+        for c in [&mut stepwise, &mut batch] {
+            c.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+            c.declare_subclass("imcl:Printer", "imcl:Resource");
+            c.declare_subclass("imcl:Scanner", "imcl:Resource");
+        }
+        // Stepwise: materialize between every registration.
+        for r in records(SpaceId(0)) {
+            stepwise.register_resource(r);
+            stepwise.find_resources("imcl:Resource");
+        }
+        // Batch: register everything, then materialize once.
+        for r in records(SpaceId(0)) {
+            batch.register_resource(r);
+        }
+        for class in ["imcl:Resource", "imcl:Printer", "imcl:hpLaserJet"] {
+            let a: Vec<_> = stepwise
+                .find_resources(class)
+                .into_iter()
+                .map(|m| (m.resource.name.clone(), m.quality))
+                .collect();
+            let b: Vec<_> = batch
+                .find_resources(class)
+                .into_iter()
+                .map(|m| (m.resource.name.clone(), m.quality))
+                .collect();
+            assert_eq!(a, b, "lookup for {class}");
+        }
+        // The derived graphs agree triple-for-triple.
+        let rendered = |c: &RegistryCenter| {
+            let mut v: Vec<String> = c
+                .graph()
+                .store()
+                .iter()
+                .map(|t| t.display(c.graph().interner()).to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(rendered(&stepwise), rendered(&batch));
+        assert!(stepwise.incremental_materializations() > batch.incremental_materializations());
+    }
+
+    #[test]
+    fn retraction_resets_delta_state_and_forces_full_run() {
+        use mdagent_ontology::vocab::rdfs;
+        let mut c = center();
+        c.find_resources("imcl:Printer");
+        let full_before = c.full_materializations();
+        // Retract the subclass axiom through the untracked handle.
+        let g = c.graph_mut();
+        let sub = g.try_iri("imcl:hpLaserJet").unwrap();
+        let p = g.try_iri(rdfs::SUB_CLASS_OF).unwrap();
+        let sup = g.try_iri("imcl:Printer").unwrap();
+        assert!(g.store_mut().remove(&Triple::new(sub, p, sup)));
+        // A queued registration after the retraction must not sneak
+        // through the incremental path.
+        let inc_before = c.incremental_materializations();
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-late",
+            "imcl:hpLaserJet",
+            SpaceId(0),
+            HostId(4),
+        ));
+        c.find_resources("imcl:Printer");
+        assert_eq!(c.full_materializations(), full_before + 1);
+        assert_eq!(c.incremental_materializations(), inc_before);
+        // After the full run the delta queue works again.
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-later",
+            "imcl:Printer",
+            SpaceId(0),
+            HostId(5),
+        ));
+        c.find_resources("imcl:Printer");
+        assert_eq!(c.incremental_materializations(), inc_before + 1);
+        assert_eq!(c.full_materializations(), full_before + 1);
+    }
+
+    #[test]
+    fn subclass_cache_reflects_new_axioms() {
+        let mut c = RegistryCenter::new(SpaceId(0));
+        c.register_resource(ResourceRecord::new(
+            "imcl:dev",
+            "imcl:Gadget",
+            SpaceId(0),
+            HostId(0),
+        ));
+        assert!(c.find_resources("imcl:Device").is_empty());
+        // A later axiom must invalidate the cached closure.
+        c.declare_subclass("imcl:Gadget", "imcl:Device");
+        let matches = c.find_resources("imcl:Device");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].quality, MatchQuality::Subsumed);
     }
 }

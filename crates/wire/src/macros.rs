@@ -24,9 +24,15 @@
 /// assert_eq!(back, state);
 /// # Ok::<(), mdagent_wire::WireError>(())
 /// ```
+/// The `skip { ... }` form lists fields that do not travel on the wire
+/// (caches, memos): they are omitted from encoding and re-created with
+/// [`Default::default`] on decode.
 #[macro_export]
 macro_rules! impl_wire_struct {
     ($ty:ident { $($field:ident),+ $(,)? }) => {
+        $crate::impl_wire_struct!($ty { $($field),+ } skip {});
+    };
+    ($ty:ident { $($field:ident),+ $(,)? } skip { $($cache:ident),* $(,)? }) => {
         impl $crate::Wire for $ty {
             fn encode(&self, buf: &mut $crate::bytes::BytesMut) {
                 $( $crate::Wire::encode(&self.$field, buf); )+
@@ -34,6 +40,7 @@ macro_rules! impl_wire_struct {
             fn decode(reader: &mut $crate::Reader<'_>) -> ::std::result::Result<Self, $crate::WireError> {
                 Ok($ty {
                     $( $field: $crate::Wire::decode(reader)?, )+
+                    $( $cache: ::std::default::Default::default(), )*
                 })
             }
             fn encoded_len(&self) -> usize {
