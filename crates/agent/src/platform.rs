@@ -4,7 +4,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use mdagent_simnet::{
-    HostId, MetricsRegistry, SimDuration, Simulator, Topology, Trace, TraceCategory,
+    HostId, MetricsRegistry, SimDuration, Simulator, Telemetry, Topology, Trace, TraceCategory,
+    TraceEvent,
 };
 
 use crate::acl::AclMessage;
@@ -34,6 +35,8 @@ pub struct PlatformEnv {
     pub metrics: MetricsRegistry,
     /// Narrative event log.
     pub trace: Trace,
+    /// Span collector for causal profiling (migrations, AA decisions).
+    pub telemetry: Telemetry,
 }
 
 impl PlatformEnv {
@@ -43,6 +46,7 @@ impl PlatformEnv {
             topology,
             metrics: MetricsRegistry::new(),
             trace: Trace::new(),
+            telemetry: Telemetry::new(),
         }
     }
 }
@@ -273,7 +277,7 @@ impl<W: PlatformHost> Platform<W> {
                 type_name,
             },
         );
-        world.env_mut().metrics.incr("platform.spawned");
+        world.env_mut().metrics.incr_static("platform.spawned");
         let started = id.clone();
         sim.schedule_now(move |w, sim| {
             Self::invoke(w, sim, &started, |agent, cx| {
@@ -305,7 +309,7 @@ impl<W: PlatformHost> Platform<W> {
                     match world.env().topology.transfer_time(a, b, bytes) {
                         Ok(t) => t + REMOTE_OVERHEAD,
                         Err(_) => {
-                            world.env_mut().metrics.incr("acl.no_route");
+                            world.env_mut().metrics.incr_static("acl.no_route");
                             return;
                         }
                     }
@@ -315,11 +319,11 @@ impl<W: PlatformHost> Platform<W> {
                 _ => LOCAL_DELIVERY,
             }
         };
-        world.env_mut().metrics.incr("acl.sent");
-        world
-            .env_mut()
-            .metrics
-            .incr_by("acl.bytes_sent", msg.wire_len() as u64);
+        let env = world.env_mut();
+        env.metrics.incr_static("acl.sent");
+        env.metrics
+            .incr_by_static("acl.bytes_sent", msg.wire_len() as u64);
+        env.metrics.observe_hist_static("acl.delivery_delay", delay);
         // In-order delivery per channel: a message never overtakes an
         // earlier one between the same endpoints (TCP semantics, as in
         // JADE's message transport).
@@ -347,6 +351,7 @@ impl<W: PlatformHost> Platform<W> {
         }
         let receiver = msg.receiver.clone();
         let mut pending = Some(msg);
+        let mut inbox_depth = 0usize;
         let disposition = match world.platform_mut().agents.get_mut(&receiver) {
             None => Disposition::Dead,
             Some(slot) => match slot.state {
@@ -356,16 +361,25 @@ impl<W: PlatformHost> Platform<W> {
                 | LifecycleState::Initiated => {
                     slot.buffer
                         .push_back(pending.take().expect("message present"));
+                    inbox_depth = slot.buffer.len();
                     Disposition::Buffered
                 }
                 LifecycleState::Active => Disposition::Ready,
             },
         };
         match disposition {
-            Disposition::Dead => world.env_mut().metrics.incr("acl.dead_letter"),
-            Disposition::Buffered => world.env_mut().metrics.incr("acl.buffered"),
+            Disposition::Dead => world.env_mut().metrics.incr_static("acl.dead_letter"),
+            Disposition::Buffered => {
+                let env = world.env_mut();
+                env.metrics.incr_static("acl.buffered");
+                env.metrics.set_gauge_static(
+                    "platform.inbox_depth",
+                    &receiver.to_string(),
+                    inbox_depth as u64,
+                );
+            }
             Disposition::Ready => {
-                world.env_mut().metrics.incr("acl.delivered");
+                world.env_mut().metrics.incr_static("acl.delivered");
                 let msg = pending.take().expect("message present");
                 Self::invoke(world, sim, &receiver, |agent, cx| {
                     agent.on_message(&msg, cx);
@@ -554,16 +568,19 @@ impl<W: PlatformHost> Platform<W> {
             .expect("slot exists");
         slot.state = LifecycleState::InTransit;
         slot.agent = None;
-        world.env_mut().metrics.incr("platform.moves");
-        world
-            .env_mut()
-            .metrics
-            .incr_by("platform.move_bytes", bytes);
+        let env = world.env_mut();
+        env.metrics.incr_static("platform.moves");
+        env.metrics.incr_by_static("platform.move_bytes", bytes);
         let now = sim.now();
-        world.env_mut().trace.record(
+        env.trace.record_event(
             now,
             TraceCategory::Agent,
-            format!("MA check-out: {id} leaves {src} for {dest} carrying {bytes} bytes"),
+            TraceEvent::CheckOut {
+                agent: id.to_string(),
+                src: src.to_string(),
+                dest: dest.to_string(),
+                bytes,
+            },
         );
 
         let id = id.clone();
@@ -638,16 +655,19 @@ impl<W: PlatformHost> Platform<W> {
             .transfer_time(src_host, dst_host, bytes)
             .map_err(|_| AgentError::NoRoute(src, dest))?;
         let total = MIGRATION_SETUP + transfer;
-        world.env_mut().metrics.incr("platform.clones");
-        world
-            .env_mut()
-            .metrics
-            .incr_by("platform.clone_bytes", bytes);
+        let env = world.env_mut();
+        env.metrics.incr_static("platform.clones");
+        env.metrics.incr_by_static("platform.clone_bytes", bytes);
         let now = sim.now();
-        world.env_mut().trace.record(
+        env.trace.record_event(
             now,
             TraceCategory::Agent,
-            format!("MA clone: {id} dispatches {clone_id} to {dest} carrying {bytes} bytes"),
+            TraceEvent::CloneDispatch {
+                agent: id.to_string(),
+                clone: clone_id.to_string(),
+                dest: dest.to_string(),
+                bytes,
+            },
         );
         // Pre-create the clone slot so messages sent to it meanwhile buffer.
         world.platform_mut().agents.insert(
@@ -698,12 +718,16 @@ impl<W: PlatformHost> Platform<W> {
                 // Reconstruction failure: the agent is lost; surface loudly.
                 let slot = platform.agents.get_mut(id).expect("slot exists");
                 slot.state = LifecycleState::Deleted;
-                world.env_mut().metrics.incr("platform.checkin_failures");
+                let env = world.env_mut();
+                env.metrics.incr_static("platform.checkin_failures");
                 let now = sim.now();
-                world.env_mut().trace.record(
+                env.trace.record_event(
                     now,
                     TraceCategory::Agent,
-                    format!("MA check-in FAILED for {id} at {dest}"),
+                    TraceEvent::CheckInFailed {
+                        agent: id.to_string(),
+                        dest: dest.to_string(),
+                    },
                 );
             }
             Ok(agent) => {
@@ -712,10 +736,13 @@ impl<W: PlatformHost> Platform<W> {
                 slot.container = dest;
                 slot.state = LifecycleState::Active;
                 let now = sim.now();
-                world.env_mut().trace.record(
+                world.env_mut().trace.record_event(
                     now,
                     TraceCategory::Agent,
-                    format!("MA check-in: {id} arrives at {dest}"),
+                    TraceEvent::CheckIn {
+                        agent: id.to_string(),
+                        dest: dest.to_string(),
+                    },
                 );
                 let journey = if cloned {
                     Journey::Cloned { from }
@@ -730,19 +757,25 @@ impl<W: PlatformHost> Platform<W> {
 
     fn flush_buffer(world: &mut W, sim: &mut Simulator<W>, id: &AgentId) {
         loop {
-            let msg = {
+            let (msg, depth) = {
                 let Some(slot) = world.platform_mut().agents.get_mut(id) else {
                     return;
                 };
                 if slot.state != LifecycleState::Active {
                     return;
                 }
-                slot.buffer.pop_front()
+                (slot.buffer.pop_front(), slot.buffer.len())
             };
             match msg {
                 None => return,
                 Some(msg) => {
-                    world.env_mut().metrics.incr("acl.delivered");
+                    let env = world.env_mut();
+                    env.metrics.incr_static("acl.delivered");
+                    env.metrics.set_gauge_static(
+                        "platform.inbox_depth",
+                        &id.to_string(),
+                        depth as u64,
+                    );
                     Self::invoke(world, sim, id, |agent, cx| agent.on_message(&msg, cx));
                 }
             }
@@ -792,7 +825,10 @@ impl<W: PlatformHost> Platform<W> {
                 Some(PendingOp::Kill) => Self::kill(world, id),
                 Some(PendingOp::Move { dest, extra }) => {
                     if let Err(e) = Self::move_agent(world, sim, id, dest, extra) {
-                        world.env_mut().metrics.incr("platform.pending_move_failed");
+                        world
+                            .env_mut()
+                            .metrics
+                            .incr_static("platform.pending_move_failed");
                         let now = sim.now();
                         world.env_mut().trace.record(
                             now,
@@ -811,7 +847,7 @@ impl<W: PlatformHost> Platform<W> {
                         world
                             .env_mut()
                             .metrics
-                            .incr("platform.pending_clone_failed");
+                            .incr_static("platform.pending_clone_failed");
                         let now = sim.now();
                         world.env_mut().trace.record(
                             now,

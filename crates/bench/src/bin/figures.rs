@@ -1,18 +1,49 @@
 //! Prints every reproduced figure of the paper plus the ablations.
 //!
 //! ```text
-//! cargo run -p mdagent-bench --bin figures            # everything
-//! cargo run -p mdagent-bench --bin figures -- fig8    # one figure
+//! cargo run -p mdagent-bench --bin figures                    # everything
+//! cargo run -p mdagent-bench --bin figures -- fig8            # one figure
+//! cargo run -p mdagent-bench --bin figures -- trace follow-me # span export
 //! ```
 
 use mdagent_bench::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
-    bench_reasoning_json, fig10_comparative, fig8_adaptive, fig9_static,
+    bench_observability_json, bench_reasoning_json, fig10_comparative, fig8_adaptive, fig9_static,
+    trace_scenario, TRACE_SCENARIOS,
 };
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let want = |key: &str| filter.is_empty() || filter.iter().any(|f| f == key);
+
+    // Scenario trace export: writes TRACE_<scenario>.jsonl plus a Chrome
+    // trace-event document loadable in Perfetto / chrome://tracing.
+    if let Some(pos) = filter.iter().position(|f| f == "trace") {
+        let scenario = filter
+            .get(pos + 1)
+            .map(String::as_str)
+            .unwrap_or("follow-me");
+        let Some(artifacts) = trace_scenario(scenario) else {
+            eprintln!("unknown trace scenario {scenario:?}; known: {TRACE_SCENARIOS:?}");
+            std::process::exit(2);
+        };
+        let jsonl_path = format!("TRACE_{scenario}.jsonl");
+        let chrome_path = format!("TRACE_{scenario}.chrome.json");
+        for (path, body) in [
+            (&jsonl_path, &artifacts.jsonl),
+            (&chrome_path, &artifacts.chrome),
+        ] {
+            match std::fs::write(path, body) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("{}", artifacts.summary);
+        return;
+    }
 
     // Wall-clock engine benchmark: explicit opt-in only (the naive
     // reference takes minutes at the top sizes).
@@ -22,6 +53,19 @@ fn main() {
         match std::fs::write("BENCH_reasoning.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_reasoning.json"),
             Err(e) => eprintln!("could not write BENCH_reasoning.json: {e}"),
+        }
+        if filter.len() == 1 {
+            return;
+        }
+    }
+
+    // Telemetry overhead guardrail: explicit opt-in only (wall-clock).
+    if filter.iter().any(|f| f == "bench-observability") {
+        let json = bench_observability_json();
+        print!("{json}");
+        match std::fs::write("BENCH_observability.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_observability.json"),
+            Err(e) => eprintln!("could not write BENCH_observability.json: {e}"),
         }
         if filter.len() == 1 {
             return;

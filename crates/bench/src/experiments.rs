@@ -30,6 +30,21 @@ pub struct FollowMeResult {
 ///
 /// Panics on scenario construction failures (the topology is static).
 pub fn run_follow_me(policy: BindingPolicy, file_bytes: usize) -> FollowMeResult {
+    run_follow_me_observed(policy, file_bytes, true).0
+}
+
+/// [`run_follow_me`] with span collection optionally disabled (the
+/// observability overhead guardrail runs both modes). Returns the result
+/// plus the number of telemetry spans recorded — zero when disabled.
+///
+/// # Panics
+///
+/// Panics on scenario construction failures (the topology is static).
+pub fn run_follow_me_observed(
+    policy: BindingPolicy,
+    file_bytes: usize,
+    telemetry: bool,
+) -> (FollowMeResult, usize) {
     let mut b = Middleware::builder();
     let room_a = b.space("room-a");
     let room_b = b.space("room-b");
@@ -40,6 +55,9 @@ pub fn run_follow_me(policy: BindingPolicy, file_bytes: usize) -> FollowMeResult
         .expect("link");
     b.seed(1);
     let (mut world, mut sim) = b.build();
+    if !telemetry {
+        world.set_telemetry(mdagent_simnet::Telemetry::disabled());
+    }
 
     let app = Middleware::deploy_app(
         &mut world,
@@ -93,7 +111,8 @@ pub fn run_follow_me(policy: BindingPolicy, file_bytes: usize) -> FollowMeResult
         .last()
         .expect("one migration recorded")
         .clone();
-    FollowMeResult { report }
+    let spans = world.telemetry().spans().len();
+    (FollowMeResult { report }, spans)
 }
 
 fn size_label(mb: f64) -> String {

@@ -12,11 +12,17 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observe;
 pub mod table;
 
 pub use experiments::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
     bench_reasoning_json, bench_reasoning_rows, fig10_comparative, fig8_adaptive, fig9_static,
-    run_clone_fanout, run_follow_me, FollowMeResult, ReasoningBenchRow, PAPER_FILE_SIZES_MB,
+    run_clone_fanout, run_follow_me, run_follow_me_observed, FollowMeResult, ReasoningBenchRow,
+    PAPER_FILE_SIZES_MB,
+};
+pub use observe::{
+    bench_observability, bench_observability_json, trace_scenario, ObservabilityBench,
+    TraceArtifacts, TRACE_SCENARIOS,
 };
 pub use table::{Figure, Row};

@@ -1,0 +1,323 @@
+//! Observability artifacts: end-to-end scenario traces (JSONL + Chrome
+//! trace-event JSON for Perfetto/`chrome://tracing`) and the telemetry
+//! overhead guardrail behind `BENCH_observability.json`.
+
+use mdagent_context::{BadgeId, ContextData, UserId};
+use mdagent_core::{
+    AutonomousAgent, BindingPolicy, Component, ComponentKind, DeviceProfile, Middleware,
+    UserProfile,
+};
+use mdagent_simnet::{CpuFactor, SimDuration, SimTime, Telemetry};
+
+use crate::experiments::run_follow_me_observed;
+
+/// Scenario names accepted by [`trace_scenario`].
+pub const TRACE_SCENARIOS: [&str; 2] = ["follow-me", "clone"];
+
+/// The exported artifacts of one traced scenario run.
+#[derive(Debug, Clone)]
+pub struct TraceArtifacts {
+    /// Scenario name as passed to [`trace_scenario`].
+    pub scenario: String,
+    /// One JSON object per line: every span, then every trace event.
+    pub jsonl: String,
+    /// Chrome trace-event document (open in Perfetto or `chrome://tracing`).
+    pub chrome: String,
+    /// One-line human summary of what was captured.
+    pub summary: String,
+}
+
+/// Runs the named scenario with telemetry enabled and exports its spans
+/// and trace events. Returns `None` for unknown scenario names (see
+/// [`TRACE_SCENARIOS`]).
+pub fn trace_scenario(name: &str) -> Option<TraceArtifacts> {
+    let world = match name {
+        "follow-me" => trace_follow_me(),
+        "clone" => trace_clone(),
+        _ => return None,
+    };
+    let tel = world.telemetry();
+    let migrations = tel.spans_named("migration").count();
+    let decisions = tel.spans_named("aa.decision").count();
+    let summary = format!(
+        "{}: {} span(s), {} migration(s), {} AA decision(s), {} trace event(s)",
+        name,
+        tel.spans().len(),
+        migrations,
+        decisions,
+        world.trace().entries().len(),
+    );
+    Some(TraceArtifacts {
+        scenario: name.to_owned(),
+        jsonl: tel.export_jsonl(world.trace()),
+        chrome: tel.export_chrome(world.trace()),
+        summary,
+    })
+}
+
+/// An AA-driven follow-me tour: the user walks office → lab → studio and
+/// the autonomous agent reasons about and migrates the application behind
+/// them. Exercises AA decision spans (with reasoner stats) and full
+/// migration span trees.
+fn trace_follow_me() -> Middleware {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let lab = b.space("lab");
+    let studio = b.space("studio");
+    let pc0 = b.host("pc0", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pc1 = b.host("pc1", lab, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pc2 = b.host("pc2", studio, CpuFactor::REFERENCE, DeviceProfile::pc);
+    b.gateway(pc0, pc1).expect("gateway");
+    b.gateway(pc1, pc2).expect("gateway");
+    b.seed(11);
+    let (mut world, mut sim) = b.build();
+    world.attach_user(UserProfile::new(UserId(0)), BadgeId(0), office, 2.0);
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "smart-media-player",
+        pc0,
+        [
+            Component::synthetic("codec", ComponentKind::Logic, 180_000),
+            Component::synthetic("player-ui", ComponentKind::Presentation, 60_000),
+            Component::synthetic("music-file", ComponentKind::Data, 2_000_000),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    let aa = AutonomousAgent::new(UserId(0), app, BindingPolicy::Adaptive);
+    Middleware::spawn_autonomous_agent(&mut world, &mut sim, pc0, aa).expect("aa");
+    Middleware::start_sensing(&mut world, &mut sim);
+    sim.run_until(&mut world, SimTime::from_secs(2));
+    for space in [lab, studio] {
+        world.move_user(BadgeId(0), space, 2.0);
+        let deadline = sim.now() + SimDuration::from_secs(15);
+        // run_until, not run: the sensing loop reschedules itself forever.
+        sim.run_until(&mut world, deadline);
+    }
+    world
+}
+
+/// A clone-dispatch lecture: the speaker indicates "dispatch to the lab"
+/// and the manual-only AA clones the slide show there. Exercises the
+/// clone-side migration span handoff and replica trace events.
+fn trace_clone() -> Middleware {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let lab = b.space("lab");
+    let pc0 = b.host(
+        "speaker-pc",
+        office,
+        CpuFactor::REFERENCE,
+        DeviceProfile::pc,
+    );
+    let pc1 = b.host("lab-pc", lab, CpuFactor::REFERENCE, DeviceProfile::pc);
+    b.gateway(pc0, pc1).expect("gateway");
+    b.seed(12);
+    let (mut world, mut sim) = b.build();
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "ubiquitous-slide-show",
+        pc0,
+        [
+            Component::synthetic("impress-logic", ComponentKind::Logic, 400_000),
+            Component::synthetic("impress-ui", ComponentKind::Presentation, 150_000),
+            Component::synthetic("slides", ComponentKind::Data, 1_200_000),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    world
+        .provision(
+            pc1,
+            "ubiquitous-slide-show",
+            [
+                Component::synthetic("impress-logic", ComponentKind::Logic, 400_000),
+                Component::synthetic("impress-ui", ComponentKind::Presentation, 150_000),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .expect("provision");
+    let aa = AutonomousAgent::new(UserId(0), app, BindingPolicy::Adaptive).manual_only();
+    Middleware::spawn_autonomous_agent(&mut world, &mut sim, pc0, aa).expect("aa");
+    sim.run_until(&mut world, SimTime::from_secs(1));
+    Middleware::publish_context(
+        &mut world,
+        &mut sim,
+        ContextData::UserIndication {
+            user: UserId(0),
+            command: "dispatch".into(),
+            args: vec![lab.0.to_string()],
+        },
+    );
+    sim.run(&mut world);
+    world
+}
+
+/// Telemetry overhead on the Fig. 8 sweep, enabled vs.
+/// [`Telemetry::disabled`], plus the per-operation cost of disabled-mode
+/// instrumentation calls.
+#[derive(Debug, Clone)]
+pub struct ObservabilityBench {
+    /// Wall-clock of the full Fig. 8 adaptive sweep with spans collected.
+    pub enabled_ms: f64,
+    /// Wall-clock of the same sweep with a disabled collector.
+    pub disabled_ms: f64,
+    /// Spans recorded across the sweep with telemetry enabled.
+    pub spans_enabled: usize,
+    /// Spans recorded with telemetry disabled (must be zero).
+    pub spans_disabled: usize,
+    /// Mean nanoseconds per disabled-mode `start`/`attr`/`end` call.
+    pub disabled_ns_per_op: f64,
+}
+
+impl ObservabilityBench {
+    /// Enabled-over-disabled wall-clock overhead in percent (noisy on a
+    /// shared machine; informational, not asserted).
+    pub fn overhead_percent(&self) -> f64 {
+        if self.disabled_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.enabled_ms - self.disabled_ms) / self.disabled_ms * 100.0
+    }
+}
+
+/// Runs the observability overhead guardrail: the Fig. 8 adaptive sweep
+/// at a fixed payload, once with spans collected and once with a disabled
+/// collector, plus a tight loop over disabled-mode instrumentation calls.
+pub fn bench_observability() -> ObservabilityBench {
+    use std::hint::black_box;
+    use std::time::Instant;
+    // One mid-sweep payload per mode is enough for a guardrail; the full
+    // sweep is the figure generator's job.
+    const PAYLOAD: usize = 4_300_000;
+    const REPS: usize = 3;
+
+    let mut enabled_ms = 0.0;
+    let mut disabled_ms = 0.0;
+    let mut spans_enabled = 0;
+    let mut spans_disabled = 0;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let (_, spans) = run_follow_me_observed(BindingPolicy::Adaptive, PAYLOAD, true);
+        enabled_ms += t.elapsed().as_secs_f64() * 1e3;
+        spans_enabled += spans;
+        let t = Instant::now();
+        let (_, spans) = run_follow_me_observed(BindingPolicy::Adaptive, PAYLOAD, false);
+        disabled_ms += t.elapsed().as_secs_f64() * 1e3;
+        spans_disabled += spans;
+    }
+
+    let mut tel = Telemetry::disabled();
+    const OPS: u32 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..OPS {
+        let id = black_box(&mut tel).start("noop", None, SimTime::ZERO);
+        tel.attr(id, "i", u64::from(i));
+        tel.end(id, SimTime::ZERO);
+    }
+    // Three instrumentation calls per iteration.
+    let disabled_ns_per_op = t.elapsed().as_nanos() as f64 / f64::from(OPS) / 3.0;
+    assert!(tel.spans().is_empty(), "disabled collector must stay empty");
+
+    ObservabilityBench {
+        enabled_ms,
+        disabled_ms,
+        spans_enabled,
+        spans_disabled,
+        disabled_ns_per_op,
+    }
+}
+
+/// Renders [`bench_observability`] as the machine-readable
+/// `BENCH_observability.json` document.
+pub fn bench_observability_json() -> String {
+    let b = bench_observability();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mdagent-bench/observability/v1\",\n");
+    out.push_str(
+        "  \"command\": \"cargo run --release -p mdagent-bench --bin figures -- bench-observability\",\n",
+    );
+    out.push_str(
+        "  \"note\": \"fig8-shaped follow-me runs, telemetry enabled vs Telemetry::disabled(); \
+         wall-clock ms is environment-noisy, disabled_ns_per_op is the instrumentation floor\",\n",
+    );
+    out.push_str(&format!(
+        "  \"enabled\": {{\"wall_ms\": {:.3}, \"spans\": {}}},\n",
+        b.enabled_ms, b.spans_enabled
+    ));
+    out.push_str(&format!(
+        "  \"disabled\": {{\"wall_ms\": {:.3}, \"spans\": {}}},\n",
+        b.disabled_ms, b.spans_disabled
+    ));
+    out.push_str(&format!(
+        "  \"overhead_percent\": {:.2},\n",
+        b.overhead_percent()
+    ));
+    out.push_str(&format!(
+        "  \"disabled_ns_per_op\": {:.2}\n",
+        b.disabled_ns_per_op
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follow_me_trace_has_full_span_tree() {
+        let art = trace_scenario("follow-me").expect("known scenario");
+        // The JSONL carries every migration phase child and an AA decision
+        // with nonzero reasoner stats.
+        for needle in [
+            "\"name\":\"migration\"",
+            "\"name\":\"migration.suspend\"",
+            "\"name\":\"migration.wrap\"",
+            "\"name\":\"migration.migrate\"",
+            "\"name\":\"migration.rebind\"",
+            "\"name\":\"migration.resume\"",
+            "\"name\":\"aa.decision\"",
+            "\"name\":\"aa.reason\"",
+            "\"rounds\":",
+        ] {
+            assert!(art.jsonl.contains(needle), "JSONL missing {needle}");
+        }
+        assert!(!art.jsonl.contains("\"rounds\":0"), "stats must be nonzero");
+        // Chrome document shape.
+        assert!(art.chrome.starts_with("{\"displayTimeUnit\":\"ms\""));
+        assert!(art.chrome.contains("\"ph\":\"X\""));
+        assert!(art.chrome.ends_with("]}\n") || art.chrome.ends_with("]}"));
+    }
+
+    #[test]
+    fn clone_trace_hands_span_to_replica() {
+        let art = trace_scenario("clone").expect("known scenario");
+        assert!(art.jsonl.contains("\"name\":\"migration\""));
+        assert!(art.jsonl.contains("replica_installed"));
+        assert!(art.jsonl.contains("replica_running"));
+        assert!(trace_scenario("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn observability_guardrail_holds() {
+        let b = bench_observability();
+        assert_eq!(b.spans_disabled, 0, "disabled mode must record nothing");
+        assert!(b.spans_enabled > 0, "enabled mode must record spans");
+        // Disabled-mode calls are a branch on a bool; leave generous
+        // headroom for debug builds and noisy CI.
+        assert!(
+            b.disabled_ns_per_op < 1_000.0,
+            "disabled op cost {} ns",
+            b.disabled_ns_per_op
+        );
+    }
+}

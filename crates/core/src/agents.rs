@@ -6,7 +6,7 @@ use mdagent_agent::{
     AclMessage, Agent, AgentId, Cx, Journey, Performative, Platform, PlatformHost,
 };
 use mdagent_context::topics;
-use mdagent_simnet::{SimDuration, SpaceId, TraceCategory};
+use mdagent_simnet::{SimDuration, SpaceId, SpanId, TraceCategory, TraceEvent};
 use mdagent_wire::{impl_wire_struct, to_bytes};
 
 use crate::app::{AppId, AppState};
@@ -143,7 +143,7 @@ impl Agent<Middleware> for MobileAgent {
         match msg.ontology.as_str() {
             ontologies::MIGRATE | ontologies::CLONE => {
                 let Ok(plan) = msg.payload::<MigrationPlan>() else {
-                    cx.world.env_mut().metrics.incr("ma.bad_plan");
+                    cx.world.env_mut().metrics.incr_static("ma.bad_plan");
                     return;
                 };
                 let now = cx.sim.now();
@@ -159,7 +159,7 @@ impl Agent<Middleware> for MobileAgent {
                 );
                 if let Err(e) = Middleware::suspend_and_wrap(cx.world, cx.sim, plan, cx.id.clone())
                 {
-                    cx.world.env_mut().metrics.incr("ma.plan_rejected");
+                    cx.world.env_mut().metrics.incr_static("ma.plan_rejected");
                     let now = cx.sim.now();
                     cx.world.env_mut().trace.record(
                         now,
@@ -170,11 +170,14 @@ impl Agent<Middleware> for MobileAgent {
             }
             ontologies::CARGO => {
                 let Ok(cargo) = msg.payload::<Cargo>() else {
-                    cx.world.env_mut().metrics.incr("ma.bad_cargo");
+                    cx.world.env_mut().metrics.incr_static("ma.bad_cargo");
                     return;
                 };
                 let Ok(container) = cx.world.container_on(cargo.plan.dest_host()) else {
-                    cx.world.env_mut().metrics.incr("ma.no_dest_container");
+                    cx.world
+                        .env_mut()
+                        .metrics
+                        .incr_static("ma.no_dest_container");
                     return;
                 };
                 let mode = cargo.plan.mode;
@@ -190,11 +193,11 @@ impl Agent<Middleware> for MobileAgent {
                         match Platform::clone_agent(cx.world, cx.sim, &id, container, 0) {
                             Ok((clone_id, _)) => {
                                 let now = cx.sim.now();
-                                if let Some((app, suspend, shipped)) =
+                                if let Some((app, suspend, shipped, spans)) =
                                     cx.world.in_flight_suspend(&id)
                                 {
                                     Middleware::note_clone_departure(
-                                        cx.world, now, clone_id, app, shipped, suspend,
+                                        cx.world, now, clone_id, app, shipped, suspend, spans,
                                     );
                                 }
                                 // Drop the cargo copy once the (deferred)
@@ -208,7 +211,7 @@ impl Agent<Middleware> for MobileAgent {
                                 );
                             }
                             Err(_) => {
-                                cx.world.env_mut().metrics.incr("ma.clone_failed");
+                                cx.world.env_mut().metrics.incr_static("ma.clone_failed");
                             }
                         }
                     }
@@ -220,7 +223,10 @@ impl Agent<Middleware> for MobileAgent {
                 }
             }
             _ => {
-                cx.world.env_mut().metrics.incr("ma.unknown_ontology");
+                cx.world
+                    .env_mut()
+                    .metrics
+                    .incr_static("ma.unknown_ontology");
             }
         }
     }
@@ -359,10 +365,12 @@ impl AutonomousAgent {
         }
         let Ok(dest_host) = cx.world.primary_host(space) else {
             let now = cx.sim.now();
-            cx.world.env_mut().trace.record(
+            cx.world.env_mut().trace.record_event(
                 now,
                 TraceCategory::Agent,
-                format!("AA found no host in {space}; staying put"),
+                TraceEvent::NoHost {
+                    space: space.to_string(),
+                },
             );
             return;
         };
@@ -377,13 +385,17 @@ impl AutonomousAgent {
             .unwrap_or(false);
         if !compatible {
             let now = cx.sim.now();
-            cx.world.env_mut().metrics.incr("aa.device_incompatible");
-            cx.world.env_mut().trace.record(
+            cx.world
+                .env_mut()
+                .metrics
+                .incr_static("aa.device_incompatible");
+            cx.world.env_mut().trace.record_event(
                 now,
                 TraceCategory::Agent,
-                format!(
-                    "AA declines migration of {app_name}: {dest_host} fails device requirements"
-                ),
+                TraceEvent::DeclineDevice {
+                    app_name: app_name.clone(),
+                    dest_host: dest_host.to_string(),
+                },
             );
             return;
         }
@@ -392,39 +404,75 @@ impl AutonomousAgent {
         // response-time guard.
         let rt_ms = cx.world.response_time_ms(src_host, dest_host);
         let rule_text = cx.world.rule_base(&self.rule_base).to_owned();
-        let decision = self.engine.for_rules(&rule_text).decide(
-            src_host,
-            dest_host,
-            &self.resource_marker,
-            rt_ms,
-        );
+        let decision_at = cx.sim.now();
+        let decision_span = {
+            let env = cx.world.env_mut();
+            let span = env.telemetry.start("aa.decision", None, decision_at);
+            env.telemetry.attr(span, "app", app_name.clone());
+            env.telemetry.attr(span, "trigger", "location");
+            env.telemetry.attr(span, "src_host", src_host.to_string());
+            env.telemetry.attr(span, "dest_host", dest_host.to_string());
+            env.telemetry.attr(span, "response_time_ms", rt_ms);
+            span
+        };
+        let (decision, stats) = {
+            let engine = self.engine.for_rules(&rule_text);
+            let decision = engine.decide(src_host, dest_host, &self.resource_marker, rt_ms);
+            (decision, engine.last_stats().clone())
+        };
+        let reason_cost = cx.world.cost_model.reasoning;
+        {
+            let env = cx.world.env_mut();
+            let reason = env
+                .telemetry
+                .start("aa.reason", Some(decision_span), decision_at);
+            env.telemetry.attr(reason, "rounds", stats.rounds);
+            env.telemetry
+                .attr(reason, "rules_evaluated", stats.rules_evaluated);
+            env.telemetry
+                .attr(reason, "rules_skipped", stats.rules_skipped);
+            env.telemetry
+                .attr(reason, "seed_evaluations", stats.seed_evaluations);
+            env.telemetry
+                .attr(reason, "facts_derived", stats.facts_derived);
+            env.telemetry.attr(reason, "max_delta", stats.max_delta());
+            env.telemetry.end(reason, decision_at + reason_cost);
+        }
         let now = cx.sim.now();
         if decision.is_none() {
-            cx.world.env_mut().metrics.incr("aa.migration_declined");
-            cx.world.env_mut().trace.record(
+            let env = cx.world.env_mut();
+            env.metrics.incr_static("aa.migration_declined");
+            env.telemetry.attr(decision_span, "outcome", "decline");
+            env.telemetry.end(decision_span, now + reason_cost);
+            env.trace.record_event(
                 now,
                 TraceCategory::Agent,
-                format!(
-                    "AA declines migration of {app_name}: rules derived no move \
-                     (responseTime {rt_ms:.1} ms)"
-                ),
+                TraceEvent::DeclineNoMove {
+                    app_name: app_name.clone(),
+                    response_time_ms: rt_ms,
+                },
             );
             return;
         }
         let Some(plan) = self.build_plan(cx.world, dest_host, MobilityMode::FollowMe) else {
+            cx.world.env_mut().telemetry.end(decision_span, now);
             return;
         };
-        cx.world.env_mut().trace.record(
-            now,
-            TraceCategory::Agent,
-            format!(
-                "AA decides follow-me of {app_name} to {dest_host} \
-                 (ship {} component(s), data {:?})",
-                plan.ship_components.len(),
-                plan.data_strategy
-            ),
-        );
-        self.send_plan_after_deliberation(plan, ontologies::MIGRATE, rt_ms, cx);
+        {
+            let env = cx.world.env_mut();
+            env.telemetry.attr(decision_span, "outcome", "follow-me");
+            env.trace.record_event(
+                now,
+                TraceCategory::Agent,
+                TraceEvent::DecideFollowMe {
+                    app_name: app_name.clone(),
+                    dest_host: dest_host.to_string(),
+                    components: plan.ship_components.len(),
+                    data_strategy: format!("{:?}", plan.data_strategy),
+                },
+            );
+        }
+        self.send_plan_after_deliberation(plan, ontologies::MIGRATE, rt_ms, decision_span, cx);
 
         // Predictive pre-staging: copy logic/UI toward the likely next hop.
         if self.prestage {
@@ -465,12 +513,23 @@ impl AutonomousAgent {
                 continue;
             };
             let now = cx.sim.now();
-            cx.world.env_mut().trace.record(
-                now,
-                TraceCategory::Agent,
-                format!("AA decides clone-dispatch to {dest_host}"),
-            );
-            self.send_plan_after_deliberation(plan, ontologies::CLONE, rt_ms, cx);
+            let decision_span = {
+                let env = cx.world.env_mut();
+                let span = env.telemetry.start("aa.decision", None, now);
+                env.telemetry.attr(span, "trigger", "indication");
+                env.telemetry.attr(span, "src_host", src_host.to_string());
+                env.telemetry.attr(span, "dest_host", dest_host.to_string());
+                env.telemetry.attr(span, "outcome", "clone-dispatch");
+                env.trace.record_event(
+                    now,
+                    TraceCategory::Agent,
+                    TraceEvent::DecideClone {
+                        dest_host: dest_host.to_string(),
+                    },
+                );
+                span
+            };
+            self.send_plan_after_deliberation(plan, ontologies::CLONE, rt_ms, decision_span, cx);
         }
     }
 
@@ -481,12 +540,16 @@ impl AutonomousAgent {
         plan: MigrationPlan,
         ontology: &'static str,
         rt_ms: f64,
+        decision_span: SpanId,
         cx: &mut Cx<'_, Middleware>,
     ) {
+        let now = cx.sim.now();
         let Ok(app) = cx.world.app(self.app()) else {
+            cx.world.env_mut().telemetry.end(decision_span, now);
             return;
         };
         let Some(ma) = app.mobile_agent.clone() else {
+            cx.world.env_mut().telemetry.end(decision_span, now);
             return;
         };
         let mut latency = cx.world.cost_model.reasoning + cx.world.cost_model.registry_lookup;
@@ -497,9 +560,11 @@ impl AutonomousAgent {
         cx.world
             .env_mut()
             .metrics
-            .observe("aa.deliberation", latency);
+            .observe_static("aa.deliberation", latency);
         let aa = cx.id.clone();
         cx.sim.schedule_in(latency, move |w, sim| {
+            let now = sim.now();
+            w.env_mut().telemetry.end(decision_span, now);
             let msg = AclMessage::new(Performative::Request, aa, ma)
                 .with_ontology(ontology)
                 .with_payload(&plan);
@@ -522,7 +587,7 @@ impl Agent<Middleware> for AutonomousAgent {
             return;
         }
         let Ok(notice) = msg.payload::<ContextNotice>() else {
-            cx.world.env_mut().metrics.incr("aa.bad_notice");
+            cx.world.env_mut().metrics.incr_static("aa.bad_notice");
             return;
         };
         if notice.topic == topics::LOCATION && notice.user_raw == self.user_raw {

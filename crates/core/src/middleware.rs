@@ -11,7 +11,8 @@ use mdagent_context::{
 };
 use mdagent_registry::{ApplicationRecord, RegistryFederation};
 use mdagent_simnet::{
-    CpuFactor, HostId, SimDuration, SimRng, SimTime, Simulator, SpaceId, Topology, TraceCategory,
+    CpuFactor, HostId, SimDuration, SimRng, SimTime, Simulator, SpaceId, SpanId, Topology,
+    TraceCategory, TraceEvent,
 };
 
 use crate::adaptor::{adapt, AdaptationReport};
@@ -57,6 +58,10 @@ struct InFlight {
     departed_at: SimTime,
     shipped_bytes: u64,
     remote_bytes: u64,
+    /// Root telemetry span for the whole migration; ends at resume.
+    span: SpanId,
+    /// Open `migration.migrate` child span; ends on arrival.
+    migrate_span: SpanId,
 }
 
 /// The middleware world: platform + context kernel + registries +
@@ -418,6 +423,18 @@ impl Middleware {
         &self.env.metrics
     }
 
+    /// The shared telemetry collector.
+    pub fn telemetry(&self) -> &mdagent_simnet::Telemetry {
+        &self.env.telemetry
+    }
+
+    /// Replaces the telemetry collector — pass
+    /// [`mdagent_simnet::Telemetry::disabled`] to turn span collection
+    /// into a no-op for overhead-sensitive runs.
+    pub fn set_telemetry(&mut self, telemetry: mdagent_simnet::Telemetry) {
+        self.env.telemetry = telemetry;
+    }
+
     /// Installs a named rule base after validating that it parses (the AA
     /// manager's rule-manager role, §4.1). Autonomous agents reference
     /// rule bases by name via
@@ -557,10 +574,14 @@ impl Middleware {
         );
         Middleware::register_app_record(world, id)?;
         let now = sim.now();
-        world.env.trace.record(
+        world.env.trace.record_event(
             now,
             TraceCategory::Application,
-            format!("deployed {name} as {id} on {host}"),
+            TraceEvent::Deployed {
+                app_name: name.to_owned(),
+                app: id.to_string(),
+                host: host.to_string(),
+            },
         );
         Ok(id)
     }
@@ -653,17 +674,20 @@ impl Middleware {
         let mut rng = world.rng.fork(now.as_micros());
         let results = world.kernel.sense_round(now, &mut rng);
         for (event, outcome) in results {
-            world.env.trace.record(
+            world.env.trace.record_event(
                 now,
                 TraceCategory::Context,
-                format!(
-                    "context event {:?} -> {} subscriber(s)",
-                    event.data,
-                    outcome.subscribers.len()
-                ),
+                TraceEvent::ContextEvent {
+                    description: format!("{:?}", event.data),
+                    subscribers: outcome.subscribers.len(),
+                },
             );
             Middleware::route_event(world, sim, &event, &outcome.subscribers);
         }
+        world
+            .env
+            .metrics
+            .set_gauge_static("sim.event_queue", "scheduler", sim.pending() as u64);
     }
 
     /// Publishes an externally produced context event (user indications,
@@ -684,10 +708,12 @@ impl Middleware {
         }
         let event = ContextEvent::new(now, data);
         let outcome = world.kernel.publish(event.clone());
-        world.env.trace.record(
+        world.env.trace.record_event(
             now,
             TraceCategory::Context,
-            format!("published {:?}", event.data),
+            TraceEvent::Published {
+                description: format!("{:?}", event.data),
+            },
         );
         Middleware::route_event(world, sim, &event, &outcome.subscribers);
     }
@@ -750,7 +776,7 @@ impl Middleware {
                         sim,
                         ContextData::ResponseTime { from, to, millis },
                     );
-                    w.env.metrics.incr("probe.rounds");
+                    w.env.metrics.incr_static("probe.rounds");
                 }
             }
             Middleware::schedule_probe(sim, pairs, period);
@@ -807,7 +833,7 @@ impl Middleware {
                 .with_payload(&update);
             Platform::send(world, sim, msg);
         }
-        world.env.metrics.incr("sync.updates_sent");
+        world.env.metrics.incr_static("sync.updates_sent");
         Ok(version)
     }
 
@@ -825,9 +851,9 @@ impl Middleware {
             for name in names {
                 app.coordinator.mark_seen(&name, version);
             }
-            world.env.metrics.incr("sync.updates_applied");
+            world.env.metrics.incr_static("sync.updates_applied");
         } else {
-            world.env.metrics.incr("sync.updates_stale");
+            world.env.metrics.incr_static("sync.updates_stale");
         }
     }
 
@@ -868,13 +894,17 @@ impl Middleware {
             .topology
             .transfer_time(src_host, dest_host, bytes)?;
         let now = sim.now();
-        world.env.trace.record(
+        world.env.trace.record_event(
             now,
             TraceCategory::Agent,
-            format!("pre-staging {bytes} bytes of {name} at {dest_host} (predicted next hop)"),
+            TraceEvent::PreStage {
+                bytes,
+                app_name: name.clone(),
+                dest_host: dest_host.to_string(),
+            },
         );
-        world.env.metrics.incr("prestage.transfers");
-        world.env.metrics.incr_by("prestage.bytes", bytes);
+        world.env.metrics.incr_static("prestage.transfers");
+        world.env.metrics.incr_by_static("prestage.bytes", bytes);
         sim.schedule_in(cost, move |w, _sim| {
             let mut existing = w.preinstalled_components(dest_host, &name);
             existing.merge(staged);
@@ -962,16 +992,20 @@ impl Middleware {
         if plan.mode == MobilityMode::FollowMe {
             let app = world.app_mut(app_id)?;
             app.state = AppState::Suspended;
-            world.env.trace.record(
+            world.env.trace.record_event(
                 now,
                 TraceCategory::Application,
-                format!("coordinator suspends {app_id}; snapshot manager records states"),
+                TraceEvent::Suspend {
+                    app: app_id.to_string(),
+                },
             );
         } else {
-            world.env.trace.record(
+            world.env.trace.record_event(
                 now,
                 TraceCategory::Application,
-                format!("snapshot manager copies live states of {app_id} for clone"),
+                TraceEvent::SnapshotClone {
+                    app: app_id.to_string(),
+                },
             );
         }
 
@@ -984,7 +1018,22 @@ impl Middleware {
         let wrapped_bytes = cargo.wire_len();
         let cpu = world.env.topology.host(src_host)?.cpu();
         let suspend_cost = cpu.scale(world.cost_model.suspend_cost(wrapped_bytes));
-        world.env.metrics.observe("migration.suspend", suspend_cost);
+        world
+            .env
+            .metrics
+            .observe_static("migration.suspend", suspend_cost);
+        // Root span for the whole migration; one child per pipeline phase.
+        let root = world.env.telemetry.start("migration", None, now);
+        {
+            let tel = &mut world.env.telemetry;
+            tel.attr(root, "app", app_id.to_string());
+            tel.attr(root, "mode", cargo.plan.mode.to_string());
+            tel.attr(root, "src_host", src_host.to_string());
+            tel.attr(root, "dest_host", cargo.plan.dest_host().to_string());
+            tel.attr(root, "bytes", wrapped_bytes);
+            let suspend_span = tel.start("migration.suspend", Some(root), now);
+            tel.end(suspend_span, now + suspend_cost);
+        }
         world.in_flight.insert(
             ma.clone(),
             InFlight {
@@ -993,18 +1042,36 @@ impl Middleware {
                 departed_at: now, // refined when cargo is handed over
                 shipped_bytes: wrapped_bytes,
                 remote_bytes,
+                span: root,
+                migrate_span: SpanId::DISABLED,
             },
         );
         let kernel_name = world.platform.name().to_owned();
         sim.schedule_in(suspend_cost, move |w, sim| {
             let now = sim.now();
-            if let Some(flight) = w.in_flight.get_mut(&ma) {
-                flight.departed_at = now;
+            let root = match w.in_flight.get_mut(&ma) {
+                Some(flight) => {
+                    flight.departed_at = now;
+                    Some(flight.span)
+                }
+                None => None,
+            };
+            if let Some(root) = root {
+                let tel = &mut w.env.telemetry;
+                let wrap_span = tel.start("migration.wrap", Some(root), now);
+                tel.attr(wrap_span, "bytes", wrapped_bytes);
+                tel.end(wrap_span, now);
+                let migrate_span = tel.start("migration.migrate", Some(root), now);
+                if let Some(flight) = w.in_flight.get_mut(&ma) {
+                    flight.migrate_span = migrate_span;
+                }
             }
-            w.env.trace.record(
+            w.env.trace.record_event(
                 now,
                 TraceCategory::Agent,
-                format!("MA wraps components ({wrapped_bytes} bytes)"),
+                TraceEvent::Wrap {
+                    bytes: wrapped_bytes,
+                },
             );
             let msg = AclMessage::new(
                 Performative::Inform,
@@ -1030,11 +1097,15 @@ impl Middleware {
         let dest = cargo.plan.dest_host();
         let now = sim.now();
         let Some(flight) = world.in_flight.remove(ma) else {
-            world.env.metrics.incr("migration.orphan_arrivals");
+            world.env.metrics.incr_static("migration.orphan_arrivals");
             return;
         };
         let migrate = now.saturating_since(flight.departed_at);
-        world.env.metrics.observe("migration.migrate", migrate);
+        world
+            .env
+            .metrics
+            .observe_static("migration.migrate", migrate);
+        world.env.telemetry.end(flight.migrate_span, now);
 
         // Move the application record to the destination.
         let src_host = world.app(app_id).map(|a| a.host).unwrap_or(dest);
@@ -1094,11 +1165,38 @@ impl Middleware {
                 + rebind_cost
                 + adapt_cost,
         );
-        world.env.metrics.observe("migration.resume", resume_cost);
-        world.env.trace.record(
+        world
+            .env
+            .metrics
+            .observe_static("migration.resume", resume_cost);
+        // Child spans partition [now, now + resume_cost]: scaled rebind and
+        // adapt windows first, then resume absorbs the remainder (including
+        // any scaling-rounding residue), so the children always sum to the
+        // root within integer-microsecond rounding.
+        {
+            let root = flight.span;
+            let scaled_rebind = cpu.scale(rebind_cost);
+            let scaled_adapt = cpu.scale(adapt_cost);
+            let rebind_end = now + scaled_rebind;
+            let adapt_end = rebind_end + scaled_adapt;
+            let root_end = now + resume_cost;
+            let tel = &mut world.env.telemetry;
+            let rebind_span = tel.start("migration.rebind", Some(root), now);
+            tel.attr(rebind_span, "bindings", rebind_outcomes.len());
+            tel.end(rebind_span, rebind_end.min(root_end));
+            let adapt_span = tel.start("migration.adapt", Some(root), rebind_end.min(root_end));
+            tel.attr(adapt_span, "actions", adaptation.actions.len());
+            tel.end(adapt_span, adapt_end.min(root_end));
+            let resume_span = tel.start("migration.resume", Some(root), adapt_end.min(root_end));
+            tel.end(resume_span, root_end);
+        }
+        world.env.trace.record_event(
             now,
             TraceCategory::Agent,
-            format!("MA restores {app_id} at {dest}; rebinding and adapting"),
+            TraceEvent::Restore {
+                app: app_id.to_string(),
+                dest: dest.to_string(),
+            },
         );
 
         // Registry check-out / check-in.
@@ -1128,18 +1226,23 @@ impl Middleware {
             completed_at: now + resume_cost,
             adaptation,
         };
+        let root = flight.span;
         sim.schedule_in(resume_cost, move |w, sim| {
             let now = sim.now();
             if let Ok(app) = w.app_mut(app_id) {
                 app.state = AppState::Running;
             }
-            w.env.trace.record(
+            w.env.telemetry.end(root, now);
+            w.env.trace.record_event(
                 now,
                 TraceCategory::Application,
-                format!("{app_id} resumed at {dest}"),
+                TraceEvent::Resumed {
+                    app: app_id.to_string(),
+                    dest: dest.to_string(),
+                },
             );
             w.migration_log.push(report_base.clone());
-            w.env.metrics.incr("migration.completed");
+            w.env.metrics.incr_static("migration.completed");
         });
     }
 
@@ -1212,14 +1315,27 @@ impl Middleware {
             .unwrap_or(CpuFactor::REFERENCE);
         let resume_cost = cpu.scale(world.cost_model.resume_cost(shipped, 0));
         let flight = world.in_flight.remove(clone_ma);
-        let (suspend, migrate) = match flight {
-            Some(f) => (f.suspend, now.saturating_since(f.departed_at)),
-            None => (SimDuration::ZERO, SimDuration::ZERO),
+        let (suspend, migrate, root) = match flight {
+            Some(f) => {
+                world.env.telemetry.end(f.migrate_span, now);
+                (f.suspend, now.saturating_since(f.departed_at), f.span)
+            }
+            None => (SimDuration::ZERO, SimDuration::ZERO, SpanId::DISABLED),
         };
-        world.env.trace.record(
+        {
+            let tel = &mut world.env.telemetry;
+            let resume_span = tel.start("migration.resume", Some(root), now);
+            tel.end(resume_span, now + resume_cost);
+            tel.attr(root, "replica", replica_id.to_string());
+        }
+        world.env.trace.record_event(
             now,
             TraceCategory::Agent,
-            format!("clone MA installs replica {replica_id} of {source_app} at {dest}"),
+            TraceEvent::ReplicaInstalled {
+                replica: replica_id.to_string(),
+                source: source_app.to_string(),
+                dest: dest.to_string(),
+            },
         );
         let report = MigrationReport {
             app: replica_id,
@@ -1243,13 +1359,16 @@ impl Middleware {
             if let Ok(app) = w.app_mut(replica_id) {
                 app.state = AppState::Running;
             }
-            w.env.trace.record(
+            w.env.telemetry.end(root, now);
+            w.env.trace.record_event(
                 now,
                 TraceCategory::Application,
-                format!("replica {replica_id} running; synchronization link established"),
+                TraceEvent::ReplicaRunning {
+                    replica: replica_id.to_string(),
+                },
             );
             w.migration_log.push(report.clone());
-            w.env.metrics.incr("migration.clones_completed");
+            w.env.metrics.incr_static("migration.clones_completed");
         });
         Some(replica_id)
     }
@@ -1263,7 +1382,13 @@ impl Middleware {
         app: AppId,
         shipped_bytes: u64,
         suspend: SimDuration,
+        spans: (SpanId, SpanId),
     ) {
+        // The migration root and open migrate spans travel with the clone:
+        // the original MA's bookkeeping is cleared by the caller (which
+        // never ends spans), and the clone's arrival ends both at the
+        // destination.
+        let (span, migrate_span) = spans;
         world.in_flight.insert(
             clone_id,
             InFlight {
@@ -1272,16 +1397,23 @@ impl Middleware {
                 departed_at: now,
                 shipped_bytes,
                 remote_bytes: 0,
+                span,
+                migrate_span,
             },
         );
     }
 
     /// The suspend cost recorded for an MA currently in flight (clone
-    /// bookkeeping).
-    pub(crate) fn in_flight_suspend(&self, ma: &AgentId) -> Option<(AppId, SimDuration, u64)> {
+    /// bookkeeping). The span pair is (migration root, open migrate child),
+    /// handed over to the clone's in-flight record by
+    /// [`Middleware::note_clone_departure`].
+    pub(crate) fn in_flight_suspend(
+        &self,
+        ma: &AgentId,
+    ) -> Option<(AppId, SimDuration, u64, (SpanId, SpanId))> {
         self.in_flight
             .get(ma)
-            .map(|f| (f.app, f.suspend, f.shipped_bytes))
+            .map(|f| (f.app, f.suspend, f.shipped_bytes, (f.span, f.migrate_span)))
     }
 
     /// Drops in-flight bookkeeping for an MA (after clone dispatch).

@@ -1,7 +1,7 @@
 //! The shipped rule base (paper Fig. 6) and the AA's decision procedure
 //! over it.
 
-use mdagent_ontology::{parser::parse_rules, Graph, Query, Reasoner, Rule, Triple};
+use mdagent_ontology::{parser::parse_rules, Graph, Query, Reasoner, ReasonerStats, Rule, Triple};
 use mdagent_simnet::HostId;
 
 /// The paper's Fig. 6 rule base, verbatim in intent with its two typos
@@ -94,6 +94,13 @@ impl DecisionEngine {
     /// The rule base this engine was compiled from.
     pub fn rule_text(&self) -> &str {
         &self.rule_text
+    }
+
+    /// Reasoner profiling counters from the most recent
+    /// [`DecisionEngine::decide`] call (telemetry attaches these to AA
+    /// decision spans).
+    pub fn last_stats(&self) -> &ReasonerStats {
+        self.reasoner.last_stats()
     }
 
     /// Runs one reasoning pass: assert the facts of one candidate
@@ -240,6 +247,19 @@ mod tests {
             let one_shot = decide_move(src, dest, "printer", rt);
             assert_eq!(cached, one_shot, "src={src:?} dest={dest:?} rt={rt}");
         }
+    }
+
+    #[test]
+    fn decide_collects_reasoner_stats() {
+        let mut engine = DecisionEngine::new(PAPER_RULES);
+        engine
+            .decide(HostId(0), HostId(1), "printer", 120.0)
+            .expect("move derived");
+        let stats = engine.last_stats();
+        assert!(stats.rounds > 0, "reasoning must run at least one round");
+        assert!(stats.rules_evaluated > 0);
+        assert!(stats.facts_derived > 0, "Rule2/Rule3 derive facts");
+        assert_eq!(stats.delta_sizes[0], 6, "six facts seed each decision");
     }
 
     #[test]

@@ -84,6 +84,40 @@ fn build_occurrences(rules: &[Rule]) -> OccurrenceIndex {
     occ
 }
 
+/// Profiling counters from the most recent semi-naive fixpoint run.
+///
+/// Collected by [`Reasoner::materialize`] / (see also
+/// [`Reasoner::materialize_incremental`]) and read back through
+/// [`Reasoner::last_stats`]; telemetry spans attach these to AA decision
+/// spans so reasoning cost is visible per decision.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReasonerStats {
+    /// Fixpoint rounds executed, including the final round that derived
+    /// nothing and closed the fixpoint.
+    pub rounds: usize,
+    /// Delta size consumed at the start of each round, in round order.
+    pub delta_sizes: Vec<usize>,
+    /// Distinct rules evaluated, summed over rounds (a rule touched by
+    /// the round's delta counts once per round).
+    pub rules_evaluated: usize,
+    /// Distinct rules the occurrence index proved untouched by the
+    /// round's delta, summed over rounds — work the semi-naive engine
+    /// skipped relative to naive evaluation.
+    pub rules_skipped: usize,
+    /// Δ-seeded body joins attempted across all rounds (one per
+    /// delta-triple/premise-occurrence hit).
+    pub seed_evaluations: usize,
+    /// New triples derived over the whole run.
+    pub facts_derived: usize,
+}
+
+impl ReasonerStats {
+    /// Largest single-round delta, or zero for an empty run.
+    pub fn max_delta(&self) -> usize {
+        self.delta_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
 /// A forward-chaining reasoner over a set of [`Rule`]s.
 ///
 /// # Examples
@@ -116,6 +150,8 @@ pub struct Reasoner {
     skolems: HashMap<(usize, Vec<Term>), Vec<Term>>,
     /// Lazily (re)built when the rule set changes.
     occurrences: Option<OccurrenceIndex>,
+    /// Counters from the most recent semi-naive run.
+    last_stats: ReasonerStats,
 }
 
 impl Reasoner {
@@ -147,6 +183,13 @@ impl Reasoner {
     /// The current rule set.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
+    }
+
+    /// Profiling counters from the most recent [`Reasoner::materialize`]
+    /// or [`Reasoner::materialize_incremental`] run. The naive reference
+    /// evaluator does not update these.
+    pub fn last_stats(&self) -> &ReasonerStats {
+        &self.last_stats
     }
 
     /// Clears the skolem memo. Required before reusing one reasoner
@@ -193,15 +236,22 @@ impl Reasoner {
             .occurrences
             .take()
             .expect("occurrence index just built");
+        let mut stats = ReasonerStats::default();
+        let mut touched = vec![false; self.rules.len()];
         let mut added_total = 0usize;
         let mut fresh_set: FxHashSet<Triple> = FxHashSet::default();
         for round in 0..MAX_ROUNDS {
             fresh_set.clear();
+            stats.rounds += 1;
+            stats.delta_sizes.push(delta.len());
+            touched.iter_mut().for_each(|t| *t = false);
             let mut fresh: Vec<Triple> = Vec::new();
             {
                 let (interner, store) = graph.split_mut();
                 if round == 0 {
                     for &ri in &occ.pattern_free {
+                        touched[ri] = true;
+                        stats.seed_evaluations += 1;
                         self.fire_seeded(
                             interner,
                             store,
@@ -216,6 +266,8 @@ impl Reasoner {
                 for &t in &delta {
                     if let Some(hits) = occ.by_predicate.get(&t.p) {
                         for &(ri, ai) in hits {
+                            touched[ri] = true;
+                            stats.seed_evaluations += 1;
                             self.fire_seeded(
                                 interner,
                                 store,
@@ -228,6 +280,8 @@ impl Reasoner {
                         }
                     }
                     for &(ri, ai) in &occ.any_predicate {
+                        touched[ri] = true;
+                        stats.seed_evaluations += 1;
                         self.fire_seeded(
                             interner,
                             store,
@@ -240,6 +294,9 @@ impl Reasoner {
                     }
                 }
             }
+            let evaluated = touched.iter().filter(|&&t| t).count();
+            stats.rules_evaluated += evaluated;
+            stats.rules_skipped += self.rules.len() - evaluated;
             if fresh.is_empty() {
                 break;
             }
@@ -250,6 +307,8 @@ impl Reasoner {
             delta = fresh;
         }
         self.occurrences = Some(occ);
+        stats.facts_derived = added_total;
+        self.last_stats = stats;
         added_total
     }
 
@@ -984,6 +1043,48 @@ mod tests {
         };
         r.materialize_incremental(&mut g, [delta]);
         assert!(g.contains("ex:a", "ex:q", "ex:b"), "rdfs7 fired on delta");
+    }
+
+    #[test]
+    fn stats_track_rounds_and_skips() {
+        let mut g = Graph::new();
+        g.add("imcl:prn", "imcl:locatedIn", "imcl:Office821");
+        g.add("imcl:Office821", "imcl:locatedIn", "imcl:Building8");
+        g.add("imcl:Building8", "imcl:locatedIn", "imcl:Campus");
+        let rules = crate::parser::parse_rules(
+            "[Rule1: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]\
+             [Idle: (?x imcl:neverSeen ?y) -> (?y imcl:neverSeen ?x)]",
+            &mut g,
+        )
+        .unwrap();
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        let derived = r.materialize(&mut g);
+        let stats = r.last_stats().clone();
+        assert_eq!(stats.facts_derived, derived);
+        assert!(derived > 0);
+        assert!(stats.rounds >= 2, "transitive closure needs 2+ rounds");
+        assert_eq!(stats.delta_sizes.len(), stats.rounds);
+        assert_eq!(stats.delta_sizes[0], 3, "round 0 delta is the whole store");
+        assert!(stats.rules_evaluated >= 1);
+        assert!(
+            stats.rules_skipped >= 1,
+            "occurrence index must skip the idle rule in later rounds"
+        );
+        assert!(stats.seed_evaluations >= stats.rules_evaluated);
+        assert_eq!(stats.max_delta(), 3);
+
+        // Incremental run resets the counters.
+        let delta = {
+            let s = g.iri("imcl:Campus");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("imcl:Earth");
+            Triple::new(s, p, o)
+        };
+        r.materialize_incremental(&mut g, [delta]);
+        let stats2 = r.last_stats();
+        assert_eq!(stats2.delta_sizes[0], 1);
+        assert!(stats2.facts_derived >= 3, "closure extends to imcl:Earth");
     }
 
     #[test]

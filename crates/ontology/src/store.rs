@@ -14,7 +14,7 @@ type TwoLevel = FxHashMap<Term, FxHashMap<Term, BTreeSet<Term>>>;
 /// All three indexes are maintained on every insert/remove so any pattern
 /// with at least one ground position scans a narrow slice. Per-position
 /// cardinality counters ride along with the indexes, giving the join
-/// planner (see [`crate::reason`]) O(1) exact counts for every match mask
+/// planner (see [`Reasoner`](crate::Reasoner)) O(1) exact counts for every match mask
 /// via [`Store::count_match`].
 ///
 /// # Examples

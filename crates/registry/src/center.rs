@@ -61,6 +61,20 @@ pub struct RegistryCenter {
     subclass_closure: Option<HashMap<Term, HashSet<Term>>>,
     full_materializations: usize,
     incremental_materializations: usize,
+    /// Semantic-match profiling for the last [`RegistryCenter::find_resources`].
+    last_lookup: LookupStats,
+    /// Semantic-match profiling accumulated over all lookups.
+    total_lookups: LookupStats,
+}
+
+/// Candidate/hit counters for semantic resource matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// Resource records scanned as match candidates.
+    pub candidates: usize,
+    /// Candidates that matched (exactly, by subsumption, or by
+    /// substitution).
+    pub hits: usize,
 }
 
 impl RegistryCenter {
@@ -83,7 +97,19 @@ impl RegistryCenter {
             subclass_closure: None,
             full_materializations: 0,
             incremental_materializations: 0,
+            last_lookup: LookupStats::default(),
+            total_lookups: LookupStats::default(),
         }
+    }
+
+    /// Candidate/hit counters from the most recent semantic lookup.
+    pub fn last_lookup(&self) -> LookupStats {
+        self.last_lookup
+    }
+
+    /// Candidate/hit counters accumulated over every semantic lookup.
+    pub fn total_lookups(&self) -> LookupStats {
+        self.total_lookups
     }
 
     /// The space this registry serves.
@@ -253,8 +279,10 @@ impl RegistryCenter {
                 .get(&sub)
                 .is_some_and(|supers| supers.contains(&sup))
         };
+        let mut stats = LookupStats::default();
         let mut out = Vec::new();
         for record in self.resources.values() {
+            stats.candidates += 1;
             let class = self.graph.try_iri(&record.class);
             let quality = if record.class == required_class {
                 Some(MatchQuality::Exact)
@@ -268,12 +296,16 @@ impl RegistryCenter {
                 None
             };
             if let Some(quality) = quality {
+                stats.hits += 1;
                 out.push(ResourceMatch {
                     resource: record.clone(),
                     quality,
                 });
             }
         }
+        self.last_lookup = stats;
+        self.total_lookups.candidates += stats.candidates;
+        self.total_lookups.hits += stats.hits;
         out.sort_by(|a, b| {
             a.quality
                 .cmp(&b.quality)
@@ -355,6 +387,32 @@ mod tests {
         // Transitively: an hpLaserJet is also a Resource.
         let matches = c.find_resources("imcl:Resource");
         assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn lookup_stats_count_candidates_and_hits() {
+        let mut c = center();
+        c.find_resources("imcl:Printer");
+        assert_eq!(
+            c.last_lookup(),
+            LookupStats {
+                candidates: 2,
+                hits: 1
+            }
+        );
+        c.find_resources("imcl:Resource");
+        assert_eq!(c.last_lookup().hits, 1);
+        assert_eq!(c.total_lookups().candidates, 4);
+        assert_eq!(c.total_lookups().hits, 2);
+        // A miss still counts its candidates.
+        c.find_resources("imcl:Scanner");
+        assert_eq!(
+            c.last_lookup(),
+            LookupStats {
+                candidates: 2,
+                hits: 0
+            }
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod federation;
 mod matching;
 mod record;
 
-pub use center::RegistryCenter;
+pub use center::{LookupStats, RegistryCenter};
 pub use federation::{Federated, FederationError, RegistryFederation};
 pub use matching::{MatchQuality, ResourceMatch};
 pub use record::{ApplicationRecord, InterfaceDescription, Operation, ResourceRecord};

@@ -12,6 +12,8 @@
 //!   latency + bandwidth transfer costing.
 //! * [`SimRng`] — seeded randomness (sensor noise).
 //! * [`MetricsRegistry`] and [`Trace`] — measurement and narration.
+//! * [`Telemetry`] — span-based profiling on the simulated clock, with
+//!   JSONL and Chrome trace-event (Perfetto) exporters.
 //!
 //! # Examples
 //!
@@ -38,16 +40,18 @@ mod event;
 mod metrics;
 mod rng;
 mod sim;
+pub mod telemetry;
 mod time;
 mod topology;
 mod trace;
 
 pub use event::EventId;
-pub use metrics::{DurationStats, MetricsRegistry};
+pub use metrics::{DurationStats, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use sim::Simulator;
+pub use telemetry::{AttrValue, Span, SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     CpuFactor, Host, HostId, Link, LinkId, LinkKind, SpaceId, Topology, TopologyError,
 };
-pub use trace::{Trace, TraceCategory, TraceEntry};
+pub use trace::{Trace, TraceCategory, TraceEntry, TraceEvent};

@@ -1,0 +1,514 @@
+//! Span-based telemetry on the simulated clock.
+//!
+//! A [`Telemetry`] collects [`Span`]s — named intervals of simulated time
+//! with typed attributes and an optional parent — so a migration shows up
+//! as one root span with a child per `MobilityManager` phase, and an AA
+//! decision as a span wrapping reasoning with profiling counters attached.
+//!
+//! Because simulation work is interleaved across scheduled closures there
+//! is no ambient "current span"; spans are opened and closed explicitly by
+//! [`SpanId`], and the parent is passed when the child starts. Ids are
+//! `Copy`, so they travel freely through scheduled closures and in-flight
+//! migration records.
+//!
+//! Two exporters turn a finished run into artifacts:
+//! [`Telemetry::export_jsonl`] (one JSON object per line: spans then trace
+//! events) and [`Telemetry::export_chrome`] (Chrome trace-event JSON that
+//! loads directly in Perfetto / `chrome://tracing`).
+
+use std::borrow::Cow;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+use crate::trace::Trace;
+
+/// Handle to a span inside one [`Telemetry`] collector.
+///
+/// The id is an index into the collector's span list. A telemetry built
+/// with [`Telemetry::disabled`] hands out a sentinel id for which every
+/// operation is a no-op, so instrumented code never branches on enablement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// Sentinel handed out by disabled collectors; all operations on it
+    /// are no-ops.
+    pub const DISABLED: SpanId = SpanId(u32::MAX);
+
+    /// Raw index value (`u32::MAX` for the disabled sentinel).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this id came from a disabled collector.
+    pub fn is_disabled(self) -> bool {
+        self == SpanId::DISABLED
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span-{}", self.0)
+    }
+}
+
+/// A typed attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Text (host, space, agent and app names, modes).
+    Str(Cow<'static, str>),
+    /// Unsigned quantity (bytes, counts, rounds).
+    U64(u64),
+    /// Signed quantity.
+    I64(i64),
+    /// Fractional quantity (milliseconds, ratios).
+    F64(f64),
+    /// Flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Renders the value as a JSON fragment.
+    fn to_json(&self) -> String {
+        match self {
+            AttrValue::Str(s) => format!("\"{}\"", json_escape(s)),
+            AttrValue::U64(v) => v.to_string(),
+            AttrValue::I64(v) => v.to_string(),
+            AttrValue::F64(v) if v.is_finite() => format!("{v}"),
+            AttrValue::F64(_) => "null".to_owned(),
+            AttrValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(Cow::Owned(v))
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::I64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One named interval of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// This span's id within its collector.
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Span name (e.g. `migration`, `migration.suspend`, `aa.decision`).
+    pub name: Cow<'static, str>,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated end time; `None` while still open.
+    pub end: Option<SimTime>,
+    /// Typed attributes in attachment order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// Duration in simulated microseconds (zero while the span is open).
+    pub fn duration_micros(&self) -> u64 {
+        self.end
+            .map(|e| e.as_micros().saturating_sub(self.start.as_micros()))
+            .unwrap_or(0)
+    }
+
+    /// First attribute with the given key, if any.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Span collector on the simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_simnet::{SimTime, Telemetry};
+///
+/// let mut tel = Telemetry::new();
+/// let root = tel.start("migration", None, SimTime::ZERO);
+/// let child = tel.start("migration.suspend", Some(root), SimTime::ZERO);
+/// tel.attr(child, "bytes", 4096u64);
+/// tel.end(child, SimTime::from_millis(3));
+/// tel.end(root, SimTime::from_millis(9));
+/// assert_eq!(tel.spans().len(), 2);
+/// assert_eq!(tel.span(child).unwrap().duration_micros(), 3_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    spans: Vec<Span>,
+    enabled: bool,
+}
+
+impl Telemetry {
+    /// Creates an enabled, empty collector.
+    pub fn new() -> Self {
+        Telemetry {
+            spans: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled collector: [`Telemetry::start`] returns
+    /// [`SpanId::DISABLED`] and every other operation is a no-op with no
+    /// allocation, so benchmarks can measure the instrumentation floor.
+    pub fn disabled() -> Self {
+        Telemetry {
+            spans: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether spans are kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span at `at`, returning its id.
+    pub fn start(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        parent: Option<SpanId>,
+        at: SimTime,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::DISABLED;
+        }
+        let id = SpanId(self.spans.len() as u32);
+        self.spans.push(Span {
+            id,
+            parent: parent.filter(|p| !p.is_disabled()),
+            name: name.into(),
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Attaches an attribute to an open or closed span.
+    pub fn attr(&mut self, id: SpanId, key: &'static str, value: impl Into<AttrValue>) {
+        if !self.enabled || id.is_disabled() {
+            return;
+        }
+        if let Some(span) = self.spans.get_mut(id.0 as usize) {
+            span.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Closes a span at `at`. Closing twice keeps the first end time.
+    pub fn end(&mut self, id: SpanId, at: SimTime) {
+        if !self.enabled || id.is_disabled() {
+            return;
+        }
+        if let Some(span) = self.spans.get_mut(id.0 as usize) {
+            if span.end.is_none() {
+                span.end = Some(at.max(span.start));
+            }
+        }
+    }
+
+    /// All spans in creation order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Looks up one span by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        if id.is_disabled() {
+            return None;
+        }
+        self.spans.get(id.0 as usize)
+    }
+
+    /// Spans whose name matches exactly, in creation order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Direct children of `parent`, in creation order.
+    pub fn children_of(&self, parent: SpanId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.parent == Some(parent))
+    }
+
+    /// Drops all spans (keeps enablement).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Exports spans and trace events as a JSONL event log: one JSON
+    /// object per line, spans first (creation order) then trace events
+    /// (recording order).
+    pub fn export_jsonl(&self, trace: &Trace) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str("{\"type\":\"span\",\"id\":");
+            let _ = write!(out, "{}", span.id.raw());
+            out.push_str(",\"parent\":");
+            match span.parent {
+                Some(p) => {
+                    let _ = write!(out, "{}", p.raw());
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ",\"name\":\"{}\",\"start_us\":{}",
+                json_escape(&span.name),
+                span.start.as_micros()
+            );
+            out.push_str(",\"end_us\":");
+            match span.end {
+                Some(e) => {
+                    let _ = write!(out, "{}", e.as_micros());
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"attrs\":");
+            push_attrs_json(&mut out, &span.attrs);
+            out.push_str("}\n");
+        }
+        for entry in trace.entries() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"event\",\"at_us\":{},\"category\":\"{}\",\"kind\":\"{}\",\"message\":\"{}\"}}",
+                entry.at.as_micros(),
+                entry.category,
+                entry.event.kind(),
+                json_escape(&entry.message())
+            );
+        }
+        out
+    }
+
+    /// Exports spans and trace events as Chrome trace-event JSON
+    /// (loadable in Perfetto or `chrome://tracing`).
+    ///
+    /// Spans become complete events (`"ph":"X"`, microsecond `ts`/`dur`)
+    /// and trace entries become instant events (`"ph":"i"`). Each span
+    /// tree gets its own track: `tid` is the root ancestor's span id, so
+    /// concurrent migrations render on separate rows.
+    pub fn export_chrome(&self, trace: &Trace) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for span in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":",
+                json_escape(&span.name),
+                span.start.as_micros(),
+                span.duration_micros(),
+                self.root_of(span.id).raw()
+            );
+            push_attrs_json(&mut out, &span.attrs);
+            out.push('}');
+        }
+        for entry in trace.entries() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"kind\":\"{}\"}}}}",
+                json_escape(&entry.message()),
+                entry.category,
+                entry.at.as_micros(),
+                entry.event.kind()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Walks parents up to the root ancestor of `id`.
+    fn root_of(&self, id: SpanId) -> SpanId {
+        let mut cur = id;
+        // Parents always have smaller ids, so this terminates.
+        while let Some(span) = self.span(cur) {
+            match span.parent {
+                Some(p) if p.0 < cur.0 => cur = p,
+                _ => break,
+            }
+        }
+        cur
+    }
+}
+
+/// Appends `attrs` as a JSON object to `out`.
+fn push_attrs_json(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
+    out.push('{');
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(key), value.to_json());
+    }
+    out.push('}');
+}
+
+/// Escapes a string for embedding inside JSON double quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCategory;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let mut tel = Telemetry::new();
+        let root = tel.start("migration", None, SimTime::from_millis(1));
+        let child = tel.start("migration.suspend", Some(root), SimTime::from_millis(1));
+        tel.attr(child, "bytes", 512u64);
+        tel.end(child, SimTime::from_millis(4));
+        tel.end(root, SimTime::from_millis(10));
+        assert_eq!(tel.spans().len(), 2);
+        let c = tel.span(child).unwrap();
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.duration_micros(), 3_000);
+        assert_eq!(c.attr("bytes"), Some(&AttrValue::U64(512)));
+        assert_eq!(tel.children_of(root).count(), 1);
+        assert_eq!(tel.spans_named("migration").count(), 1);
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let mut tel = Telemetry::disabled();
+        let id = tel.start("x", None, SimTime::ZERO);
+        assert!(id.is_disabled());
+        tel.attr(id, "k", 1u64);
+        tel.end(id, SimTime::from_millis(1));
+        assert!(tel.spans().is_empty());
+        assert!(tel.span(id).is_none());
+        assert!(!tel.is_enabled());
+    }
+
+    #[test]
+    fn end_clamps_and_is_idempotent() {
+        let mut tel = Telemetry::new();
+        let id = tel.start("s", None, SimTime::from_millis(5));
+        tel.end(id, SimTime::from_millis(3)); // earlier than start: clamped
+        tel.end(id, SimTime::from_millis(9)); // second end ignored
+        let span = tel.span(id).unwrap();
+        assert_eq!(span.end, Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn jsonl_export_has_one_object_per_line() {
+        let mut tel = Telemetry::new();
+        let root = tel.start("migration", None, SimTime::ZERO);
+        tel.attr(root, "app", "app-0".to_owned());
+        tel.end(root, SimTime::from_millis(2));
+        let mut trace = Trace::new();
+        trace.record(
+            SimTime::from_millis(1),
+            TraceCategory::Agent,
+            "hi \"there\"",
+        );
+        let jsonl = tel.export_jsonl(&trace);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[0].contains("\"name\":\"migration\""));
+        assert!(lines[0].contains("\"app\":\"app-0\""));
+        assert!(lines[1].contains("\"type\":\"event\""));
+        assert!(lines[1].contains("hi \\\"there\\\""));
+    }
+
+    #[test]
+    fn chrome_export_uses_root_track() {
+        let mut tel = Telemetry::new();
+        let root = tel.start("migration", None, SimTime::ZERO);
+        let child = tel.start("migration.suspend", Some(root), SimTime::ZERO);
+        tel.end(child, SimTime::from_millis(1));
+        tel.end(root, SimTime::from_millis(2));
+        let json = tel.export_chrome(&Trace::new());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        // Both spans share the root's track id.
+        assert_eq!(json.matches(&format!("\"tid\":{}", root.raw())).count(), 2);
+    }
+
+    #[test]
+    fn escaping_handles_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,8 +1,10 @@
 //! Scenario event tracing.
 //!
-//! A [`Trace`] is an append-only log of notable simulation events. The
-//! integration tests use it to assert the paper's Fig. 4 interaction
-//! sequence, and examples print it for narration.
+//! A [`Trace`] is an append-only log of notable simulation events. Each
+//! entry carries a structured [`TraceEvent`] whose `Display` renders the
+//! stable, assertable strings the integration tests match with
+//! [`Trace::check_sequence`]; exporters read the typed fields instead of
+//! re-parsing text.
 
 use std::fmt;
 
@@ -36,20 +38,329 @@ impl fmt::Display for TraceCategory {
     }
 }
 
+/// A structured simulation event.
+///
+/// Entity identifiers are pre-rendered strings (`app-3`, `host-1`,
+/// `ma-app-3@host-1`) because this crate sits below the crates that
+/// define those types. Quantities are typed so exporters and analyses
+/// never re-parse the display text.
+///
+/// The `Display` impl reproduces the exact free-form strings this log
+/// carried before it was structured; tests assert substrings of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An application was deployed on a host.
+    Deployed {
+        /// Human application name.
+        app_name: String,
+        /// Assigned application id.
+        app: String,
+        /// Hosting device.
+        host: String,
+    },
+    /// The context layer classified and routed an event.
+    ContextEvent {
+        /// Debug rendering of the event data.
+        description: String,
+        /// How many subscribers it was routed to.
+        subscribers: usize,
+    },
+    /// The context layer published an event with no routing step.
+    Published {
+        /// Debug rendering of the event data.
+        description: String,
+    },
+    /// AA decided a follow-me (cut-paste) migration.
+    DecideFollowMe {
+        /// Application being moved.
+        app_name: String,
+        /// Chosen destination host.
+        dest_host: String,
+        /// Number of components to ship.
+        components: usize,
+        /// Debug rendering of the data strategy.
+        data_strategy: String,
+    },
+    /// AA decided a clone-dispatch (copy-paste) replication.
+    DecideClone {
+        /// Chosen destination host.
+        dest_host: String,
+    },
+    /// AA declined: the rule base derived no move action.
+    DeclineNoMove {
+        /// Application that stays put.
+        app_name: String,
+        /// Estimated response time fed to the rules, in milliseconds.
+        response_time_ms: f64,
+    },
+    /// AA declined: the destination fails device requirements.
+    DeclineDevice {
+        /// Application that stays put.
+        app_name: String,
+        /// Rejected destination host.
+        dest_host: String,
+    },
+    /// AA found no candidate host in the user's new space.
+    NoHost {
+        /// Space that was searched.
+        space: String,
+    },
+    /// Components pre-staged at a predicted next hop.
+    PreStage {
+        /// Bytes transferred ahead of the user.
+        bytes: u64,
+        /// Application name.
+        app_name: String,
+        /// Predicted destination host.
+        dest_host: String,
+    },
+    /// Coordinator suspended the application; snapshot manager recorded
+    /// component states.
+    Suspend {
+        /// Application being suspended.
+        app: String,
+    },
+    /// Snapshot manager copied live states for a clone (no suspend).
+    SnapshotClone {
+        /// Application being cloned.
+        app: String,
+    },
+    /// Mobile agent wrapped components for transfer.
+    Wrap {
+        /// Serialized cargo size in bytes.
+        bytes: u64,
+    },
+    /// MA checked out of the source platform.
+    CheckOut {
+        /// Migrating agent id.
+        agent: String,
+        /// Source host.
+        src: String,
+        /// Destination host.
+        dest: String,
+        /// Frame + cargo size in bytes.
+        bytes: u64,
+    },
+    /// MA dispatched a clone of itself.
+    CloneDispatch {
+        /// Original agent id.
+        agent: String,
+        /// Clone agent id.
+        clone: String,
+        /// Destination host.
+        dest: String,
+        /// Frame + cargo size in bytes.
+        bytes: u64,
+    },
+    /// MA checked in at the destination platform.
+    CheckIn {
+        /// Arriving agent id.
+        agent: String,
+        /// Destination host.
+        dest: String,
+    },
+    /// MA check-in failed (agent dropped).
+    CheckInFailed {
+        /// Agent that failed to arrive.
+        agent: String,
+        /// Destination host.
+        dest: String,
+    },
+    /// MA restored the application at the destination.
+    Restore {
+        /// Restored application id.
+        app: String,
+        /// Destination host.
+        dest: String,
+    },
+    /// Application resumed execution at the destination.
+    Resumed {
+        /// Resumed application id.
+        app: String,
+        /// Destination host.
+        dest: String,
+    },
+    /// Clone MA installed a replica application.
+    ReplicaInstalled {
+        /// New replica application id.
+        replica: String,
+        /// Source application id.
+        source: String,
+        /// Destination host.
+        dest: String,
+    },
+    /// Replica started running with a synchronization link.
+    ReplicaRunning {
+        /// Replica application id.
+        replica: String,
+    },
+    /// Free-form fallback for events without a structured variant.
+    Text(String),
+}
+
+impl TraceEvent {
+    /// Stable machine-readable tag for this event kind (used by the
+    /// JSONL/Chrome exporters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Deployed { .. } => "deployed",
+            TraceEvent::ContextEvent { .. } => "context_event",
+            TraceEvent::Published { .. } => "published",
+            TraceEvent::DecideFollowMe { .. } => "decide_follow_me",
+            TraceEvent::DecideClone { .. } => "decide_clone",
+            TraceEvent::DeclineNoMove { .. } => "decline_no_move",
+            TraceEvent::DeclineDevice { .. } => "decline_device",
+            TraceEvent::NoHost { .. } => "no_host",
+            TraceEvent::PreStage { .. } => "prestage",
+            TraceEvent::Suspend { .. } => "suspend",
+            TraceEvent::SnapshotClone { .. } => "snapshot_clone",
+            TraceEvent::Wrap { .. } => "wrap",
+            TraceEvent::CheckOut { .. } => "check_out",
+            TraceEvent::CloneDispatch { .. } => "clone_dispatch",
+            TraceEvent::CheckIn { .. } => "check_in",
+            TraceEvent::CheckInFailed { .. } => "check_in_failed",
+            TraceEvent::Restore { .. } => "restore",
+            TraceEvent::Resumed { .. } => "resumed",
+            TraceEvent::ReplicaInstalled { .. } => "replica_installed",
+            TraceEvent::ReplicaRunning { .. } => "replica_running",
+            TraceEvent::Text(_) => "text",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Deployed {
+                app_name,
+                app,
+                host,
+            } => write!(f, "deployed {app_name} as {app} on {host}"),
+            TraceEvent::ContextEvent {
+                description,
+                subscribers,
+            } => write!(
+                f,
+                "context event {description} -> {subscribers} subscriber(s)"
+            ),
+            TraceEvent::Published { description } => write!(f, "published {description}"),
+            TraceEvent::DecideFollowMe {
+                app_name,
+                dest_host,
+                components,
+                data_strategy,
+            } => write!(
+                f,
+                "AA decides follow-me of {app_name} to {dest_host} \
+                 (ship {components} component(s), data {data_strategy})"
+            ),
+            TraceEvent::DecideClone { dest_host } => {
+                write!(f, "AA decides clone-dispatch to {dest_host}")
+            }
+            TraceEvent::DeclineNoMove {
+                app_name,
+                response_time_ms,
+            } => write!(
+                f,
+                "AA declines migration of {app_name}: rules derived no move \
+                 (responseTime {response_time_ms:.1} ms)"
+            ),
+            TraceEvent::DeclineDevice {
+                app_name,
+                dest_host,
+            } => write!(
+                f,
+                "AA declines migration of {app_name}: {dest_host} fails device requirements"
+            ),
+            TraceEvent::NoHost { space } => {
+                write!(f, "AA found no host in {space}; staying put")
+            }
+            TraceEvent::PreStage {
+                bytes,
+                app_name,
+                dest_host,
+            } => write!(
+                f,
+                "pre-staging {bytes} bytes of {app_name} at {dest_host} (predicted next hop)"
+            ),
+            TraceEvent::Suspend { app } => {
+                write!(
+                    f,
+                    "coordinator suspends {app}; snapshot manager records states"
+                )
+            }
+            TraceEvent::SnapshotClone { app } => {
+                write!(f, "snapshot manager copies live states of {app} for clone")
+            }
+            TraceEvent::Wrap { bytes } => write!(f, "MA wraps components ({bytes} bytes)"),
+            TraceEvent::CheckOut {
+                agent,
+                src,
+                dest,
+                bytes,
+            } => write!(
+                f,
+                "MA check-out: {agent} leaves {src} for {dest} carrying {bytes} bytes"
+            ),
+            TraceEvent::CloneDispatch {
+                agent,
+                clone,
+                dest,
+                bytes,
+            } => write!(
+                f,
+                "MA clone: {agent} dispatches {clone} to {dest} carrying {bytes} bytes"
+            ),
+            TraceEvent::CheckIn { agent, dest } => {
+                write!(f, "MA check-in: {agent} arrives at {dest}")
+            }
+            TraceEvent::CheckInFailed { agent, dest } => {
+                write!(f, "MA check-in FAILED for {agent} at {dest}")
+            }
+            TraceEvent::Restore { app, dest } => {
+                write!(f, "MA restores {app} at {dest}; rebinding and adapting")
+            }
+            TraceEvent::Resumed { app, dest } => write!(f, "{app} resumed at {dest}"),
+            TraceEvent::ReplicaInstalled {
+                replica,
+                source,
+                dest,
+            } => write!(
+                f,
+                "clone MA installs replica {replica} of {source} at {dest}"
+            ),
+            TraceEvent::ReplicaRunning { replica } => {
+                write!(
+                    f,
+                    "replica {replica} running; synchronization link established"
+                )
+            }
+            TraceEvent::Text(message) => f.write_str(message),
+        }
+    }
+}
+
 /// One recorded event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// When the event happened on the simulated clock.
     pub at: SimTime,
     /// Which layer produced it.
     pub category: TraceCategory,
-    /// Free-form description, stable enough to assert on.
-    pub message: String,
+    /// What happened, structured.
+    pub event: TraceEvent,
+}
+
+impl TraceEntry {
+    /// The stable human-readable message (renders [`TraceEvent`]).
+    pub fn message(&self) -> String {
+        self.event.to_string()
+    }
 }
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {}] {}", self.at, self.category, self.message)
+        write!(f, "[{} {}] {}", self.at, self.category, self.event)
     }
 }
 
@@ -93,13 +404,24 @@ impl Trace {
         self.enabled
     }
 
-    /// Appends an entry (no-op when disabled).
+    /// Appends a free-form entry (no-op when disabled).
     pub fn record(&mut self, at: SimTime, category: TraceCategory, message: impl Into<String>) {
         if self.enabled {
             self.entries.push(TraceEntry {
                 at,
                 category,
-                message: message.into(),
+                event: TraceEvent::Text(message.into()),
+            });
+        }
+    }
+
+    /// Appends a structured entry (no-op when disabled).
+    pub fn record_event(&mut self, at: SimTime, category: TraceCategory, event: TraceEvent) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                category,
+                event,
             });
         }
     }
@@ -116,12 +438,14 @@ impl Trace {
 
     /// Whether any entry's message contains `needle`.
     pub fn contains(&self, needle: &str) -> bool {
-        self.entries.iter().any(|e| e.message.contains(needle))
+        self.entries.iter().any(|e| e.message().contains(needle))
     }
 
     /// Index of the first entry containing `needle`, if any.
     pub fn position_of(&self, needle: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.message.contains(needle))
+        self.entries
+            .iter()
+            .position(|e| e.message().contains(needle))
     }
 
     /// Asserts that the given needles occur in order (not necessarily
@@ -131,7 +455,7 @@ impl Trace {
         for needle in needles {
             match self.entries[from..]
                 .iter()
-                .position(|e| e.message.contains(needle))
+                .position(|e| e.message().contains(needle))
             {
                 Some(offset) => from += offset + 1,
                 None => return Err(needle),
@@ -185,8 +509,74 @@ mod tests {
         let e = TraceEntry {
             at: SimTime::from_millis(2),
             category: TraceCategory::Network,
-            message: "transfer".into(),
+            event: TraceEvent::Text("transfer".into()),
         };
         assert_eq!(e.to_string(), "[2.000ms network] transfer");
+    }
+
+    #[test]
+    fn structured_events_render_legacy_strings() {
+        let cases: Vec<(TraceEvent, &str)> = vec![
+            (
+                TraceEvent::CheckOut {
+                    agent: "ma-app-0@host-0".into(),
+                    src: "host-0".into(),
+                    dest: "host-3".into(),
+                    bytes: 4608,
+                },
+                "MA check-out: ma-app-0@host-0 leaves host-0 for host-3 carrying 4608 bytes",
+            ),
+            (
+                TraceEvent::Suspend {
+                    app: "app-0".into(),
+                },
+                "coordinator suspends app-0; snapshot manager records states",
+            ),
+            (
+                TraceEvent::Wrap { bytes: 4096 },
+                "MA wraps components (4096 bytes)",
+            ),
+            (
+                TraceEvent::Resumed {
+                    app: "app-0".into(),
+                    dest: "host-3".into(),
+                },
+                "app-0 resumed at host-3",
+            ),
+            (
+                TraceEvent::DeclineNoMove {
+                    app_name: "MediaPlayer".into(),
+                    response_time_ms: 12.34,
+                },
+                "AA declines migration of MediaPlayer: rules derived no move \
+                 (responseTime 12.3 ms)",
+            ),
+            (
+                TraceEvent::DecideFollowMe {
+                    app_name: "MediaPlayer".into(),
+                    dest_host: "host-3".into(),
+                    components: 2,
+                    data_strategy: "CarryAll".into(),
+                },
+                "AA decides follow-me of MediaPlayer to host-3 \
+                 (ship 2 component(s), data CarryAll)",
+            ),
+            (
+                TraceEvent::ContextEvent {
+                    description: "LocationChanged".into(),
+                    subscribers: 1,
+                },
+                "context event LocationChanged -> 1 subscriber(s)",
+            ),
+        ];
+        for (event, expected) in cases {
+            assert_eq!(event.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn event_kinds_are_stable() {
+        assert_eq!(TraceEvent::Wrap { bytes: 1 }.kind(), "wrap");
+        assert_eq!(TraceEvent::Text("x".into()).kind(), "text");
     }
 }

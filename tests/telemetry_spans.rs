@@ -1,0 +1,122 @@
+//! Property tests of telemetry span well-formedness: every span the
+//! middleware records under arbitrary migration chains is closed, ordered
+//! (end >= start), parented to a real span that started no later, and
+//! every migration root's phase children partition its duration.
+
+use mdagent::context::UserId;
+use mdagent::core::{
+    AppState, BindingPolicy, Component, ComponentKind, ComponentSet, DeviceProfile, Middleware,
+    MobilityMode, UserProfile,
+};
+use mdagent::simnet::{CpuFactor, HostId, Simulator};
+use proptest::prelude::*;
+
+/// A fully connected four-host, four-space world.
+fn world4() -> (Middleware, Simulator<Middleware>, Vec<HostId>) {
+    let mut b = Middleware::builder();
+    let mut hosts = Vec::new();
+    for i in 0..4 {
+        let space = b.space(&format!("s{i}"));
+        hosts.push(b.host(
+            &format!("h{i}"),
+            space,
+            CpuFactor::REFERENCE,
+            DeviceProfile::pc,
+        ));
+    }
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.gateway(hosts[i], hosts[j]).unwrap();
+        }
+    }
+    let (world, sim) = b.build();
+    (world, sim, hosts)
+}
+
+fn components(data_bytes: usize) -> ComponentSet {
+    [
+        Component::synthetic("logic", ComponentKind::Logic, 90_000),
+        Component::synthetic("ui", ComponentKind::Presentation, 40_000),
+        Component::synthetic("data", ComponentKind::Data, data_bytes),
+    ]
+    .into_iter()
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary follow-me chains (optionally capped by a clone dispatch)
+    /// leave the span log well-formed.
+    #[test]
+    fn migration_spans_are_well_formed(
+        hops in proptest::collection::vec(0usize..4, 1..5),
+        data_bytes in 50_000usize..2_000_000,
+        policy_static in any::<bool>(),
+        do_clone in any::<bool>(),
+    ) {
+        let (mut world, mut sim, hosts) = world4();
+        let policy = if policy_static { BindingPolicy::Static } else { BindingPolicy::Adaptive };
+        let app = Middleware::deploy_app(
+            &mut world, &mut sim, "probe-app", hosts[0], components(data_bytes),
+            UserProfile::new(UserId(0)),
+        ).unwrap();
+        sim.run(&mut world);
+
+        let mut current = hosts[0];
+        for &hop in &hops {
+            let dest = hosts[hop];
+            if dest == current {
+                continue;
+            }
+            Middleware::migrate_now(&mut world, &mut sim, app, dest, MobilityMode::FollowMe, policy)
+                .unwrap();
+            sim.run(&mut world);
+            current = dest;
+        }
+        // A clone dispatch — or, when every hop above was a no-op, one
+        // forced follow-me so each case records at least one migration.
+        if do_clone || current == hosts[0] {
+            let dest = hosts.iter().copied().find(|&h| h != current).unwrap();
+            let mode = if do_clone { MobilityMode::CloneDispatch } else { MobilityMode::FollowMe };
+            Middleware::migrate_now(&mut world, &mut sim, app, dest, mode, policy).unwrap();
+            sim.run(&mut world);
+        }
+        prop_assert_eq!(world.app(app).unwrap().state, AppState::Running);
+
+        let tel = world.telemetry();
+        for span in tel.spans() {
+            // Every span the pipeline opens is eventually closed, and time
+            // flows forward inside it.
+            let end = span.end;
+            prop_assert!(end.is_some(), "span {:?} never ended", span.name);
+            prop_assert!(end.unwrap() >= span.start, "span {:?} ends before start", span.name);
+            // No orphans: a recorded parent is a real span that started no
+            // later than its child.
+            if let Some(parent_id) = span.parent {
+                let parent = tel.span(parent_id);
+                prop_assert!(parent.is_some(), "span {:?} has dangling parent", span.name);
+                prop_assert!(parent.unwrap().start <= span.start);
+            }
+        }
+
+        // Every migration root's phase children partition its duration.
+        let migrations = tel.spans_named("migration").count();
+        prop_assert!(migrations > 0, "chains above always migrate at least once");
+        for root in tel.spans_named("migration") {
+            let children: Vec<_> = tel.children_of(root.id).collect();
+            prop_assert!(!children.is_empty());
+            let names: Vec<&str> = children.iter().map(|c| c.name.as_ref()).collect();
+            for phase in ["migration.suspend", "migration.wrap", "migration.migrate",
+                          "migration.resume"] {
+                prop_assert!(names.contains(&phase), "missing {phase} in {names:?}");
+            }
+            let child_sum: u64 = children.iter().map(|c| c.duration_micros()).sum();
+            let root_duration = root.duration_micros();
+            prop_assert!(
+                child_sum.abs_diff(root_duration) <= 4,
+                "children sum {child_sum}us vs root {root_duration}us"
+            );
+        }
+    }
+}
