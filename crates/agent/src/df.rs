@@ -32,7 +32,7 @@ impl ServiceDescription {
 ///
 /// let mut df = Directory::new();
 /// let ma = AgentId::new("ma-1", "p");
-/// df.register(ma.clone(), ServiceDescription::new("mobile-agent", "player-wrapper"));
+/// df.register(&ma, ServiceDescription::new("mobile-agent", "player-wrapper"));
 /// assert_eq!(df.search("mobile-agent"), vec![ma]);
 /// assert!(df.search("unknown").is_empty());
 /// ```
@@ -48,10 +48,16 @@ impl Directory {
     }
 
     /// Registers a service for an agent (idempotent per exact description).
-    pub fn register(&mut self, agent: AgentId, service: ServiceDescription) {
-        let entry = self.services.entry(agent).or_default();
-        if !entry.contains(&service) {
-            entry.push(service);
+    ///
+    /// Borrows the id so callers on the deployment hot path do not clone;
+    /// the directory clones internally only on an agent's first service.
+    pub fn register(&mut self, agent: &AgentId, service: ServiceDescription) {
+        if let Some(entry) = self.services.get_mut(agent) {
+            if !entry.contains(&service) {
+                entry.push(service);
+            }
+        } else {
+            self.services.insert(agent.clone(), vec![service]);
         }
     }
 
@@ -97,9 +103,9 @@ mod tests {
         let mut df = Directory::new();
         let a = AgentId::new("a", "p");
         let b = AgentId::new("b", "p");
-        df.register(a.clone(), ServiceDescription::new("svc", "one"));
-        df.register(b.clone(), ServiceDescription::new("svc", "two"));
-        df.register(b.clone(), ServiceDescription::new("other", "three"));
+        df.register(&a, ServiceDescription::new("svc", "one"));
+        df.register(&b, ServiceDescription::new("svc", "two"));
+        df.register(&b, ServiceDescription::new("other", "three"));
         assert_eq!(df.search("svc"), vec![a.clone(), b.clone()]);
         assert_eq!(df.search("other"), vec![b.clone()]);
         assert_eq!(df.services_of(&b).len(), 2);
@@ -113,8 +119,8 @@ mod tests {
         let mut df = Directory::new();
         let a = AgentId::new("a", "p");
         let svc = ServiceDescription::new("svc", "one");
-        df.register(a.clone(), svc.clone());
-        df.register(a.clone(), svc);
+        df.register(&a, svc.clone());
+        df.register(&a, svc);
         assert_eq!(df.services_of(&a).len(), 1);
         assert_eq!(df.len(), 1);
         assert!(!df.is_empty());

@@ -4,8 +4,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use mdagent_simnet::{
-    HostId, MetricsRegistry, SimDuration, Simulator, Telemetry, Topology, Trace, TraceCategory,
-    TraceEvent,
+    HostId, MetricsRegistry, PipelinedTransfer, SimDuration, Simulator, Telemetry, Topology, Trace,
+    TraceCategory, TraceEvent, DEFAULT_CHUNK_BYTES,
 };
 
 use crate::acl::AclMessage;
@@ -554,12 +554,15 @@ impl<W: PlatformHost> Platform<W> {
         let snapshot = slot.agent.as_ref().expect("not checked out").snapshot();
         let src_host = platform.container_host(src)?;
         let bytes = snapshot.len() as u64 + extra_payload_bytes + AGENT_FRAME_BYTES;
+        // Migrating state is chunked and cut through successive links, so
+        // multi-hop transfers overlap per-link transmission instead of
+        // paying full store-and-forward at every hop.
         let transfer = world
             .env()
             .topology
-            .transfer_time(src_host, dst_host, bytes)
+            .pipelined_transfer(src_host, dst_host, bytes, DEFAULT_CHUNK_BYTES)
             .map_err(|_| AgentError::NoRoute(src, dest))?;
-        let total = MIGRATION_SETUP + transfer;
+        let total = MIGRATION_SETUP + transfer.elapsed;
 
         let slot = world
             .platform_mut()
@@ -571,6 +574,7 @@ impl<W: PlatformHost> Platform<W> {
         let env = world.env_mut();
         env.metrics.incr_static("platform.moves");
         env.metrics.incr_by_static("platform.move_bytes", bytes);
+        Self::record_link_utilization(env, &transfer);
         let now = sim.now();
         env.trace.record_event(
             now,
@@ -652,12 +656,13 @@ impl<W: PlatformHost> Platform<W> {
         let transfer = world
             .env()
             .topology
-            .transfer_time(src_host, dst_host, bytes)
+            .pipelined_transfer(src_host, dst_host, bytes, DEFAULT_CHUNK_BYTES)
             .map_err(|_| AgentError::NoRoute(src, dest))?;
-        let total = MIGRATION_SETUP + transfer;
+        let total = MIGRATION_SETUP + transfer.elapsed;
         let env = world.env_mut();
         env.metrics.incr_static("platform.clones");
         env.metrics.incr_by_static("platform.clone_bytes", bytes);
+        Self::record_link_utilization(env, &transfer);
         let now = sim.now();
         env.trace.record_event(
             now,
@@ -687,6 +692,19 @@ impl<W: PlatformHost> Platform<W> {
             Self::check_in(w, sim, &arriving, dest, src, snapshot, true);
         });
         Ok(total)
+    }
+
+    /// Records how busy each link on a migration route was, so the bench
+    /// harness can show where a multi-hop transfer spends its time.
+    fn record_link_utilization(env: &mut PlatformEnv, transfer: &PipelinedTransfer) {
+        for lu in &transfer.links {
+            env.metrics.observe_static("migration.link_busy", lu.busy);
+            env.metrics.set_gauge_static(
+                "migration.link_utilization_pct",
+                &lu.link.to_string(),
+                (lu.utilization * 100.0).round() as u64,
+            );
+        }
     }
 
     fn check_in(

@@ -348,10 +348,9 @@ fn kill_makes_later_mail_dead_letter() {
 fn df_search_finds_registered_services() {
     let (mut w, mut sim) = world();
     let a = Platform::spawn(&mut w, &mut sim, MAIN, "ma-1", probe("a")).unwrap();
-    w.platform.df_mut().register(
-        a.clone(),
-        ServiceDescription::new("mobile-agent", "wrapper"),
-    );
+    w.platform
+        .df_mut()
+        .register(&a, ServiceDescription::new("mobile-agent", "wrapper"));
     assert_eq!(w.platform.df().search("mobile-agent"), vec![a.clone()]);
     Platform::kill(&mut w, &a);
     assert!(w.platform.df().search("mobile-agent").is_empty());

@@ -8,8 +8,8 @@
 
 use mdagent_bench::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
-    bench_observability_json, bench_reasoning_json, fig10_comparative, fig8_adaptive, fig9_static,
-    trace_scenario, TRACE_SCENARIOS,
+    bench_migration_json, bench_observability_json, bench_reasoning_json, fig10_comparative,
+    fig8_adaptive, fig9_static, trace_scenario, TRACE_SCENARIOS,
 };
 
 fn main() {
@@ -53,6 +53,20 @@ fn main() {
         match std::fs::write("BENCH_reasoning.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_reasoning.json"),
             Err(e) => eprintln!("could not write BENCH_reasoning.json: {e}"),
+        }
+        if filter.len() == 1 {
+            return;
+        }
+    }
+
+    // Migration data-path comparison: static vs. adaptive vs. adaptive +
+    // component cache + delta snapshots, plus pipelined multi-hop transfer.
+    if filter.iter().any(|f| f == "bench-migration") {
+        let json = bench_migration_json();
+        print!("{json}");
+        match std::fs::write("BENCH_migration.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_migration.json"),
+            Err(e) => eprintln!("could not write BENCH_migration.json: {e}"),
         }
         if filter.len() == 1 {
             return;

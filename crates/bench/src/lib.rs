@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod migration;
 pub mod observe;
 pub mod table;
 
@@ -20,6 +21,10 @@ pub use experiments::{
     bench_reasoning_json, bench_reasoning_rows, fig10_comparative, fig8_adaptive, fig9_static,
     run_clone_fanout, run_follow_me, run_follow_me_observed, FollowMeResult, ReasoningBenchRow,
     PAPER_FILE_SIZES_MB,
+};
+pub use migration::{
+    bench_migration, bench_migration_json, compare_pipeline, run_shuttle, MigrationBench,
+    PipelineComparison, ShuttleRun, SHUTTLE_FILE_BYTES, SHUTTLE_TRIPS,
 };
 pub use observe::{
     bench_observability, bench_observability_json, trace_scenario, ObservabilityBench,

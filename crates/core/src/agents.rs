@@ -408,10 +408,13 @@ impl AutonomousAgent {
         let decision_span = {
             let env = cx.world.env_mut();
             let span = env.telemetry.start("aa.decision", None, decision_at);
-            env.telemetry.attr(span, "app", app_name.clone());
+            // Raw host ids as integers: this fires on every location event,
+            // so keep it free of formatting allocations.
+            env.telemetry.attr(span, "app", u64::from(self.app_raw));
             env.telemetry.attr(span, "trigger", "location");
-            env.telemetry.attr(span, "src_host", src_host.to_string());
-            env.telemetry.attr(span, "dest_host", dest_host.to_string());
+            env.telemetry.attr(span, "src_host", u64::from(src_host.0));
+            env.telemetry
+                .attr(span, "dest_host", u64::from(dest_host.0));
             env.telemetry.attr(span, "response_time_ms", rt_ms);
             span
         };
@@ -517,8 +520,9 @@ impl AutonomousAgent {
                 let env = cx.world.env_mut();
                 let span = env.telemetry.start("aa.decision", None, now);
                 env.telemetry.attr(span, "trigger", "indication");
-                env.telemetry.attr(span, "src_host", src_host.to_string());
-                env.telemetry.attr(span, "dest_host", dest_host.to_string());
+                env.telemetry.attr(span, "src_host", u64::from(src_host.0));
+                env.telemetry
+                    .attr(span, "dest_host", u64::from(dest_host.0));
                 env.telemetry.attr(span, "outcome", "clone-dispatch");
                 env.trace.record_event(
                     now,

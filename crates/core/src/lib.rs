@@ -62,6 +62,7 @@ mod app;
 mod binding;
 mod component;
 mod coordinator;
+mod datapath;
 mod error;
 mod messages;
 mod middleware;
@@ -77,6 +78,7 @@ pub use app::{AppId, AppState, Application};
 pub use binding::{rebind, Binding, BindingTarget, RebindOutcome};
 pub use component::{Component, ComponentKind, ComponentSet};
 pub use coordinator::{Coordinator, ObserverRec};
+pub use datapath::{ComponentCache, DataPathOptions};
 pub use error::CoreError;
 pub use messages::{ontologies, Cargo, ContextNotice, SyncUpdate};
 pub use middleware::{Middleware, MiddlewareBuilder, MigrationReport};
@@ -87,7 +89,7 @@ pub use profile::{DeviceClass, DeviceProfile, UserProfile};
 pub use rules::{
     decide_move, decide_move_with, paper_rules, DecisionEngine, MoveDecision, PAPER_RULES,
 };
-pub use snapshot::{decode_components, is_consistent, Snapshot, SnapshotManager};
+pub use snapshot::{decode_components, is_consistent, Snapshot, SnapshotDelta, SnapshotManager};
 pub use timing::{CostModel, HostClock, PhaseTimes, RoundTrip};
 
 // Re-export the context kernel type alongside, for doc linkage.

@@ -4,7 +4,7 @@ use mdagent_wire::{impl_wire_struct, Wire};
 
 use crate::component::ComponentSet;
 use crate::mobility::MigrationPlan;
-use crate::snapshot::Snapshot;
+use crate::snapshot::{Snapshot, SnapshotDelta};
 
 /// Ontology slot values used by MDAgent conversations.
 pub mod ontologies {
@@ -106,13 +106,21 @@ pub struct Cargo {
     pub components: ComponentSet,
     /// Bytes of data left at the source for remote streaming.
     pub remote_bytes: u64,
+    /// Components elided from the payload because the destination already
+    /// holds their bytes, listed as `(name, content digest)`.
+    pub elided: Vec<(String, u64)>,
+    /// Snapshot state encoded as a delta against a base the destination
+    /// holds; when set, [`Cargo::snapshot`] is a header-only stub.
+    pub snapshot_delta: Option<SnapshotDelta>,
 }
 
 impl_wire_struct!(Cargo {
     plan,
     snapshot,
     components,
-    remote_bytes
+    remote_bytes,
+    elided,
+    snapshot_delta
 });
 
 impl Cargo {
@@ -206,6 +214,8 @@ mod tests {
             },
             components,
             remote_bytes: 2_000_000,
+            elided: Vec::new(),
+            snapshot_delta: None,
         };
         let bytes = to_bytes(&cargo);
         assert_eq!(bytes.len() as u64, cargo.wire_len());

@@ -14,16 +14,18 @@ use mdagent_simnet::{
     CpuFactor, HostId, SimDuration, SimRng, SimTime, Simulator, SpaceId, SpanId, Topology,
     TraceCategory, TraceEvent,
 };
+use mdagent_wire::Wire;
 
 use crate::adaptor::{adapt, AdaptationReport};
 use crate::app::{AppId, AppState, Application};
 use crate::binding::{rebind, BindingTarget, RebindOutcome};
-use crate::component::{ComponentKind, ComponentSet};
+use crate::component::{Component, ComponentKind, ComponentSet};
+use crate::datapath::{ComponentCache, DataPathOptions};
 use crate::error::CoreError;
 use crate::messages::{ontologies, Cargo, ContextNotice, SyncUpdate};
 use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
 use crate::profile::{DeviceProfile, UserProfile};
-use crate::snapshot::SnapshotManager;
+use crate::snapshot::{Snapshot, SnapshotDelta, SnapshotManager};
 use crate::timing::{CostModel, HostClock, PhaseTimes};
 
 /// A completed migration, as recorded for the benchmarks.
@@ -91,6 +93,16 @@ pub struct Middleware {
     host_clocks: HashMap<HostId, HostClock>,
     preinstalled: HashMap<(u32, String), ComponentSet>,
     in_flight: HashMap<AgentId, InFlight>,
+    /// Opt-in migration data-path optimizations (cache + delta).
+    data_path: DataPathOptions,
+    /// Per-host caches of component encodings, keyed by content digest.
+    component_caches: HashMap<HostId, ComponentCache>,
+    /// Content-addressed store of component bytes known to the middleware;
+    /// a destination resolves elided digests against it.
+    content_store: HashMap<u64, Component>,
+    /// Last snapshot sequence each host acknowledged per app — the base a
+    /// delta may be computed against.
+    snapshot_bases: HashMap<(u32, String), u64>,
     migration_log: Vec<MigrationReport>,
     rule_bases: HashMap<String, String>,
     sense_period: SimDuration,
@@ -134,6 +146,7 @@ pub struct MiddlewareBuilder {
     seed: u64,
     sense_period: SimDuration,
     cost_model: CostModel,
+    data_path: DataPathOptions,
 }
 
 impl Default for MiddlewareBuilder {
@@ -155,6 +168,7 @@ impl MiddlewareBuilder {
             seed: 42,
             sense_period: SimDuration::from_millis(200),
             cost_model: CostModel::default(),
+            data_path: DataPathOptions::default(),
         }
     }
 
@@ -255,6 +269,13 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Enables migration data-path optimizations (component cache,
+    /// delta snapshots). Off by default.
+    pub fn data_path(&mut self, options: DataPathOptions) -> &mut Self {
+        self.data_path = options;
+        self
+    }
+
     /// Finalizes the world and a simulator to drive it.
     pub fn build(self) -> (Middleware, Simulator<Middleware>) {
         let mut field = SensorField::new(self.sensor_noise_m);
@@ -307,6 +328,10 @@ impl MiddlewareBuilder {
             host_clocks,
             preinstalled: HashMap::new(),
             in_flight: HashMap::new(),
+            data_path: self.data_path,
+            component_caches: HashMap::new(),
+            content_store: HashMap::new(),
+            snapshot_bases: HashMap::new(),
             migration_log: Vec::new(),
             rule_bases: HashMap::from([(
                 "default".to_owned(),
@@ -522,12 +547,56 @@ impl Middleware {
                 record = record.with_component(kind.tag());
             }
         }
+        if self.data_path.component_cache {
+            for component in components.iter() {
+                let digest = mdagent_wire::digest_of(component).as_u64();
+                record.set_digest(component.name.clone(), digest);
+                self.remember_content(host, digest, component);
+            }
+        }
         self.federation
             .add_center(space)
             .register_application(record);
         self.preinstalled
             .insert((host.0, app_name.to_owned()), components);
         Ok(())
+    }
+
+    /// Records that `host` holds the bytes of `component` (content store +
+    /// per-host LRU cache). No-op when the component cache is disabled.
+    fn remember_content(&mut self, host: HostId, digest: u64, component: &Component) {
+        if !self.data_path.component_cache {
+            return;
+        }
+        let bytes = component.encoded_len() as u64;
+        self.content_store
+            .entry(digest)
+            .or_insert_with(|| component.clone());
+        self.component_caches.entry(host).or_default().insert(
+            digest,
+            bytes,
+            self.data_path.cache_capacity_bytes,
+        );
+    }
+
+    /// Whether `host` already holds content with this digest — via its LRU
+    /// cache or a registry record advertising the digest for its space.
+    fn host_holds_content(&self, host: HostId, digest: u64) -> bool {
+        if self
+            .component_caches
+            .get(&host)
+            .is_some_and(|c| c.contains(digest))
+        {
+            return true;
+        }
+        let Ok(space) = self.space_of(host) else {
+            return false;
+        };
+        self.federation.center(space).is_some_and(|center| {
+            center
+                .applications()
+                .any(|r| r.host == host && r.has_digest(digest))
+        })
     }
 
     /// Components of `app_name` preinstalled on `host` (empty default).
@@ -567,11 +636,11 @@ impl Middleware {
             &local_name,
             Box::new(crate::agents::MobileAgent::new(id)),
         )?;
-        world.apps[id.0 as usize].mobile_agent = Some(ma.clone());
         world.platform.df_mut().register(
-            ma,
+            &ma,
             mdagent_agent::ServiceDescription::new("mobile-agent", name),
         );
+        world.apps[id.0 as usize].mobile_agent = Some(ma);
         Middleware::register_app_record(world, id)?;
         let now = sim.now();
         world.env.trace.record_event(
@@ -603,6 +672,17 @@ impl Middleware {
         }
         for (k, v) in requirements {
             record = record.with_requirement(k, v);
+        }
+        if world.data_path.component_cache {
+            let digests: Vec<(String, u64)> = world
+                .app(id)?
+                .components
+                .iter()
+                .map(|c| (c.name.clone(), mdagent_wire::digest_of(c).as_u64()))
+                .collect();
+            for (name, digest) in digests {
+                record.set_digest(name, digest);
+            }
         }
         world
             .federation
@@ -643,11 +723,11 @@ impl Middleware {
         let local_name = format!("aa-u{}-a{}", agent.user_raw, agent.app_raw);
         let id = Platform::spawn(world, sim, container, &local_name, Box::new(agent))?;
         let sub = world.kernel.bus.subscribe("context.*");
-        world.subscriber_agents.insert(sub, id.clone());
         world.platform.df_mut().register(
-            id.clone(),
+            &id,
             mdagent_agent::ServiceDescription::new("autonomous-agent", "context-watcher"),
         );
+        world.subscriber_agents.insert(sub, id.clone());
         Ok(id)
     }
 
@@ -707,7 +787,6 @@ impl Middleware {
                 .set_preference(key.clone(), value.clone());
         }
         let event = ContextEvent::new(now, data);
-        let outcome = world.kernel.publish(event.clone());
         world.env.trace.record_event(
             now,
             TraceCategory::Context,
@@ -715,7 +794,11 @@ impl Middleware {
                 description: format!("{:?}", event.data),
             },
         );
-        Middleware::route_event(world, sim, &event, &outcome.subscribers);
+        // Trace and notice are derived before publish so the event moves
+        // into the kernel without a clone.
+        let notice = ContextNotice::from_event(&event);
+        let outcome = world.kernel.publish(event);
+        Middleware::route_notice(world, sim, notice, &outcome.subscribers);
     }
 
     fn route_event(
@@ -724,8 +807,17 @@ impl Middleware {
         event: &ContextEvent,
         subscribers: &[SubscriberId],
     ) {
-        let kernel_id = AgentId::new("context-kernel", world.platform.name().to_owned());
         let notice = ContextNotice::from_event(event);
+        Middleware::route_notice(world, sim, notice, subscribers);
+    }
+
+    fn route_notice(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        notice: ContextNotice,
+        subscribers: &[SubscriberId],
+    ) {
+        let kernel_id = AgentId::new("context-kernel", world.platform.name().to_owned());
         for sub in subscribers {
             let Some(agent) = world.subscriber_agents.get(sub).cloned() else {
                 continue;
@@ -743,7 +835,11 @@ impl Middleware {
     /// milliseconds. Also published as a context event by callers that
     /// probe explicitly.
     pub fn response_time_ms(&self, from: HostId, to: HostId) -> f64 {
-        match self.env.topology.transfer_time(from, to, 1024) {
+        match self
+            .env
+            .topology
+            .transfer_time(from, to, CostModel::PROBE_PAYLOAD_BYTES)
+        {
             Ok(one_way) => one_way.as_millis_f64() * 2.0,
             Err(_) => f64::INFINITY,
         }
@@ -963,31 +1059,33 @@ impl Middleware {
         // application untouched instead of stranding it suspended.
         {
             let src_host = world.app(app_id)?.host;
-            world
-                .env
-                .topology
-                .transfer_time(src_host, plan.dest_host(), 1)?;
+            world.env.topology.transfer_time(
+                src_host,
+                plan.dest_host(),
+                CostModel::CONTROL_PAYLOAD_BYTES,
+            )?;
             world.container_on(plan.dest_host())?;
         }
         let (snapshot, components, remote_bytes, src_host) = {
-            let cost_model = world.cost_model.clone();
-            let app = world
-                .apps
+            // Split borrows so the snapshot is captured straight from the
+            // live application instead of a full clone of it.
+            let Middleware {
+                snapshots, apps, ..
+            } = &mut *world;
+            let app = apps
                 .get(app_id.0 as usize)
                 .ok_or(CoreError::UnknownApp(app_id))?;
             if app.state != AppState::Running {
                 return Err(CoreError::BadAppState(app_id, "running"));
             }
             let src_host = app.host;
-            let _ = cost_model;
             let shipped = app.components.subset(&plan.ship_components);
             let remote_bytes = match plan.data_strategy {
                 DataStrategy::RemoteStream => app.components.bytes_of_kind(ComponentKind::Data),
                 _ => 0,
             };
-            (app.clone(), shipped, remote_bytes, src_host)
+            (snapshots.capture(app), shipped, remote_bytes, src_host)
         };
-        let snapshot = world.snapshots.capture(&snapshot);
 
         if plan.mode == MobilityMode::FollowMe {
             let app = world.app_mut(app_id)?;
@@ -1009,11 +1107,75 @@ impl Middleware {
             );
         }
 
+        // Content-addressed elision: components whose bytes the destination
+        // already holds travel as digests only.
+        let dest_host = plan.dest_host();
+        let mut elided: Vec<(String, u64)> = Vec::new();
+        let mut bytes_saved_cache: u64 = 0;
+        let components = if world.data_path.component_cache {
+            let mut kept = ComponentSet::new();
+            for component in components.iter() {
+                let digest = mdagent_wire::digest_of(component).as_u64();
+                let encoded = component.encoded_len() as u64;
+                world
+                    .content_store
+                    .entry(digest)
+                    .or_insert_with(|| component.clone());
+                if world.host_holds_content(dest_host, digest) {
+                    bytes_saved_cache += encoded;
+                    elided.push((component.name.clone(), digest));
+                    world.env.metrics.incr_static("migration.cache_hits");
+                } else {
+                    world.env.metrics.incr_static("migration.cache_misses");
+                    kept.insert(component.clone());
+                }
+            }
+            kept
+        } else {
+            components
+        };
+        if bytes_saved_cache > 0 {
+            world
+                .env
+                .metrics
+                .incr_by_static("migration.bytes_saved_cache", bytes_saved_cache);
+        }
+
+        // Delta snapshots: when the destination acknowledged an earlier
+        // snapshot, ship only the encoding diff against it (if smaller).
+        let mut bytes_saved_delta: u64 = 0;
+        let mut snapshot_delta = None;
+        let mut ship_snapshot = snapshot;
+        if world.data_path.delta_snapshots {
+            let key = (dest_host.0, ship_snapshot.app_name.clone());
+            if let Some(base) = world
+                .snapshot_bases
+                .get(&key)
+                .and_then(|seq| world.snapshots.by_sequence(&ship_snapshot.app_name, *seq))
+            {
+                let delta = SnapshotDelta::between(base, &ship_snapshot);
+                let header = ship_snapshot.header();
+                let delta_len = delta.wire_len() + header.wire_len();
+                let full_len = ship_snapshot.wire_len();
+                if delta_len < full_len {
+                    bytes_saved_delta = full_len - delta_len;
+                    snapshot_delta = Some(delta);
+                    ship_snapshot = header;
+                    world
+                        .env
+                        .metrics
+                        .incr_by_static("migration.bytes_saved_delta", bytes_saved_delta);
+                }
+            }
+        }
+
         let cargo = Cargo {
             plan,
-            snapshot,
+            snapshot: ship_snapshot,
             components,
             remote_bytes,
+            elided,
+            snapshot_delta,
         };
         let wrapped_bytes = cargo.wire_len();
         let cpu = world.env.topology.host(src_host)?.cpu();
@@ -1025,12 +1187,20 @@ impl Middleware {
         // Root span for the whole migration; one child per pipeline phase.
         let root = world.env.telemetry.start("migration", None, now);
         {
+            // Raw ids as integers: keeps this hot path free of formatting
+            // allocations (the exporters render them).
             let tel = &mut world.env.telemetry;
-            tel.attr(root, "app", app_id.to_string());
-            tel.attr(root, "mode", cargo.plan.mode.to_string());
-            tel.attr(root, "src_host", src_host.to_string());
-            tel.attr(root, "dest_host", cargo.plan.dest_host().to_string());
+            tel.attr(root, "app", u64::from(app_id.0));
+            tel.attr(root, "mode", cargo.plan.mode.tag());
+            tel.attr(root, "src_host", u64::from(src_host.0));
+            tel.attr(root, "dest_host", u64::from(cargo.plan.dest_host().0));
             tel.attr(root, "bytes", wrapped_bytes);
+            if bytes_saved_cache > 0 {
+                tel.attr(root, "bytes_saved_cache", bytes_saved_cache);
+            }
+            if bytes_saved_delta > 0 {
+                tel.attr(root, "bytes_saved_delta", bytes_saved_delta);
+            }
             let suspend_span = tel.start("migration.suspend", Some(root), now);
             tel.end(suspend_span, now + suspend_cost);
         }
@@ -1111,21 +1281,27 @@ impl Middleware {
         let src_host = world.app(app_id).map(|a| a.host).unwrap_or(dest);
         let src_space = world.space_of(src_host).ok();
         let dest_space = world.space_of(dest).ok();
+        let snapshot = Middleware::resolve_snapshot(world, &cargo);
+        let elided_components = Middleware::fetch_elided(world, &cargo);
         {
-            let preinstalled =
-                world.preinstalled_components(dest, &cargo.snapshot.app_name.clone());
+            let preinstalled = world.preinstalled_components(dest, &snapshot.app_name);
             let Ok(app) = world.app_mut(app_id) else {
                 return;
             };
             app.host = dest;
             app.state = AppState::Migrating;
-            // Destination inventory = what was preinstalled there + cargo.
+            // Destination inventory = what was preinstalled there + cargo
+            // (shipped bytes and cache-elided components alike).
             let mut inventory = preinstalled;
             inventory.merge(cargo.components.clone());
+            for component in elided_components {
+                inventory.insert(component);
+            }
             // Data left behind: replace data bindings with remote URLs.
             app.components = inventory;
-            let _ = SnapshotManager::restore(&cargo.snapshot, app);
+            let _ = SnapshotManager::restore(&snapshot, app);
         }
+        Middleware::note_arrival(world, dest, &cargo, &snapshot);
         // Rebind each binding according to the destination inventory.
         let mut rebind_cost = SimDuration::ZERO;
         let rebind_outcomes = Middleware::rebind_app(world, app_id, &cargo, src_host);
@@ -1246,6 +1422,60 @@ impl Middleware {
         });
     }
 
+    /// The snapshot a cargo carries: the full one, or the reconstruction
+    /// of its delta against the base the destination holds. Falls back to
+    /// the shipped (header) snapshot if the base is gone or diverged.
+    fn resolve_snapshot(world: &mut Middleware, cargo: &Cargo) -> Snapshot {
+        let Some(delta) = &cargo.snapshot_delta else {
+            return cargo.snapshot.clone();
+        };
+        match world
+            .snapshots
+            .by_sequence(&delta.app_name, delta.base_sequence)
+            .and_then(|base| delta.apply(base).ok())
+        {
+            Some(snapshot) => snapshot,
+            None => {
+                world.env.metrics.incr_static("migration.delta_base_miss");
+                cargo.snapshot.clone()
+            }
+        }
+    }
+
+    /// Materializes cache-elided components from the content store.
+    fn fetch_elided(world: &mut Middleware, cargo: &Cargo) -> Vec<Component> {
+        let mut out = Vec::with_capacity(cargo.elided.len());
+        for (_, digest) in &cargo.elided {
+            match world.content_store.get(digest) {
+                Some(component) => out.push(component.clone()),
+                None => world.env.metrics.incr_static("migration.elided_miss"),
+            }
+        }
+        out
+    }
+
+    /// Destination-side bookkeeping after a cargo lands: remember shipped
+    /// content in the host's cache and record which snapshot sequence the
+    /// host now holds (the base a future delta is computed against).
+    fn note_arrival(world: &mut Middleware, dest: HostId, cargo: &Cargo, snapshot: &Snapshot) {
+        if world.data_path.component_cache {
+            for component in cargo.components.iter() {
+                let digest = mdagent_wire::digest_of(component).as_u64();
+                world.remember_content(dest, digest, component);
+            }
+            for (_, digest) in &cargo.elided {
+                if let Some(cache) = world.component_caches.get_mut(&dest) {
+                    cache.touch(*digest);
+                }
+            }
+        }
+        if world.data_path.delta_snapshots {
+            world
+                .snapshot_bases
+                .insert((dest.0, snapshot.app_name.clone()), snapshot.sequence);
+        }
+    }
+
     fn rebind_app(
         world: &mut Middleware,
         app_id: AppId,
@@ -1287,15 +1517,21 @@ impl Middleware {
         let source_app = cargo.plan.app();
         let now = sim.now();
 
+        let snapshot = Middleware::resolve_snapshot(world, &cargo);
+        let elided_components = Middleware::fetch_elided(world, &cargo);
         let replica_id = AppId(world.apps.len() as u32);
-        let mut replica = Application::new(replica_id, cargo.snapshot.app_name.clone(), dest);
-        let mut inventory = world.preinstalled_components(dest, &cargo.snapshot.app_name);
+        let mut replica = Application::new(replica_id, snapshot.app_name.clone(), dest);
+        let mut inventory = world.preinstalled_components(dest, &snapshot.app_name);
         inventory.merge(cargo.components.clone());
+        for component in elided_components {
+            inventory.insert(component);
+        }
         replica.components = inventory;
         replica.state = AppState::Migrating;
         replica.mobile_agent = Some(clone_ma.clone());
         replica.cloned_from = Some(source_app);
-        let _ = SnapshotManager::restore(&cargo.snapshot, &mut replica);
+        let _ = SnapshotManager::restore(&snapshot, &mut replica);
+        Middleware::note_arrival(world, dest, &cargo, &snapshot);
         // The replica's own sync links start from the original's links; it
         // must at least link back to the source.
         replica.coordinator.add_sync_link(source_app);
@@ -1326,7 +1562,7 @@ impl Middleware {
             let tel = &mut world.env.telemetry;
             let resume_span = tel.start("migration.resume", Some(root), now);
             tel.end(resume_span, now + resume_cost);
-            tel.attr(root, "replica", replica_id.to_string());
+            tel.attr(root, "replica", u64::from(replica_id.0));
         }
         world.env.trace.record_event(
             now,

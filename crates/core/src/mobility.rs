@@ -21,6 +21,16 @@ impl_wire_enum!(MobilityMode {
     CloneDispatch = 1,
 });
 
+impl MobilityMode {
+    /// Short static tag, suitable for zero-allocation telemetry attributes.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MobilityMode::FollowMe => "follow-me",
+            MobilityMode::CloneDispatch => "clone-dispatch",
+        }
+    }
+}
+
 impl fmt::Display for MobilityMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use mdagent_wire::{impl_wire_struct, to_bytes, Wire, WireError};
+use mdagent_wire::{digest_of, impl_wire_struct, to_bytes, Wire, WireError};
 
 use crate::app::Application;
 use crate::component::ComponentSet;
@@ -33,6 +33,126 @@ impl_wire_struct!(Snapshot {
 
 impl Snapshot {
     /// Exact wire size of the snapshot.
+    pub fn wire_len(&self) -> u64 {
+        self.encoded_len() as u64
+    }
+
+    /// A header-only stub: same name and sequence, no state or profile.
+    /// Shipped in place of the full snapshot when a [`SnapshotDelta`]
+    /// carries the state, so the cargo's fixed fields stay intact.
+    pub fn header(&self) -> Snapshot {
+        Snapshot {
+            app_name: self.app_name.clone(),
+            coordinator: Coordinator::default(),
+            profile_bytes: Vec::new(),
+            sequence: self.sequence,
+        }
+    }
+}
+
+/// A snapshot encoded as the difference against a base snapshot the
+/// destination already holds (the last one it acknowledged).
+///
+/// The diff works on the exact wire encodings: the longest common prefix
+/// and suffix of the base and next encodings are elided, and only the
+/// differing middle travels. Repeat migrations of an application whose
+/// state changed a little therefore ship a few hundred bytes instead of
+/// the whole serialized state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// Application name (lets the receiver find its base without
+    /// decoding anything else).
+    pub app_name: String,
+    /// Sequence number of the base snapshot this delta applies to.
+    pub base_sequence: u64,
+    /// Content digest of the base's wire encoding; a mismatch means the
+    /// receiver's base diverged and the delta must be rejected.
+    pub base_digest: u64,
+    /// Sequence number of the snapshot this delta reconstructs.
+    pub sequence: u64,
+    /// Bytes shared with the head of the base encoding.
+    pub prefix_len: u64,
+    /// Bytes shared with the tail of the base encoding.
+    pub suffix_len: u64,
+    /// The differing middle of the next encoding.
+    pub middle: Vec<u8>,
+}
+
+impl_wire_struct!(SnapshotDelta {
+    app_name,
+    base_sequence,
+    base_digest,
+    sequence,
+    prefix_len,
+    suffix_len,
+    middle
+});
+
+/// Encoding used for diffing: the sequence field is zeroed so the
+/// always-changing capture counter at the tail does not defeat the
+/// common-suffix trim (it travels separately in the delta).
+fn normalized_bytes(snap: &Snapshot) -> Vec<u8> {
+    let mut copy = snap.clone();
+    copy.sequence = 0;
+    to_bytes(&copy)
+}
+
+impl SnapshotDelta {
+    /// Encodes `next` as a delta against `base`.
+    pub fn between(base: &Snapshot, next: &Snapshot) -> SnapshotDelta {
+        let old = normalized_bytes(base);
+        let new = normalized_bytes(next);
+        let prefix = old
+            .iter()
+            .zip(new.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        let max_suffix = old.len().min(new.len()) - prefix;
+        let suffix = old
+            .iter()
+            .rev()
+            .zip(new.iter().rev())
+            .take(max_suffix)
+            .take_while(|(a, b)| a == b)
+            .count();
+        SnapshotDelta {
+            app_name: next.app_name.clone(),
+            base_sequence: base.sequence,
+            base_digest: digest_of(base).as_u64(),
+            sequence: next.sequence,
+            prefix_len: prefix as u64,
+            suffix_len: suffix as u64,
+            middle: new[prefix..new.len() - suffix].to_vec(),
+        }
+    }
+
+    /// Reconstructs the full snapshot from the receiver's base copy.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::ChecksumMismatch`] when the base is not the one the
+    /// delta was computed against; decoding errors if the reassembled
+    /// bytes are malformed.
+    pub fn apply(&self, base: &Snapshot) -> Result<Snapshot, WireError> {
+        if digest_of(base).as_u64() != self.base_digest {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let old = normalized_bytes(base);
+        let prefix = self.prefix_len as usize;
+        let suffix = self.suffix_len as usize;
+        if prefix > old.len() || suffix > old.len() - prefix {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let mut bytes = Vec::with_capacity(prefix + self.middle.len() + suffix);
+        bytes.extend_from_slice(&old[..prefix]);
+        bytes.extend_from_slice(&self.middle);
+        bytes.extend_from_slice(&old[old.len() - suffix..]);
+        let mut snapshot: Snapshot = mdagent_wire::from_bytes(&bytes)?;
+        snapshot.sequence = self.sequence;
+        Ok(snapshot)
+    }
+
+    /// Exact wire size of the delta.
     pub fn wire_len(&self) -> u64 {
         self.encoded_len() as u64
     }
@@ -105,6 +225,15 @@ impl SnapshotManager {
     /// Number of retained snapshots for an app.
     pub fn retained(&self, app_name: &str) -> usize {
         self.history.get(app_name).map_or(0, Vec::len)
+    }
+
+    /// A retained snapshot of an app by capture sequence number, if it is
+    /// still within the bounded history. Used to resolve the base of a
+    /// [`SnapshotDelta`].
+    pub fn by_sequence(&self, app_name: &str, sequence: u64) -> Option<&Snapshot> {
+        self.history
+            .get(app_name)
+            .and_then(|v| v.iter().find(|s| s.sequence == sequence))
     }
 }
 
@@ -190,6 +319,99 @@ mod tests {
         assert_eq!(bytes.len() as u64, snap.wire_len());
         let back: Snapshot = mdagent_wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn delta_roundtrip_equals_full_snapshot() {
+        let mut mgr = SnapshotManager::new(4);
+        let mut a = app();
+        let base = mgr.capture(&a);
+        // Mutate a little state, as repeat migrations of a running app do.
+        a.coordinator.set_state("position-ms", "184000");
+        let next = mgr.capture(&a);
+
+        let delta = SnapshotDelta::between(&base, &next);
+        let rebuilt = delta.apply(&base).unwrap();
+        assert_eq!(rebuilt, next, "delta apply must reproduce the snapshot");
+        assert!(
+            delta.wire_len() < next.wire_len(),
+            "small state change must encode smaller than the full snapshot: {} vs {}",
+            delta.wire_len(),
+            next.wire_len()
+        );
+    }
+
+    #[test]
+    fn delta_roundtrip_handles_growth_and_shrink() {
+        let mut mgr = SnapshotManager::new(8);
+        let mut a = app();
+        let base = mgr.capture(&a);
+        a.coordinator
+            .set_state("playlist", "a-very-long-newly-added-entry");
+        let grown = mgr.capture(&a);
+        let d1 = SnapshotDelta::between(&base, &grown);
+        assert_eq!(d1.apply(&base).unwrap(), grown);
+
+        a.coordinator.set_state("playlist", "x");
+        let shrunk = mgr.capture(&a);
+        let d2 = SnapshotDelta::between(&grown, &shrunk);
+        assert_eq!(d2.apply(&grown).unwrap(), shrunk);
+    }
+
+    #[test]
+    fn delta_rejects_wrong_base() {
+        let mut mgr = SnapshotManager::new(4);
+        let mut a = app();
+        let base = mgr.capture(&a);
+        a.coordinator.set_state("track", "fugue.mp3");
+        let next = mgr.capture(&a);
+        let delta = SnapshotDelta::between(&base, &next);
+
+        a.coordinator.set_state("track", "toccata.mp3");
+        let diverged = mgr.capture(&a);
+        assert!(matches!(
+            delta.apply(&diverged),
+            Err(WireError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn delta_wire_roundtrip() {
+        let mut mgr = SnapshotManager::new(4);
+        let mut a = app();
+        let base = mgr.capture(&a);
+        a.coordinator.set_state("track", "fugue.mp3");
+        let next = mgr.capture(&a);
+        let delta = SnapshotDelta::between(&base, &next);
+        let bytes = to_bytes(&delta);
+        assert_eq!(bytes.len() as u64, delta.wire_len());
+        let back: SnapshotDelta = mdagent_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(back.apply(&base).unwrap(), next);
+    }
+
+    #[test]
+    fn snapshot_header_keeps_name_and_sequence_only() {
+        let mut mgr = SnapshotManager::new(4);
+        let snap = mgr.capture(&app());
+        let header = snap.header();
+        assert_eq!(header.app_name, snap.app_name);
+        assert_eq!(header.sequence, snap.sequence);
+        assert!(header.profile_bytes.is_empty());
+        assert!(header.wire_len() < snap.wire_len());
+    }
+
+    #[test]
+    fn by_sequence_finds_retained_snapshots() {
+        let mut mgr = SnapshotManager::new(4);
+        let mut a = app();
+        let first = mgr.capture(&a);
+        a.coordinator.set_state("track", "fugue.mp3");
+        let second = mgr.capture(&a);
+        assert_eq!(mgr.by_sequence("player", first.sequence), Some(&first));
+        assert_eq!(mgr.by_sequence("player", second.sequence), Some(&second));
+        assert_eq!(mgr.by_sequence("player", 999), None);
+        assert_eq!(mgr.by_sequence("ghost", first.sequence), None);
     }
 
     #[test]

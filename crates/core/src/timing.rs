@@ -49,6 +49,14 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Modeled payload of the 1 kB probe used to estimate response times
+    /// between hosts when no concrete message exists yet.
+    pub const PROBE_PAYLOAD_BYTES: u64 = 1024;
+
+    /// Modeled payload of a minimal control message (reachability checks,
+    /// bare acknowledgements).
+    pub const CONTROL_PAYLOAD_BYTES: u64 = 1;
+
     /// Suspension cost when `snapshot_bytes` must be serialized.
     pub fn suspend_cost(&self, snapshot_bytes: u64) -> SimDuration {
         self.suspend_base + per_mb(self.snapshot_per_mb, snapshot_bytes)

@@ -109,6 +109,11 @@ pub struct ApplicationRecord {
     /// Minimum device requirements, free-form `key=value` pairs
     /// (`"screen-width=800"`).
     pub requirements: Vec<(String, String)>,
+    /// Content digests of installed components, as `(component name,
+    /// 64-bit digest of the component's wire encoding)`. A migration
+    /// source consults these to elide shipping components the
+    /// destination already holds byte-identically.
+    pub digests: Vec<(String, u64)>,
 }
 
 impl ApplicationRecord {
@@ -122,6 +127,7 @@ impl ApplicationRecord {
             host,
             components: Vec::new(),
             requirements: Vec::new(),
+            digests: Vec::new(),
         }
     }
 
@@ -140,6 +146,36 @@ impl ApplicationRecord {
     /// Whether a component kind is installed.
     pub fn has_component(&self, kind: &str) -> bool {
         self.components.iter().any(|c| c == kind)
+    }
+
+    /// Advertises a component's content digest (builder style). A later
+    /// digest for the same component name replaces the earlier one.
+    pub fn with_digest(mut self, component: impl Into<String>, digest: u64) -> Self {
+        self.set_digest(component.into(), digest);
+        self
+    }
+
+    /// Records (or replaces) a component's content digest.
+    pub fn set_digest(&mut self, component: String, digest: u64) {
+        if let Some(entry) = self.digests.iter_mut().find(|(n, _)| *n == component) {
+            entry.1 = digest;
+        } else {
+            self.digests.push((component, digest));
+        }
+    }
+
+    /// The advertised digest of a component, if any.
+    pub fn component_digest(&self, component: &str) -> Option<u64> {
+        self.digests
+            .iter()
+            .find(|(n, _)| n == component)
+            .map(|(_, d)| *d)
+    }
+
+    /// Whether any advertised component carries exactly this digest
+    /// (semantic match: same bytes under a different name still count).
+    pub fn has_digest(&self, digest: u64) -> bool {
+        self.digests.iter().any(|(_, d)| *d == digest)
     }
 }
 
@@ -228,6 +264,20 @@ mod tests {
         assert!(!rec.has_component("data"));
         assert_eq!(rec.requirements.len(), 1);
         assert_eq!(rec.interface.service, "editor");
+    }
+
+    #[test]
+    fn application_record_digests() {
+        let mut rec = ApplicationRecord::new("player", SpaceId(0), HostId(0))
+            .with_digest("codec", 0xABCD)
+            .with_digest("player-ui", 7);
+        assert_eq!(rec.component_digest("codec"), Some(0xABCD));
+        assert_eq!(rec.component_digest("missing"), None);
+        assert!(rec.has_digest(7));
+        assert!(!rec.has_digest(8));
+        rec.set_digest("codec".into(), 1);
+        assert_eq!(rec.component_digest("codec"), Some(1));
+        assert_eq!(rec.digests.len(), 2, "replace, not append");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use sim::Simulator;
 pub use telemetry::{AttrValue, Span, SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
-    CpuFactor, Host, HostId, Link, LinkId, LinkKind, SpaceId, Topology, TopologyError,
+    CpuFactor, Host, HostId, Link, LinkId, LinkKind, LinkUtilization, PipelinedTransfer, SpaceId,
+    Topology, TopologyError, DEFAULT_CHUNK_BYTES,
 };
 pub use trace::{Trace, TraceCategory, TraceEntry, TraceEvent};

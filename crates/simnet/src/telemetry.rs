@@ -236,7 +236,10 @@ impl Telemetry {
             name: name.into(),
             start: at,
             end: None,
-            attrs: Vec::new(),
+            // Migration-path spans attach a handful of attributes right
+            // after `start`; reserving up front keeps the hot path to a
+            // single allocation instead of the grow-by-doubling series.
+            attrs: Vec::with_capacity(6),
         });
         id
     }

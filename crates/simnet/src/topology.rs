@@ -178,6 +178,33 @@ impl Link {
     }
 }
 
+/// Chunk size used by [`Topology::pipelined_transfer_time`] when the
+/// caller does not pick one. 64 KiB keeps per-chunk latency overhead
+/// negligible while still overlapping hops on multi-megabyte payloads.
+pub const DEFAULT_CHUNK_BYTES: u64 = 64 * 1024;
+
+/// How busy one link was during a pipelined transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUtilization {
+    /// The link.
+    pub link: LinkId,
+    /// Total time the link spent transmitting chunks.
+    pub busy: SimDuration,
+    /// `busy / elapsed` for the whole transfer (0.0 when elapsed is zero).
+    pub utilization: f64,
+}
+
+/// Result of a chunked, cut-through multi-hop transfer: end-to-end
+/// elapsed time plus per-link utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinedTransfer {
+    /// Arrival time of the last chunk at the destination, relative to the
+    /// start of the transfer.
+    pub elapsed: SimDuration,
+    /// Per-link busy time and utilization, in route order.
+    pub links: Vec<LinkUtilization>,
+}
+
 /// Errors raised while building or querying a topology.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologyError {
@@ -452,6 +479,149 @@ impl Topology {
             .map(|lid| self.links[lid.0 as usize].transfer_time(bytes))
             .sum())
     }
+
+    /// End-to-end time of a chunked, pipelined (cut-through) transfer
+    /// along the fewest-hops route, using [`DEFAULT_CHUNK_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors; see [`route`](Self::route).
+    pub fn pipelined_transfer_time(
+        &self,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+    ) -> Result<SimDuration, TopologyError> {
+        Ok(self
+            .pipelined_transfer(from, to, bytes, DEFAULT_CHUNK_BYTES)?
+            .elapsed)
+    }
+
+    /// Chunked, pipelined multi-hop transfer with per-link utilization.
+    ///
+    /// The payload is split into `chunk_bytes`-sized chunks (plus one
+    /// remainder). A link starts forwarding a chunk as soon as the chunk
+    /// has fully arrived at its input host *and* the link has finished
+    /// its previous chunk, so successive hops overlap and multi-hop time
+    /// approaches the `max` of per-link transmission rather than the
+    /// `sum` that store-and-forward pays. Single-hop routes reproduce
+    /// [`Link::transfer_time`] exactly, and a chunk size at or above the
+    /// payload degenerates to store-and-forward, so pipelining can only
+    /// help, never hurt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors; see [`route`](Self::route).
+    pub fn pipelined_transfer(
+        &self,
+        from: HostId,
+        to: HostId,
+        bytes: u64,
+        chunk_bytes: u64,
+    ) -> Result<PipelinedTransfer, TopologyError> {
+        let route = self.route(from, to)?;
+        if route.len() <= 1 {
+            // Zero or one hop: nothing to overlap. Return the exact
+            // store-and-forward figure so single-link scenarios (the
+            // paper's two-PC testbed) are bit-identical either way.
+            let elapsed = route
+                .first()
+                .map(|lid| self.links[lid.0 as usize].transfer_time(bytes))
+                .unwrap_or(SimDuration::ZERO);
+            let links = route
+                .iter()
+                .map(|&lid| {
+                    let busy = self.links[lid.0 as usize].transmission_time(bytes);
+                    LinkUtilization {
+                        link: lid,
+                        busy,
+                        utilization: ratio(busy, elapsed),
+                    }
+                })
+                .collect();
+            return Ok(PipelinedTransfer { elapsed, links });
+        }
+
+        // Per-link goodput in bytes/s; a dead link makes the whole
+        // transfer unreachable, matching `Link::transmission_time`.
+        let mut goodput = Vec::with_capacity(route.len());
+        let mut latency = Vec::with_capacity(route.len());
+        for &lid in &route {
+            let link = &self.links[lid.0 as usize];
+            let g = link.bandwidth_bps as f64 * link.efficiency / 8.0;
+            if g <= 0.0 {
+                let links = route
+                    .iter()
+                    .map(|&lid| LinkUtilization {
+                        link: lid,
+                        busy: SimDuration::MAX,
+                        utilization: 1.0,
+                    })
+                    .collect();
+                return Ok(PipelinedTransfer {
+                    elapsed: SimDuration::MAX,
+                    links,
+                });
+            }
+            goodput.push(g);
+            latency.push(link.latency().as_secs_f64());
+        }
+
+        // Event-free simulation in f64 seconds: `free[i]` is when link i
+        // finishes its current chunk. Accumulating in f64 and converting
+        // once keeps per-chunk rounding out of the result.
+        let chunk = chunk_bytes.max(1);
+        let full_chunks = bytes / chunk;
+        let remainder = bytes % chunk;
+        let mut free = vec![0.0f64; route.len()];
+        let mut last_arrival = 0.0f64;
+        let mut push_chunk = |size: u64, free: &mut [f64]| {
+            let mut at = 0.0f64; // chunk is ready at the source at t=0
+            for i in 0..route.len() {
+                let start = at.max(free[i]);
+                free[i] = start + size as f64 / goodput[i];
+                at = free[i] + latency[i];
+            }
+            last_arrival = at;
+        };
+        for _ in 0..full_chunks {
+            push_chunk(chunk, &mut free);
+        }
+        if remainder > 0 || bytes == 0 {
+            // A zero-byte payload still pays one latency per hop.
+            push_chunk(remainder, &mut free);
+        }
+
+        // Cap at the store-and-forward figure: a single-chunk schedule is
+        // identical to it analytically, and the cap keeps microsecond
+        // rounding from ever making pipelining look slower.
+        let saf: SimDuration = route
+            .iter()
+            .map(|lid| self.links[lid.0 as usize].transfer_time(bytes))
+            .sum();
+        let elapsed = SimDuration::from_secs_f64(last_arrival).min(saf);
+        let links = route
+            .iter()
+            .map(|&lid| {
+                let busy = self.links[lid.0 as usize].transmission_time(bytes);
+                LinkUtilization {
+                    link: lid,
+                    busy,
+                    utilization: ratio(busy, elapsed),
+                }
+            })
+            .collect();
+        Ok(PipelinedTransfer { elapsed, links })
+    }
+}
+
+fn ratio(busy: SimDuration, elapsed: SimDuration) -> f64 {
+    let total = elapsed.as_secs_f64();
+    if total <= 0.0 {
+        0.0
+    } else {
+        (busy.as_secs_f64() / total).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -535,5 +705,101 @@ mod tests {
             topo.transfer_time(a, b, 0).unwrap(),
             SimDuration::from_millis(1)
         );
+    }
+
+    #[test]
+    fn pipelined_equals_store_and_forward_at_one_hop() {
+        let (topo, a, b, _) = two_space_topo();
+        for bytes in [0u64, 1, 4_096, 2_000_000] {
+            for chunk in [1u64, 1_024, DEFAULT_CHUNK_BYTES, u64::MAX] {
+                let p = topo.pipelined_transfer(a, b, bytes, chunk).unwrap();
+                assert_eq!(p.elapsed, topo.transfer_time(a, b, bytes).unwrap());
+                assert_eq!(p.links.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_never_exceeds_store_and_forward() {
+        let (topo, a, _, c) = two_space_topo();
+        for bytes in [0u64, 512, 65_536, 2_000_000, 7_500_000] {
+            let saf = topo.transfer_time(a, c, bytes).unwrap();
+            for chunk in [4_096u64, DEFAULT_CHUNK_BYTES, 1_000_000] {
+                let p = topo.pipelined_transfer(a, c, bytes, chunk).unwrap();
+                assert!(
+                    p.elapsed <= saf,
+                    "bytes={bytes} chunk={chunk}: {:?} > {saf:?}",
+                    p.elapsed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_beats_store_and_forward_on_two_hops() {
+        // 2 MB over the a–b–c route: store-and-forward pays both
+        // transmissions in full; cut-through overlaps them.
+        let (topo, a, _, c) = two_space_topo();
+        let saf = topo.transfer_time(a, c, 2_000_000).unwrap();
+        let pipe = topo.pipelined_transfer_time(a, c, 2_000_000).unwrap();
+        assert!(pipe < saf, "{pipe:?} !< {saf:?}");
+        // The bottleneck link (gateway, 0.7 efficiency) lower-bounds it.
+        let bottleneck = SimDuration::from_millis(6)
+            + SimDuration::from_secs_f64(2_000_000.0 / (10_000_000.0 * 0.7 / 8.0));
+        assert!(pipe >= bottleneck, "{pipe:?} < {bottleneck:?}");
+    }
+
+    #[test]
+    fn chunk_size_invariance_bounds() {
+        // Whatever the chunk size, the pipelined figure stays between the
+        // bottleneck bound (all latencies + slowest-link transmission) and
+        // plain store-and-forward.
+        let (topo, a, _, c) = two_space_topo();
+        let bytes = 4_300_000u64;
+        let saf = topo.transfer_time(a, c, bytes).unwrap();
+        let bottleneck = SimDuration::from_millis(6)
+            + SimDuration::from_secs_f64(bytes as f64 / (10_000_000.0 * 0.7 / 8.0));
+        let mut prev = None;
+        for chunk in [8_192u64, 32_768, DEFAULT_CHUNK_BYTES, 262_144, 1_048_576] {
+            let p = topo.pipelined_transfer(a, c, bytes, chunk).unwrap();
+            assert!(p.elapsed >= bottleneck, "chunk={chunk}");
+            assert!(p.elapsed <= saf, "chunk={chunk}");
+            // Smaller chunks pipeline no worse than larger ones.
+            if let Some(prev) = prev {
+                assert!(p.elapsed >= prev, "chunk={chunk}");
+            }
+            prev = Some(p.elapsed);
+        }
+    }
+
+    #[test]
+    fn pipelined_utilization_tracks_the_bottleneck() {
+        let (topo, a, _, c) = two_space_topo();
+        let p = topo
+            .pipelined_transfer(a, c, 2_000_000, DEFAULT_CHUNK_BYTES)
+            .unwrap();
+        assert_eq!(p.links.len(), 2);
+        // Route order is a→b (LAN) then b→c (gateway); the slower gateway
+        // link is the busier one.
+        let lan = &p.links[0];
+        let gw = &p.links[1];
+        assert!(gw.busy > lan.busy);
+        assert!(gw.utilization > lan.utilization);
+        assert!(
+            gw.utilization > 0.9,
+            "bottleneck should be nearly saturated"
+        );
+        for l in &p.links {
+            assert!(l.utilization > 0.0 && l.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn pipelined_zero_bytes_pays_all_latencies() {
+        let (topo, a, _, c) = two_space_topo();
+        let p = topo
+            .pipelined_transfer(a, c, 0, DEFAULT_CHUNK_BYTES)
+            .unwrap();
+        assert_eq!(p.elapsed, SimDuration::from_millis(6));
     }
 }

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod envelope;
 mod error;
 mod macros;
@@ -39,6 +40,7 @@ mod wire;
 
 pub use bytes;
 
+pub use digest::{digest_of, Digest};
 pub use envelope::{fnv1a, Envelope};
 pub use error::WireError;
 pub use reader::{Reader, MAX_DECLARED_LEN};

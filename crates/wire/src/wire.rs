@@ -50,8 +50,11 @@ pub trait Wire: Sized {
 }
 
 /// Encodes a value into a fresh byte vector.
+///
+/// The buffer is sized up front from [`Wire::encoded_len`], so encoding is
+/// a single pass with no reallocation even for multi-megabyte payloads.
 pub fn to_bytes<T: Wire>(value: &T) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(value.encoded_len().min(4096));
+    let mut buf = BytesMut::with_capacity(value.encoded_len());
     value.encode(&mut buf);
     buf.to_vec()
 }
