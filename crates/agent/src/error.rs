@@ -19,6 +19,8 @@ pub enum AgentError {
     NoRoute(ContainerId, ContainerId),
     /// An agent name collision on spawn.
     DuplicateAgent(AgentId),
+    /// A link on the route is down; the transfer cannot start right now.
+    LinkDown(mdagent_simnet::LinkId),
     /// Snapshot or reconstruction failed.
     Wire(mdagent_wire::WireError),
 }
@@ -32,6 +34,7 @@ impl fmt::Display for AgentError {
             AgentError::NoFactory(ty) => write!(f, "no factory for agent type {ty:?}"),
             AgentError::NoRoute(a, b) => write!(f, "no route between {a} and {b}"),
             AgentError::DuplicateAgent(id) => write!(f, "agent {id} already exists"),
+            AgentError::LinkDown(l) => write!(f, "link-{} is down", l.0),
             AgentError::Wire(e) => write!(f, "agent state serialization failed: {e}"),
         }
     }

@@ -4,8 +4,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use mdagent_simnet::{
-    HostId, MetricsRegistry, PipelinedTransfer, SimDuration, Simulator, Telemetry, Topology, Trace,
-    TraceCategory, TraceEvent, DEFAULT_CHUNK_BYTES,
+    FaultInjector, HostId, LinkId, MetricsRegistry, PipelinedTransfer, SimDuration, Simulator,
+    Telemetry, Topology, Trace, TraceCategory, TraceEvent, TransferFault, DEFAULT_CHUNK_BYTES,
 };
 
 use crate::acl::AclMessage;
@@ -37,6 +37,8 @@ pub struct PlatformEnv {
     pub trace: Trace,
     /// Span collector for causal profiling (migrations, AA decisions).
     pub telemetry: Telemetry,
+    /// Network fault injection (disabled by default; transfers never fail).
+    pub faults: FaultInjector,
 }
 
 impl PlatformEnv {
@@ -47,7 +49,25 @@ impl PlatformEnv {
             metrics: MetricsRegistry::new(),
             trace: Trace::new(),
             telemetry: Telemetry::new(),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Fault verdict for a transfer starting now, or `None` when the
+    /// injector is disabled (in which case no RNG state advances).
+    fn assess_fault(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        now: mdagent_simnet::SimTime,
+    ) -> Option<TransferFault> {
+        if !self.faults.enabled() {
+            return None;
+        }
+        let PlatformEnv {
+            faults, topology, ..
+        } = self;
+        faults.assess(topology, from, to, now)
     }
 }
 
@@ -564,6 +584,24 @@ impl<W: PlatformHost> Platform<W> {
             .map_err(|_| AgentError::NoRoute(src, dest))?;
         let total = MIGRATION_SETUP + transfer.elapsed;
 
+        let now = sim.now();
+        let fault = world.env_mut().assess_fault(src_host, dst_host, now);
+        if let Some(TransferFault::LinkDown(link)) = fault {
+            // The route is down right now: refuse to start the transfer so
+            // the agent stays active at the source and callers can retry.
+            let env = world.env_mut();
+            env.metrics.incr_static("platform.link_down_blocks");
+            env.trace.record_event(
+                now,
+                TraceCategory::Agent,
+                TraceEvent::TransferBlocked {
+                    agent: id.to_string(),
+                    link: link.0,
+                },
+            );
+            return Err(AgentError::LinkDown(link));
+        }
+
         let slot = world
             .platform_mut()
             .agents
@@ -588,9 +626,18 @@ impl<W: PlatformHost> Platform<W> {
         );
 
         let id = id.clone();
-        sim.schedule_in(total, move |w, sim| {
-            Self::check_in(w, sim, &id, dest, src, snapshot, false);
-        });
+        if let Some(TransferFault::Dropped(link)) = fault {
+            // Lost in flight: the agent never arrives. After the wire time
+            // has elapsed it is restored from its departure snapshot at the
+            // source (its container never moved while in transit).
+            sim.schedule_in(total, move |w, sim| {
+                Self::bounce(w, sim, &id, link, snapshot, false);
+            });
+        } else {
+            sim.schedule_in(total, move |w, sim| {
+                Self::check_in(w, sim, &id, dest, src, snapshot, false);
+            });
+        }
         Ok(total)
     }
 
@@ -659,6 +706,21 @@ impl<W: PlatformHost> Platform<W> {
             .pipelined_transfer(src_host, dst_host, bytes, DEFAULT_CHUNK_BYTES)
             .map_err(|_| AgentError::NoRoute(src, dest))?;
         let total = MIGRATION_SETUP + transfer.elapsed;
+        let now = sim.now();
+        let fault = world.env_mut().assess_fault(src_host, dst_host, now);
+        if let Some(TransferFault::LinkDown(link)) = fault {
+            let env = world.env_mut();
+            env.metrics.incr_static("platform.link_down_blocks");
+            env.trace.record_event(
+                now,
+                TraceCategory::Agent,
+                TraceEvent::TransferBlocked {
+                    agent: id.to_string(),
+                    link: link.0,
+                },
+            );
+            return Err(AgentError::LinkDown(link));
+        }
         let env = world.env_mut();
         env.metrics.incr_static("platform.clones");
         env.metrics.incr_by_static("platform.clone_bytes", bytes);
@@ -688,10 +750,90 @@ impl<W: PlatformHost> Platform<W> {
             },
         );
         let arriving = clone_id;
-        sim.schedule_in(total, move |w, sim| {
-            Self::check_in(w, sim, &arriving, dest, src, snapshot, true);
-        });
+        if let Some(TransferFault::Dropped(link)) = fault {
+            // A lost clone simply never materializes; the original keeps
+            // running and the pre-created slot is reaped when the wire time
+            // has elapsed.
+            sim.schedule_in(total, move |w, sim| {
+                Self::bounce(w, sim, &arriving, link, snapshot, true);
+            });
+        } else {
+            sim.schedule_in(total, move |w, sim| {
+                Self::check_in(w, sim, &arriving, dest, src, snapshot, true);
+            });
+        }
         Ok(total)
+    }
+
+    /// Handles a transfer that was lost in flight. A moved agent is rebuilt
+    /// from its departure snapshot at the source (messages buffered while it
+    /// was `InTransit` then flush); a lost clone's placeholder slot is
+    /// deleted — the original is unaffected.
+    fn bounce(
+        world: &mut W,
+        sim: &mut Simulator<W>,
+        id: &AgentId,
+        link: LinkId,
+        snapshot: Vec<u8>,
+        cloned: bool,
+    ) {
+        let platform = world.platform_mut();
+        let Some(slot) = platform.agents.get(id) else {
+            return; // killed in transit
+        };
+        if slot.state == LifecycleState::Deleted {
+            return;
+        }
+        let now = sim.now();
+        let dropped = TraceEvent::TransferDropped {
+            agent: id.to_string(),
+            link: link.0,
+        };
+        if cloned {
+            if let Some(slot) = platform.agents.get_mut(id) {
+                slot.state = LifecycleState::Deleted;
+                slot.agent = None;
+                slot.buffer.clear();
+            }
+            let env = world.env_mut();
+            env.metrics.incr_static("platform.transfer_drops");
+            env.trace.record_event(now, TraceCategory::Agent, dropped);
+            return;
+        }
+        let type_name = slot.type_name.clone();
+        let src = slot.container;
+        let rebuilt = platform
+            .factories
+            .get(&type_name)
+            .map(|factory| factory(&snapshot));
+        match rebuilt {
+            Some(Ok(agent)) => {
+                if let Some(slot) = platform.agents.get_mut(id) {
+                    slot.agent = Some(agent);
+                    slot.state = LifecycleState::Active;
+                }
+                let env = world.env_mut();
+                env.metrics.incr_static("platform.transfer_drops");
+                env.trace.record_event(now, TraceCategory::Agent, dropped);
+                Self::flush_buffer(world, sim, id);
+            }
+            _ => {
+                // Cannot restore the snapshot either: the agent is lost.
+                if let Some(slot) = platform.agents.get_mut(id) {
+                    slot.state = LifecycleState::Deleted;
+                }
+                let env = world.env_mut();
+                env.metrics.incr_static("platform.checkin_failures");
+                env.trace.record_event(
+                    now,
+                    TraceCategory::Agent,
+                    TraceEvent::CheckInFailed {
+                        agent: id.to_string(),
+                        dest: src.to_string(),
+                    },
+                );
+            }
+        }
     }
 
     /// Records how busy each link on a migration route was, so the bench

@@ -8,8 +8,8 @@
 
 use mdagent_bench::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
-    bench_migration_json, bench_observability_json, bench_reasoning_json, fig10_comparative,
-    fig8_adaptive, fig9_static, trace_scenario, TRACE_SCENARIOS,
+    bench_faults_json, bench_migration_json, bench_observability_json, bench_reasoning_json,
+    fig10_comparative, fig8_adaptive, fig9_static, trace_scenario, TRACE_SCENARIOS,
 };
 
 fn main() {
@@ -67,6 +67,20 @@ fn main() {
         match std::fs::write("BENCH_migration.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_migration.json"),
             Err(e) => eprintln!("could not write BENCH_migration.json: {e}"),
+        }
+        if filter.len() == 1 {
+            return;
+        }
+    }
+
+    // Fault-tolerance sweep: completion rate, retries, and rollback
+    // latency as the per-link drop probability rises.
+    if filter.iter().any(|f| f == "bench-faults") {
+        let json = bench_faults_json();
+        print!("{json}");
+        match std::fs::write("BENCH_faults.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_faults.json"),
+            Err(e) => eprintln!("could not write BENCH_faults.json: {e}"),
         }
         if filter.len() == 1 {
             return;

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faults;
 pub mod migration;
 pub mod observe;
 pub mod table;
@@ -21,6 +22,10 @@ pub use experiments::{
     bench_reasoning_json, bench_reasoning_rows, fig10_comparative, fig8_adaptive, fig9_static,
     run_clone_fanout, run_follow_me, run_follow_me_observed, FollowMeResult, ReasoningBenchRow,
     PAPER_FILE_SIZES_MB,
+};
+pub use faults::{
+    bench_faults, bench_faults_json, run_fault_point, FaultBench, FaultPoint, FAULT_RUNS,
+    FAULT_SWEEP,
 };
 pub use migration::{
     bench_migration, bench_migration_json, compare_pipeline, run_shuttle, MigrationBench,

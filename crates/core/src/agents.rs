@@ -15,36 +15,52 @@ use crate::messages::{ontologies, Cargo, ContextNotice};
 use crate::middleware::Middleware;
 use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
 
-const TAG_CLEAR_CARGO: u64 = 1;
+pub(crate) const TAG_CLEAR_CARGO: u64 = 1;
 
 /// Builds a migration plan for an application: which components to ship
 /// (those the destination registry lacks, or everything under static
 /// binding) and how data is handled. This is the AA's planning procedure,
 /// exposed so scenario drivers and benchmarks can migrate directly.
 pub fn plan_migration(
-    world: &Middleware,
+    world: &mut Middleware,
     app_id: AppId,
     dest_host: mdagent_simnet::HostId,
     mode: MobilityMode,
     policy: BindingPolicy,
 ) -> Option<MigrationPlan> {
-    let app = world.app(app_id).ok()?;
-    let app_name = app.name.clone();
-    let src_host = app.host;
+    let (app_name, src_host) = {
+        let app = world.app(app_id).ok()?;
+        (app.name.clone(), app.host)
+    };
     let src_space = world.space_of(src_host).ok()?;
     let dest_space = world.space_of(dest_host).ok()?;
     let inter_space = src_space != dest_space;
-    let dest_record = world
-        .federation
-        .find_application(src_space, dest_space, &app_name)
-        .ok()
-        .and_then(|f| f.value);
+    // Degraded planning: when the destination registry is unreachable the
+    // AA cannot learn what is already present there, so it falls back to
+    // static binding — ship everything, assume nothing.
+    let registry_ok = !inter_space || world.registry_reachable(src_host, dest_space);
+    let policy = if registry_ok {
+        policy
+    } else {
+        world.env_mut().metrics.incr_static("aa.registry_degraded");
+        BindingPolicy::Static
+    };
+    let dest_record = if registry_ok {
+        world
+            .federation
+            .find_application(src_space, dest_space, &app_name)
+            .ok()
+            .and_then(|f| f.value)
+    } else {
+        None
+    };
     let dest_has = |tag: &str| -> bool {
         dest_record
             .as_ref()
             .is_some_and(|r| r.host == dest_host && r.has_component(tag))
     };
 
+    let app = world.app(app_id).ok()?;
     let mut ship = Vec::new();
     for component in app.components.iter() {
         let ship_it = match (policy, component.kind) {
@@ -109,6 +125,70 @@ impl MobileAgent {
     pub fn app(&self) -> AppId {
         AppId(self.app_raw)
     }
+
+    /// Dispatches the cargo currently held: moves (follow-me) or clones
+    /// the agent toward the plan's destination. Shared by the initial
+    /// CARGO hand-off and the watchdog's RETRY nudge.
+    fn dispatch_cargo(&mut self, cx: &mut Cx<'_, Middleware>) {
+        let Some(cargo) = self.cargo.as_ref() else {
+            cx.world.env_mut().metrics.incr_static("ma.no_cargo");
+            return;
+        };
+        let dest_host = cargo.plan.dest_host();
+        let mode = cargo.plan.mode;
+        let Ok(container) = cx.world.container_on(dest_host) else {
+            cx.world
+                .env_mut()
+                .metrics
+                .incr_static("ma.no_dest_container");
+            return;
+        };
+        match mode {
+            MobilityMode::FollowMe => {
+                // Deferred until this handler returns (we are the agent
+                // being moved). A link-down refusal leaves us active at
+                // the source; the watchdog's retry picks us up again.
+                let _ = Platform::move_agent(cx.world, cx.sim, cx.id, container, 0);
+            }
+            MobilityMode::CloneDispatch => {
+                let id = cx.id.clone();
+                match Platform::clone_agent(cx.world, cx.sim, &id, container, 0) {
+                    Ok((clone_id, _)) => {
+                        let now = cx.sim.now();
+                        if let Some((app, suspend, shipped, spans)) =
+                            cx.world.in_flight_suspend(&id)
+                        {
+                            let watchdog = Middleware::note_clone_departure(
+                                cx.world,
+                                now,
+                                clone_id.clone(),
+                                app,
+                                dest_host,
+                                shipped,
+                                suspend,
+                                spans,
+                            );
+                            if let Some(delay) = watchdog {
+                                Middleware::arm_watchdog(cx.sim, clone_id, 1, delay);
+                            }
+                        }
+                        // Drop the cargo copy once the (deferred) clone
+                        // snapshot has been taken.
+                        Platform::set_timer(
+                            cx.world,
+                            cx.sim,
+                            &id,
+                            SimDuration::ZERO,
+                            TAG_CLEAR_CARGO,
+                        );
+                    }
+                    Err(_) => {
+                        cx.world.env_mut().metrics.incr_static("ma.clone_failed");
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Agent<Middleware> for MobileAgent {
@@ -139,7 +219,7 @@ impl Agent<Middleware> for MobileAgent {
         }
     }
 
-    fn on_message(&mut self, msg: &AclMessage, cx: Cx<'_, Middleware>) {
+    fn on_message(&mut self, msg: &AclMessage, mut cx: Cx<'_, Middleware>) {
         match msg.ontology.as_str() {
             ontologies::MIGRATE | ontologies::CLONE => {
                 let Ok(plan) = msg.payload::<MigrationPlan>() else {
@@ -173,49 +253,37 @@ impl Agent<Middleware> for MobileAgent {
                     cx.world.env_mut().metrics.incr_static("ma.bad_cargo");
                     return;
                 };
-                let Ok(container) = cx.world.container_on(cargo.plan.dest_host()) else {
+                self.cargo = Some(cargo);
+                self.dispatch_cargo(&mut cx);
+            }
+            ontologies::RETRY => {
+                if msg.payload::<crate::messages::RetryNotice>().is_err() {
+                    cx.world.env_mut().metrics.incr_static("ma.bad_retry");
+                    return;
+                }
+                let Some(cargo) = self.cargo.as_ref() else {
                     cx.world
                         .env_mut()
                         .metrics
-                        .incr_static("ma.no_dest_container");
+                        .incr_static("ma.retry_without_cargo");
                     return;
                 };
-                let mode = cargo.plan.mode;
-                self.cargo = Some(cargo);
-                match mode {
-                    MobilityMode::FollowMe => {
-                        // Deferred until this handler returns (we are the
-                        // agent being moved).
-                        let _ = Platform::move_agent(cx.world, cx.sim, cx.id, container, 0);
-                    }
-                    MobilityMode::CloneDispatch => {
-                        let id = cx.id.clone();
-                        match Platform::clone_agent(cx.world, cx.sim, &id, container, 0) {
-                            Ok((clone_id, _)) => {
-                                let now = cx.sim.now();
-                                if let Some((app, suspend, shipped, spans)) =
-                                    cx.world.in_flight_suspend(&id)
-                                {
-                                    Middleware::note_clone_departure(
-                                        cx.world, now, clone_id, app, shipped, suspend, spans,
-                                    );
-                                }
-                                // Drop the cargo copy once the (deferred)
-                                // clone snapshot has been taken.
-                                Platform::set_timer(
-                                    cx.world,
-                                    cx.sim,
-                                    &id,
-                                    SimDuration::ZERO,
-                                    TAG_CLEAR_CARGO,
-                                );
-                            }
-                            Err(_) => {
-                                cx.world.env_mut().metrics.incr_static("ma.clone_failed");
-                            }
-                        }
-                    }
+                let dest = cargo.plan.dest_host();
+                let app_id = cargo.plan.app();
+                // A slow transfer may have landed after the watchdog fired:
+                // the retry is then obsolete — drop the stale cargo instead
+                // of deploying the application a second time.
+                if cx.world.app(app_id).map(|a| a.host) == Ok(dest) {
+                    self.cargo = None;
+                    cx.world.env_mut().metrics.incr_static("ma.retry_obsolete");
+                    Middleware::clear_in_flight(cx.world, cx.id);
+                    return;
                 }
+                cx.world
+                    .env_mut()
+                    .metrics
+                    .incr_static("ma.retry_dispatched");
+                self.dispatch_cargo(&mut cx);
             }
             ontologies::SYNC => {
                 if let Ok(update) = msg.payload::<crate::messages::SyncUpdate>() {
@@ -258,9 +326,10 @@ impl EngineCache {
     fn for_rules(&mut self, rule_text: &str) -> &mut crate::rules::DecisionEngine {
         let stale = self.0.as_ref().is_none_or(|e| e.rule_text() != rule_text);
         if stale {
-            self.0 = Some(crate::rules::DecisionEngine::new(rule_text));
+            self.0 = None;
         }
-        self.0.as_mut().expect("engine just built")
+        self.0
+            .get_or_insert_with(|| crate::rules::DecisionEngine::new(rule_text))
     }
 }
 

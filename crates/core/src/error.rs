@@ -26,6 +26,10 @@ pub enum CoreError {
     Topology(TopologyError),
     /// Registry lookup failed.
     Registry(String),
+    /// A snapshot delta could not be applied: the base the delta was
+    /// computed against is missing or its digest diverged. Callers must
+    /// fall back to a full-snapshot resend, never drop the update.
+    SnapshotDeltaMismatch(String),
     /// Payload (de)serialization failed.
     Wire(mdagent_wire::WireError),
 }
@@ -43,6 +47,9 @@ impl fmt::Display for CoreError {
             CoreError::Agent(e) => write!(f, "agent platform error: {e}"),
             CoreError::Topology(e) => write!(f, "topology error: {e}"),
             CoreError::Registry(msg) => write!(f, "registry error: {msg}"),
+            CoreError::SnapshotDeltaMismatch(app) => {
+                write!(f, "snapshot delta for {app} does not match its base")
+            }
             CoreError::Wire(e) => write!(f, "serialization error: {e}"),
         }
     }

@@ -55,6 +55,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Reachable panics are typed errors in this crate; unwraps live in tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod adaptor;
 mod agents;
@@ -80,7 +82,7 @@ pub use component::{Component, ComponentKind, ComponentSet};
 pub use coordinator::{Coordinator, ObserverRec};
 pub use datapath::{ComponentCache, DataPathOptions};
 pub use error::CoreError;
-pub use messages::{ontologies, Cargo, ContextNotice, SyncUpdate};
+pub use messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate};
 pub use middleware::{Middleware, MiddlewareBuilder, MigrationReport};
 pub use mobility::{
     BindingPolicy, DataStrategy, MigrationPlan, MobilityDomain, MobilityMode, SpacePrimary,
@@ -90,7 +92,11 @@ pub use rules::{
     decide_move, decide_move_with, paper_rules, DecisionEngine, MoveDecision, PAPER_RULES,
 };
 pub use snapshot::{decode_components, is_consistent, Snapshot, SnapshotDelta, SnapshotManager};
-pub use timing::{CostModel, HostClock, PhaseTimes, RoundTrip};
+pub use timing::{CostModel, HostClock, PhaseTimes, RetryPolicy, RoundTrip};
+
+// Fault injection is configured through the builder; re-export the simnet
+// types so callers need not depend on mdagent-simnet for the options.
+pub use mdagent_simnet::{FaultInjector, FaultOptions};
 
 // Re-export the context kernel type alongside, for doc linkage.
 pub use mdagent_context::ContextKernel;

@@ -26,6 +26,11 @@ pub mod ontologies {
     ///
     /// [`SyncUpdate`]: super::SyncUpdate
     pub const SYNC: &str = "mdagent.sync";
+    /// Migration retry nudge (middleware → MA) after a transfer timed out,
+    /// payload [`RetryNotice`].
+    ///
+    /// [`RetryNotice`]: super::RetryNotice
+    pub const RETRY: &str = "mdagent.retry";
 }
 
 /// Flattened context event, as delivered to autonomous agents.
@@ -149,6 +154,17 @@ impl_wire_struct!(SyncUpdate {
     value,
     version
 });
+
+/// A retry nudge from the migration watchdog: the MA should re-dispatch
+/// the cargo it still holds (unless it already arrived).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryNotice {
+    /// The attempt number this retry starts (1-based; the initial transfer
+    /// is attempt 1).
+    pub attempt: u32,
+}
+
+impl_wire_struct!(RetryNotice { attempt });
 
 #[cfg(test)]
 mod tests {

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use mdagent_agent::{
-    AclMessage, Agent, AgentId, ContainerId, Performative, Platform, PlatformEnv, PlatformHost,
+    AclMessage, Agent, AgentId, ContainerId, LifecycleState, Performative, Platform, PlatformEnv,
+    PlatformHost,
 };
 use mdagent_context::{
     BadgeId, BadgePosition, ContextData, ContextEvent, ContextKernel, SensorField, SubscriberId,
@@ -11,8 +12,8 @@ use mdagent_context::{
 };
 use mdagent_registry::{ApplicationRecord, RegistryFederation};
 use mdagent_simnet::{
-    CpuFactor, HostId, SimDuration, SimRng, SimTime, Simulator, SpaceId, SpanId, Topology,
-    TraceCategory, TraceEvent,
+    CpuFactor, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng, SimTime,
+    Simulator, SpaceId, SpanId, Topology, TraceCategory, TraceEvent,
 };
 use mdagent_wire::Wire;
 
@@ -22,11 +23,11 @@ use crate::binding::{rebind, BindingTarget, RebindOutcome};
 use crate::component::{Component, ComponentKind, ComponentSet};
 use crate::datapath::{ComponentCache, DataPathOptions};
 use crate::error::CoreError;
-use crate::messages::{ontologies, Cargo, ContextNotice, SyncUpdate};
+use crate::messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate};
 use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
 use crate::profile::{DeviceProfile, UserProfile};
 use crate::snapshot::{Snapshot, SnapshotDelta, SnapshotManager};
-use crate::timing::{CostModel, HostClock, PhaseTimes};
+use crate::timing::{CostModel, HostClock, PhaseTimes, RetryPolicy};
 
 /// A completed migration, as recorded for the benchmarks.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,19 @@ struct InFlight {
     span: SpanId,
     /// Open `migration.migrate` child span; ends on arrival.
     migrate_span: SpanId,
+    /// Transfer attempts so far (1-based; the initial send is attempt 1).
+    attempts: u32,
+    /// Clone-dispatch flight: never retried, aborted on loss.
+    cloned: bool,
+    /// Source host — rollback target.
+    src_host: HostId,
+    /// Destination host.
+    dest_host: HostId,
+    /// Instant the migration was requested (watchdog latency base).
+    started_at: SimTime,
+    /// Per-attempt transfer window the watchdog waits before declaring a
+    /// timeout. Zero when faults are disabled (no watchdog armed).
+    timeout: SimDuration,
 }
 
 /// The middleware world: platform + context kernel + registries +
@@ -82,6 +96,8 @@ pub struct Middleware {
     pub snapshots: SnapshotManager,
     /// Cost constants.
     pub cost_model: CostModel,
+    /// Migration retry/backoff policy (only consulted when faults are on).
+    pub retry: RetryPolicy,
     /// Deterministic randomness.
     pub rng: SimRng,
     apps: Vec<Application>,
@@ -103,6 +119,9 @@ pub struct Middleware {
     /// Last snapshot sequence each host acknowledged per app — the base a
     /// delta may be computed against.
     snapshot_bases: HashMap<(u32, String), u64>,
+    /// Digest of the cargo last deployed per app (raw id) — the idempotency
+    /// guard that turns a duplicate check-in into an acknowledgement.
+    deployed_digests: HashMap<u32, u64>,
     migration_log: Vec<MigrationReport>,
     rule_bases: HashMap<String, String>,
     sense_period: SimDuration,
@@ -147,6 +166,8 @@ pub struct MiddlewareBuilder {
     sense_period: SimDuration,
     cost_model: CostModel,
     data_path: DataPathOptions,
+    faults: FaultOptions,
+    retry: RetryPolicy,
 }
 
 impl Default for MiddlewareBuilder {
@@ -169,6 +190,8 @@ impl MiddlewareBuilder {
             sense_period: SimDuration::from_millis(200),
             cost_model: CostModel::default(),
             data_path: DataPathOptions::default(),
+            faults: FaultOptions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -276,6 +299,19 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Enables network fault injection (per-link drops, outages). Off by
+    /// default; when off, nothing in the migration path changes.
+    pub fn faults(&mut self, options: FaultOptions) -> &mut Self {
+        self.faults = options;
+        self
+    }
+
+    /// Overrides the migration retry/backoff policy.
+    pub fn retry_policy(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.retry = policy;
+        self
+    }
+
     /// Finalizes the world and a simulator to drive it.
     pub fn build(self) -> (Middleware, Simulator<Middleware>) {
         let mut field = SensorField::new(self.sensor_noise_m);
@@ -311,13 +347,16 @@ impl MiddlewareBuilder {
         for idx in 0..self.topology.space_count() {
             federation.add_center(SpaceId(idx as u32));
         }
+        let mut env = PlatformEnv::new(self.topology);
+        env.faults = FaultInjector::new(self.faults, self.seed ^ 0xFAD7_5EED);
         let world = Middleware {
             platform,
-            env: PlatformEnv::new(self.topology),
+            env,
             kernel: ContextKernel::new(field),
             federation,
             snapshots: SnapshotManager::new(8),
             cost_model: self.cost_model,
+            retry: self.retry,
             rng: SimRng::seed_from(self.seed),
             apps: Vec::new(),
             containers,
@@ -332,6 +371,7 @@ impl MiddlewareBuilder {
             component_caches: HashMap::new(),
             content_store: HashMap::new(),
             snapshot_bases: HashMap::new(),
+            deployed_digests: HashMap::new(),
             migration_log: Vec::new(),
             rule_bases: HashMap::from([(
                 "default".to_owned(),
@@ -446,6 +486,48 @@ impl Middleware {
     /// The shared metrics.
     pub fn metrics(&self) -> &mdagent_simnet::MetricsRegistry {
         &self.env.metrics
+    }
+
+    /// The network fault injector.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.env.faults
+    }
+
+    /// Mutable fault-injector access (schedule outages mid-run).
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        &mut self.env.faults
+    }
+
+    /// Number of migrations currently in flight (should drain to zero).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether the registry of `space` is reachable from `from` under the
+    /// current fault regime. With faults off this is always true; a
+    /// gateway outage severs every inter-space registry.
+    pub fn registry_reachable(&self, from: HostId, space: SpaceId) -> bool {
+        if !self.env.faults.enabled() {
+            return true;
+        }
+        let Ok(primary) = self.primary_host(space) else {
+            return false;
+        };
+        let Ok(links) = self.env.topology.route(from, primary) else {
+            return false;
+        };
+        if self.env.faults.gateway_outage() {
+            let crosses_gateway = links.iter().any(|l| {
+                self.env
+                    .topology
+                    .link(*l)
+                    .is_some_and(|link| link.kind() == LinkKind::Gateway)
+            });
+            if crosses_gateway {
+                return false;
+            }
+        }
+        true
     }
 
     /// The shared telemetry collector.
@@ -1204,6 +1286,24 @@ impl Middleware {
             let suspend_span = tel.start("migration.suspend", Some(root), now);
             tel.end(suspend_span, now + suspend_cost);
         }
+        // Per-attempt transfer window: setup + estimated pipelined transfer
+        // plus the policy's slack. Only computed (and a watchdog armed)
+        // when faults are on, so fault-free runs schedule nothing extra.
+        let faults_on = world.env.faults.enabled();
+        let attempt_timeout = if faults_on {
+            let transfer = world
+                .env
+                .topology
+                .pipelined_transfer_time(
+                    src_host,
+                    dest_host,
+                    wrapped_bytes + mdagent_agent::AGENT_FRAME_BYTES,
+                )
+                .unwrap_or(SimDuration::ZERO);
+            mdagent_agent::MIGRATION_SETUP + transfer + world.retry.timeout_margin
+        } else {
+            SimDuration::ZERO
+        };
         world.in_flight.insert(
             ma.clone(),
             InFlight {
@@ -1214,8 +1314,20 @@ impl Middleware {
                 remote_bytes,
                 span: root,
                 migrate_span: SpanId::DISABLED,
+                attempts: 1,
+                cloned: cargo.plan.mode != MobilityMode::FollowMe,
+                src_host,
+                dest_host,
+                started_at: now,
+                timeout: attempt_timeout,
             },
         );
+        // Clone flights get their own watchdog at dispatch time (the
+        // source flight is transient bookkeeping); follow-me is guarded
+        // from the start.
+        if faults_on && cargo.plan.mode == MobilityMode::FollowMe {
+            Middleware::arm_watchdog(sim, ma.clone(), 1, suspend_cost + attempt_timeout);
+        }
         let kernel_name = world.platform.name().to_owned();
         sim.schedule_in(suspend_cost, move |w, sim| {
             let now = sim.now();
@@ -1266,6 +1378,26 @@ impl Middleware {
         let app_id = cargo.plan.app();
         let dest = cargo.plan.dest_host();
         let now = sim.now();
+        // Idempotent check-in: a retried wrap whose predecessor already
+        // landed is acknowledged, never deployed a second time. The host
+        // check distinguishes a true duplicate from a later, legitimately
+        // identical re-migration.
+        let digest = mdagent_wire::digest_of(&cargo).as_u64();
+        let already_here = world.app(app_id).map(|a| a.host) == Ok(dest)
+            && world.deployed_digests.get(&app_id.0) == Some(&digest);
+        if already_here {
+            world
+                .env
+                .metrics
+                .incr_static("migration.duplicate_checkins");
+            if let Some(flight) = world.in_flight.remove(ma) {
+                let tel = &mut world.env.telemetry;
+                tel.end(flight.migrate_span, now);
+                tel.attr(flight.span, "status", "duplicate");
+                tel.end(flight.span, now);
+            }
+            return;
+        }
         let Some(flight) = world.in_flight.remove(ma) else {
             world.env.metrics.incr_static("migration.orphan_arrivals");
             return;
@@ -1281,11 +1413,20 @@ impl Middleware {
         let src_host = world.app(app_id).map(|a| a.host).unwrap_or(dest);
         let src_space = world.space_of(src_host).ok();
         let dest_space = world.space_of(dest).ok();
-        let snapshot = Middleware::resolve_snapshot(world, &cargo);
+        let snapshot = match Middleware::resolve_snapshot(world, &cargo) {
+            Ok(snapshot) => snapshot,
+            Err(_) => Middleware::resend_full_snapshot(world, now, &cargo),
+        };
         let elided_components = Middleware::fetch_elided(world, &cargo);
         {
             let preinstalled = world.preinstalled_components(dest, &snapshot.app_name);
             let Ok(app) = world.app_mut(app_id) else {
+                // Destination rejected the check-in: close the telemetry
+                // root instead of leaking an open span and a dead flight.
+                world.env.metrics.incr_static("migration.arrival_failures");
+                let tel = &mut world.env.telemetry;
+                tel.attr(flight.span, "status", "rejected");
+                tel.end(flight.span, now);
                 return;
             };
             app.host = dest;
@@ -1301,6 +1442,7 @@ impl Middleware {
             app.components = inventory;
             let _ = SnapshotManager::restore(&snapshot, app);
         }
+        world.deployed_digests.insert(app_id.0, digest);
         Middleware::note_arrival(world, dest, &cargo, &snapshot);
         // Rebind each binding according to the destination inventory.
         let mut rebind_cost = SimDuration::ZERO;
@@ -1423,20 +1565,62 @@ impl Middleware {
     }
 
     /// The snapshot a cargo carries: the full one, or the reconstruction
-    /// of its delta against the base the destination holds. Falls back to
-    /// the shipped (header) snapshot if the base is gone or diverged.
-    fn resolve_snapshot(world: &mut Middleware, cargo: &Cargo) -> Snapshot {
+    /// of its delta against the base the destination holds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::SnapshotDeltaMismatch`] when the base is gone or its
+    /// digest diverged — the caller must resend the full snapshot, never
+    /// silently deploy the header stub.
+    fn resolve_snapshot(world: &mut Middleware, cargo: &Cargo) -> Result<Snapshot, CoreError> {
         let Some(delta) = &cargo.snapshot_delta else {
-            return cargo.snapshot.clone();
+            return Ok(cargo.snapshot.clone());
         };
-        match world
+        world
             .snapshots
             .by_sequence(&delta.app_name, delta.base_sequence)
             .and_then(|base| delta.apply(base).ok())
-        {
-            Some(snapshot) => snapshot,
-            None => {
+            .ok_or_else(|| {
                 world.env.metrics.incr_static("migration.delta_base_miss");
+                CoreError::SnapshotDeltaMismatch(delta.app_name.clone())
+            })
+    }
+
+    /// Recovery from a rejected delta: fetch the full snapshot the delta
+    /// stood for from the (world-global) snapshot manager — modeling the
+    /// source resending it — and bill the resend in the metrics. The
+    /// header stub is the last resort when even the manager evicted it.
+    fn resend_full_snapshot(world: &mut Middleware, now: SimTime, cargo: &Cargo) -> Snapshot {
+        let app_name = &cargo.snapshot.app_name;
+        let full = cargo
+            .snapshot_delta
+            .as_ref()
+            .and_then(|delta| world.snapshots.by_sequence(app_name, delta.sequence))
+            .or_else(|| world.snapshots.latest(app_name))
+            .cloned();
+        match full {
+            Some(snapshot) => {
+                let bytes = snapshot.wire_len();
+                world.env.metrics.incr_static("migration.delta_resends");
+                world
+                    .env
+                    .metrics
+                    .incr_by_static("migration.delta_resend_bytes", bytes);
+                world.env.trace.record_event(
+                    now,
+                    TraceCategory::Agent,
+                    TraceEvent::SnapshotResend {
+                        app_name: app_name.clone(),
+                        bytes,
+                    },
+                );
+                snapshot
+            }
+            None => {
+                world
+                    .env
+                    .metrics
+                    .incr_static("migration.delta_unrecoverable");
                 cargo.snapshot.clone()
             }
         }
@@ -1517,7 +1701,10 @@ impl Middleware {
         let source_app = cargo.plan.app();
         let now = sim.now();
 
-        let snapshot = Middleware::resolve_snapshot(world, &cargo);
+        let snapshot = match Middleware::resolve_snapshot(world, &cargo) {
+            Ok(snapshot) => snapshot,
+            Err(_) => Middleware::resend_full_snapshot(world, now, &cargo),
+        };
         let elided_components = Middleware::fetch_elided(world, &cargo);
         let replica_id = AppId(world.apps.len() as u32);
         let mut replica = Application::new(replica_id, snapshot.app_name.clone(), dest);
@@ -1556,7 +1743,10 @@ impl Middleware {
                 world.env.telemetry.end(f.migrate_span, now);
                 (f.suspend, now.saturating_since(f.departed_at), f.span)
             }
-            None => (SimDuration::ZERO, SimDuration::ZERO, SpanId::DISABLED),
+            None => {
+                world.env.metrics.incr_static("migration.orphan_arrivals");
+                (SimDuration::ZERO, SimDuration::ZERO, SpanId::DISABLED)
+            }
         };
         {
             let tel = &mut world.env.telemetry;
@@ -1610,21 +1800,44 @@ impl Middleware {
     }
 
     /// Notes a clone departure for timing purposes (called by the source
-    /// MA when it dispatches a clone).
+    /// MA when it dispatches a clone). Returns the watchdog delay the
+    /// caller should arm for the clone's flight — `None` when faults are
+    /// off (no watchdog; nothing extra is scheduled).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn note_clone_departure(
         world: &mut Middleware,
         now: SimTime,
         clone_id: AgentId,
         app: AppId,
+        dest_host: HostId,
         shipped_bytes: u64,
         suspend: SimDuration,
         spans: (SpanId, SpanId),
-    ) {
+    ) -> Option<SimDuration> {
         // The migration root and open migrate spans travel with the clone:
         // the original MA's bookkeeping is cleared by the caller (which
         // never ends spans), and the clone's arrival ends both at the
         // destination.
         let (span, migrate_span) = spans;
+        let src_host = world
+            .apps
+            .get(app.0 as usize)
+            .map(|a| a.host)
+            .unwrap_or(dest_host);
+        let timeout = if world.env.faults.enabled() {
+            let transfer = world
+                .env
+                .topology
+                .pipelined_transfer_time(
+                    src_host,
+                    dest_host,
+                    shipped_bytes + mdagent_agent::AGENT_FRAME_BYTES,
+                )
+                .unwrap_or(SimDuration::ZERO);
+            mdagent_agent::MIGRATION_SETUP + transfer + world.retry.timeout_margin
+        } else {
+            SimDuration::ZERO
+        };
         world.in_flight.insert(
             clone_id,
             InFlight {
@@ -1635,8 +1848,15 @@ impl Middleware {
                 remote_bytes: 0,
                 span,
                 migrate_span,
+                attempts: 1,
+                cloned: true,
+                src_host,
+                dest_host,
+                started_at: now,
+                timeout,
             },
         );
+        world.env.faults.enabled().then_some(timeout)
     }
 
     /// The suspend cost recorded for an MA currently in flight (clone
@@ -1655,5 +1875,172 @@ impl Middleware {
     /// Drops in-flight bookkeeping for an MA (after clone dispatch).
     pub(crate) fn remove_in_flight(&mut self, ma: &AgentId) {
         self.in_flight.remove(ma);
+    }
+
+    // ---- fault-tolerant migration: watchdog, retry, rollback -------------------------
+
+    /// Arms a watchdog that re-examines a flight after `delay`. Only
+    /// called when fault injection is on, so fault-free runs schedule
+    /// nothing extra.
+    pub(crate) fn arm_watchdog(
+        sim: &mut Simulator<Middleware>,
+        ma: AgentId,
+        attempt: u32,
+        delay: SimDuration,
+    ) {
+        sim.schedule_in(delay, move |w, sim| {
+            Middleware::check_migration(w, sim, &ma, attempt);
+        });
+    }
+
+    /// The watchdog body: decides between "still in transit — wait",
+    /// "transfer lost — retry" and "out of attempts — roll back". A
+    /// watchdog whose attempt number no longer matches the flight's is
+    /// stale (a newer attempt owns the flight) and does nothing.
+    fn check_migration(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        ma: &AgentId,
+        attempt: u32,
+    ) {
+        let Some(flight) = world.in_flight.get(ma) else {
+            return; // arrived or already rolled back
+        };
+        if flight.attempts != attempt {
+            return;
+        }
+        let cloned = flight.cloned;
+        let timeout = flight.timeout;
+        let app_id = flight.app;
+        match world.platform.agent_state(ma) {
+            Some(LifecycleState::InTransit) => {
+                // Transfer still running — the estimate was short; wait
+                // one more margin and look again.
+                let margin = world.retry.timeout_margin;
+                Middleware::arm_watchdog(sim, ma.clone(), attempt, margin);
+            }
+            Some(LifecycleState::Active | LifecycleState::Suspended)
+                if !cloned && attempt < world.retry.max_attempts =>
+            {
+                // The agent bounced back to the source: the transfer was
+                // dropped. Nudge it to re-dispatch after a backoff.
+                let next = attempt + 1;
+                if let Some(f) = world.in_flight.get_mut(ma) {
+                    f.attempts = next;
+                }
+                world.env.metrics.incr_static("migration.retries");
+                world.env.trace.record_event(
+                    sim.now(),
+                    TraceCategory::Agent,
+                    TraceEvent::MigrationRetry {
+                        app: app_id.to_string(),
+                        attempt: next,
+                    },
+                );
+                let backoff = world.retry.backoff(next - 1);
+                let kernel_name = world.platform.name().to_owned();
+                let target = ma.clone();
+                sim.schedule_in(backoff, move |w, sim| {
+                    let msg = AclMessage::new(
+                        Performative::Inform,
+                        AgentId::new("middleware", kernel_name),
+                        target.clone(),
+                    )
+                    .with_ontology(ontologies::RETRY)
+                    .with_payload(&RetryNotice { attempt: next });
+                    Platform::send(w, sim, msg);
+                });
+                Middleware::arm_watchdog(sim, ma.clone(), next, backoff + timeout);
+            }
+            _ => Middleware::rollback_migration(world, sim, ma),
+        }
+    }
+
+    /// Gives up on a flight: closes its telemetry spans and, for
+    /// follow-me, restores the retained snapshot and resumes the
+    /// application in place at the source. Clone flights are simply
+    /// aborted — the original application never stopped running.
+    fn rollback_migration(world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
+        let Some(flight) = world.in_flight.remove(ma) else {
+            return;
+        };
+        let now = sim.now();
+        let app_id = flight.app;
+        {
+            let tel = &mut world.env.telemetry;
+            tel.end(flight.migrate_span, now);
+            tel.attr(flight.span, "status", "aborted");
+            tel.attr(flight.span, "attempts", u64::from(flight.attempts));
+        }
+        world.env.trace.record_event(
+            now,
+            TraceCategory::Agent,
+            TraceEvent::MigrationAborted {
+                app: app_id.to_string(),
+                dest: flight.dest_host.to_string(),
+                attempts: flight.attempts,
+            },
+        );
+        if flight.cloned {
+            world.env.telemetry.end(flight.span, now);
+            world.env.metrics.incr_static("migration.clone_aborts");
+            return;
+        }
+        // Unwrap the retained snapshot and resume where we started.
+        {
+            let Middleware {
+                snapshots, apps, ..
+            } = &mut *world;
+            if let Some(app) = apps.get_mut(app_id.0 as usize) {
+                if let Some(snap) = snapshots.latest(&app.name) {
+                    let _ = SnapshotManager::restore(snap, app);
+                }
+                app.host = flight.src_host;
+            }
+        }
+        let cpu = world
+            .env
+            .topology
+            .host(flight.src_host)
+            .map(|h| h.cpu())
+            .unwrap_or(CpuFactor::REFERENCE);
+        let resume_cost = cpu.scale(world.cost_model.resume_cost(flight.shipped_bytes, 0));
+        world.env.metrics.incr_static("migration.rollbacks");
+        world.env.metrics.observe_static(
+            "migration.rollback_latency",
+            now.saturating_since(flight.started_at) + resume_cost,
+        );
+        {
+            let tel = &mut world.env.telemetry;
+            let span = tel.start("migration.rollback", Some(flight.span), now);
+            tel.end(span, now + resume_cost);
+        }
+        // The MA still holds the dead cargo; expire it through its own
+        // timer path (a no-op if the agent itself was lost).
+        Platform::set_timer(
+            world,
+            sim,
+            ma,
+            SimDuration::ZERO,
+            crate::agents::TAG_CLEAR_CARGO,
+        );
+        let src = flight.src_host;
+        let root = flight.span;
+        sim.schedule_in(resume_cost, move |w, sim| {
+            let now = sim.now();
+            if let Ok(app) = w.app_mut(app_id) {
+                app.state = AppState::Running;
+                app.host = src;
+            }
+            w.env.telemetry.end(root, now);
+            w.env.trace.record_event(
+                now,
+                TraceCategory::Application,
+                TraceEvent::Resumed {
+                    app: app_id.to_string(),
+                    dest: src.to_string(),
+                },
+            );
+        });
     }
 }

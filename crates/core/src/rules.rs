@@ -24,13 +24,11 @@ pub const PAPER_RULES: &str = r#"
        (?action imcl:destAddress ?value2)]
 "#;
 
-/// Parses the shipped rule base into `graph`'s namespace.
-///
-/// # Panics
-///
-/// Never panics: the shipped text is covered by tests.
+/// Parses the shipped rule base into `graph`'s namespace. The shipped
+/// text always parses (covered by tests); an empty rule set is returned
+/// rather than panicking should it ever not.
 pub fn paper_rules(graph: &mut Graph) -> Vec<Rule> {
-    parse_rules(PAPER_RULES, graph).expect("shipped rule base parses")
+    parse_rules(PAPER_RULES, graph).unwrap_or_default()
 }
 
 /// The derived decision of one reasoning pass.
@@ -55,7 +53,9 @@ pub struct DecisionEngine {
     /// triples. Cloned per decision.
     proto: Graph,
     reasoner: Reasoner,
-    query: Query,
+    /// Compiled decision query; `None` only if its (constant) text failed
+    /// to parse, in which case the engine derives nothing.
+    query: Option<Query>,
     /// Whether `rule_text` parsed; a broken rule base derives nothing.
     valid: bool,
 }
@@ -81,7 +81,7 @@ impl DecisionEngine {
             "(?a imcl:actName 'move'), (?a imcl:srcAddress ?s), (?a imcl:destAddress ?d)",
             &mut proto,
         )
-        .expect("decision query parses");
+        .ok();
         DecisionEngine {
             rule_text: rule_text.to_owned(),
             proto,
@@ -120,6 +120,7 @@ impl DecisionEngine {
         if !self.valid {
             return None;
         }
+        let query = self.query.as_ref()?;
         let mut g = self.proto.clone();
         let mut delta: Vec<Triple> = Vec::with_capacity(6);
         {
@@ -147,7 +148,7 @@ impl DecisionEngine {
         self.reasoner.materialize_incremental(&mut g, delta);
 
         let wanted_src = format!("host-{}", src_host.0);
-        for row in self.query.solve(g.store()) {
+        for row in query.solve(g.store()) {
             let (Some(s), Some(d)) = (row.get("s"), row.get("d")) else {
                 continue;
             };

@@ -11,6 +11,8 @@
 //!   LAN links and inter-space gateway links; fewest-hops routing and
 //!   latency + bandwidth transfer costing.
 //! * [`SimRng`] — seeded randomness (sensor noise).
+//! * [`FaultInjector`] — opt-in, seeded network fault injection (per-link
+//!   drops, transient link-down windows, gateway outage).
 //! * [`MetricsRegistry`] and [`Trace`] — measurement and narration.
 //! * [`Telemetry`] — span-based profiling on the simulated clock, with
 //!   JSONL and Chrome trace-event (Perfetto) exporters.
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod metrics;
 mod rng;
 mod sim;
@@ -46,6 +49,7 @@ mod topology;
 mod trace;
 
 pub use event::EventId;
+pub use fault::{FaultInjector, FaultOptions, TransferFault};
 pub use metrics::{DurationStats, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use sim::Simulator;

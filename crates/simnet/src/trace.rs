@@ -194,6 +194,43 @@ pub enum TraceEvent {
         /// Replica application id.
         replica: String,
     },
+    /// A transfer was lost in flight on a faulty link.
+    TransferDropped {
+        /// Agent whose transfer was lost.
+        agent: String,
+        /// Link that dropped the payload.
+        link: u32,
+    },
+    /// A transfer could not start because a route link is down.
+    TransferBlocked {
+        /// Agent whose transfer was refused.
+        agent: String,
+        /// Down link on the route.
+        link: u32,
+    },
+    /// Middleware re-dispatches a timed-out migration.
+    MigrationRetry {
+        /// Application being migrated.
+        app: String,
+        /// Attempt number about to start (1-based).
+        attempt: u32,
+    },
+    /// Migration exhausted its retries; the source rolled the app back.
+    MigrationAborted {
+        /// Application rolled back.
+        app: String,
+        /// Destination that was never reached.
+        dest: String,
+        /// Transfer attempts made before giving up.
+        attempts: u32,
+    },
+    /// Destination rejected a delta snapshot; the full snapshot was used.
+    SnapshotResend {
+        /// Application whose delta failed to apply.
+        app_name: String,
+        /// Size of the full snapshot that replaced it, in bytes.
+        bytes: u64,
+    },
     /// Free-form fallback for events without a structured variant.
     Text(String),
 }
@@ -223,6 +260,11 @@ impl TraceEvent {
             TraceEvent::Resumed { .. } => "resumed",
             TraceEvent::ReplicaInstalled { .. } => "replica_installed",
             TraceEvent::ReplicaRunning { .. } => "replica_running",
+            TraceEvent::TransferDropped { .. } => "transfer_dropped",
+            TraceEvent::TransferBlocked { .. } => "transfer_blocked",
+            TraceEvent::MigrationRetry { .. } => "migration_retry",
+            TraceEvent::MigrationAborted { .. } => "migration_aborted",
+            TraceEvent::SnapshotResend { .. } => "snapshot_resend",
             TraceEvent::Text(_) => "text",
         }
     }
@@ -335,6 +377,28 @@ impl fmt::Display for TraceEvent {
                     "replica {replica} running; synchronization link established"
                 )
             }
+            TraceEvent::TransferDropped { agent, link } => {
+                write!(f, "transfer of {agent} dropped on link-{link}")
+            }
+            TraceEvent::TransferBlocked { agent, link } => {
+                write!(f, "transfer of {agent} blocked: link-{link} is down")
+            }
+            TraceEvent::MigrationRetry { app, attempt } => {
+                write!(f, "migration of {app} timed out; retry attempt {attempt}")
+            }
+            TraceEvent::MigrationAborted {
+                app,
+                dest,
+                attempts,
+            } => write!(
+                f,
+                "migration of {app} to {dest} ABORTED after {attempts} attempt(s); \
+                 rolled back at source"
+            ),
+            TraceEvent::SnapshotResend { app_name, bytes } => write!(
+                f,
+                "delta rejected for {app_name}; full snapshot resent ({bytes} bytes)"
+            ),
             TraceEvent::Text(message) => f.write_str(message),
         }
     }
