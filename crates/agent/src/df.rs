@@ -1,8 +1,7 @@
 //! Directory Facilitator — JADE's yellow pages.
 
-use std::collections::HashMap;
-
 use crate::id::AgentId;
+use mdagent_fx::FxHashMap;
 
 /// A service advertisement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +37,7 @@ impl ServiceDescription {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    services: HashMap<AgentId, Vec<ServiceDescription>>,
+    services: FxHashMap<AgentId, Vec<ServiceDescription>>,
 }
 
 impl Directory {

@@ -1,7 +1,7 @@
 //! A small finite-state-machine helper, the analogue of JADE's
 //! `FSMBehaviour`, for use inside agent implementations.
 
-use std::collections::HashMap;
+use mdagent_fx::FxHashMap;
 use std::fmt;
 use std::hash::Hash;
 
@@ -32,7 +32,7 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct Fsm<S, E> {
     state: S,
-    transitions: HashMap<(S, E), S>,
+    transitions: FxHashMap<(S, E), S>,
 }
 
 /// Error: no transition from the current state on the given event.
@@ -65,7 +65,7 @@ where
     pub fn new(initial: S) -> Self {
         Fsm {
             state: initial,
-            transitions: HashMap::new(),
+            transitions: FxHashMap::default(),
         }
     }
 

@@ -1,7 +1,8 @@
 //! The agent platform: containers, message transport, lifecycle and
 //! mobility. This is the reproduction's JADE.
 
-use std::collections::{HashMap, VecDeque};
+use mdagent_fx::FxHashMap;
+use std::collections::VecDeque;
 
 use mdagent_simnet::{
     FaultInjector, HostId, LinkId, MetricsRegistry, PipelinedTransfer, SimDuration, Simulator,
@@ -131,17 +132,17 @@ pub struct TickerId(u64);
 pub struct Platform<W: PlatformHost> {
     name: String,
     containers: Vec<ContainerRec>,
-    agents: HashMap<AgentId, AgentSlot<W>>,
-    factories: HashMap<String, AgentFactory<W>>,
+    agents: FxHashMap<AgentId, AgentSlot<W>>,
+    factories: FxHashMap<String, AgentFactory<W>>,
     df: Directory,
-    tickers: HashMap<TickerId, bool>,
+    tickers: FxHashMap<TickerId, bool>,
     next_ticker: u64,
     next_clone: u64,
     next_conversation: u64,
     /// Per (sender, receiver) pair: the earliest instant the next message
     /// may be delivered, enforcing in-order delivery as JADE's TCP-based
     /// message transport does.
-    channel_clock: HashMap<(AgentId, AgentId), mdagent_simnet::SimTime>,
+    channel_clock: FxHashMap<(AgentId, AgentId), mdagent_simnet::SimTime>,
 }
 
 impl<W: PlatformHost> std::fmt::Debug for Platform<W> {
@@ -160,14 +161,14 @@ impl<W: PlatformHost> Platform<W> {
         Platform {
             name: name.into(),
             containers: Vec::new(),
-            agents: HashMap::new(),
-            factories: HashMap::new(),
+            agents: FxHashMap::default(),
+            factories: FxHashMap::default(),
             df: Directory::new(),
-            tickers: HashMap::new(),
+            tickers: FxHashMap::default(),
             next_ticker: 0,
             next_clone: 0,
             next_conversation: 0,
-            channel_clock: HashMap::new(),
+            channel_clock: FxHashMap::default(),
         }
     }
 
@@ -379,8 +380,9 @@ impl<W: PlatformHost> Platform<W> {
                 LifecycleState::Suspended
                 | LifecycleState::InTransit
                 | LifecycleState::Initiated => {
-                    slot.buffer
-                        .push_back(pending.take().expect("message present"));
+                    if let Some(msg) = pending.take() {
+                        slot.buffer.push_back(msg);
+                    }
                     inbox_depth = slot.buffer.len();
                     Disposition::Buffered
                 }
@@ -400,7 +402,9 @@ impl<W: PlatformHost> Platform<W> {
             }
             Disposition::Ready => {
                 world.env_mut().metrics.incr_static("acl.delivered");
-                let msg = pending.take().expect("message present");
+                let Some(msg) = pending.take() else {
+                    return;
+                };
                 Self::invoke(world, sim, &receiver, |agent, cx| {
                     agent.on_message(&msg, cx);
                 });
@@ -571,7 +575,12 @@ impl<W: PlatformHost> Platform<W> {
             return Err(AgentError::NoFactory(slot.type_name.clone()));
         }
         let src = slot.container;
-        let snapshot = slot.agent.as_ref().expect("not checked out").snapshot();
+        // `checked_out` was rejected above, so the agent is present; treat
+        // an empty slot as not-active rather than assuming.
+        let Some(agent) = slot.agent.as_ref() else {
+            return Err(AgentError::NotActive(id.clone()));
+        };
+        let snapshot = agent.snapshot();
         let src_host = platform.container_host(src)?;
         let bytes = snapshot.len() as u64 + extra_payload_bytes + AGENT_FRAME_BYTES;
         // Migrating state is chunked and cut through successive links, so
@@ -606,7 +615,7 @@ impl<W: PlatformHost> Platform<W> {
             .platform_mut()
             .agents
             .get_mut(id)
-            .expect("slot exists");
+            .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         slot.state = LifecycleState::InTransit;
         slot.agent = None;
         let env = world.env_mut();
@@ -696,7 +705,10 @@ impl<W: PlatformHost> Platform<W> {
             return Err(AgentError::NoFactory(slot.type_name.clone()));
         }
         let src = slot.container;
-        let snapshot = slot.agent.as_ref().expect("not checked out").snapshot();
+        let Some(agent) = slot.agent.as_ref() else {
+            return Err(AgentError::NotActive(id.clone()));
+        };
+        let snapshot = agent.snapshot();
         let type_name = slot.type_name.clone();
         let src_host = platform.container_host(src)?;
         let bytes = snapshot.len() as u64 + extra_payload_bytes + AGENT_FRAME_BYTES;
@@ -876,7 +888,9 @@ impl<W: PlatformHost> Platform<W> {
         match rebuilt {
             Err(_) => {
                 // Reconstruction failure: the agent is lost; surface loudly.
-                let slot = platform.agents.get_mut(id).expect("slot exists");
+                let Some(slot) = platform.agents.get_mut(id) else {
+                    return;
+                };
                 slot.state = LifecycleState::Deleted;
                 let env = world.env_mut();
                 env.metrics.incr_static("platform.checkin_failures");
@@ -891,7 +905,9 @@ impl<W: PlatformHost> Platform<W> {
                 );
             }
             Ok(agent) => {
-                let slot = platform.agents.get_mut(id).expect("slot exists");
+                let Some(slot) = platform.agents.get_mut(id) else {
+                    return;
+                };
                 slot.agent = Some(agent);
                 slot.container = dest;
                 slot.state = LifecycleState::Active;
@@ -954,11 +970,14 @@ impl<W: PlatformHost> Platform<W> {
             let Some(slot) = world.platform_mut().agents.get_mut(id) else {
                 return;
             };
-            if slot.checked_out || slot.agent.is_none() {
+            if slot.checked_out {
                 return;
             }
+            let Some(agent) = slot.agent.take() else {
+                return;
+            };
             slot.checked_out = true;
-            slot.agent.take().expect("agent present")
+            agent
         };
         f(agent.as_mut(), Cx { id, world, sim });
         // Check back in (unless the slot vanished or was deleted meanwhile).

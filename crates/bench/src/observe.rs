@@ -227,9 +227,9 @@ pub fn bench_observability() -> ObservabilityBench {
     const OPS: u32 = 1_000_000;
     let t = Instant::now();
     for i in 0..OPS {
-        let id = black_box(&mut tel).start("noop", None, SimTime::ZERO);
-        tel.attr(id, "i", u64::from(i));
-        tel.end(id, SimTime::ZERO);
+        let guard = black_box(&mut tel).open("noop", None, SimTime::ZERO);
+        tel.attr(guard.id(), "i", u64::from(i));
+        guard.close(&mut tel, SimTime::ZERO);
     }
     // Three instrumentation calls per iteration.
     let disabled_ns_per_op = t.elapsed().as_nanos() as f64 / f64::from(OPS) / 3.0;

@@ -6,9 +6,8 @@
 //! returns the subscribers to notify and the host middleware routes the
 //! event to them (usually as ACL messages to autonomous agents).
 
-use std::collections::HashMap;
-
 use crate::types::ContextEvent;
+use mdagent_fx::FxHashMap;
 
 /// Opaque handle identifying a subscriber.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -35,7 +34,7 @@ pub struct SubscriberId(pub u64);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ContextBus {
-    subscriptions: HashMap<SubscriberId, Vec<String>>,
+    subscriptions: FxHashMap<SubscriberId, Vec<String>>,
     next_id: u64,
     published: u64,
 }

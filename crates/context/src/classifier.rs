@@ -5,7 +5,8 @@
 //! context (preferences) is kept forever; dynamic context (locations, raw
 //! readings) is kept as bounded history with a TTL.
 
-use std::collections::{HashMap, VecDeque};
+use mdagent_fx::FxHashMap;
+use std::collections::VecDeque;
 
 use mdagent_simnet::{SimDuration, SimTime};
 
@@ -16,7 +17,7 @@ use crate::types::{ContextEvent, TemporalClass};
 pub struct ContextDb {
     ttl: Option<SimDuration>,
     capacity_per_topic: usize,
-    entries: HashMap<String, VecDeque<ContextEvent>>,
+    entries: FxHashMap<String, VecDeque<ContextEvent>>,
 }
 
 impl ContextDb {
@@ -25,7 +26,7 @@ impl ContextDb {
         ContextDb {
             ttl,
             capacity_per_topic: capacity_per_topic.max(1),
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
         }
     }
 

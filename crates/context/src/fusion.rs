@@ -5,8 +5,7 @@
 //! information such as location, user identity, etc. requires context
 //! fusion mechanisms." (paper §3.4)
 
-use std::collections::HashMap;
-
+use mdagent_fx::FxHashMap;
 use mdagent_simnet::SpaceId;
 
 use crate::types::{BadgeId, ContextData, ContextEvent, UserId};
@@ -30,9 +29,9 @@ use crate::types::{BadgeId, ContextData, ContextEvent, UserId};
 /// ```
 #[derive(Debug, Clone)]
 pub struct LocationFusion {
-    badge_users: HashMap<BadgeId, UserId>,
-    current: HashMap<BadgeId, SpaceId>,
-    streak: HashMap<BadgeId, (SpaceId, u32)>,
+    badge_users: FxHashMap<BadgeId, UserId>,
+    current: FxHashMap<BadgeId, SpaceId>,
+    streak: FxHashMap<BadgeId, (SpaceId, u32)>,
     debounce: u32,
 }
 
@@ -41,9 +40,9 @@ impl LocationFusion {
     /// rounds before a location change is reported (minimum 1).
     pub fn new(debounce: u32) -> Self {
         LocationFusion {
-            badge_users: HashMap::new(),
-            current: HashMap::new(),
-            streak: HashMap::new(),
+            badge_users: FxHashMap::default(),
+            current: FxHashMap::default(),
+            streak: FxHashMap::default(),
             debounce: debounce.max(1),
         }
     }
@@ -71,7 +70,7 @@ impl LocationFusion {
     /// produced (at most one per badge whose fused location changed).
     pub fn ingest_round(&mut self, readings: &[ContextEvent]) -> Vec<ContextEvent> {
         // Nearest beacon per badge this round.
-        let mut nearest: HashMap<BadgeId, (f64, SpaceId)> = HashMap::new();
+        let mut nearest: FxHashMap<BadgeId, (f64, SpaceId)> = FxHashMap::default();
         let mut latest_at = None;
         for event in readings {
             let ContextData::RawDistance {

@@ -3,8 +3,7 @@
 //! "A context monitor will observe this process. If some predefined
 //! conditions occur, the autonomous agents will be triggered." (paper §4.1)
 
-use std::collections::HashMap;
-
+use mdagent_fx::FxHashMap;
 use mdagent_simnet::SpaceId;
 
 use crate::types::{ContextData, ContextEvent, UserId};
@@ -85,7 +84,7 @@ impl Condition {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ContextMonitor {
-    conditions: HashMap<ConditionId, Condition>,
+    conditions: FxHashMap<ConditionId, Condition>,
     next_id: u32,
     fired_total: u64,
 }

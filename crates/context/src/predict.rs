@@ -4,8 +4,7 @@
 //! provided to improve the performance." (paper §3.4) The middleware uses
 //! predictions to pre-stage components at the likely next room.
 
-use std::collections::HashMap;
-
+use mdagent_fx::FxHashMap;
 use mdagent_simnet::SpaceId;
 
 use crate::types::UserId;
@@ -29,8 +28,8 @@ use crate::types::UserId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LocationPredictor {
-    transitions: HashMap<(UserId, SpaceId, SpaceId), u64>,
-    last: HashMap<UserId, SpaceId>,
+    transitions: FxHashMap<(UserId, SpaceId, SpaceId), u64>,
+    last: FxHashMap<UserId, SpaceId>,
 }
 
 impl LocationPredictor {

@@ -476,7 +476,12 @@ impl AutonomousAgent {
         let decision_at = cx.sim.now();
         let decision_span = {
             let env = cx.world.env_mut();
-            let span = env.telemetry.start("aa.decision", None, decision_at);
+            // Detached: the decision span closes inside the deliberation
+            // closure scheduled by `send_plan_after_deliberation`.
+            let span = env
+                .telemetry
+                .open("aa.decision", None, decision_at)
+                .detach();
             // Raw host ids as integers: this fires on every location event,
             // so keep it free of formatting allocations.
             env.telemetry.attr(span, "app", u64::from(self.app_raw));
@@ -495,9 +500,12 @@ impl AutonomousAgent {
         let reason_cost = cx.world.cost_model.reasoning;
         {
             let env = cx.world.env_mut();
-            let reason = env
-                .telemetry
-                .start("aa.reason", Some(decision_span), decision_at);
+            let reason = env.telemetry.record_span(
+                "aa.reason",
+                Some(decision_span),
+                decision_at,
+                decision_at + reason_cost,
+            );
             env.telemetry.attr(reason, "rounds", stats.rounds);
             env.telemetry
                 .attr(reason, "rules_evaluated", stats.rules_evaluated);
@@ -508,7 +516,6 @@ impl AutonomousAgent {
             env.telemetry
                 .attr(reason, "facts_derived", stats.facts_derived);
             env.telemetry.attr(reason, "max_delta", stats.max_delta());
-            env.telemetry.end(reason, decision_at + reason_cost);
         }
         let now = cx.sim.now();
         if decision.is_none() {
@@ -587,7 +594,9 @@ impl AutonomousAgent {
             let now = cx.sim.now();
             let decision_span = {
                 let env = cx.world.env_mut();
-                let span = env.telemetry.start("aa.decision", None, now);
+                // Detached: closed by the deliberation closure, like the
+                // follow-me decision span above.
+                let span = env.telemetry.open("aa.decision", None, now).detach();
                 env.telemetry.attr(span, "trigger", "indication");
                 env.telemetry.attr(span, "src_host", u64::from(src_host.0));
                 env.telemetry

@@ -1,7 +1,5 @@
 //! The MDAgent middleware: the world that ties all four layers together.
 
-use std::collections::HashMap;
-
 use mdagent_agent::{
     AclMessage, Agent, AgentId, ContainerId, LifecycleState, Performative, Platform, PlatformEnv,
     PlatformHost,
@@ -10,6 +8,7 @@ use mdagent_context::{
     BadgeId, BadgePosition, ContextData, ContextEvent, ContextKernel, SensorField, SubscriberId,
     UserId,
 };
+use mdagent_fx::FxHashMap;
 use mdagent_registry::{ApplicationRecord, RegistryFederation};
 use mdagent_simnet::{
     CpuFactor, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng, SimTime,
@@ -101,29 +100,29 @@ pub struct Middleware {
     /// Deterministic randomness.
     pub rng: SimRng,
     apps: Vec<Application>,
-    containers: HashMap<HostId, ContainerId>,
-    device_profiles: HashMap<HostId, DeviceProfile>,
-    user_profiles: HashMap<UserId, UserProfile>,
-    space_primary: HashMap<SpaceId, HostId>,
-    subscriber_agents: HashMap<SubscriberId, AgentId>,
-    host_clocks: HashMap<HostId, HostClock>,
-    preinstalled: HashMap<(u32, String), ComponentSet>,
-    in_flight: HashMap<AgentId, InFlight>,
+    containers: FxHashMap<HostId, ContainerId>,
+    device_profiles: FxHashMap<HostId, DeviceProfile>,
+    user_profiles: FxHashMap<UserId, UserProfile>,
+    space_primary: FxHashMap<SpaceId, HostId>,
+    subscriber_agents: FxHashMap<SubscriberId, AgentId>,
+    host_clocks: FxHashMap<HostId, HostClock>,
+    preinstalled: FxHashMap<(u32, String), ComponentSet>,
+    in_flight: FxHashMap<AgentId, InFlight>,
     /// Opt-in migration data-path optimizations (cache + delta).
     data_path: DataPathOptions,
     /// Per-host caches of component encodings, keyed by content digest.
-    component_caches: HashMap<HostId, ComponentCache>,
+    component_caches: FxHashMap<HostId, ComponentCache>,
     /// Content-addressed store of component bytes known to the middleware;
     /// a destination resolves elided digests against it.
-    content_store: HashMap<u64, Component>,
+    content_store: FxHashMap<u64, Component>,
     /// Last snapshot sequence each host acknowledged per app — the base a
     /// delta may be computed against.
-    snapshot_bases: HashMap<(u32, String), u64>,
+    snapshot_bases: FxHashMap<(u32, String), u64>,
     /// Digest of the cargo last deployed per app (raw id) — the idempotency
     /// guard that turns a duplicate check-in into an acknowledgement.
-    deployed_digests: HashMap<u32, u64>,
+    deployed_digests: FxHashMap<u32, u64>,
     migration_log: Vec<MigrationReport>,
-    rule_bases: HashMap<String, String>,
+    rule_bases: FxHashMap<String, String>,
     sense_period: SimDuration,
     sensing: bool,
 }
@@ -159,9 +158,9 @@ pub struct MiddlewareBuilder {
     topology: Topology,
     sensor_noise_m: f64,
     beacons: Vec<(SpaceId, f64)>,
-    device_profiles: HashMap<HostId, DeviceProfile>,
-    space_primary: HashMap<SpaceId, HostId>,
-    host_clock_skews: HashMap<HostId, i64>,
+    device_profiles: FxHashMap<HostId, DeviceProfile>,
+    space_primary: FxHashMap<SpaceId, HostId>,
+    host_clock_skews: FxHashMap<HostId, i64>,
     seed: u64,
     sense_period: SimDuration,
     cost_model: CostModel,
@@ -183,9 +182,9 @@ impl MiddlewareBuilder {
             topology: Topology::new(),
             sensor_noise_m: 0.08,
             beacons: Vec::new(),
-            device_profiles: HashMap::new(),
-            space_primary: HashMap::new(),
-            host_clock_skews: HashMap::new(),
+            device_profiles: FxHashMap::default(),
+            space_primary: FxHashMap::default(),
+            host_clock_skews: FxHashMap::default(),
             seed: 42,
             sense_period: SimDuration::from_millis(200),
             cost_model: CostModel::default(),
@@ -319,7 +318,7 @@ impl MiddlewareBuilder {
             field.add_beacon(*space, *pos);
         }
         let mut platform = Platform::new("mdagent");
-        let mut containers = HashMap::new();
+        let mut containers = FxHashMap::default();
         for host in self.topology.hosts() {
             let container = platform.create_container(host.name().to_owned(), host.id());
             containers.insert(host.id(), container);
@@ -339,7 +338,7 @@ impl MiddlewareBuilder {
             }),
         );
         let mut federation = RegistryFederation::new();
-        let mut host_clocks = HashMap::new();
+        let mut host_clocks = FxHashMap::default();
         for host in self.topology.hosts() {
             let skew = self.host_clock_skews.get(&host.id()).copied().unwrap_or(0);
             host_clocks.insert(host.id(), HostClock::with_skew(skew));
@@ -361,19 +360,19 @@ impl MiddlewareBuilder {
             apps: Vec::new(),
             containers,
             device_profiles: self.device_profiles,
-            user_profiles: HashMap::new(),
+            user_profiles: FxHashMap::default(),
             space_primary: self.space_primary,
-            subscriber_agents: HashMap::new(),
+            subscriber_agents: FxHashMap::default(),
             host_clocks,
-            preinstalled: HashMap::new(),
-            in_flight: HashMap::new(),
+            preinstalled: FxHashMap::default(),
+            in_flight: FxHashMap::default(),
             data_path: self.data_path,
-            component_caches: HashMap::new(),
-            content_store: HashMap::new(),
-            snapshot_bases: HashMap::new(),
-            deployed_digests: HashMap::new(),
+            component_caches: FxHashMap::default(),
+            content_store: FxHashMap::default(),
+            snapshot_bases: FxHashMap::default(),
+            deployed_digests: FxHashMap::default(),
             migration_log: Vec::new(),
-            rule_bases: HashMap::from([(
+            rule_bases: FxHashMap::from_iter([(
                 "default".to_owned(),
                 crate::rules::PAPER_RULES.to_owned(),
             )]),
@@ -1267,7 +1266,9 @@ impl Middleware {
             .metrics
             .observe_static("migration.suspend", suspend_cost);
         // Root span for the whole migration; one child per pipeline phase.
-        let root = world.env.telemetry.start("migration", None, now);
+        // Detached: it rides the in-flight record and closes at arrival
+        // or rollback.
+        let root = world.env.telemetry.open("migration", None, now).detach();
         {
             // Raw ids as integers: keeps this hot path free of formatting
             // allocations (the exporters render them).
@@ -1283,8 +1284,9 @@ impl Middleware {
             if bytes_saved_delta > 0 {
                 tel.attr(root, "bytes_saved_delta", bytes_saved_delta);
             }
-            let suspend_span = tel.start("migration.suspend", Some(root), now);
-            tel.end(suspend_span, now + suspend_cost);
+            let suspend_span =
+                tel.record_span("migration.suspend", Some(root), now, now + suspend_cost);
+            let _ = suspend_span;
         }
         // Per-attempt transfer window: setup + estimated pipelined transfer
         // plus the policy's slack. Only computed (and a watchdog armed)
@@ -1340,10 +1342,10 @@ impl Middleware {
             };
             if let Some(root) = root {
                 let tel = &mut w.env.telemetry;
-                let wrap_span = tel.start("migration.wrap", Some(root), now);
+                let wrap_span = tel.record_span("migration.wrap", Some(root), now, now);
                 tel.attr(wrap_span, "bytes", wrapped_bytes);
-                tel.end(wrap_span, now);
-                let migrate_span = tel.start("migration.migrate", Some(root), now);
+                // Detached: closed when the transfer lands (or rolls back).
+                let migrate_span = tel.open("migration.migrate", Some(root), now).detach();
                 if let Some(flight) = w.in_flight.get_mut(&ma) {
                     flight.migrate_span = migrate_span;
                 }
@@ -1499,14 +1501,26 @@ impl Middleware {
             let adapt_end = rebind_end + scaled_adapt;
             let root_end = now + resume_cost;
             let tel = &mut world.env.telemetry;
-            let rebind_span = tel.start("migration.rebind", Some(root), now);
+            let rebind_span = tel.record_span(
+                "migration.rebind",
+                Some(root),
+                now,
+                rebind_end.min(root_end),
+            );
             tel.attr(rebind_span, "bindings", rebind_outcomes.len());
-            tel.end(rebind_span, rebind_end.min(root_end));
-            let adapt_span = tel.start("migration.adapt", Some(root), rebind_end.min(root_end));
+            let adapt_span = tel.record_span(
+                "migration.adapt",
+                Some(root),
+                rebind_end.min(root_end),
+                adapt_end.min(root_end),
+            );
             tel.attr(adapt_span, "actions", adaptation.actions.len());
-            tel.end(adapt_span, adapt_end.min(root_end));
-            let resume_span = tel.start("migration.resume", Some(root), adapt_end.min(root_end));
-            tel.end(resume_span, root_end);
+            tel.record_span(
+                "migration.resume",
+                Some(root),
+                adapt_end.min(root_end),
+                root_end,
+            );
         }
         world.env.trace.record_event(
             now,
@@ -1750,8 +1764,7 @@ impl Middleware {
         };
         {
             let tel = &mut world.env.telemetry;
-            let resume_span = tel.start("migration.resume", Some(root), now);
-            tel.end(resume_span, now + resume_cost);
+            tel.record_span("migration.resume", Some(root), now, now + resume_cost);
             tel.attr(root, "replica", u64::from(replica_id.0));
         }
         world.env.trace.record_event(
@@ -2012,8 +2025,12 @@ impl Middleware {
         );
         {
             let tel = &mut world.env.telemetry;
-            let span = tel.start("migration.rollback", Some(flight.span), now);
-            tel.end(span, now + resume_cost);
+            tel.record_span(
+                "migration.rollback",
+                Some(flight.span),
+                now,
+                now + resume_cost,
+            );
         }
         // The MA still holds the dead cargo; expire it through its own
         // timer path (a no-op if the agent itself was lost).

@@ -1,0 +1,120 @@
+//! Parser for `lint-allow.toml`, the checked-in allowlist of justified
+//! exceptions.
+//!
+//! The format is a restricted TOML subset — an array of tables:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R3"
+//! path = "crates/apps/src/testkit.rs"
+//! # line is optional; omit it so entries survive unrelated edits
+//! reason = "test scaffolding compiled into src for reuse across crates"
+//! ```
+//!
+//! Every entry **must** carry a non-empty `reason`; the parser rejects the
+//! file otherwise, so un-justified suppressions cannot land.
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id, `R1`..`R5`.
+    pub rule: String,
+    /// Workspace-relative file path the exception applies to.
+    pub path: String,
+    /// Optional 1-based line; when absent the entry covers the whole file
+    /// for that rule.
+    pub line: Option<u32>,
+    /// Mandatory human justification.
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// True when this entry covers the given finding coordinates.
+    pub fn covers(&self, rule: &str, file: &str, line: u32) -> bool {
+        self.rule == rule && self.path == file && self.line.is_none_or(|l| l == line)
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].replace("\\\"", "\""))
+    } else {
+        Err(format!(
+            "lint-allow.toml:{lineno}: expected a quoted string, got `{v}`"
+        ))
+    }
+}
+
+fn finish(entry: Option<AllowEntry>, out: &mut Vec<AllowEntry>) -> Result<(), String> {
+    let Some(e) = entry else {
+        return Ok(());
+    };
+    if !matches!(e.rule.as_str(), "R1" | "R2" | "R3" | "R4" | "R5") {
+        return Err(format!("lint-allow.toml: unknown rule `{}`", e.rule));
+    }
+    if e.path.is_empty() {
+        return Err("lint-allow.toml: entry missing `path`".to_string());
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "lint-allow.toml: entry for {} {} has no `reason` — every exception must be justified",
+            e.rule, e.path
+        ));
+    }
+    out.push(e);
+    Ok(())
+}
+
+/// Parses the allowlist text. Returns an error for malformed entries or
+/// entries without a justification.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out = Vec::new();
+    let mut current: Option<AllowEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        // Strip trailing comments outside strings (values here never
+        // contain `#` followed by text we care about, keep it simple:
+        // only treat `#` as a comment when it starts the line).
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut out)?;
+            current = Some(AllowEntry {
+                rule: String::new(),
+                path: String::new(),
+                line: None,
+                reason: String::new(),
+            });
+            continue;
+        }
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{lineno}: key outside of an [[allow]] table"
+            ));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint-allow.toml:{lineno}: expected `key = value`"));
+        };
+        match key.trim() {
+            "rule" => entry.rule = unquote(value, lineno)?,
+            "path" => entry.path = unquote(value, lineno)?,
+            "reason" => entry.reason = unquote(value, lineno)?,
+            "line" => {
+                let v = value.trim();
+                entry.line = Some(v.parse::<u32>().map_err(|_| {
+                    format!("lint-allow.toml:{lineno}: `line` must be an integer, got `{v}`")
+                })?);
+            }
+            other => {
+                return Err(format!(
+                    "lint-allow.toml:{lineno}: unknown key `{other}` (expected rule/path/line/reason)"
+                ));
+            }
+        }
+    }
+    finish(current.take(), &mut out)?;
+    Ok(out)
+}

@@ -1,0 +1,330 @@
+//! A minimal, self-contained Rust lexer.
+//!
+//! mdlint cannot depend on `syn` (the workspace is built offline), so the
+//! rules operate on a token stream produced here. The lexer:
+//!
+//! * strips line comments, (nested) block comments and doc comments;
+//! * elides string / raw-string / byte-string / char literal *contents* so
+//!   rule patterns never match text inside literals;
+//! * distinguishes lifetimes (`'a`) from char literals;
+//! * records the 1-based source line of every token;
+//! * marks tokens that sit inside `#[cfg(test)]` / `#[test]` /
+//!   `#[bench]`-attributed items (`cfg_attr` is deliberately *not* treated
+//!   as a test marker).
+//!
+//! This is not a full Rust lexer — it only needs to be faithful enough for
+//! ident/punct pattern matching, which is what the rules in
+//! [`crate::rules`] consume.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive punct tokens, e.g. `::` is two `:` tokens).
+    Punct,
+    /// A literal. String-like literal contents are elided.
+    Literal,
+    /// A lifetime such as `'a` (text stored without the quote).
+    Lifetime,
+}
+
+/// One token with its source position and test-region flag.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text. Single character for puncts; `""` for string-like
+    /// literals whose contents were elided.
+    pub text: String,
+    /// True when the token is inside test-only code (see module docs).
+    pub in_test: bool,
+}
+
+impl Tok {
+    fn new(line: u32, kind: TokKind, text: String) -> Self {
+        Tok {
+            line,
+            kind,
+            text,
+            in_test: false,
+        }
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Skips a `"`-delimited string starting at `chars[i]` (the opening quote).
+/// Returns the index just past the closing quote, advancing `line` for
+/// embedded newlines.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Escaped newlines (line-continuation strings) still
+                // advance the source line.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string `r##"..."##` whose `hashes` count is already known and
+/// where `chars[i]` is the opening `"`.
+fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Lexes `source` into tokens and marks test regions.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let start = line;
+            i = skip_string(&chars, i, &mut line);
+            toks.push(Tok::new(start, TokKind::Literal, String::new()));
+        } else if c == '\'' {
+            // Lifetime iff followed by ident-start NOT closed by a quote
+            // (i.e. `'a` vs `'a'`).
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if next.map(is_ident_start) == Some(true) && after != Some('\'') {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[i + 1..j].iter().collect();
+                toks.push(Tok::new(line, TokKind::Lifetime, text));
+                i = j;
+            } else {
+                // Char literal: skip escapes up to the closing quote.
+                let start = line;
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok::new(start, TokKind::Literal, String::new()));
+            }
+        } else if is_ident_start(c) {
+            let mut j = i;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+            let is_raw_prefix = matches!(text.as_str(), "r" | "br");
+            let is_byte_prefix = text == "b";
+            let next = chars.get(j).copied();
+            if is_raw_prefix && (next == Some('"') || next == Some('#')) {
+                let mut hashes = 0usize;
+                let mut k = j;
+                while chars.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'"') {
+                    let start = line;
+                    i = skip_raw_string(&chars, k, hashes, &mut line);
+                    toks.push(Tok::new(start, TokKind::Literal, String::new()));
+                    continue;
+                }
+                toks.push(Tok::new(line, TokKind::Ident, text));
+                i = j;
+            } else if is_byte_prefix && next == Some('"') {
+                let start = line;
+                i = skip_string(&chars, j, &mut line);
+                toks.push(Tok::new(start, TokKind::Literal, String::new()));
+            } else {
+                toks.push(Tok::new(line, TokKind::Ident, text));
+                i = j;
+            }
+        } else if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() && (is_ident_continue(chars[j]) || chars[j] == '.') {
+                // Stop `1..10` range puncts from being swallowed.
+                if chars[j] == '.' && chars.get(j + 1) == Some(&'.') {
+                    break;
+                }
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            toks.push(Tok::new(line, TokKind::Literal, text));
+            i = j;
+        } else {
+            toks.push(Tok::new(line, TokKind::Punct, c.to_string()));
+            i += 1;
+        }
+    }
+    mark_test_regions(&mut toks);
+    toks
+}
+
+/// True when the attribute token texts denote test-only code.
+///
+/// Matches `#[test]`, `#[bench]`, and `#[cfg(... test ...)]` unless the cfg
+/// contains `not`. `#[cfg_attr(...)]` never matches: `cfg_attr(not(test),
+/// deny(...))` mentions `test` but gates lints, not compilation.
+fn is_test_attribute(attr: &[String]) -> bool {
+    let Some(first) = attr.first() else {
+        return false;
+    };
+    match first.as_str() {
+        "test" | "bench" => true,
+        "cfg" => attr.iter().any(|t| t == "test") && !attr.iter().any(|t| t == "not"),
+        _ => false,
+    }
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]` / `#[bench]` items.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Collect attribute tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr: Vec<String> = Vec::new();
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+            }
+            if depth > 0 {
+                attr.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        if is_test_attribute(&attr) {
+            // Find the item's opening brace; a `;` first means a brace-less
+            // item (`mod tests;`) whose body lives in another file.
+            let mut k = j;
+            let mut open = None;
+            while k < toks.len() {
+                if toks[k].is_punct('{') {
+                    open = Some(k);
+                    break;
+                }
+                if toks[k].is_punct(';') {
+                    break;
+                }
+                k += 1;
+            }
+            if let Some(start) = open {
+                let mut body_depth = 1usize;
+                let mut m = start + 1;
+                while m < toks.len() && body_depth > 0 {
+                    if toks[m].is_punct('{') {
+                        body_depth += 1;
+                    } else if toks[m].is_punct('}') {
+                        body_depth -= 1;
+                    }
+                    m += 1;
+                }
+                for t in &mut toks[i..m] {
+                    t.in_test = true;
+                }
+            } else {
+                for t in &mut toks[i..j] {
+                    t.in_test = true;
+                }
+            }
+        }
+        i = j;
+    }
+}

@@ -1,0 +1,182 @@
+//! # mdlint — workspace-local static analysis for the MDAgent reproduction
+//!
+//! The MDAgent middleware is evaluated by a *deterministic* discrete-event
+//! simulation: identical seeds must produce bit-identical traces, metrics
+//! and BENCH artifacts across runs, machines and refactors. The Rust
+//! compiler cannot see that contract, so this crate enforces it (plus a few
+//! robustness invariants) as a token-level lint pass over the whole
+//! workspace:
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | R1   | no wall clocks / OS entropy / `std::env` outside bench+tests |
+//! | R2   | no default-hasher `HashMap`/`HashSet` in sim-visible crates |
+//! | R3   | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` outside tests |
+//! | R4   | raw `open_span` only inside the telemetry module |
+//! | R5   | tracked enums stay in sync with hand-written encode/decode/match fns |
+//!
+//! Run it two ways:
+//!
+//! * `cargo run -p mdlint` — writes `LINT_report.json` at the workspace
+//!   root and exits nonzero on unallowed findings (CI gate);
+//! * the root package's `tests/lint_gate.rs` calls [`scan_workspace`] so
+//!   plain `cargo test` fails on violations too (tier-1 gate).
+//!
+//! Justified exceptions live in `lint-allow.toml` (see [`allow`]); every
+//! entry must carry a `reason`.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`R1`..`R5`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Trimmed source line (or a synthesized message for R5).
+    pub snippet: String,
+    /// True when covered by a `lint-allow.toml` entry.
+    pub allowed: bool,
+    /// The allowlist justification, when allowed.
+    pub reason: Option<String>,
+}
+
+/// Result of a whole-workspace scan.
+#[derive(Debug)]
+pub struct ScanResult {
+    /// All findings, sorted by (file, line, rule), allowlist applied.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanResult {
+    /// Findings not covered by the allowlist — these fail the build.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+}
+
+/// Directory names never descended into. `fixtures` keeps mdlint's own
+/// deliberately-violating test inputs out of the workspace scan.
+const SKIP_DIRS: &[&str] = &[
+    ".git", "target", "vendor", "fixtures", "examples", ".github",
+];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    // Sorted traversal keeps the report byte-stable across filesystems.
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans the workspace rooted at `root`: runs R1–R4 on every `.rs` file,
+/// R5 on the tracked enums, then applies `<root>/lint-allow.toml`.
+pub fn scan_workspace(root: &Path) -> Result<ScanResult, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let source =
+            fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = rel_unix(root, path);
+        findings.extend(rules::scan_source(&rel, &source));
+    }
+    for spec in rules::R5_TRACKED {
+        let path = root.join(spec.path);
+        match fs::read_to_string(&path) {
+            Ok(source) => findings.extend(rules::check_enum_spec(spec, &source)),
+            Err(_) => findings.push(Finding {
+                rule: "R5",
+                file: spec.path.to_string(),
+                line: 1,
+                snippet: format!("tracked file for enum `{}` is missing", spec.enum_name),
+                allowed: false,
+                reason: None,
+            }),
+        }
+    }
+
+    let allow_path = root.join("lint-allow.toml");
+    let entries = if allow_path.exists() {
+        let text = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+        allow::parse_allowlist(&text)?
+    } else {
+        Vec::new()
+    };
+    apply_allowlist(&mut findings, &entries);
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(ScanResult {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Marks findings covered by allowlist entries.
+pub fn apply_allowlist(findings: &mut [Finding], entries: &[allow::AllowEntry]) {
+    for f in findings.iter_mut() {
+        if let Some(e) = entries.iter().find(|e| e.covers(f.rule, &f.file, f.line)) {
+            f.allowed = true;
+            f.reason = Some(e.reason.clone());
+        }
+    }
+}
+
+/// Full CLI run: scan, write `LINT_report.json` at the root, print a
+/// summary, and return the number of unallowed findings.
+pub fn run(root: &Path) -> Result<usize, String> {
+    let result = scan_workspace(root)?;
+    let report = report::render_report(&result.findings);
+    let report_path = root.join("LINT_report.json");
+    fs::write(&report_path, &report)
+        .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+    let unallowed: Vec<&Finding> = result.unallowed().collect();
+    println!(
+        "mdlint: scanned {} files — {} finding(s), {} allowed, {} unallowed",
+        result.files_scanned,
+        result.findings.len(),
+        result.findings.len() - unallowed.len(),
+        unallowed.len()
+    );
+    for f in &unallowed {
+        println!("  [{}] {}:{} {}", f.rule, f.file, f.line, f.snippet);
+    }
+    Ok(unallowed.len())
+}

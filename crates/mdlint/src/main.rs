@@ -1,0 +1,26 @@
+//! `cargo run -p mdlint` — scan the workspace, write `LINT_report.json`,
+//! exit nonzero on unallowed findings.
+//!
+//! The workspace root is derived from this crate's compile-time manifest
+//! path (two levels up from `crates/mdlint`), so the tool needs no
+//! arguments and — deliberately — no `std::env` at runtime (R1 applies to
+//! mdlint itself).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Some(root) = manifest_dir.parent().and_then(Path::parent) else {
+        eprintln!("mdlint: cannot locate workspace root from {manifest_dir:?}");
+        return ExitCode::from(2);
+    };
+    match mdlint::run(root) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("mdlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,14 @@
+use std::time::Instant;
+
+pub fn elapsed_micros() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_micros()
+}
+
+pub fn seed_override() -> Option<String> {
+    std::env::var("MDAGENT_SEED").ok()
+}
+
+pub fn noise() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,21 @@
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+pub type SeededMap<K, V> = HashMap<K, V, BuildHasherDefault<std::collections::hash_map::DefaultHasher>>;
+
+pub fn make<K, V>() -> SeededMap<K, V> {
+    HashMap::with_capacity_and_hasher(8, BuildHasherDefault::default())
+}
+
+pub fn compare(a: usize, b: usize) -> bool {
+    a < b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_hasher_is_fine_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u8, 2u8);
+    }
+}

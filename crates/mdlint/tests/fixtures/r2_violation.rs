@@ -1,0 +1,15 @@
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_name: HashMap<String, u32>,
+    seen: HashSet<u32>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            by_name: HashMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+}

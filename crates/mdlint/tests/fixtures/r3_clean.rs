@@ -1,0 +1,29 @@
+pub struct Parser {
+    pos: usize,
+}
+
+impl Parser {
+    pub fn expect_token(&mut self, want: u8, got: u8) -> Result<(), String> {
+        if want == got {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {want}, got {got}"))
+        }
+    }
+}
+
+pub fn first_word(s: &str) -> Option<&str> {
+    s.split_whitespace().next()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn asserts_freely() {
+        let v: Vec<u8> = Vec::new();
+        let _ = v.first().unwrap();
+        panic!("tests may panic");
+    }
+}

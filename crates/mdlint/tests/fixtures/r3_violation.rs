@@ -1,0 +1,15 @@
+pub fn first_word(s: &str) -> &str {
+    s.split_whitespace().next().unwrap()
+}
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("valid port")
+}
+
+pub fn unreachable_branch() {
+    panic!("boom");
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,5 @@
+pub fn profile_step(tel: &mut Telemetry, now: SimTime) {
+    let guard = tel.open("step", None, now);
+    guard.close(tel, now);
+    tel.record_span("phase", None, now, now);
+}

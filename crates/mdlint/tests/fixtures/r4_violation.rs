@@ -1,0 +1,4 @@
+pub fn profile_step(tel: &mut Telemetry, now: SimTime) {
+    let span = tel.open_span("step", None, now);
+    tel.end(span, now);
+}

@@ -1,0 +1,30 @@
+pub enum WireMsg {
+    Ping { seq: u32 },
+    Pong { seq: u32 },
+    Bye,
+}
+
+impl WireMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireMsg::Ping { seq } => {
+                buf.push(0);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
+            WireMsg::Pong { seq } => {
+                buf.push(1);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
+            WireMsg::Bye => buf.push(2),
+        }
+    }
+
+    fn decode(tag: u8, seq: u32) -> Option<Self> {
+        match tag {
+            0 => Some(WireMsg::Ping { seq }),
+            1 => Some(WireMsg::Pong { seq }),
+            2 => Some(WireMsg::Bye),
+            _ => None,
+        }
+    }
+}

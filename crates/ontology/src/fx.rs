@@ -4,105 +4,9 @@
 //! [`crate::Triple`]s millions of times per materialization; those keys
 //! are small `Copy` values derived from interner ids, never
 //! attacker-controlled, so SipHash's DoS resistance buys nothing here.
-//! This is the Firefox `FxHasher` construction: fold each word with a
-//! rotate-xor-multiply. On the reasoner's hot path it is worth several
-//! multiples of wall-clock over the default hasher.
+//!
+//! The construction itself now lives in the workspace-wide `mdagent-fx`
+//! crate so every sim-visible crate shares one deterministic hasher;
+//! this module re-exports it under the historical path.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
-
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// Rotate-xor-multiply word hasher (the rustc/Firefox `FxHasher`).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add_to_hash(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut tail = [0u8; 8];
-            tail[..rest.len()].copy_from_slice(rest);
-            self.add_to_hash(u64::from_le_bytes(tail));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add_to_hash(n as u64);
-    }
-
-    #[inline]
-    fn write_u16(&mut self, n: u16) {
-        self.add_to_hash(n as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add_to_hash(n as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add_to_hash(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add_to_hash(n as u64);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-/// `BuildHasher` for [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// A `HashMap` keyed with [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
-
-/// A `HashSet` keyed with [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn maps_and_sets_work() {
-        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
-        m.insert(1, "one");
-        m.insert(2, "two");
-        assert_eq!(m.get(&1), Some(&"one"));
-        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
-        assert!(s.insert((1, 2)));
-        assert!(!s.insert((1, 2)));
-    }
-
-    #[test]
-    fn byte_tail_is_hashed() {
-        use std::hash::Hash;
-        let mut a = FxHasher::default();
-        let mut b = FxHasher::default();
-        "abcdefghij".hash(&mut a);
-        "abcdefghik".hash(&mut b);
-        assert_ne!(a.finish(), b.finish());
-    }
-}
+pub use mdagent_fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -1,7 +1,6 @@
 //! Parser for Jena-style rule text (paper Fig. 6).
 
-use std::collections::HashMap;
-
+use crate::fx::FxHashMap;
 use crate::graph::Graph;
 use crate::parser::lexer::{tokenize, Token};
 use crate::parser::{syntax_error, ParseError};
@@ -28,7 +27,7 @@ impl<'a> RuleParser<'a> {
         t
     }
 
-    fn expect(&mut self, expected: &Token, context: &'static str) -> Result<(), ParseError> {
+    fn expect_token(&mut self, expected: &Token, context: &'static str) -> Result<(), ParseError> {
         match self.next() {
             Some(ref t) if t == expected => Ok(()),
             other => Err(syntax_error(context, other.as_ref())),
@@ -67,7 +66,7 @@ impl<'a> RuleParser<'a> {
     fn parse_pattern_term(
         &mut self,
         vars: &mut Vec<String>,
-        var_ids: &mut HashMap<String, VarId>,
+        var_ids: &mut FxHashMap<String, VarId>,
     ) -> Result<PatternTerm, ParseError> {
         match self.next() {
             Some(Token::Var(name)) => {
@@ -101,7 +100,7 @@ impl<'a> RuleParser<'a> {
     fn parse_atom(
         &mut self,
         vars: &mut Vec<String>,
-        var_ids: &mut HashMap<String, VarId>,
+        var_ids: &mut FxHashMap<String, VarId>,
     ) -> Result<RuleAtom, ParseError> {
         match self.peek() {
             Some(Token::LParen) => {
@@ -109,7 +108,7 @@ impl<'a> RuleParser<'a> {
                 let s = self.parse_pattern_term(vars, var_ids)?;
                 let p = self.parse_pattern_term(vars, var_ids)?;
                 let o = self.parse_pattern_term(vars, var_ids)?;
-                self.expect(&Token::RParen, "triple pattern")?;
+                self.expect_token(&Token::RParen, "triple pattern")?;
                 Ok(RuleAtom::Pattern(TriplePattern { s, p, o }))
             }
             Some(Token::Ident(name)) => {
@@ -117,11 +116,11 @@ impl<'a> RuleParser<'a> {
                     return Err(syntax_error("builtin name", self.peek()));
                 };
                 self.next();
-                self.expect(&Token::LParen, "builtin arguments")?;
+                self.expect_token(&Token::LParen, "builtin arguments")?;
                 let lhs = self.parse_pattern_term(vars, var_ids)?;
-                self.expect(&Token::Comma, "builtin arguments")?;
+                self.expect_token(&Token::Comma, "builtin arguments")?;
                 let rhs = self.parse_pattern_term(vars, var_ids)?;
-                self.expect(&Token::RParen, "builtin arguments")?;
+                self.expect_token(&Token::RParen, "builtin arguments")?;
                 Ok(RuleAtom::Builtin(BuiltinAtom { op, lhs, rhs }))
             }
             other => Err(syntax_error("rule atom", other)),
@@ -129,21 +128,21 @@ impl<'a> RuleParser<'a> {
     }
 
     fn parse_rule(&mut self) -> Result<Rule, ParseError> {
-        self.expect(&Token::LBracket, "rule opening")?;
+        self.expect_token(&Token::LBracket, "rule opening")?;
         // The lexer treats ':' as an identifier character, so "Rule1:" may
         // arrive as one token or as Ident + Colon.
         let name = match self.next() {
             Some(Token::Ident(n)) => match n.strip_suffix(':') {
                 Some(stripped) => stripped.to_owned(),
                 None => {
-                    self.expect(&Token::Colon, "rule name separator")?;
+                    self.expect_token(&Token::Colon, "rule name separator")?;
                     n
                 }
             },
             other => return Err(syntax_error("rule name", other.as_ref())),
         };
         let mut vars = Vec::new();
-        let mut var_ids = HashMap::new();
+        let mut var_ids = FxHashMap::default();
         let mut premises = Vec::new();
         loop {
             premises.push(self.parse_atom(&mut vars, &mut var_ids)?);

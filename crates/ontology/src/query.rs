@@ -5,7 +5,7 @@
 //! operation: solve a conjunction of triple patterns plus builtin filters
 //! against a graph and return variable bindings.
 
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 use std::sync::Arc;
 
 use crate::graph::Graph;
@@ -113,7 +113,9 @@ impl Query {
         }
         let wrapped = format!("[q: {text} -> (?q_dummy_s ?q_dummy_p ?q_dummy_o)]");
         let mut rules = crate::parser::parse_rules(&wrapped, graph)?;
-        let mut rule = rules.pop().expect("one rule parsed");
+        let Some(mut rule) = rules.pop() else {
+            return Err(syntax_error("query", None));
+        };
         rule.conclusions.clear();
         // Drop the three dummy head vars from the table tail (they were the
         // last ones introduced and are referenced nowhere after clearing).
@@ -162,7 +164,7 @@ impl Query {
 
     /// Solves and projects one variable, deduplicated, in stable order.
     pub fn select(&self, store: &Store, var: &str) -> Vec<Term> {
-        let mut seen = HashMap::new();
+        let mut seen = FxHashMap::default();
         let mut out = Vec::new();
         for row in self.solve(store) {
             if let Some(t) = row.get(var) {

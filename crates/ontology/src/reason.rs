@@ -31,8 +31,6 @@
 //! ([`Reasoner::materialize_naive`], kept for differential testing and
 //! benchmarks) produces exactly the same triples.
 
-use std::collections::HashMap;
-
 use crate::fx::{FxHashMap, FxHashSet};
 
 use crate::graph::Graph;
@@ -147,7 +145,7 @@ pub struct Reasoner {
     /// Memo of skolem terms per (rule index, bound-variable signature).
     /// Purely a cache: names are content-derived, so a cold memo re-mints
     /// the identical IRIs.
-    skolems: HashMap<(usize, Vec<Term>), Vec<Term>>,
+    skolems: FxHashMap<(usize, Vec<Term>), Vec<Term>>,
     /// Lazily (re)built when the rule set changes.
     occurrences: Option<OccurrenceIndex>,
     /// Counters from the most recent semi-naive run.
@@ -229,13 +227,10 @@ impl Reasoner {
     }
 
     fn run_seminaive(&mut self, graph: &mut Graph, mut delta: Vec<Triple>) -> usize {
-        if self.occurrences.is_none() {
-            self.occurrences = Some(build_occurrences(&self.rules));
-        }
         let occ = self
             .occurrences
             .take()
-            .expect("occurrence index just built");
+            .unwrap_or_else(|| build_occurrences(&self.rules));
         let mut stats = ReasonerStats::default();
         let mut touched = vec![false; self.rules.len()];
         let mut added_total = 0usize;
@@ -333,16 +328,14 @@ impl Reasoner {
         let mut builtins: Vec<BuiltinAtom> = Vec::new();
         for (ai, atom) in rule.premises.iter().enumerate() {
             match atom {
-                RuleAtom::Pattern(p) => {
-                    if seed.map(|(si, _)| si) == Some(ai) {
-                        let (_, t) = seed.expect("seed checked above");
+                RuleAtom::Pattern(p) => match seed {
+                    Some((si, t)) if si == ai => {
                         if !unify_pattern(p, t, &mut binding) {
                             return;
                         }
-                    } else {
-                        patterns.push(*p);
                     }
-                }
+                    _ => patterns.push(*p),
+                },
                 RuleAtom::Builtin(b) => builtins.push(*b),
             }
         }
@@ -448,7 +441,7 @@ impl Fnv64 {
 /// firing always mints the same IRI, in any engine, in any evaluation
 /// order — which is what makes naive and semi-naive closures identical.
 fn apply_skolems(
-    memo: &mut HashMap<(usize, Vec<Term>), Vec<Term>>,
+    memo: &mut FxHashMap<(usize, Vec<Term>), Vec<Term>>,
     rule_idx: usize,
     rule: &Rule,
     interner: &mut Interner,

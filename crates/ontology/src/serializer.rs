@@ -85,7 +85,8 @@ fn render_builtin(graph: &Graph, rule: &Rule, b: &BuiltinAtom) -> String {
 /// [`parse_rules`](crate::parser::parse_rules) to an equivalent rule.
 pub fn write_rule(graph: &Graph, rule: &Rule) -> String {
     let mut out = String::new();
-    write!(out, "[{}: ", rule.name).expect("string write");
+    // Writing into a String cannot fail; ignore the Result.
+    let _ = write!(out, "[{}: ", rule.name);
     let body: Vec<String> = rule
         .premises
         .iter()

@@ -3,7 +3,7 @@
 //! Terms are small `Copy` values so the triple store and the rule engine can
 //! join on them cheaply; the lexical forms live in an [`Interner`].
 
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 use std::fmt;
 
 /// Interned identifier of an IRI or literal lexical form.
@@ -26,7 +26,7 @@ pub struct SymbolId(pub(crate) u32);
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
     strings: Vec<String>,
-    ids: HashMap<String, SymbolId>,
+    ids: FxHashMap<String, SymbolId>,
 }
 
 impl Interner {

@@ -14,7 +14,8 @@
 //! full re-materialization, since the incremental contract assumes the
 //! rest of the store is already closed.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use mdagent_fx::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 
 use mdagent_ontology::{axiom_rules, Graph, Reasoner, Term, Triple};
 use mdagent_simnet::SpaceId;
@@ -58,7 +59,7 @@ pub struct RegistryCenter {
     /// `sub → {super}` over every derived `rdfs:subClassOf` triple,
     /// rebuilt after each materialization so `find_resources` does pure
     /// hash lookups.
-    subclass_closure: Option<HashMap<Term, HashSet<Term>>>,
+    subclass_closure: Option<FxHashMap<Term, FxHashSet<Term>>>,
     full_materializations: usize,
     incremental_materializations: usize,
     /// Semantic-match profiling for the last [`RegistryCenter::find_resources`].
@@ -266,10 +267,11 @@ impl RegistryCenter {
     /// only through substitution still matches, ranked last.
     pub fn find_resources(&mut self, required_class: &str) -> Vec<ResourceMatch> {
         self.ensure_materialized();
-        let closure = self
-            .subclass_closure
-            .as_ref()
-            .expect("closure built by ensure_materialized");
+        // `ensure_materialized` populates the closure; an empty registry
+        // yields no matches rather than assuming.
+        let Some(closure) = self.subclass_closure.as_ref() else {
+            return Vec::new();
+        };
         let required = self.graph.try_iri(required_class);
         let is_subclass = |sub: Option<Term>, sup: Option<Term>| -> bool {
             let (Some(sub), Some(sup)) = (sub, sup) else {
@@ -344,8 +346,8 @@ impl RegistryCenter {
 
 /// Collects every `(sub, super)` pair of the materialized
 /// `rdfs:subClassOf` relation into a hash map for O(1) subsumption checks.
-fn build_subclass_closure(graph: &Graph) -> HashMap<Term, HashSet<Term>> {
-    let mut closure: HashMap<Term, HashSet<Term>> = HashMap::new();
+fn build_subclass_closure(graph: &Graph) -> FxHashMap<Term, FxHashSet<Term>> {
+    let mut closure: FxHashMap<Term, FxHashSet<Term>> = FxHashMap::default();
     let Some(p) = graph.try_iri(mdagent_ontology::vocab::rdfs::SUB_CLASS_OF) else {
         return closure;
     };

@@ -4,8 +4,9 @@
 //! the same instant fire in the order they were scheduled — this is what
 //! makes whole-scenario replays bit-identical.
 
+use mdagent_fx::FxHashSet;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
@@ -60,7 +61,7 @@ impl<W> Ord for Scheduled<W> {
 /// Min-queue of scheduled events with O(1) logical cancellation.
 pub(crate) struct EventQueue<W> {
     heap: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<EventId>,
+    cancelled: FxHashSet<EventId>,
     next_id: u64,
 }
 
@@ -68,7 +69,7 @@ impl<W> EventQueue<W> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: FxHashSet::default(),
             next_id: 0,
         }
     }
@@ -112,8 +113,9 @@ impl<W> EventQueue<W> {
                 }
             };
             if discard {
-                let ev = self.heap.pop().expect("peeked event exists");
-                self.cancelled.remove(&ev.id);
+                if let Some(ev) = self.heap.pop() {
+                    self.cancelled.remove(&ev.id);
+                }
             }
         }
     }

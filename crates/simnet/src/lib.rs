@@ -37,6 +37,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod event;
 mod fault;
@@ -53,7 +54,7 @@ pub use fault::{FaultInjector, FaultOptions, TransferFault};
 pub use metrics::{DurationStats, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use sim::Simulator;
-pub use telemetry::{AttrValue, Span, SpanId, Telemetry};
+pub use telemetry::{AttrValue, Span, SpanGuard, SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     CpuFactor, Host, HostId, Link, LinkId, LinkKind, LinkUtilization, PipelinedTransfer, SpaceId,

@@ -6,10 +6,23 @@
 //! decision as a span wrapping reasoning with profiling counters attached.
 //!
 //! Because simulation work is interleaved across scheduled closures there
-//! is no ambient "current span"; spans are opened and closed explicitly by
-//! [`SpanId`], and the parent is passed when the child starts. Ids are
-//! `Copy`, so they travel freely through scheduled closures and in-flight
-//! migration records.
+//! is no ambient "current span"; spans are opened and closed explicitly,
+//! and the parent is passed when the child starts.
+//!
+//! Spans are opened through two sanctioned fronts (the raw
+//! [`Telemetry::open_span`] primitive is reserved to this module —
+//! `mdlint` rule R4 rejects calls anywhere else):
+//!
+//! * [`Telemetry::record_span`] — a phase whose start and end are both
+//!   known at the call site (suspend, wrap, rebind, ...) is recorded
+//!   closed in one call, so it can never leak open.
+//! * [`Telemetry::open`] — returns a linear, `#[must_use]` [`SpanGuard`]
+//!   that must be explicitly [`SpanGuard::close`]d (consuming it, so a
+//!   span cannot be double-closed) or [`SpanGuard::detach`]ed into a
+//!   `Copy` [`SpanId`] when the close happens in a later scheduled event
+//!   (migration roots ride in-flight records across the network). A
+//!   dropped guard that was neither closed nor detached trips the
+//!   `must_use` warning at the open site.
 //!
 //! Two exporters turn a finished run into artifacts:
 //! [`Telemetry::export_jsonl`] (one JSON object per line: spans then trace
@@ -50,6 +63,46 @@ impl SpanId {
 impl fmt::Display for SpanId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "span-{}", self.0)
+    }
+}
+
+/// Linear guard over an open span, handed out by [`Telemetry::open`].
+///
+/// The guard is deliberately neither `Copy` nor `Clone`: a span is closed
+/// by *consuming* the guard with [`SpanGuard::close`], so it cannot be
+/// closed twice, and a guard that is silently dropped without being
+/// closed trips the `must_use` warning at the open site instead of
+/// leaking an open span into the export.
+///
+/// Spans that outlive the opening scope — a migration root travels inside
+/// the in-flight record until arrival or rollback — are explicitly
+/// [`SpanGuard::detach`]ed into the `Copy` [`SpanId`]; the detach call
+/// marks the hand-off point for reviewers and keeps every other open
+/// site honest.
+#[must_use = "close the span guard (or detach it into a SpanId for cross-event spans); dropping it leaks an open span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    id: SpanId,
+}
+
+impl SpanGuard {
+    /// The underlying span id (for attributes and child parenting).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Closes the span at `at`, consuming the guard. Returns the id so
+    /// callers can keep referring to the closed span.
+    pub fn close(self, tel: &mut Telemetry, at: SimTime) -> SpanId {
+        tel.end(self.id, at);
+        self.id
+    }
+
+    /// Releases the guard into a bare [`SpanId`] for spans that close in
+    /// a later scheduled event. The caller takes over the obligation to
+    /// call [`Telemetry::end`] exactly once.
+    pub fn detach(self) -> SpanId {
+        self.id
     }
 }
 
@@ -181,11 +234,15 @@ impl Span {
 /// use mdagent_simnet::{SimTime, Telemetry};
 ///
 /// let mut tel = Telemetry::new();
-/// let root = tel.start("migration", None, SimTime::ZERO);
-/// let child = tel.start("migration.suspend", Some(root), SimTime::ZERO);
+/// let root = tel.open("migration", None, SimTime::ZERO);
+/// let child = tel.record_span(
+///     "migration.suspend",
+///     Some(root.id()),
+///     SimTime::ZERO,
+///     SimTime::from_millis(3),
+/// );
 /// tel.attr(child, "bytes", 4096u64);
-/// tel.end(child, SimTime::from_millis(3));
-/// tel.end(root, SimTime::from_millis(9));
+/// root.close(&mut tel, SimTime::from_millis(9));
 /// assert_eq!(tel.spans().len(), 2);
 /// assert_eq!(tel.span(child).unwrap().duration_micros(), 3_000);
 /// ```
@@ -204,9 +261,10 @@ impl Telemetry {
         }
     }
 
-    /// Creates a disabled collector: [`Telemetry::start`] returns
-    /// [`SpanId::DISABLED`] and every other operation is a no-op with no
-    /// allocation, so benchmarks can measure the instrumentation floor.
+    /// Creates a disabled collector: [`Telemetry::open`] hands out a
+    /// guard over [`SpanId::DISABLED`] and every other operation is a
+    /// no-op with no allocation, so benchmarks can measure the
+    /// instrumentation floor.
     pub fn disabled() -> Self {
         Telemetry {
             spans: Vec::new(),
@@ -219,8 +277,41 @@ impl Telemetry {
         self.enabled
     }
 
-    /// Opens a span at `at`, returning its id.
-    pub fn start(
+    /// Opens a span at `at`, returning a guard that must be closed or
+    /// explicitly detached (see [`SpanGuard`]).
+    pub fn open(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        parent: Option<SpanId>,
+        at: SimTime,
+    ) -> SpanGuard {
+        SpanGuard {
+            id: self.open_span(name, parent, at),
+        }
+    }
+
+    /// Records a span whose extent is already known, closed, in one call.
+    ///
+    /// This is the right front for phase spans (suspend, wrap, rebind,
+    /// adapt, resume) whose cost is computed at the call site: a span
+    /// recorded closed can never leak open. Attributes can still be
+    /// attached afterwards through the returned id.
+    pub fn record_span(
+        &mut self,
+        name: impl Into<Cow<'static, str>>,
+        parent: Option<SpanId>,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        let id = self.open_span(name, parent, start);
+        self.end(id, end);
+        id
+    }
+
+    /// Raw span-open primitive. Module-internal: every caller outside
+    /// this file must go through [`Telemetry::open`] (guard) or
+    /// [`Telemetry::record_span`] — `mdlint` rule R4 enforces it.
+    fn open_span(
         &mut self,
         name: impl Into<Cow<'static, str>>,
         parent: Option<SpanId>,
@@ -436,8 +527,12 @@ mod tests {
     #[test]
     fn spans_nest_and_close() {
         let mut tel = Telemetry::new();
-        let root = tel.start("migration", None, SimTime::from_millis(1));
-        let child = tel.start("migration.suspend", Some(root), SimTime::from_millis(1));
+        let root = tel
+            .open("migration", None, SimTime::from_millis(1))
+            .detach();
+        let child = tel
+            .open("migration.suspend", Some(root), SimTime::from_millis(1))
+            .detach();
         tel.attr(child, "bytes", 512u64);
         tel.end(child, SimTime::from_millis(4));
         tel.end(root, SimTime::from_millis(10));
@@ -453,7 +548,7 @@ mod tests {
     #[test]
     fn disabled_is_inert() {
         let mut tel = Telemetry::disabled();
-        let id = tel.start("x", None, SimTime::ZERO);
+        let id = tel.open("x", None, SimTime::ZERO).detach();
         assert!(id.is_disabled());
         tel.attr(id, "k", 1u64);
         tel.end(id, SimTime::from_millis(1));
@@ -465,7 +560,7 @@ mod tests {
     #[test]
     fn end_clamps_and_is_idempotent() {
         let mut tel = Telemetry::new();
-        let id = tel.start("s", None, SimTime::from_millis(5));
+        let id = tel.open("s", None, SimTime::from_millis(5)).detach();
         tel.end(id, SimTime::from_millis(3)); // earlier than start: clamped
         tel.end(id, SimTime::from_millis(9)); // second end ignored
         let span = tel.span(id).unwrap();
@@ -475,9 +570,9 @@ mod tests {
     #[test]
     fn jsonl_export_has_one_object_per_line() {
         let mut tel = Telemetry::new();
-        let root = tel.start("migration", None, SimTime::ZERO);
-        tel.attr(root, "app", "app-0".to_owned());
-        tel.end(root, SimTime::from_millis(2));
+        let root = tel.open("migration", None, SimTime::ZERO);
+        tel.attr(root.id(), "app", "app-0".to_owned());
+        root.close(&mut tel, SimTime::from_millis(2));
         let mut trace = Trace::new();
         trace.record(
             SimTime::from_millis(1),
@@ -497,9 +592,14 @@ mod tests {
     #[test]
     fn chrome_export_uses_root_track() {
         let mut tel = Telemetry::new();
-        let root = tel.start("migration", None, SimTime::ZERO);
-        let child = tel.start("migration.suspend", Some(root), SimTime::ZERO);
-        tel.end(child, SimTime::from_millis(1));
+        let root = tel.open("migration", None, SimTime::ZERO).detach();
+        let child = tel.record_span(
+            "migration.suspend",
+            Some(root),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
+        let _ = child;
         tel.end(root, SimTime::from_millis(2));
         let json = tel.export_chrome(&Trace::new());
         assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));

@@ -5,7 +5,8 @@
 //! other only through *gateway* links, mirroring the paper's requirement
 //! that inter-space migration needs gateway support (Fig. 1).
 
-use std::collections::{HashMap, VecDeque};
+use mdagent_fx::FxHashMap;
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::time::SimDuration;
@@ -261,7 +262,7 @@ pub struct Topology {
     spaces: Vec<String>,
     hosts: Vec<Host>,
     links: Vec<Link>,
-    adjacency: HashMap<HostId, Vec<LinkId>>,
+    adjacency: FxHashMap<HostId, Vec<LinkId>>,
 }
 
 impl Topology {
@@ -429,7 +430,7 @@ impl Topology {
         if from == to {
             return Ok(Vec::new());
         }
-        let mut prev: HashMap<HostId, (HostId, LinkId)> = HashMap::new();
+        let mut prev: FxHashMap<HostId, (HostId, LinkId)> = FxHashMap::default();
         let mut queue = VecDeque::from([from]);
         'bfs: while let Some(cur) = queue.pop_front() {
             let neighbours = self.adjacency.get(&cur).map(Vec::as_slice).unwrap_or(&[]);

@@ -292,10 +292,13 @@ where
     }
 }
 
-impl<K, V> Wire for HashMap<K, V>
+// Generic over the hasher so deterministic maps (e.g. `FxHashMap`)
+// round-trip without converting through the default-`RandomState` type.
+impl<K, V, S> Wire for HashMap<K, V, S>
 where
     K: Wire + Eq + Hash + Ord,
     V: Wire,
+    S: std::hash::BuildHasher + Default,
 {
     fn encode(&self, buf: &mut BytesMut) {
         // Sort by key so equal maps encode identically.
@@ -309,7 +312,7 @@ where
     }
     fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = reader.take_len()?;
-        let mut out = HashMap::with_capacity(len.min(1024));
+        let mut out = HashMap::with_capacity_and_hasher(len.min(1024), S::default());
         for _ in 0..len {
             let k = K::decode(reader)?;
             let v = V::decode(reader)?;

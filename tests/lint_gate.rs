@@ -1,0 +1,24 @@
+//! Tier-1 lint gate: the whole workspace must be mdlint-clean (modulo the
+//! justified entries in `lint-allow.toml`). This is the same scan `cargo
+//! run -p mdlint` performs in CI, wired into plain `cargo test` so a
+//! violation fails the default test run too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_mdlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let result = mdlint::scan_workspace(root).expect("workspace scan succeeds");
+    assert!(result.files_scanned > 50, "walker found too few files");
+    let unallowed: Vec<String> = result
+        .unallowed()
+        .map(|f| format!("[{}] {}:{} {}", f.rule, f.file, f.line, f.snippet))
+        .collect();
+    assert!(
+        unallowed.is_empty(),
+        "mdlint found {} unallowed finding(s):\n{}\n\
+         Fix them or add a justified entry to lint-allow.toml.",
+        unallowed.len(),
+        unallowed.join("\n")
+    );
+}
