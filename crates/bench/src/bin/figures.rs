@@ -13,7 +13,11 @@ use mdagent_bench::{
 };
 
 fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Vec<String> = std::env::args().skip(1).collect();
+    // `--with-naive` lifts the naive reference engine's size gate for
+    // `bench-reasoning`; it is a modifier, not a figure selector.
+    let with_naive = filter.iter().any(|f| f == "--with-naive");
+    filter.retain(|f| f != "--with-naive");
     let want = |key: &str| filter.is_empty() || filter.iter().any(|f| f == key);
 
     // Scenario trace export: writes TRACE_<scenario>.jsonl plus a Chrome
@@ -45,10 +49,11 @@ fn main() {
         return;
     }
 
-    // Wall-clock engine benchmark: explicit opt-in only (the naive
-    // reference takes minutes at the top sizes).
+    // Wall-clock engine benchmark: explicit opt-in only. The naive
+    // reference runs only at the small sizes unless --with-naive is
+    // passed (chain-512 alone adds ~400 s).
     if filter.iter().any(|f| f == "bench-reasoning") {
-        let json = bench_reasoning_json();
+        let json = bench_reasoning_json(with_naive);
         print!("{json}");
         match std::fs::write("BENCH_reasoning.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_reasoning.json"),

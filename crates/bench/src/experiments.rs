@@ -477,7 +477,34 @@ pub struct ReasoningBenchRow {
     /// Wall-clock of `materialize_incremental` for a single-fact delta
     /// against the pre-closed base, where measured.
     pub incremental_ms: Option<f64>,
+    /// Wall-clock of `retract` for one base fact against the closed
+    /// base (DRed overdelete + rederive), where measured.
+    pub retract_single_ms: Option<f64>,
+    /// Wall-clock of one `retract_batch` call removing
+    /// [`RETRACT_BATCH_SIZE`] base facts against the closed base.
+    pub retract_batch_ms: Option<f64>,
 }
+
+/// Facts removed by the `retract_batch_ms` measurement.
+pub const RETRACT_BATCH_SIZE: usize = 8;
+
+/// Samples taken for the one-shot delta timings (`incremental_ms`,
+/// `retract_single_ms`, `retract_batch_ms`). Each sample rebuilds a
+/// fresh closure; the minimum is reported — the usual noise-floor
+/// estimator for sub-millisecond operations on a shared machine.
+pub const DELTA_SAMPLES: usize = 3;
+
+/// Minimum elapsed-ms over [`DELTA_SAMPLES`] runs of `sample`.
+fn min_ms(mut sample: impl FnMut() -> f64) -> f64 {
+    (0..DELTA_SAMPLES)
+        .map(|_| sample())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Base-triple count above which the naive reference engine requires the
+/// `--with-naive` flag (it burns minutes at the larger sizes — chain-512
+/// alone is ~400 s).
+pub const NAIVE_GATE_BASE_TRIPLES: usize = 128;
 
 /// A `locatedIn` chain of `n` edges (the paper's Rule1 stress shape).
 fn reasoning_chain_graph(n: usize) -> mdagent_ontology::Graph {
@@ -554,15 +581,37 @@ fn time_materialize(
 ///   forward-chainer must do — so full closure at 2048 is minutes of
 ///   inherent join output and is exercised through the axiom workload
 ///   and the incremental rows instead.
-/// * The naive reference is measured wherever it finishes in under a few
-///   minutes (all chain sizes here); `None` marks workloads where only
-///   the semi-naive engine is run.
+/// * The naive reference runs by default only where the base fits under
+///   [`NAIVE_GATE_BASE_TRIPLES`] triples; `with_naive` lifts the gate
+///   (chain-512 alone then adds ~400 s). `None` marks workloads where
+///   only the semi-naive engine is run.
 /// * Incremental rows time `materialize_incremental` for one new fact
 ///   against the already-closed base — the registry's and the AA's
 ///   steady-state shape.
-pub fn bench_reasoning_rows() -> Vec<ReasoningBenchRow> {
-    use mdagent_ontology::{Reasoner, Triple};
+/// * Retract rows time DRed deletion against the closed base: one base
+///   fact (`retract_single_ms`) and one [`RETRACT_BATCH_SIZE`]-fact
+///   `retract_batch` call (`retract_batch_ms`), each on a fresh closure.
+/// * Every delta timing (incremental and both retract rows) reports the
+///   minimum over [`DELTA_SAMPLES`] fresh-closure runs.
+pub fn bench_reasoning_rows(with_naive: bool) -> Vec<ReasoningBenchRow> {
+    use mdagent_ontology::{Graph, Reasoner, Triple};
     let mut rows = Vec::new();
+
+    // Closes a fresh chain graph and hands (graph, reasoner) to `f`.
+    let closed_chain = |n: usize| {
+        let mut g = reasoning_chain_graph(n);
+        let rules = mdagent_core::paper_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        (g, r)
+    };
+    let chain_edge = |g: &mut Graph, i: usize| {
+        let s = g.iri(&format!("ex:n{i}"));
+        let p = g.iri("imcl:locatedIn");
+        let o = g.iri(&format!("ex:n{}", i + 1));
+        Triple::new(s, p, o)
+    };
 
     for n in [32usize, 128, 512] {
         let build = move || reasoning_chain_graph(n);
@@ -581,34 +630,71 @@ pub fn bench_reasoning_rows() -> Vec<ReasoningBenchRow> {
             (start.elapsed().as_secs_f64() * 1e3, base, g.len())
         };
         let (semi_ms, base, closure) = time_chain(false);
-        let (naive_ms, _, naive_closure) = time_chain(true);
-        assert_eq!(closure, naive_closure, "engines disagree on chain-{n}");
+        let naive_ms = if base <= NAIVE_GATE_BASE_TRIPLES || with_naive {
+            let (ms, _, naive_closure) = time_chain(true);
+            assert_eq!(closure, naive_closure, "engines disagree on chain-{n}");
+            Some(ms)
+        } else {
+            None
+        };
         // Incremental: extend the closed chain by one edge.
-        let mut g = build();
-        let rules = mdagent_core::paper_rules(&mut g);
-        let mut r = Reasoner::new();
-        r.add_rules(rules);
-        r.materialize(&mut g);
-        let s = g.iri(&format!("ex:n{n}"));
-        let p = g.iri("imcl:locatedIn");
-        let o = g.iri(&format!("ex:n{}", n + 1));
-        let start = std::time::Instant::now();
-        r.materialize_incremental(&mut g, [Triple::new(s, p, o)]);
-        let inc_ms = start.elapsed().as_secs_f64() * 1e3;
+        let inc_ms = min_ms(|| {
+            let (mut g, mut r) = closed_chain(n);
+            let t = chain_edge(&mut g, n);
+            let start = std::time::Instant::now();
+            r.materialize_incremental(&mut g, [t]);
+            start.elapsed().as_secs_f64() * 1e3
+        });
+        // Retract single: delete the last edge of a fresh closed chain.
+        let retract_single_ms = min_ms(|| {
+            let (mut g, mut r) = closed_chain(n);
+            let t = chain_edge(&mut g, n - 1);
+            let start = std::time::Instant::now();
+            r.retract(&mut g, t);
+            start.elapsed().as_secs_f64() * 1e3
+        });
+        // Retract batch: delete the last RETRACT_BATCH_SIZE edges at once.
+        let retract_batch_ms = min_ms(|| {
+            let (mut g, mut r) = closed_chain(n);
+            let batch: Vec<Triple> = (n - RETRACT_BATCH_SIZE..n)
+                .map(|i| chain_edge(&mut g, i))
+                .collect();
+            let start = std::time::Instant::now();
+            r.retract_batch(&mut g, batch);
+            start.elapsed().as_secs_f64() * 1e3
+        });
         rows.push(ReasoningBenchRow {
             workload: format!("chain-{n}"),
             base_triples: base,
             closure_triples: closure,
             seminaive_ms: semi_ms,
-            naive_ms: Some(naive_ms),
+            naive_ms,
             incremental_ms: Some(inc_ms),
+            retract_single_ms: Some(retract_single_ms),
+            retract_batch_ms: Some(retract_batch_ms),
         });
     }
+
+    // Closes a fresh axiom graph under the RDFS/OWL rule set.
+    let closed_axioms = |individuals: usize| {
+        let mut g = reasoning_axiom_graph(individuals);
+        let rules = mdagent_ontology::axiom_rules(&mut g);
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        (g, r)
+    };
+    let type_fact = |g: &mut Graph, i: usize| {
+        let s = g.iri(&format!("ex:dev{i}"));
+        let p = g.iri("rdf:type");
+        let o = g.iri(&format!("ex:fam{}-c0", i % 8));
+        Triple::new(s, p, o)
+    };
 
     for individuals in [512usize, 2048] {
         let build = move || reasoning_axiom_graph(individuals);
         let (semi_ms, base, closure) = time_materialize(&build, false);
-        let naive_ms = if individuals <= 512 {
+        let naive_ms = if base <= NAIVE_GATE_BASE_TRIPLES || with_naive {
             let (ms, _, naive_closure) = time_materialize(&build, true);
             assert_eq!(closure, naive_closure, "engines disagree on axioms");
             Some(ms)
@@ -616,17 +702,33 @@ pub fn bench_reasoning_rows() -> Vec<ReasoningBenchRow> {
             None
         };
         // Incremental: register one more typed device.
-        let mut g = build();
-        let rules = mdagent_ontology::axiom_rules(&mut g);
-        let mut r = Reasoner::new();
-        r.add_rules(rules);
-        r.materialize(&mut g);
-        let s = g.iri("ex:dev-late");
-        let p = g.iri("rdf:type");
-        let o = g.iri("ex:fam0-c0");
-        let start = std::time::Instant::now();
-        r.materialize_incremental(&mut g, [Triple::new(s, p, o)]);
-        let inc_ms = start.elapsed().as_secs_f64() * 1e3;
+        let inc_ms = min_ms(|| {
+            let (mut g, mut r) = closed_axioms(individuals);
+            let s = g.iri("ex:dev-late");
+            let p = g.iri("rdf:type");
+            let o = g.iri("ex:fam0-c0");
+            let start = std::time::Instant::now();
+            r.materialize_incremental(&mut g, [Triple::new(s, p, o)]);
+            start.elapsed().as_secs_f64() * 1e3
+        });
+        // Retract single: deregister one typed device.
+        let retract_single_ms = min_ms(|| {
+            let (mut g, mut r) = closed_axioms(individuals);
+            let t = type_fact(&mut g, 0);
+            let start = std::time::Instant::now();
+            r.retract(&mut g, t);
+            start.elapsed().as_secs_f64() * 1e3
+        });
+        // Retract batch: deregister RETRACT_BATCH_SIZE devices at once.
+        let retract_batch_ms = min_ms(|| {
+            let (mut g, mut r) = closed_axioms(individuals);
+            let batch: Vec<Triple> = (0..RETRACT_BATCH_SIZE)
+                .map(|i| type_fact(&mut g, i))
+                .collect();
+            let start = std::time::Instant::now();
+            r.retract_batch(&mut g, batch);
+            start.elapsed().as_secs_f64() * 1e3
+        });
         rows.push(ReasoningBenchRow {
             workload: format!("axioms-{individuals}"),
             base_triples: base,
@@ -634,6 +736,8 @@ pub fn bench_reasoning_rows() -> Vec<ReasoningBenchRow> {
             seminaive_ms: semi_ms,
             naive_ms,
             incremental_ms: Some(inc_ms),
+            retract_single_ms: Some(retract_single_ms),
+            retract_batch_ms: Some(retract_batch_ms),
         });
     }
     rows
@@ -647,18 +751,21 @@ fn json_opt_ms(v: Option<f64>) -> String {
 }
 
 /// Renders [`bench_reasoning_rows`] as the machine-readable
-/// `BENCH_reasoning.json` document.
-pub fn bench_reasoning_json() -> String {
-    let rows = bench_reasoning_rows();
+/// `BENCH_reasoning.json` document (schema v2: adds the retraction
+/// columns; `with_naive` lifts the naive reference's size gate).
+pub fn bench_reasoning_json(with_naive: bool) -> String {
+    let rows = bench_reasoning_rows(with_naive);
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mdagent-bench/reasoning/v1\",\n");
+    out.push_str("  \"schema\": \"mdagent-bench/reasoning/v2\",\n");
     out.push_str(
         "  \"command\": \"cargo run --release -p mdagent-bench --bin figures -- bench-reasoning\",\n",
     );
     out.push_str(
-        "  \"note\": \"wall-clock ms; naive_ms null = reference engine not run at this size; \
-         incremental_ms = materialize_incremental of a single fact against the closed base\",\n",
+        "  \"note\": \"wall-clock ms; naive_ms null = reference engine not run at this size \
+         (pass --with-naive to lift the gate); incremental_ms = materialize_incremental of a \
+         single fact against the closed base; retract_single_ms / retract_batch_ms = DRed \
+         retraction of 1 / 8 base facts against the closed base\",\n",
     );
     out.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -669,7 +776,7 @@ pub fn bench_reasoning_json() -> String {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"base_triples\": {}, \"closure_triples\": {}, \
              \"seminaive_ms\": {:.3}, \"naive_ms\": {}, \"naive_over_seminaive\": {}, \
-             \"incremental_ms\": {}}}{}\n",
+             \"incremental_ms\": {}, \"retract_single_ms\": {}, \"retract_batch_ms\": {}}}{}\n",
             r.workload,
             r.base_triples,
             r.closure_triples,
@@ -677,6 +784,8 @@ pub fn bench_reasoning_json() -> String {
             json_opt_ms(r.naive_ms),
             speedup,
             json_opt_ms(r.incremental_ms),
+            json_opt_ms(r.retract_single_ms),
+            json_opt_ms(r.retract_batch_ms),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

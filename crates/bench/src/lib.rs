@@ -21,7 +21,7 @@ pub use experiments::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
     bench_reasoning_json, bench_reasoning_rows, fig10_comparative, fig8_adaptive, fig9_static,
     run_clone_fanout, run_follow_me, run_follow_me_observed, FollowMeResult, ReasoningBenchRow,
-    PAPER_FILE_SIZES_MB,
+    NAIVE_GATE_BASE_TRIPLES, PAPER_FILE_SIZES_MB, RETRACT_BATCH_SIZE,
 };
 pub use faults::{
     bench_faults, bench_faults_json, run_fault_point, FaultBench, FaultPoint, FAULT_RUNS,

@@ -96,6 +96,7 @@ pub use timing::{CostModel, HostClock, PhaseTimes, RetryPolicy, RoundTrip};
 
 // Fault injection is configured through the builder; re-export the simnet
 // types so callers need not depend on mdagent-simnet for the options.
+pub use mdagent_registry::ResourceRecord;
 pub use mdagent_simnet::{FaultInjector, FaultOptions};
 
 // Re-export the context kernel type alongside, for doc linkage.

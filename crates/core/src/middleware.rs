@@ -9,7 +9,7 @@ use mdagent_context::{
     UserId,
 };
 use mdagent_fx::FxHashMap;
-use mdagent_registry::{ApplicationRecord, RegistryFederation};
+use mdagent_registry::{ApplicationRecord, RegistryFederation, ResourceRecord};
 use mdagent_simnet::{
     CpuFactor, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng, SimTime,
     Simulator, SpaceId, SpanId, Topology, TraceCategory, TraceEvent,
@@ -641,6 +641,72 @@ impl Middleware {
         self.preinstalled
             .insert((host.0, app_name.to_owned()), components);
         Ok(())
+    }
+
+    /// Registers a shareable resource in its space's registry center
+    /// (creating the center if needed). Its ontology facts flush lazily
+    /// at the next semantic lookup.
+    pub fn register_space_resource(&mut self, record: ResourceRecord) {
+        self.federation
+            .add_center(record.space)
+            .register_resource(record);
+    }
+
+    /// Deregisters a resource from `space`'s registry and repairs the
+    /// ontology closure incrementally (no full re-materialization),
+    /// under an `aa.retract` telemetry span; the modeled repair cost
+    /// lands in the `reasoner.retract_latency` histogram.
+    pub fn deregister_space_resource(&mut self, space: SpaceId, name: &str, now: SimTime) -> bool {
+        let Some(center) = self.federation.center_mut(space) else {
+            return false;
+        };
+        if !center.deregister_resource(name) {
+            return false;
+        }
+        self.record_retract_flush(space, now);
+        true
+    }
+
+    /// Expires lapsed resource leases in every space registry. Each space
+    /// with expiries gets one incremental repair and one `aa.retract`
+    /// span. Returns the number of records expired.
+    pub fn expire_resource_leases(&mut self, now: SimTime) -> usize {
+        let mut expired = 0;
+        for space in self.federation.spaces() {
+            let Some(center) = self.federation.center_mut(space) else {
+                continue;
+            };
+            let n = center.expire_leases(now.as_micros());
+            if n > 0 {
+                expired += n;
+                self.record_retract_flush(space, now);
+            }
+        }
+        expired
+    }
+
+    /// Flushes `space`'s pending deltas now and emits the `aa.retract`
+    /// span plus latency histogram from the reasoner's repair counters.
+    fn record_retract_flush(&mut self, space: SpaceId, now: SimTime) {
+        let Some(center) = self.federation.center_mut(space) else {
+            return;
+        };
+        center.flush_deltas();
+        let stats = center.last_retract_stats().clone();
+        let cost = self.cost_model.retraction;
+        let tel = &mut self.env.telemetry;
+        let span = tel.record_span("aa.retract", None, now, now + cost);
+        tel.attr(span, "space", space.0);
+        tel.attr(span, "requested", stats.requested);
+        tel.attr(span, "retracted_base", stats.retracted_base);
+        tel.attr(span, "overdeleted", stats.overdeleted);
+        tel.attr(span, "rederived", stats.rederived);
+        tel.attr(span, "waves", stats.waves);
+        tel.attr(span, "removed", stats.removed);
+        self.env.metrics.incr_static("aa.retract");
+        self.env
+            .metrics
+            .observe_hist_static("reasoner.retract_latency", cost);
     }
 
     /// Records that `host` holds the bytes of `component` (content store +

@@ -29,6 +29,9 @@ pub struct CostModel {
     pub registry_lookup: SimDuration,
     /// One ontology reasoning pass in the AA.
     pub reasoning: SimDuration,
+    /// One incremental retraction flush (delete–rederive repair) in a
+    /// registry center — a fraction of a full reasoning pass.
+    pub retraction: SimDuration,
 }
 
 impl Default for CostModel {
@@ -44,6 +47,7 @@ impl Default for CostModel {
             adapt: SimDuration::from_millis(60),
             registry_lookup: SimDuration::from_millis(25),
             reasoning: SimDuration::from_millis(35),
+            retraction: SimDuration::from_millis(12),
         }
     }
 }

@@ -2,11 +2,12 @@
 //! registry bookkeeping and state-update semantics.
 
 use mdagent_context::{BadgeId, UserId};
+use mdagent_core::ResourceRecord;
 use mdagent_core::{
     AppState, BindingPolicy, Component, ComponentKind, ComponentSet, CoreError, DeviceClass,
     DeviceProfile, Middleware, MobilityMode, UserProfile,
 };
-use mdagent_simnet::{CpuFactor, HostId, SimDuration, SpaceId};
+use mdagent_simnet::{CpuFactor, HostId, SimDuration, SimTime, SpaceId};
 
 fn components() -> ComponentSet {
     [
@@ -58,6 +59,61 @@ fn response_time_scales_with_distance() {
     assert!(one_hop > 0.0);
     assert!(two_hops > one_hop);
     assert_eq!(world.response_time_ms(h0, h0), 0.0);
+}
+
+#[test]
+fn resource_churn_repairs_ontology_incrementally() {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let pc = b.host("pc", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let (mut world, _sim) = b.build();
+    world
+        .federation
+        .add_center(office)
+        .declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+    world.register_space_resource(ResourceRecord::new(
+        "imcl:prn-1",
+        "imcl:hpLaserJet",
+        office,
+        pc,
+    ));
+    world.register_space_resource(
+        ResourceRecord::new("imcl:prn-2", "imcl:hpLaserJet", office, pc).lease_until(30_000),
+    );
+    let hits = world
+        .federation
+        .find_resources(office, office, "imcl:Printer")
+        .unwrap();
+    assert_eq!(hits.value.len(), 2);
+    let full_before = world
+        .federation
+        .center(office)
+        .unwrap()
+        .full_materializations();
+    // Explicit deregistration repairs the closure under an `aa.retract`
+    // span; a second attempt is a no-op.
+    assert!(world.deregister_space_resource(office, "imcl:prn-1", SimTime::from_millis(10)));
+    assert!(!world.deregister_space_resource(office, "imcl:prn-1", SimTime::from_millis(10)));
+    // A lease expiry sweep takes the second record out the same way.
+    assert_eq!(world.expire_resource_leases(SimTime::from_millis(30)), 1);
+    let hits = world
+        .federation
+        .find_resources(office, office, "imcl:Printer")
+        .unwrap();
+    assert!(hits.value.is_empty());
+    let center = world.federation.center(office).unwrap();
+    assert_eq!(
+        center.full_materializations(),
+        full_before,
+        "retraction must not force a full re-materialization"
+    );
+    assert!(center.retraction_flushes() >= 2);
+    assert_eq!(world.telemetry().spans_named("aa.retract").count(), 2);
+    assert_eq!(world.metrics().counter("aa.retract"), 2);
+    assert!(world
+        .metrics()
+        .histogram("reasoner.retract_latency")
+        .is_some());
 }
 
 #[test]

@@ -138,6 +138,16 @@ impl Graph {
         (&mut self.interner, &self.store)
     }
 
+    /// Borrows the interner and the store mutably at once.
+    ///
+    /// The semi-naive engine needs this split: it inserts derived triples
+    /// into the store between seed rows (so the merge-difference kernels
+    /// can filter against them) while minting skolem IRIs through the
+    /// interner.
+    pub fn split_mut_full(&mut self) -> (&mut Interner, &mut Store) {
+        (&mut self.interner, &mut self.store)
+    }
+
     /// Resolves a symbol back to its lexical form.
     pub fn resolve(&self, id: SymbolId) -> &str {
         self.interner.resolve(id)

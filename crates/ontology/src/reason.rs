@@ -17,6 +17,18 @@
 //! re-evaluated, so a round's cost is proportional to what actually
 //! changed instead of to the whole rule set times the whole store.
 //!
+//! Delta rows are **batched per rule occurrence**: each round groups the
+//! delta by predicate and visits every `(rule, premise)` occurrence once
+//! with all of its rows, so join planning, binding buffers and premise
+//! splitting are paid per occurrence instead of per row. Two-premise
+//! rules without builtins or skolems (the entire RDFS core plus the
+//! paper's Rule1) run a specialized single-join kernel over the store's
+//! sorted posting lists; when the rule additionally has one free variable
+//! and one conclusion, novelty is decided by a **sorted-merge set
+//! difference** between the candidate posting list and the conclusion's
+//! posting list — no hashing at all for the (dominant) already-derived
+//! case. Everything else falls back to the general greedy planner.
+//!
 //! Body solving is shared with [`crate::query::Query::solve`] and uses a
 //! greedy join plan: at every step the engine picks the remaining pattern
 //! with the fewest matching triples under the current bindings (an exact
@@ -30,6 +42,22 @@
 //! regardless of evaluation order — the naive reference evaluator
 //! ([`Reasoner::materialize_naive`], kept for differential testing and
 //! benchmarks) produces exactly the same triples.
+//!
+//! # Retraction
+//!
+//! Deletion is first-class: [`Reasoner::retract`] /
+//! [`Reasoner::retract_batch`] incrementally maintain the closure when
+//! facts disappear, using **DRed** (delete–rederive): conservatively
+//! overdelete every stored fact with a derivation through a deleted fact
+//! (joining against the pre-deletion store), then rederive the survivors
+//! that still have an independent proof. DRed is sound for recursive
+//! rules — unlike pure counting, which miscounts cyclic support (a
+//! symmetric-property pair derives itself in two steps) — see DESIGN.md
+//! §12 for the trade-off. A derivation-count table keyed by derived
+//! triple rides along for introspection ([`Reasoner::derivation_count`])
+//! and doubles as the single-hash novelty check of the forward pass;
+//! facts whose predicate appears in no rule body or head skip DRed
+//! entirely (the registry's address/capability churn).
 
 use crate::fx::{FxHashMap, FxHashSet};
 
@@ -57,6 +85,14 @@ struct OccurrenceIndex {
     pattern_free: Vec<usize>,
     /// Precomputed [`Rule::skolem_vars`] per rule.
     skolem_vars: Vec<Vec<VarId>>,
+    /// Ground predicates appearing in some rule head. A fact whose
+    /// predicate is absent here (and that matches no body occurrence) can
+    /// neither be derived nor feed a derivation, so retracting it needs
+    /// no DRed pass at all.
+    conclusion_predicates: FxHashSet<Term>,
+    /// Whether any rule head has a variable in predicate position, which
+    /// defeats the [`OccurrenceIndex::conclusion_predicates`] filter.
+    any_conclusion_predicate: bool,
 }
 
 fn build_occurrences(rules: &[Rule]) -> OccurrenceIndex {
@@ -76,6 +112,14 @@ fn build_occurrences(rules: &[Rule]) -> OccurrenceIndex {
         }
         if !has_pattern {
             occ.pattern_free.push(ri);
+        }
+        for conclusion in &rule.conclusions {
+            match conclusion.p {
+                PatternTerm::Ground(pred) => {
+                    occ.conclusion_predicates.insert(pred);
+                }
+                PatternTerm::Var(_) => occ.any_conclusion_predicate = true,
+            }
         }
         occ.skolem_vars.push(rule.skolem_vars());
     }
@@ -116,6 +160,29 @@ impl ReasonerStats {
     }
 }
 
+/// Profiling counters from the most recent [`Reasoner::retract_batch`]
+/// run, read back through [`Reasoner::last_retract_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetractStats {
+    /// Facts the caller asked to retract.
+    pub requested: usize,
+    /// Requested facts that were present and lost their base (asserted)
+    /// status.
+    pub retracted_base: usize,
+    /// Requested facts removed without a DRed pass because their
+    /// predicate appears in no rule body or head.
+    pub fast_exits: usize,
+    /// Derived facts conservatively deleted by the overdelete phase.
+    pub overdeleted: usize,
+    /// Overdeleted or retracted facts restored because an independent
+    /// derivation survives.
+    pub rederived: usize,
+    /// Overdelete propagation waves.
+    pub waves: usize,
+    /// Net triples removed from the store.
+    pub removed: usize,
+}
+
 /// A forward-chaining reasoner over a set of [`Rule`]s.
 ///
 /// # Examples
@@ -145,12 +212,30 @@ pub struct Reasoner {
     /// Memo of skolem terms per (rule index, bound-variable signature).
     /// Purely a cache: names are content-derived, so a cold memo re-mints
     /// the identical IRIs.
-    skolems: FxHashMap<(usize, Vec<Term>), Vec<Term>>,
+    skolems: SkolemMemo,
     /// Lazily (re)built when the rule set changes.
     occurrences: Option<OccurrenceIndex>,
     /// Counters from the most recent semi-naive run.
     last_stats: ReasonerStats,
+    /// Known-derivation markers per derived triple: `counts[t] >= 1`
+    /// means at least one firing concluding `t` has been discovered.
+    /// The value is a discovery count, *not* an exact support
+    /// multiplicity: semi-naive evaluation may discover one firing
+    /// through several delta premises, and the merge-join fast path
+    /// skips discoveries whose conclusion is already stored. Retraction
+    /// therefore never trusts the number — it reruns the rules (DRed).
+    counts: FxHashMap<Triple, u32>,
+    /// Facts this reasoner saw as *inputs* (seeds of [`Reasoner::materialize`]
+    /// or deltas of [`Reasoner::materialize_incremental`]) rather than
+    /// deriving them. Base facts survive overdeletion — only an explicit
+    /// [`Reasoner::retract`] removes their asserted status.
+    base: FxHashSet<Triple>,
+    /// Counters from the most recent retraction.
+    last_retract: RetractStats,
 }
+
+/// Memo of skolem terms per (rule index, bound-variable signature).
+type SkolemMemo = FxHashMap<(usize, Vec<Term>), Vec<Term>>;
 
 impl Reasoner {
     /// Creates a reasoner with no rules.
@@ -190,29 +275,58 @@ impl Reasoner {
         &self.last_stats
     }
 
-    /// Clears the skolem memo. Required before reusing one reasoner
+    /// Profiling counters from the most recent [`Reasoner::retract`] or
+    /// [`Reasoner::retract_batch`] run.
+    pub fn last_retract_stats(&self) -> &RetractStats {
+        &self.last_retract
+    }
+
+    /// Number of known derivations of `t` (zero if never derived). An
+    /// upper-bound discovery count — see the field docs on the count
+    /// table for why it is not an exact support multiplicity.
+    pub fn derivation_count(&self, t: &Triple) -> u32 {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Whether `t` was asserted as an input (vs. only ever derived).
+    pub fn is_base(&self, t: &Triple) -> bool {
+        self.base.contains(t)
+    }
+
+    /// Clears the per-graph state: the skolem memo, the derivation-count
+    /// table and the base-fact set. Required before reusing one reasoner
     /// against a *different* graph: memoized terms are relative to the
-    /// interner they were minted in, and skolem names are content-derived
-    /// anyway, so a cold memo re-mints identical IRIs.
+    /// interner they were minted in (and skolem names are content-derived
+    /// anyway, so a cold memo re-mints identical IRIs), and the
+    /// derivation bookkeeping describes the graph it was built against.
     pub fn reset_skolem_memo(&mut self) {
         self.skolems.clear();
+        self.counts.clear();
+        self.base.clear();
     }
 
     /// Runs all rules to fixpoint, inserting derivations into `graph`.
     /// Returns the number of new triples added.
+    ///
+    /// Every triple present at call time is treated as a *base* (input)
+    /// fact for later [`Reasoner::retract`] calls; derivation bookkeeping
+    /// restarts from scratch.
     pub fn materialize(&mut self, graph: &mut Graph) -> usize {
+        self.counts.clear();
+        self.base.clear();
         let seed: Vec<Triple> = graph.store().iter().copied().collect();
+        self.base.extend(seed.iter().copied());
         self.run_seminaive(graph, seed)
     }
 
     /// Extends an already-materialized graph after `delta` is asserted.
     ///
-    /// Every delta triple is inserted (if absent) and used to seed the
-    /// delta-driven fixpoint, so only consequences of the delta are
-    /// recomputed. The rest of the store is assumed closed under the
-    /// current rules — exactly the state [`Reasoner::materialize`] leaves
-    /// behind. Returns the number of *derived* triples added (delta
-    /// insertions are not counted).
+    /// Every delta triple is inserted (if absent), marked as a base fact,
+    /// and used to seed the delta-driven fixpoint, so only consequences
+    /// of the delta are recomputed. The rest of the store is assumed
+    /// closed under the current rules — exactly the state
+    /// [`Reasoner::materialize`] leaves behind. Returns the number of
+    /// *derived* triples added (delta insertions are not counted).
     pub fn materialize_incremental(
         &mut self,
         graph: &mut Graph,
@@ -221,6 +335,7 @@ impl Reasoner {
         let mut seed = Vec::new();
         for t in delta {
             graph.add_triple(t);
+            self.base.insert(t);
             seed.push(t);
         }
         self.run_seminaive(graph, seed)
@@ -234,56 +349,87 @@ impl Reasoner {
         let mut stats = ReasonerStats::default();
         let mut touched = vec![false; self.rules.len()];
         let mut added_total = 0usize;
-        let mut fresh_set: FxHashSet<Triple> = FxHashSet::default();
+        let mut fresh: Vec<Triple> = Vec::new();
+        // Per-round grouping of delta rows by predicate, in first-seen
+        // order, so every (rule, premise) occurrence is planned once and
+        // then fed its whole batch of seed rows.
+        let mut by_pred: FxHashMap<Term, Vec<Triple>> = FxHashMap::default();
+        let mut pred_order: Vec<Term> = Vec::new();
         for round in 0..MAX_ROUNDS {
-            fresh_set.clear();
             stats.rounds += 1;
             stats.delta_sizes.push(delta.len());
             touched.iter_mut().for_each(|t| *t = false);
-            let mut fresh: Vec<Triple> = Vec::new();
+            fresh.clear();
             {
-                let (interner, store) = graph.split_mut();
+                let (interner, store) = graph.split_mut_full();
                 if round == 0 {
                     for &ri in &occ.pattern_free {
                         touched[ri] = true;
                         stats.seed_evaluations += 1;
-                        self.fire_seeded(
+                        fire_batch(
+                            &self.rules,
+                            &mut self.skolems,
+                            &mut self.counts,
                             interner,
                             store,
                             ri,
                             &occ.skolem_vars[ri],
                             None,
-                            &mut fresh_set,
+                            &[],
                             &mut fresh,
                         );
                     }
                 }
+                pred_order.clear();
+                for rows in by_pred.values_mut() {
+                    rows.clear();
+                }
                 for &t in &delta {
-                    if let Some(hits) = occ.by_predicate.get(&t.p) {
-                        for &(ri, ai) in hits {
-                            touched[ri] = true;
-                            stats.seed_evaluations += 1;
-                            self.fire_seeded(
-                                interner,
-                                store,
-                                ri,
-                                &occ.skolem_vars[ri],
-                                Some((ai, t)),
-                                &mut fresh_set,
-                                &mut fresh,
-                            );
+                    if occ.by_predicate.contains_key(&t.p) {
+                        let rows = by_pred.entry(t.p).or_default();
+                        if rows.is_empty() {
+                            pred_order.push(t.p);
                         }
+                        rows.push(t);
                     }
-                    for &(ri, ai) in &occ.any_predicate {
+                }
+                for &pred in &pred_order {
+                    let (Some(rows), Some(hits)) =
+                        (by_pred.get(&pred), occ.by_predicate.get(&pred))
+                    else {
+                        continue;
+                    };
+                    for &(ri, ai) in hits {
                         touched[ri] = true;
-                        stats.seed_evaluations += 1;
-                        self.fire_seeded(
+                        stats.seed_evaluations += rows.len();
+                        fire_batch(
+                            &self.rules,
+                            &mut self.skolems,
+                            &mut self.counts,
                             interner,
                             store,
                             ri,
                             &occ.skolem_vars[ri],
-                            Some((ai, t)),
-                            &mut fresh_set,
+                            Some(ai),
+                            rows,
+                            &mut fresh,
+                        );
+                    }
+                }
+                if !delta.is_empty() {
+                    for &(ri, ai) in &occ.any_predicate {
+                        touched[ri] = true;
+                        stats.seed_evaluations += delta.len();
+                        fire_batch(
+                            &self.rules,
+                            &mut self.skolems,
+                            &mut self.counts,
+                            interner,
+                            store,
+                            ri,
+                            &occ.skolem_vars[ri],
+                            Some(ai),
+                            &delta,
                             &mut fresh,
                         );
                     }
@@ -295,11 +441,10 @@ impl Reasoner {
             if fresh.is_empty() {
                 break;
             }
-            for &t in &fresh {
-                graph.add_triple(t);
-            }
+            // Fresh conclusions were inserted into the store eagerly by
+            // `fire_batch`; they become the next round's delta here.
             added_total += fresh.len();
-            delta = fresh;
+            std::mem::swap(&mut delta, &mut fresh);
         }
         self.occurrences = Some(occ);
         stats.facts_derived = added_total;
@@ -307,65 +452,175 @@ impl Reasoner {
         added_total
     }
 
-    /// Evaluates one rule with premise `seed.0` pre-bound to the delta
-    /// triple `seed.1` (or with no seeding for pattern-free rules),
-    /// pushing novel conclusions into `fresh`.
-    #[allow(clippy::too_many_arguments)]
-    fn fire_seeded(
+    /// Retracts a single base fact and incrementally repairs the closure.
+    /// Equivalent to `retract_batch(graph, [t])`; see there.
+    pub fn retract(&mut self, graph: &mut Graph, t: Triple) -> usize {
+        self.retract_batch(graph, [t])
+    }
+
+    /// Retracts a batch of base facts and incrementally repairs the
+    /// closure via DRed (delete–rederive). Returns the net number of
+    /// triples removed from the store.
+    ///
+    /// The graph must be closed under this reasoner's rules *by this
+    /// reasoner instance* (so its base/derived bookkeeping matches the
+    /// store); that is the state [`Reasoner::materialize`] /
+    /// [`Reasoner::materialize_incremental`] leave behind. The result is
+    /// set-identical to materializing from scratch without the retracted
+    /// facts: retracting a fact that remains derivable from the surviving
+    /// base facts only clears its asserted status — the triple itself is
+    /// rederived and stays.
+    pub fn retract_batch(
         &mut self,
-        interner: &mut Interner,
-        store: &Store,
-        rule_idx: usize,
-        skolem_vars: &[VarId],
-        seed: Option<(usize, Triple)>,
-        fresh_set: &mut FxHashSet<Triple>,
-        fresh: &mut Vec<Triple>,
-    ) {
-        let rule = &self.rules[rule_idx];
-        let memo = &mut self.skolems;
-        let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
-        let mut patterns: Vec<TriplePattern> = Vec::new();
-        let mut builtins: Vec<BuiltinAtom> = Vec::new();
-        for (ai, atom) in rule.premises.iter().enumerate() {
-            match atom {
-                RuleAtom::Pattern(p) => match seed {
-                    Some((si, t)) if si == ai => {
-                        if !unify_pattern(p, t, &mut binding) {
-                            return;
-                        }
-                    }
-                    _ => patterns.push(*p),
-                },
-                RuleAtom::Builtin(b) => builtins.push(*b),
+        graph: &mut Graph,
+        facts: impl IntoIterator<Item = Triple>,
+    ) -> usize {
+        let occ = self
+            .occurrences
+            .take()
+            .unwrap_or_else(|| build_occurrences(&self.rules));
+        let mut stats = RetractStats::default();
+        // Phase 0: clear base marks; peel off facts whose predicate no
+        // rule reads or writes — removing those cannot change any other
+        // fact, so they skip DRed entirely.
+        let mut seeds: Vec<Triple> = Vec::new();
+        // Overdeleted facts, kept in a `Store` so the overdelete fast
+        // path can run the same sorted-merge difference the forward pass
+        // uses (candidates minus already-overdeleted).
+        let mut od = Store::new();
+        for t in facts {
+            stats.requested += 1;
+            let was_base = self.base.remove(&t);
+            if !graph.store().contains(&t) {
+                continue;
+            }
+            if was_base {
+                stats.retracted_base += 1;
+            }
+            let seeds_rules = occ.by_predicate.contains_key(&t.p) || !occ.any_predicate.is_empty();
+            let derivable_pred =
+                occ.any_conclusion_predicate || occ.conclusion_predicates.contains(&t.p);
+            if !seeds_rules && !derivable_pred {
+                graph.store_mut().remove(&t);
+                self.counts.remove(&t);
+                stats.fast_exits += 1;
+                continue;
+            }
+            if od.insert(t) {
+                seeds.push(t);
             }
         }
-        solve_rest(
-            store,
-            &mut patterns,
-            &mut builtins,
-            &mut binding,
-            &mut |b| {
-                if skolem_vars.is_empty() {
-                    for conclusion in &rule.conclusions {
-                        if let Some(t) = conclusion.instantiate(b) {
-                            if !store.contains(&t) && fresh_set.insert(t) {
-                                fresh.push(t);
-                            }
+        // Phase 1: overdelete. Conservatively collect every stored,
+        // non-base fact with a derivation through a deleted fact. Bodies
+        // join against the *pre-deletion* store (nothing is removed until
+        // phase 2) so no dependency is missed even when several premises
+        // of one firing are deleted together.
+        let mut over_list: Vec<Triple> = Vec::new();
+        let mut wave: Vec<Triple> = seeds.clone();
+        let mut next: Vec<Triple> = Vec::new();
+        let mut by_pred: FxHashMap<Term, Vec<Triple>> = FxHashMap::default();
+        let mut pred_order: Vec<Term> = Vec::new();
+        while !wave.is_empty() {
+            stats.waves += 1;
+            next.clear();
+            {
+                let (interner, store) = graph.split_mut();
+                pred_order.clear();
+                for rows in by_pred.values_mut() {
+                    rows.clear();
+                }
+                for &t in &wave {
+                    if occ.by_predicate.contains_key(&t.p) {
+                        let rows = by_pred.entry(t.p).or_default();
+                        if rows.is_empty() {
+                            pred_order.push(t.p);
                         }
-                    }
-                } else {
-                    let mut full = b.to_vec();
-                    apply_skolems(memo, rule_idx, rule, interner, skolem_vars, &mut full);
-                    for conclusion in &rule.conclusions {
-                        if let Some(t) = conclusion.instantiate(&full) {
-                            if !store.contains(&t) && fresh_set.insert(t) {
-                                fresh.push(t);
-                            }
-                        }
+                        rows.push(t);
                     }
                 }
-            },
-        );
+                for &pred in &pred_order {
+                    let (Some(rows), Some(hits)) =
+                        (by_pred.get(&pred), occ.by_predicate.get(&pred))
+                    else {
+                        continue;
+                    };
+                    for &(ri, ai) in hits {
+                        overdelete_batch(
+                            &self.rules,
+                            &mut self.skolems,
+                            interner,
+                            store,
+                            ri,
+                            &occ.skolem_vars[ri],
+                            ai,
+                            rows,
+                            &self.base,
+                            &mut od,
+                            &mut next,
+                        );
+                    }
+                }
+                for &(ri, ai) in &occ.any_predicate {
+                    overdelete_batch(
+                        &self.rules,
+                        &mut self.skolems,
+                        interner,
+                        store,
+                        ri,
+                        &occ.skolem_vars[ri],
+                        ai,
+                        &wave,
+                        &self.base,
+                        &mut od,
+                        &mut next,
+                    );
+                }
+            }
+            over_list.extend(next.iter().copied());
+            std::mem::swap(&mut wave, &mut next);
+        }
+        stats.overdeleted = over_list.len();
+        // Phase 2: physically remove the retracted facts and everything
+        // overdeleted, in one grouped sweep.
+        let candidates: Vec<Triple> = seeds.iter().chain(over_list.iter()).copied().collect();
+        let mut removed = graph.store_mut().remove_batch(&candidates);
+        for t in &candidates {
+            self.counts.remove(t);
+        }
+        // Phase 3: rederive. A removed fact survives iff some rule still
+        // proves it from the current store; every consequence of a
+        // rederived fact is itself a candidate (its old derivation went
+        // through deleted facts too), so closing over the candidate list
+        // is a full fixpoint — no forward pass needed afterwards.
+        let mut proven = vec![false; candidates.len()];
+        loop {
+            let mut progress = false;
+            for (i, &c) in candidates.iter().enumerate() {
+                if proven[i] {
+                    continue;
+                }
+                let ok = {
+                    let (interner, store) = graph.split_mut();
+                    derivable(&self.rules, &mut self.skolems, interner, store, &occ, c)
+                };
+                if ok {
+                    graph.add_triple(c);
+                    self.counts.insert(c, 1);
+                    proven[i] = true;
+                    progress = true;
+                    stats.rederived += 1;
+                    removed = removed.saturating_sub(1);
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        stats.removed = removed + stats.fast_exits;
+        let out = stats.removed;
+        self.occurrences = Some(occ);
+        self.last_retract = stats;
+        out
     }
 
     /// Reference implementation: the naive evaluate-everything-per-round
@@ -412,6 +667,625 @@ impl Reasoner {
         }
         added_total
     }
+}
+
+/// Per-candidate action at one triple position of a single-join kernel,
+/// computed once per batch: positions covered by the probe mask (ground
+/// terms and seed-bound variables) need nothing, free variables are
+/// written, and repeated free occurrences are consistency-checked. A
+/// `Write` for a variable always precedes any `Check` of it within one
+/// candidate (first occurrence wins), so no restore step is needed.
+#[derive(Debug, Clone, Copy)]
+enum CandOp {
+    Skip,
+    Write(u32),
+    Check(u32),
+}
+
+/// Compiled form of a two-premise rule occurrence: the seed premise plus
+/// exactly one remaining pattern, no builtins, no skolems. Built once per
+/// (occurrence, round) batch.
+#[derive(Debug)]
+struct SingleJoinPlan {
+    seed: TriplePattern,
+    rem: TriplePattern,
+    ops: [CandOp; 3],
+    /// `(free position in rem, free position in the conclusion)` when the
+    /// sorted-merge difference applies: one free variable occurring once
+    /// in the remaining pattern and once in the rule's single conclusion,
+    /// all other conclusion variables bound by the seed.
+    merge: Option<(usize, usize)>,
+}
+
+fn plan_single_join(rule: &Rule, seed: &TriplePattern, rem: TriplePattern) -> SingleJoinPlan {
+    let mut seed_vars: Vec<u32> = Vec::new();
+    for pt in [seed.s, seed.p, seed.o] {
+        if let PatternTerm::Var(v) = pt {
+            if !seed_vars.contains(&v.0) {
+                seed_vars.push(v.0);
+            }
+        }
+    }
+    let mut ops = [CandOp::Skip; 3];
+    let mut free: Vec<u32> = Vec::new();
+    let mut free_pos = usize::MAX;
+    let mut checks = 0usize;
+    for (i, pt) in [rem.s, rem.p, rem.o].into_iter().enumerate() {
+        if let PatternTerm::Var(v) = pt {
+            if seed_vars.contains(&v.0) {
+                continue;
+            }
+            if free.contains(&v.0) {
+                ops[i] = CandOp::Check(v.0);
+                checks += 1;
+            } else {
+                free.push(v.0);
+                ops[i] = CandOp::Write(v.0);
+                free_pos = i;
+            }
+        }
+    }
+    let mut merge = None;
+    if free.len() == 1 && checks == 0 && rule.conclusions.len() == 1 {
+        let v = free[0];
+        let c = &rule.conclusions[0];
+        let mut concl_free: Vec<usize> = Vec::new();
+        let mut bindable = true;
+        for (i, pt) in [c.s, c.p, c.o].into_iter().enumerate() {
+            if let PatternTerm::Var(cv) = pt {
+                if cv.0 == v {
+                    concl_free.push(i);
+                } else if !seed_vars.contains(&cv.0) {
+                    bindable = false;
+                }
+            }
+        }
+        if bindable && concl_free.len() == 1 {
+            merge = Some((free_pos, concl_free[0]));
+        }
+    }
+    SingleJoinPlan {
+        seed: *seed,
+        rem,
+        ops,
+        merge,
+    }
+}
+
+/// Instantiates every conclusion of one satisfied rule body into `out`,
+/// minting skolem terms when the rule has head-only variables.
+fn conclude_into(
+    rule_idx: usize,
+    rule: &Rule,
+    skolem_vars: &[VarId],
+    memo: &mut SkolemMemo,
+    interner: &mut Interner,
+    out: &mut Vec<Triple>,
+    b: &[Option<Term>],
+) {
+    if skolem_vars.is_empty() {
+        for conclusion in &rule.conclusions {
+            if let Some(t) = conclusion.instantiate(b) {
+                out.push(t);
+            }
+        }
+    } else {
+        let mut full = b.to_vec();
+        apply_skolems(memo, rule_idx, rule, interner, skolem_vars, &mut full);
+        for conclusion in &rule.conclusions {
+            if let Some(t) = conclusion.instantiate(&full) {
+                out.push(t);
+            }
+        }
+    }
+}
+
+fn resolve_pt(pt: PatternTerm, b: &[Option<Term>]) -> Option<Term> {
+    match pt {
+        PatternTerm::Ground(t) => Some(t),
+        PatternTerm::Var(v) => b.get(v.0 as usize).copied().flatten(),
+    }
+}
+
+/// The posting list matching a mask with exactly one free position;
+/// `None` when the other two positions are not both bound.
+fn posting_for<'a>(
+    store: &'a Store,
+    free_pos: usize,
+    mask: &[Option<Term>; 3],
+) -> Option<&'a [Term]> {
+    match free_pos {
+        0 => match (mask[1], mask[2]) {
+            (Some(p), Some(o)) => Some(store.subjects_po(p, o)),
+            _ => None,
+        },
+        1 => match (mask[0], mask[2]) {
+            (Some(s), Some(o)) => Some(store.predicates_os(o, s)),
+            _ => None,
+        },
+        _ => match (mask[0], mask[1]) {
+            (Some(s), Some(p)) => Some(store.objects_sp(s, p)),
+            _ => None,
+        },
+    }
+}
+
+/// Calls `f` for every element of `cs` absent from `es`; both slices are
+/// sorted by [`Term`]'s total order. Runs a linear two-pointer merge when
+/// the lists are comparably sized and switches to per-candidate binary
+/// search (galloping) when `es` dwarfs `cs` — overdelete waves hit
+/// exactly that shape (a few candidates per seed row against one long
+/// overdeleted posting, re-walked once per row).
+#[inline]
+fn for_each_absent(cs: &[Term], es: &[Term], mut f: impl FnMut(Term)) {
+    if es.len() > 16 && es.len() / 4 > cs.len() {
+        for &v in cs {
+            if es.binary_search(&v).is_err() {
+                f(v);
+            }
+        }
+        return;
+    }
+    let mut j = 0usize;
+    for &v in cs {
+        while j < es.len() && es[j] < v {
+            j += 1;
+        }
+        if j < es.len() && es[j] == v {
+            continue;
+        }
+        f(v);
+    }
+}
+
+/// Calls `f` for every element of `cs` that is present in `ins` and
+/// absent from `outs`; all three slices sorted by [`Term`]'s total order.
+/// The overdelete merge path uses this to fuse the "is the conclusion
+/// stored" filter into the sorted walk: `ins` is the store's posting for
+/// the conclusion mask, so survivors never hash-probe the full (large)
+/// triple set.
+#[inline]
+fn for_each_present_absent(cs: &[Term], ins: &[Term], outs: &[Term], mut f: impl FnMut(Term)) {
+    let (mut ji, mut jo) = (0usize, 0usize);
+    for &v in cs {
+        while ji < ins.len() && ins[ji] < v {
+            ji += 1;
+        }
+        if ji == ins.len() {
+            return;
+        }
+        if ins[ji] != v {
+            continue;
+        }
+        while jo < outs.len() && outs[jo] < v {
+            jo += 1;
+        }
+        if jo < outs.len() && outs[jo] == v {
+            continue;
+        }
+        f(v);
+    }
+}
+
+/// Rebuilds a conclusion triple from its two bound positions plus the
+/// free-position value `v`.
+#[inline]
+fn place_free(cmask: &[Option<Term>; 3], concl_free: usize, v: Term) -> Option<Triple> {
+    match concl_free {
+        0 => match (cmask[1], cmask[2]) {
+            (Some(p), Some(o)) => Some(Triple::new(v, p, o)),
+            _ => None,
+        },
+        1 => match (cmask[0], cmask[2]) {
+            (Some(s), Some(o)) => Some(Triple::new(s, v, o)),
+            _ => None,
+        },
+        _ => match (cmask[0], cmask[1]) {
+            (Some(s), Some(p)) => Some(Triple::new(s, p, v)),
+            _ => None,
+        },
+    }
+}
+
+/// Evaluates one rule occurrence against a whole batch of delta rows,
+/// inserting novel conclusions into the store *eagerly* — after every
+/// seed row — and appending them to `fresh` (the next round's delta).
+///
+/// Eager insertion is the second half of the merge-join optimization:
+/// because each row's conclusions land in the store before the next row
+/// runs, the sorted-merge difference filters rediscoveries across rows at
+/// a slice comparison each, and the per-discovery hash probe the old
+/// dedup set paid is gone. The round structure is unchanged — eagerly
+/// inserted facts still seed joins only through the next round's delta —
+/// so evaluation stays semi-naive; some firings are merely *filtered*
+/// (not re-derived) a round earlier. The closure is the same fixpoint
+/// either way, and skolem names are content-derived, so the result is
+/// bit-identical to the insert-at-round-end schedule.
+///
+/// `seed_premise == None` means a pattern-free rule evaluated once (rows
+/// are ignored). Dispatches to the single-join kernel — and within it the
+/// sorted-merge difference — when the occurrence shape allows, and to the
+/// general greedy planner otherwise.
+#[allow(clippy::too_many_arguments)]
+fn fire_batch(
+    rules: &[Rule],
+    memo: &mut SkolemMemo,
+    counts: &mut FxHashMap<Triple, u32>,
+    interner: &mut Interner,
+    store: &mut Store,
+    rule_idx: usize,
+    skolem_vars: &[VarId],
+    seed_premise: Option<usize>,
+    rows: &[Triple],
+    fresh: &mut Vec<Triple>,
+) {
+    let rule = &rules[rule_idx];
+    let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
+    let mut patterns: Vec<TriplePattern> = Vec::new();
+    let mut builtins: Vec<BuiltinAtom> = Vec::new();
+    let mut seed_pat: Option<TriplePattern> = None;
+    for (ai, atom) in rule.premises.iter().enumerate() {
+        match atom {
+            RuleAtom::Pattern(p) => {
+                if seed_premise == Some(ai) {
+                    seed_pat = Some(*p);
+                } else {
+                    patterns.push(*p);
+                }
+            }
+            RuleAtom::Builtin(b) => builtins.push(*b),
+        }
+    }
+    // Conclusions of the current row, staged while the row's joins hold
+    // shared borrows of the store, then flushed into it.
+    let mut out: Vec<Triple> = Vec::new();
+    let Some(seed_pat) = seed_pat else {
+        // Pattern-free rule: solve the whole body once.
+        solve_rest(
+            store,
+            &mut patterns,
+            &mut builtins,
+            &mut binding,
+            &mut |b| {
+                conclude_into(rule_idx, rule, skolem_vars, memo, interner, &mut out, b);
+            },
+        );
+        for t in out.drain(..) {
+            if store.insert(t) {
+                counts.insert(t, 1);
+                fresh.push(t);
+            }
+        }
+        return;
+    };
+    if patterns.len() == 1 && builtins.is_empty() && skolem_vars.is_empty() {
+        let plan = plan_single_join(rule, &seed_pat, patterns[0]);
+        for &row in rows {
+            binding.iter_mut().for_each(|s| *s = None);
+            if !unify_pattern(&plan.seed, row, &mut binding) {
+                continue;
+            }
+            let mask = [
+                resolve_pt(plan.rem.s, &binding),
+                resolve_pt(plan.rem.p, &binding),
+                resolve_pt(plan.rem.o, &binding),
+            ];
+            let mut merged = false;
+            if let Some((free_pos, concl_free)) = plan.merge {
+                let c = &rule.conclusions[0];
+                let cmask = [
+                    resolve_pt(c.s, &binding),
+                    resolve_pt(c.p, &binding),
+                    resolve_pt(c.o, &binding),
+                ];
+                let cs = posting_for(store, free_pos, &mask);
+                let es = posting_for(store, concl_free, &cmask);
+                if let (Some(cs), Some(es)) = (cs, es) {
+                    // Sorted-merge difference: candidates whose conclusion
+                    // is already stored — including conclusions of earlier
+                    // rows in this batch — are skipped without hashing.
+                    for_each_absent(cs, es, |v| {
+                        if let Some(t) = place_free(&cmask, concl_free, v) {
+                            out.push(t);
+                        }
+                    });
+                    merged = true;
+                }
+            }
+            if !merged {
+                store.for_each_match(mask[0], mask[1], mask[2], |cand| {
+                    let vals = [cand.s, cand.p, cand.o];
+                    for (i, &v) in vals.iter().enumerate() {
+                        match plan.ops[i] {
+                            CandOp::Skip => {}
+                            CandOp::Write(slot) => binding[slot as usize] = Some(v),
+                            CandOp::Check(slot) => {
+                                if binding[slot as usize] != Some(v) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    for conclusion in &rule.conclusions {
+                        if let Some(t) = conclusion.instantiate(&binding) {
+                            out.push(t);
+                        }
+                    }
+                });
+            }
+            for t in out.drain(..) {
+                if store.insert(t) {
+                    counts.insert(t, 1);
+                    fresh.push(t);
+                }
+            }
+        }
+        return;
+    }
+    for &row in rows {
+        binding.iter_mut().for_each(|s| *s = None);
+        if !unify_pattern(&seed_pat, row, &mut binding) {
+            continue;
+        }
+        solve_rest(
+            store,
+            &mut patterns,
+            &mut builtins,
+            &mut binding,
+            &mut |b| {
+                conclude_into(rule_idx, rule, skolem_vars, memo, interner, &mut out, b);
+            },
+        );
+        for t in out.drain(..) {
+            if store.insert(t) {
+                counts.insert(t, 1);
+                fresh.push(t);
+            }
+        }
+    }
+}
+
+/// Overdelete step of DRed: evaluates one rule occurrence seeded by a
+/// batch of just-deleted rows against the *pre-deletion* store, marking
+/// every stored, non-base conclusion as overdeleted. Mirrors
+/// [`fire_batch`]'s kernel dispatch, with the merge difference running
+/// against the overdeleted set instead of the store.
+#[allow(clippy::too_many_arguments)]
+fn overdelete_batch(
+    rules: &[Rule],
+    memo: &mut SkolemMemo,
+    interner: &mut Interner,
+    store: &Store,
+    rule_idx: usize,
+    skolem_vars: &[VarId],
+    seed_premise: usize,
+    rows: &[Triple],
+    base: &FxHashSet<Triple>,
+    od: &mut Store,
+    next: &mut Vec<Triple>,
+) {
+    let rule = &rules[rule_idx];
+    let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
+    let mut patterns: Vec<TriplePattern> = Vec::new();
+    let mut builtins: Vec<BuiltinAtom> = Vec::new();
+    let mut seed_pat: Option<TriplePattern> = None;
+    for (ai, atom) in rule.premises.iter().enumerate() {
+        match atom {
+            RuleAtom::Pattern(p) => {
+                if seed_premise == ai {
+                    seed_pat = Some(*p);
+                } else {
+                    patterns.push(*p);
+                }
+            }
+            RuleAtom::Builtin(b) => builtins.push(*b),
+        }
+    }
+    let Some(seed_pat) = seed_pat else {
+        return;
+    };
+    // On a closed graph every enumerated conclusion is already stored, so
+    // the common case is "seen before": filter against the overdeleted
+    // set by sorted merge, hash only the survivors.
+    if patterns.len() == 1 && builtins.is_empty() && skolem_vars.is_empty() {
+        let plan = plan_single_join(rule, &seed_pat, patterns[0]);
+        let mut survivors: Vec<Triple> = Vec::new();
+        // Conclusion masks proven fully overdeleted stay that way (`od`
+        // only grows within a wave), so one cached mask short-circuits
+        // the long runs of rows that share a conclusion shape.
+        let mut last_dominated: Option<[Option<Term>; 3]> = None;
+        for &row in rows {
+            binding.iter_mut().for_each(|s| *s = None);
+            if !unify_pattern(&plan.seed, row, &mut binding) {
+                continue;
+            }
+            let mask = [
+                resolve_pt(plan.rem.s, &binding),
+                resolve_pt(plan.rem.p, &binding),
+                resolve_pt(plan.rem.o, &binding),
+            ];
+            let mut merged = false;
+            let mut survivors_stored = false;
+            if let Some((free_pos, concl_free)) = plan.merge {
+                let cs = posting_for(store, free_pos, &mask);
+                if let Some(cs) = cs {
+                    if cs.is_empty() {
+                        // The remaining premise has no matches under this
+                        // row's bindings; nothing can fire.
+                        continue;
+                    }
+                    let c = &rule.conclusions[0];
+                    let cmask = [
+                        resolve_pt(c.s, &binding),
+                        resolve_pt(c.p, &binding),
+                        resolve_pt(c.o, &binding),
+                    ];
+                    if last_dominated.as_ref() == Some(&cmask) {
+                        continue;
+                    }
+                    let es = posting_for(od, concl_free, &cmask);
+                    let stored = posting_for(store, concl_free, &cmask);
+                    if let (Some(es), Some(stored)) = (es, stored) {
+                        // Dominance skip: `od` only ever holds stored
+                        // facts, so its posting is a subset of the store's
+                        // for the same mask — equal lengths mean every
+                        // stored conclusion this row could reach is
+                        // already overdeleted, and no candidate can
+                        // survive the store/base filter below. Late
+                        // overdelete waves are usually fully dominated,
+                        // making them O(rows) instead of O(candidates).
+                        if stored.len() == es.len() {
+                            last_dominated = Some(cmask);
+                            continue;
+                        }
+                        for_each_present_absent(cs, stored, es, |v| {
+                            if let Some(t) = place_free(&cmask, concl_free, v) {
+                                survivors.push(t);
+                            }
+                        });
+                        merged = true;
+                        survivors_stored = true;
+                    }
+                }
+            }
+            if !merged {
+                store.for_each_match(mask[0], mask[1], mask[2], |cand| {
+                    let vals = [cand.s, cand.p, cand.o];
+                    for (i, &v) in vals.iter().enumerate() {
+                        match plan.ops[i] {
+                            CandOp::Skip => {}
+                            CandOp::Write(slot) => binding[slot as usize] = Some(v),
+                            CandOp::Check(slot) => {
+                                if binding[slot as usize] != Some(v) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    for conclusion in &rule.conclusions {
+                        if let Some(t) = conclusion.instantiate(&binding) {
+                            survivors.push(t);
+                        }
+                    }
+                });
+            }
+            for &t in &survivors {
+                if (survivors_stored || store.contains(&t)) && !base.contains(&t) && od.insert(t) {
+                    next.push(t);
+                }
+            }
+            survivors.clear();
+        }
+        return;
+    }
+    for &row in rows {
+        binding.iter_mut().for_each(|s| *s = None);
+        if !unify_pattern(&seed_pat, row, &mut binding) {
+            continue;
+        }
+        let mut survivors: Vec<Triple> = Vec::new();
+        solve_rest(
+            store,
+            &mut patterns,
+            &mut builtins,
+            &mut binding,
+            &mut |b| {
+                if skolem_vars.is_empty() {
+                    for conclusion in &rule.conclusions {
+                        if let Some(t) = conclusion.instantiate(b) {
+                            survivors.push(t);
+                        }
+                    }
+                } else {
+                    let mut full = b.to_vec();
+                    apply_skolems(memo, rule_idx, rule, interner, skolem_vars, &mut full);
+                    for conclusion in &rule.conclusions {
+                        if let Some(t) = conclusion.instantiate(&full) {
+                            survivors.push(t);
+                        }
+                    }
+                }
+            },
+        );
+        for &t in &survivors {
+            if store.contains(&t) && !base.contains(&t) && od.insert(t) {
+                next.push(t);
+            }
+        }
+    }
+}
+
+/// Whether `goal` has at least one derivation from the current store: some
+/// rule conclusion unifies with it and the rule body is satisfiable under
+/// the resulting bindings. For skolemizing rules the skolem terms bound
+/// from the goal are treated as *expectations* — the body solution must
+/// re-mint exactly those terms (content-derived names make this check
+/// exact).
+fn derivable(
+    rules: &[Rule],
+    memo: &mut SkolemMemo,
+    interner: &mut Interner,
+    store: &Store,
+    occ: &OccurrenceIndex,
+    goal: Triple,
+) -> bool {
+    for (ri, rule) in rules.iter().enumerate() {
+        let skolem_vars = &occ.skolem_vars[ri];
+        for conclusion in &rule.conclusions {
+            // Ground-predicate prefilter: skip without allocating when
+            // the conclusion cannot match the goal's predicate.
+            if let PatternTerm::Ground(p) = conclusion.p {
+                if p != goal.p {
+                    continue;
+                }
+            }
+            let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
+            if !unify_pattern(conclusion, goal, &mut binding) {
+                continue;
+            }
+            let mut expected: Vec<(usize, Term)> = Vec::new();
+            for v in skolem_vars {
+                if let Some(t) = binding.get_mut(v.0 as usize).and_then(|slot| slot.take()) {
+                    expected.push((v.0 as usize, t));
+                }
+            }
+            let mut patterns: Vec<TriplePattern> = Vec::new();
+            let mut builtins: Vec<BuiltinAtom> = Vec::new();
+            for atom in &rule.premises {
+                match atom {
+                    RuleAtom::Pattern(p) => patterns.push(*p),
+                    RuleAtom::Builtin(b) => builtins.push(*b),
+                }
+            }
+            let found = if skolem_vars.is_empty() {
+                solve_until(
+                    store,
+                    &mut patterns,
+                    &mut builtins,
+                    &mut binding,
+                    &mut |_| true,
+                )
+            } else {
+                solve_until(
+                    store,
+                    &mut patterns,
+                    &mut builtins,
+                    &mut binding,
+                    &mut |b| {
+                        let mut full = b.to_vec();
+                        apply_skolems(memo, ri, rule, interner, skolem_vars, &mut full);
+                        expected
+                            .iter()
+                            .all(|&(slot, t)| full.get(slot).copied().flatten() == Some(t))
+                    },
+                )
+            };
+            if found {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// FNV-1a, the 64-bit flavor; tiny and dependency-free, used only to
@@ -557,21 +1431,38 @@ fn solve_rest(
     binding: &mut Vec<Option<Term>>,
     sink: &mut dyn FnMut(&[Option<Term>]),
 ) {
+    solve_until(store, patterns, builtins, binding, &mut |b| {
+        sink(b);
+        false
+    });
+}
+
+/// Early-exit variant of [`solve_rest`]: the sink returns `true` to stop
+/// the search, and the function reports whether any sink call did. Used by
+/// the rederivation step, where one witness derivation suffices.
+fn solve_until(
+    store: &Store,
+    patterns: &mut Vec<TriplePattern>,
+    builtins: &mut Vec<BuiltinAtom>,
+    binding: &mut Vec<Option<Term>>,
+    sink: &mut dyn FnMut(&[Option<Term>]) -> bool,
+) -> bool {
     if let Some(pos) = builtins.iter().position(|b| builtin_ready(b, binding)) {
         let guard = builtins.swap_remove(pos);
+        let mut done = false;
         if guard.eval(binding) {
-            solve_rest(store, patterns, builtins, binding, sink);
+            done = solve_until(store, patterns, builtins, binding, sink);
         }
         builtins.push(guard);
-        return;
+        return done;
     }
     if patterns.is_empty() {
         // Any builtin still unresolved here has a forever-unbound variable
         // and can never hold.
         if builtins.is_empty() {
-            sink(binding);
+            return sink(binding);
         }
-        return;
+        return false;
     }
     let mut best = 0usize;
     let mut best_cost = usize::MAX;
@@ -583,13 +1474,17 @@ fn solve_rest(
         }
     }
     if best_cost == 0 {
-        return;
+        return false;
     }
     let pat = patterns.swap_remove(best);
+    let mut done = false;
     store.match_pattern_in_place(&pat, binding, |b| {
-        solve_rest(store, patterns, builtins, b, sink);
+        if !done {
+            done = solve_until(store, patterns, builtins, b, sink);
+        }
     });
     patterns.push(pat);
+    done
 }
 
 /// Computes every satisfying assignment of `rule`'s premises against
@@ -1101,5 +1996,234 @@ mod tests {
         // Ground mismatch.
         let pat3 = TriplePattern::new(a, p, b);
         assert!(!unify_pattern(&pat3, Triple::new(b, p, b), &mut []));
+    }
+
+    /// Builds the transitive `locatedIn` chain `n0 → n1 → … → n{len}`,
+    /// closes it, and returns the graph/reasoner pair.
+    fn closed_chain(len: usize) -> (Graph, Reasoner) {
+        let mut g = Graph::new();
+        g.add("imcl:locatedIn", rdf::TYPE, owl::TRANSITIVE_PROPERTY);
+        for i in 0..len {
+            g.add(
+                &format!("ex:n{i}"),
+                "imcl:locatedIn",
+                &format!("ex:n{}", i + 1),
+            );
+        }
+        let mut r = Reasoner::with_axioms(&mut g);
+        r.materialize(&mut g);
+        (g, r)
+    }
+
+    /// The closure a fresh reasoner computes over `g`'s base triples after
+    /// dropping `skip`, rendered for comparison.
+    fn from_scratch_without(base: &[(String, String, String)], skip: &[usize]) -> BTreeSet<String> {
+        let mut g = Graph::new();
+        for (i, (s, p, o)) in base.iter().enumerate() {
+            if !skip.contains(&i) {
+                g.add(s, p, o);
+            }
+        }
+        let mut r = Reasoner::with_axioms(&mut g);
+        r.materialize(&mut g);
+        rendered(&g)
+    }
+
+    #[test]
+    fn retract_chain_edge_matches_from_scratch() {
+        let (mut g, mut r) = closed_chain(6);
+        let base: Vec<(String, String, String)> = std::iter::once((
+            "imcl:locatedIn".to_owned(),
+            rdf::TYPE.to_owned(),
+            owl::TRANSITIVE_PROPERTY.to_owned(),
+        ))
+        .chain((0..6).map(|i| {
+            (
+                format!("ex:n{i}"),
+                "imcl:locatedIn".to_owned(),
+                format!("ex:n{}", i + 1),
+            )
+        }))
+        .collect();
+        // Retract the middle edge n2 → n3: every path crossing it dies,
+        // everything strictly left or right of the cut survives.
+        let t = {
+            let s = g.iri("ex:n2");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("ex:n3");
+            Triple::new(s, p, o)
+        };
+        let removed = r.retract(&mut g, t);
+        assert!(removed > 1, "cut edge takes derived paths with it");
+        assert_eq!(rendered(&g), from_scratch_without(&base, &[3]));
+        let stats = r.last_retract_stats();
+        assert_eq!(stats.requested, 1);
+        assert_eq!(stats.retracted_base, 1);
+        assert_eq!(stats.removed, removed);
+        assert!(stats.waves >= 1);
+    }
+
+    #[test]
+    fn retract_derived_fact_is_a_net_noop() {
+        let (mut g, mut r) = closed_chain(4);
+        // n0 → n2 is derived, not base: retracting it clears nothing
+        // because the chain still proves it.
+        let t = {
+            let s = g.iri("ex:n0");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("ex:n2");
+            Triple::new(s, p, o)
+        };
+        assert!(!r.is_base(&t));
+        let before = rendered(&g);
+        let removed = r.retract(&mut g, t);
+        assert_eq!(removed, 0);
+        assert_eq!(rendered(&g), before, "rederivation restores the closure");
+        assert!(r.last_retract_stats().rederived >= 1);
+    }
+
+    #[test]
+    fn retract_fact_that_is_both_base_and_derived() {
+        let mut g = Graph::new();
+        g.add("imcl:locatedIn", rdf::TYPE, owl::TRANSITIVE_PROPERTY);
+        g.add("ex:a", "imcl:locatedIn", "ex:b");
+        g.add("ex:b", "imcl:locatedIn", "ex:c");
+        // Also asserted directly, so it is base *and* derivable.
+        g.add("ex:a", "imcl:locatedIn", "ex:c");
+        let mut r = Reasoner::with_axioms(&mut g);
+        r.materialize(&mut g);
+        let t = {
+            let s = g.iri("ex:a");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("ex:c");
+            Triple::new(s, p, o)
+        };
+        assert!(r.is_base(&t));
+        let removed = r.retract(&mut g, t);
+        assert_eq!(removed, 0, "still derivable from the surviving chain");
+        assert!(g.contains("ex:a", "imcl:locatedIn", "ex:c"));
+        assert!(!r.is_base(&t), "asserted status is gone regardless");
+        // Now cut the chain: the fact loses its last support and dies.
+        let edge = {
+            let s = g.iri("ex:b");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("ex:c");
+            Triple::new(s, p, o)
+        };
+        let removed = r.retract(&mut g, edge);
+        assert_eq!(removed, 2, "chain edge and the no-longer-derivable a→c");
+        assert!(!g.contains("ex:a", "imcl:locatedIn", "ex:c"));
+    }
+
+    #[test]
+    fn retract_cyclic_support_dies_together() {
+        // Symmetric property: a↔b support each other in a 2-cycle. A
+        // pure counting scheme would leave both alive (each counts the
+        // other as support); DRed must delete both.
+        let mut g = Graph::new();
+        g.add("ex:adjacentTo", rdf::TYPE, owl::SYMMETRIC_PROPERTY);
+        g.add("ex:a", "ex:adjacentTo", "ex:b");
+        let mut r = Reasoner::with_axioms(&mut g);
+        r.materialize(&mut g);
+        assert!(g.contains("ex:b", "ex:adjacentTo", "ex:a"));
+        let t = {
+            let s = g.iri("ex:a");
+            let p = g.iri("ex:adjacentTo");
+            let o = g.iri("ex:b");
+            Triple::new(s, p, o)
+        };
+        let removed = r.retract(&mut g, t);
+        assert_eq!(removed, 2, "both directions die: no external support");
+        assert!(!g.contains("ex:a", "ex:adjacentTo", "ex:b"));
+        assert!(!g.contains("ex:b", "ex:adjacentTo", "ex:a"));
+    }
+
+    #[test]
+    fn retract_unreferenced_predicate_takes_fast_exit() {
+        // The axiom set has variable-predicate rules (every fact seeds
+        // them), so the fast exit needs a ground-predicate rule set.
+        let mut g = Graph::new();
+        g.add("ex:a", "imcl:locatedIn", "ex:b");
+        let rules = parse_rules(
+            "[tr: (?p imcl:locatedIn ?q), (?q imcl:locatedIn ?t) -> (?p imcl:locatedIn ?t)]",
+            &mut g,
+        )
+        .unwrap();
+        let mut r = Reasoner::new();
+        r.add_rules(rules);
+        r.materialize(&mut g);
+        g.add("ex:n0", "ex:label", "ex:tag");
+        let t = {
+            let s = g.iri("ex:n0");
+            let p = g.iri("ex:label");
+            let o = g.iri("ex:tag");
+            Triple::new(s, p, o)
+        };
+        r.materialize_incremental(&mut g, [t]);
+        let removed = r.retract(&mut g, t);
+        assert_eq!(removed, 1);
+        assert!(!g.contains("ex:n0", "ex:label", "ex:tag"));
+        let stats = r.last_retract_stats();
+        assert_eq!(stats.fast_exits, 1, "no rule reads or writes ex:label");
+        assert_eq!(stats.waves, 0, "no DRed pass ran");
+    }
+
+    #[test]
+    fn retract_batch_matches_sequential_retracts() {
+        let build = || closed_chain(8);
+        let edges = |g: &mut Graph| -> Vec<Triple> {
+            [(1usize, 2usize), (4, 5), (6, 7)]
+                .iter()
+                .map(|&(i, j)| {
+                    let s = g.iri(&format!("ex:n{i}"));
+                    let p = g.iri("imcl:locatedIn");
+                    let o = g.iri(&format!("ex:n{j}"));
+                    Triple::new(s, p, o)
+                })
+                .collect()
+        };
+        let (mut g1, mut r1) = build();
+        let ts = edges(&mut g1);
+        r1.retract_batch(&mut g1, ts.iter().copied());
+        let (mut g2, mut r2) = build();
+        let ts2 = edges(&mut g2);
+        for t in ts2 {
+            r2.retract(&mut g2, t);
+        }
+        assert_eq!(rendered(&g1), rendered(&g2));
+        assert_eq!(r1.last_retract_stats().requested, 3);
+    }
+
+    #[test]
+    fn retract_missing_fact_is_harmless() {
+        let (mut g, mut r) = closed_chain(3);
+        let before = rendered(&g);
+        let t = {
+            let s = g.iri("ex:ghost");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("ex:nowhere");
+            Triple::new(s, p, o)
+        };
+        assert_eq!(r.retract(&mut g, t), 0);
+        assert_eq!(rendered(&g), before);
+    }
+
+    #[test]
+    fn retract_then_rematerialize_round_trip() {
+        // After a retraction the reasoner's bookkeeping must still accept
+        // new increments and produce the same closure a fresh run would.
+        let (mut g, mut r) = closed_chain(5);
+        let t = {
+            let s = g.iri("ex:n1");
+            let p = g.iri("imcl:locatedIn");
+            let o = g.iri("ex:n2");
+            Triple::new(s, p, o)
+        };
+        r.retract(&mut g, t);
+        // Re-assert the same edge incrementally: full closure returns.
+        g.add_triple(t);
+        r.materialize_incremental(&mut g, [t]);
+        let (g2, _) = closed_chain(5);
+        assert_eq!(rendered(&g), rendered(&g2));
     }
 }

@@ -1,13 +1,31 @@
 //! Indexed triple store.
 
-use std::collections::BTreeSet;
-
 use crate::fx::{FxHashMap, FxHashSet};
 
 use crate::term::Term;
 use crate::triple::{PatternTerm, Triple, TriplePattern};
 
-type TwoLevel = FxHashMap<Term, FxHashMap<Term, BTreeSet<Term>>>;
+/// Leaf of a two-level index: a posting list kept sorted by [`Term`]'s
+/// total order. Sorted `Vec`s iterate in exactly the order the previous
+/// `BTreeSet` representation did (so closures and query results are
+/// bit-identical), scan contiguously, and — crucially for the reasoner's
+/// batch joins — support sorted-merge set difference against another
+/// posting list without any hashing.
+type Posting = Vec<Term>;
+
+/// One tier of a two-level index: terms mapped to sorted posting lists,
+/// plus the total number of leaf entries across them. Caching the total
+/// here gives the planner its O(1) per-position cardinalities from data
+/// already touched by every insert/remove — no separate counter maps.
+#[derive(Debug, Clone, Default)]
+struct Level2 {
+    map: FxHashMap<Term, Posting>,
+    total: usize,
+}
+
+type TwoLevel = FxHashMap<Term, Level2>;
+
+const EMPTY_POSTING: &[Term] = &[];
 
 /// An in-memory triple store with SPO, POS and OSP indexes.
 ///
@@ -15,7 +33,9 @@ type TwoLevel = FxHashMap<Term, FxHashMap<Term, BTreeSet<Term>>>;
 /// with at least one ground position scans a narrow slice. Per-position
 /// cardinality counters ride along with the indexes, giving the join
 /// planner (see [`Reasoner`](crate::Reasoner)) O(1) exact counts for every match mask
-/// via [`Store::count_match`].
+/// via [`Store::count_match`]. Index leaves are sorted posting lists
+/// ([`Store::objects_sp`] and friends expose them as slices), which is
+/// what the reasoner's merge-join fast path iterates.
 ///
 /// # Examples
 ///
@@ -39,38 +59,113 @@ pub struct Store {
     spo: TwoLevel,
     pos: TwoLevel,
     osp: TwoLevel,
-    subj_count: FxHashMap<Term, usize>,
-    pred_count: FxHashMap<Term, usize>,
-    obj_count: FxHashMap<Term, usize>,
 }
 
 fn index_insert(index: &mut TwoLevel, a: Term, b: Term, c: Term) {
-    index.entry(a).or_default().entry(b).or_default().insert(c);
+    let level2 = index.entry(a).or_default();
+    let posting = level2.map.entry(b).or_default();
+    if let Err(pos) = posting.binary_search(&c) {
+        posting.insert(pos, c);
+        level2.total += 1;
+    }
+}
+
+/// Removes a batch of `(a, b, c)` entries — given as triples rearranged
+/// through `key` into this index's component order and sorted by that
+/// order — sharing level-1/level-2 probes across runs with equal keys and
+/// rewriting each touched posting in one two-pointer pass.
+fn index_remove_batch(
+    index: &mut TwoLevel,
+    sorted: &[Triple],
+    key: impl Fn(&Triple) -> (Term, Term, Term),
+) {
+    let mut i = 0;
+    while i < sorted.len() {
+        let a = key(&sorted[i]).0;
+        let mut end_a = i + 1;
+        while end_a < sorted.len() && key(&sorted[end_a]).0 == a {
+            end_a += 1;
+        }
+        if let Some(level2) = index.get_mut(&a) {
+            // Batch entries are distinct and were all present, so a run
+            // as long as the level's total covers every entry under this
+            // key: drop the whole level without touching its postings.
+            if end_a - i == level2.total {
+                index.remove(&a);
+                i = end_a;
+                continue;
+            }
+            let mut j = i;
+            while j < end_a {
+                let b = key(&sorted[j]).1;
+                let mut end_b = j + 1;
+                while end_b < end_a && key(&sorted[end_b]).1 == b {
+                    end_b += 1;
+                }
+                if let Some(posting) = level2.map.get_mut(&b) {
+                    // Same coverage argument, one posting down.
+                    if end_b - j == posting.len() {
+                        level2.total -= posting.len();
+                        level2.map.remove(&b);
+                        j = end_b;
+                        continue;
+                    }
+                    // Few removals from a long posting: binary-search each
+                    // (removing near the tail shifts little). Dense
+                    // removals: one retain pass over the posting.
+                    if (end_b - j) * 8 < posting.len() {
+                        for t in &sorted[j..end_b] {
+                            let c = key(t).2;
+                            // Tail check first: churn retracts recently
+                            // interned terms, which sort last — `pop`
+                            // touches one cache line where a binary
+                            // search over a cold posting touches ~log n.
+                            if posting.last() == Some(&c) {
+                                posting.pop();
+                                level2.total -= 1;
+                            } else if let Ok(pos) = posting.binary_search(&c) {
+                                posting.remove(pos);
+                                level2.total -= 1;
+                            }
+                        }
+                    } else {
+                        let before = posting.len();
+                        let mut k = j;
+                        posting.retain(|&c| {
+                            while k < end_b && key(&sorted[k]).2 < c {
+                                k += 1;
+                            }
+                            !(k < end_b && key(&sorted[k]).2 == c)
+                        });
+                        level2.total -= before - posting.len();
+                    }
+                    if posting.is_empty() {
+                        level2.map.remove(&b);
+                    }
+                }
+                j = end_b;
+            }
+            if level2.map.is_empty() {
+                index.remove(&a);
+            }
+        }
+        i = end_a;
+    }
 }
 
 fn index_remove(index: &mut TwoLevel, a: Term, b: Term, c: Term) {
     if let Some(level2) = index.get_mut(&a) {
-        if let Some(level3) = level2.get_mut(&b) {
-            level3.remove(&c);
+        if let Some(level3) = level2.map.get_mut(&b) {
+            if let Ok(pos) = level3.binary_search(&c) {
+                level3.remove(pos);
+                level2.total -= 1;
+            }
             if level3.is_empty() {
-                level2.remove(&b);
+                level2.map.remove(&b);
             }
         }
-        if level2.is_empty() {
+        if level2.map.is_empty() {
             index.remove(&a);
-        }
-    }
-}
-
-fn count_incr(counts: &mut FxHashMap<Term, usize>, key: Term) {
-    *counts.entry(key).or_insert(0) += 1;
-}
-
-fn count_decr(counts: &mut FxHashMap<Term, usize>, key: Term) {
-    if let Some(n) = counts.get_mut(&key) {
-        *n -= 1;
-        if *n == 0 {
-            counts.remove(&key);
         }
     }
 }
@@ -89,9 +184,6 @@ impl Store {
         index_insert(&mut self.spo, t.s, t.p, t.o);
         index_insert(&mut self.pos, t.p, t.o, t.s);
         index_insert(&mut self.osp, t.o, t.s, t.p);
-        count_incr(&mut self.subj_count, t.s);
-        count_incr(&mut self.pred_count, t.p);
-        count_incr(&mut self.obj_count, t.o);
         true
     }
 
@@ -103,10 +195,34 @@ impl Store {
         index_remove(&mut self.spo, t.s, t.p, t.o);
         index_remove(&mut self.pos, t.p, t.o, t.s);
         index_remove(&mut self.osp, t.o, t.s, t.p);
-        count_decr(&mut self.subj_count, t.s);
-        count_decr(&mut self.pred_count, t.p);
-        count_decr(&mut self.obj_count, t.o);
         true
+    }
+
+    /// Removes a batch of triples; returns how many were present.
+    ///
+    /// Equivalent to calling [`Store::remove`] per triple, but sorts the
+    /// batch once per index so runs with equal level-1/level-2 keys share
+    /// their hash probes and each touched posting is rewritten in a
+    /// single pass instead of shifting per element. Retraction removes
+    /// hundreds of triples clustered around a few predicates and objects;
+    /// grouped removal takes that well below the per-triple cost.
+    pub fn remove_batch(&mut self, triples: &[Triple]) -> usize {
+        let mut present: Vec<Triple> = Vec::with_capacity(triples.len());
+        for t in triples {
+            if self.all.remove(t) {
+                present.push(*t);
+            }
+        }
+        let spo_key = |t: &Triple| (t.s, t.p, t.o);
+        let pos_key = |t: &Triple| (t.p, t.o, t.s);
+        let osp_key = |t: &Triple| (t.o, t.s, t.p);
+        present.sort_unstable_by_key(spo_key);
+        index_remove_batch(&mut self.spo, &present, spo_key);
+        present.sort_unstable_by_key(pos_key);
+        index_remove_batch(&mut self.pos, &present, pos_key);
+        present.sort_unstable_by_key(osp_key);
+        index_remove_batch(&mut self.osp, &present, osp_key);
+        present.len()
     }
 
     /// Whether the triple is present.
@@ -131,17 +247,17 @@ impl Store {
 
     /// Number of triples whose subject is `s` (O(1)).
     pub fn subject_cardinality(&self, s: Term) -> usize {
-        self.subj_count.get(&s).copied().unwrap_or(0)
+        self.spo.get(&s).map_or(0, |l| l.total)
     }
 
     /// Number of triples whose predicate is `p` (O(1)).
     pub fn predicate_cardinality(&self, p: Term) -> usize {
-        self.pred_count.get(&p).copied().unwrap_or(0)
+        self.pos.get(&p).map_or(0, |l| l.total)
     }
 
     /// Number of triples whose object is `o` (O(1)).
     pub fn object_cardinality(&self, o: Term) -> usize {
-        self.obj_count.get(&o).copied().unwrap_or(0)
+        self.osp.get(&o).map_or(0, |l| l.total)
     }
 
     /// Exact number of triples matching a `(s?, p?, o?)` mask, in O(1) for
@@ -149,26 +265,39 @@ impl Store {
     pub fn count_match(&self, s: Option<Term>, p: Option<Term>, o: Option<Term>) -> usize {
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.contains(&Triple::new(s, p, o))),
-            (Some(s), Some(p), None) => self
-                .spo
-                .get(&s)
-                .and_then(|m| m.get(&p))
-                .map_or(0, BTreeSet::len),
-            (Some(s), None, Some(o)) => self
-                .osp
-                .get(&o)
-                .and_then(|m| m.get(&s))
-                .map_or(0, BTreeSet::len),
-            (None, Some(p), Some(o)) => self
-                .pos
-                .get(&p)
-                .and_then(|m| m.get(&o))
-                .map_or(0, BTreeSet::len),
+            (Some(s), Some(p), None) => self.objects_sp(s, p).len(),
+            (Some(s), None, Some(o)) => self.predicates_os(o, s).len(),
+            (None, Some(p), Some(o)) => self.subjects_po(p, o).len(),
             (Some(s), None, None) => self.subject_cardinality(s),
             (None, Some(p), None) => self.predicate_cardinality(p),
             (None, None, Some(o)) => self.object_cardinality(o),
             (None, None, None) => self.len(),
         }
+    }
+
+    /// The objects of every `(s, p, ?o)` triple, as a slice sorted by
+    /// [`Term`]'s total order. Empty if none.
+    pub fn objects_sp(&self, s: Term, p: Term) -> &[Term] {
+        self.spo
+            .get(&s)
+            .and_then(|l| l.map.get(&p))
+            .map_or(EMPTY_POSTING, Vec::as_slice)
+    }
+
+    /// The subjects of every `(?s, p, o)` triple, sorted. Empty if none.
+    pub fn subjects_po(&self, p: Term, o: Term) -> &[Term] {
+        self.pos
+            .get(&p)
+            .and_then(|l| l.map.get(&o))
+            .map_or(EMPTY_POSTING, Vec::as_slice)
+    }
+
+    /// The predicates of every `(s, ?p, o)` triple, sorted. Empty if none.
+    pub fn predicates_os(&self, o: Term, s: Term) -> &[Term] {
+        self.osp
+            .get(&o)
+            .and_then(|l| l.map.get(&s))
+            .map_or(EMPTY_POSTING, Vec::as_slice)
     }
 
     /// Calls `f` for every triple matching a `(s?, p?, o?)` mask, picking
@@ -189,29 +318,29 @@ impl Store {
                 }
             }
             (Some(s), Some(p), None) => {
-                if let Some(objects) = self.spo.get(&s).and_then(|m| m.get(&p)) {
+                if let Some(objects) = self.spo.get(&s).and_then(|l| l.map.get(&p)) {
                     for &o in objects {
                         f(Triple::new(s, p, o));
                     }
                 }
             }
             (Some(s), None, Some(o)) => {
-                if let Some(preds) = self.osp.get(&o).and_then(|m| m.get(&s)) {
+                if let Some(preds) = self.osp.get(&o).and_then(|l| l.map.get(&s)) {
                     for &p in preds {
                         f(Triple::new(s, p, o));
                     }
                 }
             }
             (None, Some(p), Some(o)) => {
-                if let Some(subjects) = self.pos.get(&p).and_then(|m| m.get(&o)) {
+                if let Some(subjects) = self.pos.get(&p).and_then(|l| l.map.get(&o)) {
                     for &s in subjects {
                         f(Triple::new(s, p, o));
                     }
                 }
             }
             (Some(s), None, None) => {
-                if let Some(m) = self.spo.get(&s) {
-                    for (&p, objects) in m {
+                if let Some(l) = self.spo.get(&s) {
+                    for (&p, objects) in &l.map {
                         for &o in objects {
                             f(Triple::new(s, p, o));
                         }
@@ -219,8 +348,8 @@ impl Store {
                 }
             }
             (None, Some(p), None) => {
-                if let Some(m) = self.pos.get(&p) {
-                    for (&o, subjects) in m {
+                if let Some(l) = self.pos.get(&p) {
+                    for (&o, subjects) in &l.map {
                         for &s in subjects {
                             f(Triple::new(s, p, o));
                         }
@@ -228,8 +357,8 @@ impl Store {
                 }
             }
             (None, None, Some(o)) => {
-                if let Some(m) = self.osp.get(&o) {
-                    for (&s, preds) in m {
+                if let Some(l) = self.osp.get(&o) {
+                    for (&s, preds) in &l.map {
                         for &p in preds {
                             f(Triple::new(s, p, o));
                         }
@@ -544,5 +673,67 @@ mod tests {
         let f = fixture();
         let copy: Store = f.store.iter().copied().collect();
         assert_eq!(copy.len(), f.store.len());
+    }
+
+    #[test]
+    fn remove_batch_matches_sequential_removes() {
+        // A dense little grid so whole-posting and whole-level drops, the
+        // per-element fast path and the retain path all get exercised.
+        let mut i = Interner::new();
+        let nodes: Vec<Term> = (0..8)
+            .map(|k| Term::Iri(i.intern(&format!("ex:n{k}"))))
+            .collect();
+        let preds: Vec<Term> = (0..3)
+            .map(|k| Term::Iri(i.intern(&format!("ex:p{k}"))))
+            .collect();
+        let mut store = Store::new();
+        for &p in &preds {
+            for &s in &nodes {
+                for &o in &nodes {
+                    store.insert(Triple::new(s, p, o));
+                }
+            }
+        }
+        // Victims mix: one whole (s, p) group, a diagonal, an absent
+        // triple, and duplicates of an earlier victim.
+        let absent = Triple::new(nodes[0], Term::Iri(i.intern("ex:q")), nodes[0]);
+        let mut victims: Vec<Triple> = nodes
+            .iter()
+            .map(|&o| Triple::new(nodes[2], preds[1], o))
+            .collect();
+        victims.extend((0..8).map(|k| Triple::new(nodes[k], preds[0], nodes[k])));
+        victims.push(absent);
+        victims.push(victims[0]);
+        victims.push(victims[3]);
+
+        let mut batch = store.clone();
+        let mut sequential = store;
+        let removed = batch.remove_batch(&victims);
+        let mut removed_seq = 0;
+        for t in &victims {
+            if sequential.remove(t) {
+                removed_seq += 1;
+            }
+        }
+        assert_eq!(removed, removed_seq, "duplicates and absents count once");
+        assert_eq!(batch.len(), sequential.len());
+        for t in sequential.iter() {
+            assert!(batch.contains(t));
+        }
+        // Index consistency on every single-bound mask.
+        for &x in nodes.iter().chain(preds.iter()) {
+            assert_eq!(
+                batch.match_spo(Some(x), None, None).len(),
+                sequential.match_spo(Some(x), None, None).len()
+            );
+            assert_eq!(
+                batch.match_spo(None, Some(x), None).len(),
+                sequential.match_spo(None, Some(x), None).len()
+            );
+            assert_eq!(
+                batch.match_spo(None, None, Some(x)).len(),
+                sequential.match_spo(None, None, Some(x)).len()
+            );
+        }
     }
 }

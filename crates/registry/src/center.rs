@@ -5,13 +5,18 @@
 //! *semantic* (class subsumption via the reasoner) rather than merely
 //! syntactic name matching (§3.3).
 //!
-//! Registration mirrors facts into a **pending-delta queue**; the first
-//! lookup after a batch of registrations flushes the queue through
-//! [`Reasoner::materialize_incremental`], so only the consequences of the
-//! new facts are derived instead of re-running the whole rule set over the
-//! whole graph. Arbitrary graph edits (including retraction via
-//! [`RegistryCenter::graph_mut`] or bulk ontology loads) fall back to a
-//! full re-materialization, since the incremental contract assumes the
+//! Registration and deregistration mirror facts into a **signed
+//! pending-delta queue**: assertions and retractions are recorded in
+//! arrival order and the first lookup afterwards flushes the queue in
+//! consecutive same-signed runs — assert runs through
+//! [`Reasoner::materialize_incremental`], retract runs through
+//! [`Reasoner::retract_batch`] (DRed overdelete/rederive) — so only the
+//! consequences of the changed facts are re-derived instead of re-running
+//! the whole rule set over the whole graph. Retracted facts stay in the
+//! store until their queue entry flushes, keeping the store closed between
+//! lookups. Only arbitrary graph edits that bypass the queue
+//! ([`RegistryCenter::graph_mut`], bulk ontology loads) still fall back to
+//! a full re-materialization, since the incremental contract assumes the
 //! rest of the store is already closed.
 
 use mdagent_fx::{FxHashMap, FxHashSet};
@@ -50,11 +55,17 @@ pub struct RegistryCenter {
     resources: BTreeMap<String, ResourceRecord>,
     graph: Graph,
     reasoner: Reasoner,
-    /// Facts asserted since the last materialization, awaiting an
-    /// incremental flush.
-    pending: Vec<Triple>,
+    /// Signed facts changed since the last materialization, in arrival
+    /// order, awaiting an incremental flush.
+    pending: Vec<PendingDelta>,
+    /// Facts with an unflushed `Retract` entry in `pending`. Guards
+    /// against double-retracting and lets a re-assertion of a
+    /// pending-retracted fact queue correctly even though the store still
+    /// holds the triple.
+    pending_retracted: FxHashSet<Triple>,
     /// Set when the graph changed in ways the delta queue did not capture
-    /// (bulk loads, arbitrary edits, retraction); forces a full run.
+    /// (bulk loads, arbitrary edits through [`RegistryCenter::graph_mut`]);
+    /// forces a full run.
     needs_full: bool,
     /// `sub → {super}` over every derived `rdfs:subClassOf` triple,
     /// rebuilt after each materialization so `find_resources` does pure
@@ -62,10 +73,25 @@ pub struct RegistryCenter {
     subclass_closure: Option<FxHashMap<Term, FxHashSet<Term>>>,
     full_materializations: usize,
     incremental_materializations: usize,
+    /// Retract runs flushed through [`Reasoner::retract_batch`].
+    retraction_flushes: usize,
+    /// Base facts retracted through the queue (requested, not net removed).
+    retracted_facts: usize,
     /// Semantic-match profiling for the last [`RegistryCenter::find_resources`].
     last_lookup: LookupStats,
     /// Semantic-match profiling accumulated over all lookups.
     total_lookups: LookupStats,
+}
+
+/// One entry of the signed pending-delta queue: a fact asserted or
+/// retracted since the last materialization, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingDelta {
+    /// The fact was added to the store and awaits incremental derivation.
+    Assert(Triple),
+    /// The fact awaits removal; the store keeps it until the flush so the
+    /// closure stays consistent between lookups.
+    Retract(Triple),
 }
 
 /// Candidate/hit counters for semantic resource matching.
@@ -94,10 +120,13 @@ impl RegistryCenter {
             graph,
             reasoner,
             pending: Vec::new(),
+            pending_retracted: FxHashSet::default(),
             needs_full: false,
             subclass_closure: None,
             full_materializations: 0,
             incremental_materializations: 0,
+            retraction_flushes: 0,
+            retracted_facts: 0,
             last_lookup: LookupStats::default(),
             total_lookups: LookupStats::default(),
         }
@@ -151,9 +180,42 @@ impl RegistryCenter {
     }
 
     fn assert_triple(&mut self, t: Triple) {
-        if self.graph.add_triple(t) {
-            self.pending.push(t);
+        // Queue when the fact is new — and also when the store already
+        // holds it but it is not (or soon no longer) an asserted base
+        // fact: behind a pending retraction arrival order must win, and a
+        // fact so far only *derived* must still gain base status, or
+        // retracting its supporting facts would take it along.
+        if self.graph.add_triple(t)
+            || self.pending_retracted.remove(&t)
+            || !self.reasoner.is_base(&t)
+        {
+            self.pending.push(PendingDelta::Assert(t));
         }
+    }
+
+    /// Queues a fact for retraction at the next flush. Returns `false` if
+    /// the fact is absent or already pending retraction.
+    fn retract_triple(&mut self, t: Triple) -> bool {
+        if self.graph.store().contains(&t) && self.pending_retracted.insert(t) {
+            self.pending.push(PendingDelta::Retract(t));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retracts one named fact, queueing it for incremental removal
+    /// (DRed delete–rederive) at the next lookup. Returns whether the
+    /// fact was present and newly queued.
+    pub fn retract_fact(&mut self, s: &str, p: &str, o: &str) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.graph.try_iri(s),
+            self.graph.try_iri(p),
+            self.graph.try_iri(o),
+        ) else {
+            return false;
+        };
+        self.retract_triple(Triple::new(s, p, o))
     }
 
     /// Declares a `rdfs:subClassOf` axiom in this registry's ontology
@@ -186,9 +248,14 @@ impl RegistryCenter {
 
     /// Registers (or replaces) a resource, mirroring its facts into the
     /// ontology graph (`rdf:type`, `imcl:locatedIn`, transferability
-    /// markers and address).
+    /// markers and address). Replacing a record first retracts the
+    /// facts mirrored for the old one, so stale classes or markers do
+    /// not linger in the ontology.
     pub fn register_resource(&mut self, record: ResourceRecord) {
         use mdagent_ontology::vocab::{imcl, rdf};
+        if let Some(old) = self.resources.remove(&record.name) {
+            self.retract_record_facts(&old);
+        }
         self.assert_fact(&record.name, rdf::TYPE, &record.class);
         let space_iri = format!("imcl:space-{}", record.space.0);
         self.assert_fact(&record.name, imcl::LOCATED_IN, &space_iri);
@@ -211,9 +278,62 @@ impl RegistryCenter {
         self.resources.insert(record.name.clone(), record);
     }
 
-    /// Removes a resource record (ontology facts are retained as history).
+    /// Removes a resource record and queues retraction of its mirrored
+    /// ontology facts; the next lookup repairs the closure incrementally.
     pub fn deregister_resource(&mut self, name: &str) -> bool {
-        self.resources.remove(name).is_some()
+        let Some(record) = self.resources.remove(name) else {
+            return false;
+        };
+        self.retract_record_facts(&record);
+        true
+    }
+
+    /// Queues retraction of every fact [`RegistryCenter::register_resource`]
+    /// mirrored for `record`.
+    fn retract_record_facts(&mut self, record: &ResourceRecord) {
+        use mdagent_ontology::vocab::{imcl, rdf};
+        self.retract_fact(&record.name, rdf::TYPE, &record.class);
+        let space_iri = format!("imcl:space-{}", record.space.0);
+        self.retract_fact(&record.name, imcl::LOCATED_IN, &space_iri);
+        let marker = if record.transferable {
+            imcl::TRANSFERABLE
+        } else {
+            imcl::UNTRANSFERABLE
+        };
+        self.retract_fact(&record.name, rdf::TYPE, marker);
+        let marker = if record.substitutable {
+            imcl::SUBSTITUTABLE
+        } else {
+            imcl::UNSUBSTITUTABLE
+        };
+        self.retract_fact(&record.name, rdf::TYPE, marker);
+        if !record.address.is_empty() {
+            // The address literal was interned at registration; re-intern
+            // is a lookup, not an allocation.
+            let addr = self.graph.str_lit(&record.address);
+            if let (Some(s), Some(p)) = (
+                self.graph.try_iri(&record.name),
+                self.graph.try_iri(imcl::ADDRESS),
+            ) {
+                self.retract_triple(Triple::new(s, p, addr));
+            }
+        }
+    }
+
+    /// Deregisters every resource whose lease lapsed at or before `now`,
+    /// retracting its mirrored facts through the incremental path.
+    /// Returns the number of records expired.
+    pub fn expire_leases(&mut self, now: u64) -> usize {
+        let expired: Vec<String> = self
+            .resources
+            .values()
+            .filter(|r| r.lease_expiry.is_some_and(|at| at <= now))
+            .map(|r| r.name.clone())
+            .collect();
+        for name in &expired {
+            self.deregister_resource(name);
+        }
+        expired.len()
     }
 
     /// Looks up a resource by individual name.
@@ -236,21 +356,76 @@ impl RegistryCenter {
         self.incremental_materializations
     }
 
+    /// Number of retract runs flushed through the incremental
+    /// delete–rederive path so far.
+    pub fn retraction_flushes(&self) -> usize {
+        self.retraction_flushes
+    }
+
+    /// Number of base facts retracted through the queue so far.
+    pub fn retracted_facts(&self) -> usize {
+        self.retracted_facts
+    }
+
+    /// Profiling counters from the most recent retract flush.
+    pub fn last_retract_stats(&self) -> &mdagent_ontology::RetractStats {
+        self.reasoner.last_retract_stats()
+    }
+
+    /// Flushes any queued deltas now (lookups do this lazily).
+    pub fn flush_deltas(&mut self) {
+        self.ensure_materialized();
+    }
+
     /// Brings the graph up to date: a full reasoner run if un-tracked
-    /// edits happened, an incremental run if only queued facts arrived,
-    /// nothing if neither. Rebuilds the subclass-closure cache as needed.
+    /// edits happened, otherwise the signed delta queue is flushed in
+    /// arrival order as consecutive same-signed runs — assert runs
+    /// through [`Reasoner::materialize_incremental`], retract runs
+    /// through [`Reasoner::retract_batch`]. Rebuilds the
+    /// subclass-closure cache as needed.
     fn ensure_materialized(&mut self) {
         if self.needs_full {
-            self.pending.clear();
+            // Un-tracked edits invalidate the delta queue, but queued
+            // retractions must still take effect: apply them to the store
+            // directly before the full run re-derives everything.
+            for delta in std::mem::take(&mut self.pending) {
+                if let PendingDelta::Retract(t) = delta {
+                    self.graph.store_mut().remove(&t);
+                }
+            }
+            self.pending_retracted.clear();
             self.reasoner.materialize(&mut self.graph);
             self.full_materializations += 1;
             self.needs_full = false;
             self.subclass_closure = None;
         } else if !self.pending.is_empty() {
-            let delta = std::mem::take(&mut self.pending);
-            self.reasoner
-                .materialize_incremental(&mut self.graph, delta);
-            self.incremental_materializations += 1;
+            let deltas = std::mem::take(&mut self.pending);
+            self.pending_retracted.clear();
+            let mut i = 0;
+            while i < deltas.len() {
+                match deltas[i] {
+                    PendingDelta::Assert(_) => {
+                        let mut batch = Vec::new();
+                        while let Some(PendingDelta::Assert(t)) = deltas.get(i) {
+                            batch.push(*t);
+                            i += 1;
+                        }
+                        self.reasoner
+                            .materialize_incremental(&mut self.graph, batch);
+                        self.incremental_materializations += 1;
+                    }
+                    PendingDelta::Retract(_) => {
+                        let mut batch = Vec::new();
+                        while let Some(PendingDelta::Retract(t)) = deltas.get(i) {
+                            batch.push(*t);
+                            i += 1;
+                        }
+                        self.retracted_facts += batch.len();
+                        self.reasoner.retract_batch(&mut self.graph, batch);
+                        self.retraction_flushes += 1;
+                    }
+                }
+            }
             self.subclass_closure = None;
         }
         if self.subclass_closure.is_none() {
@@ -607,19 +782,31 @@ mod tests {
     }
 
     #[test]
-    fn retraction_resets_delta_state_and_forces_full_run() {
+    fn retraction_flows_through_incremental_path() {
         use mdagent_ontology::vocab::rdfs;
         let mut c = center();
         c.find_resources("imcl:Printer");
         let full_before = c.full_materializations();
-        // Retract the subclass axiom through the untracked handle.
-        let g = c.graph_mut();
-        let sub = g.try_iri("imcl:hpLaserJet").unwrap();
-        let p = g.try_iri(rdfs::SUB_CLASS_OF).unwrap();
-        let sup = g.try_iri("imcl:Printer").unwrap();
-        assert!(g.store_mut().remove(&Triple::new(sub, p, sup)));
-        // A queued registration after the retraction must not sneak
-        // through the incremental path.
+        // Retract the subclass axiom through the tracked queue: no full
+        // re-materialization, one retract flush.
+        assert!(c.retract_fact("imcl:hpLaserJet", rdfs::SUB_CLASS_OF, "imcl:Printer"));
+        // Absent or already-queued facts don't queue again.
+        assert!(!c.retract_fact("imcl:hpLaserJet", rdfs::SUB_CLASS_OF, "imcl:Printer"));
+        assert!(!c.retract_fact("imcl:never", "imcl:seen", "imcl:fact"));
+        assert!(
+            c.find_resources("imcl:Printer").is_empty(),
+            "subsumption gone"
+        );
+        assert_eq!(c.full_materializations(), full_before);
+        assert_eq!(c.retraction_flushes(), 1);
+        assert_eq!(c.retracted_facts(), 1);
+        // The derived consequences are gone too, not just the axiom.
+        assert!(!c.graph().contains(
+            "imcl:prn-821",
+            mdagent_ontology::vocab::rdf::TYPE,
+            "imcl:Printer"
+        ));
+        // The delta queue keeps working after a retract flush.
         let inc_before = c.incremental_materializations();
         c.register_resource(ResourceRecord::new(
             "imcl:prn-late",
@@ -627,19 +814,122 @@ mod tests {
             SpaceId(0),
             HostId(4),
         ));
+        c.find_resources("imcl:hpLaserJet");
+        assert_eq!(c.incremental_materializations(), inc_before + 1);
+        assert_eq!(c.full_materializations(), full_before);
+    }
+
+    #[test]
+    fn untracked_graph_edits_still_force_a_full_run() {
+        use mdagent_ontology::vocab::rdfs;
+        let mut c = center();
+        c.find_resources("imcl:Printer");
+        let full_before = c.full_materializations();
+        let inc_before = c.incremental_materializations();
+        // Edit through the untracked handle: the queue can't know what
+        // changed, so the next lookup re-materializes from scratch.
+        let g = c.graph_mut();
+        let sub = g.try_iri("imcl:hpLaserJet").unwrap();
+        let p = g.try_iri(rdfs::SUB_CLASS_OF).unwrap();
+        let sup = g.try_iri("imcl:Printer").unwrap();
+        assert!(g.store_mut().remove(&Triple::new(sub, p, sup)));
         c.find_resources("imcl:Printer");
         assert_eq!(c.full_materializations(), full_before + 1);
         assert_eq!(c.incremental_materializations(), inc_before);
-        // After the full run the delta queue works again.
-        c.register_resource(ResourceRecord::new(
-            "imcl:prn-later",
-            "imcl:Printer",
-            SpaceId(0),
-            HostId(5),
-        ));
+    }
+
+    #[test]
+    fn deregistration_retracts_mirrored_facts() {
+        use mdagent_ontology::vocab::{imcl, rdf};
+        let mut c = center();
         c.find_resources("imcl:Printer");
-        assert_eq!(c.incremental_materializations(), inc_before + 1);
-        assert_eq!(c.full_materializations(), full_before + 1);
+        assert!(c.deregister_resource("imcl:prn-821"));
+        assert!(!c.deregister_resource("imcl:prn-821"));
+        let full_before = c.full_materializations();
+        assert!(c.find_resources("imcl:Printer").is_empty());
+        assert_eq!(c.full_materializations(), full_before, "incremental");
+        assert!(c.retraction_flushes() >= 1);
+        // Every mirrored fact is gone, including the derived type and the
+        // address literal.
+        for (p, o) in [
+            (rdf::TYPE, "imcl:hpLaserJet"),
+            (rdf::TYPE, "imcl:Printer"),
+            (imcl::LOCATED_IN, "imcl:space-0"),
+            (rdf::TYPE, imcl::UNTRANSFERABLE),
+            (rdf::TYPE, imcl::SUBSTITUTABLE),
+        ] {
+            assert!(!c.graph().contains("imcl:prn-821", p, o), "{p} {o}");
+        }
+        let addr = c.graph_mut().str_lit("host-0:9100");
+        let s = c.graph().try_iri("imcl:prn-821").unwrap();
+        let p = c.graph().try_iri(imcl::ADDRESS).unwrap();
+        assert!(!c.graph().store().contains(&Triple::new(s, p, addr)));
+    }
+
+    #[test]
+    fn reassert_after_pending_retract_respects_arrival_order() {
+        let mut c = center();
+        c.find_resources("imcl:Printer");
+        let record = c.resource("imcl:prn-821").unwrap().clone();
+        // Deregister and re-register before any lookup flushes: the
+        // re-assertion queues behind the pending retraction and wins.
+        c.deregister_resource("imcl:prn-821");
+        c.register_resource(record);
+        let matches = c.find_resources("imcl:Printer");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].resource.name, "imcl:prn-821");
+        assert!(c.graph().contains(
+            "imcl:prn-821",
+            mdagent_ontology::vocab::rdf::TYPE,
+            "imcl:hpLaserJet"
+        ));
+    }
+
+    #[test]
+    fn replacement_retracts_stale_facts() {
+        use mdagent_ontology::vocab::rdf;
+        let mut c = center();
+        c.find_resources("imcl:Printer");
+        // Same name, different class: the hpLaserJet facts must go.
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-821",
+            "imcl:Projector",
+            SpaceId(0),
+            HostId(0),
+        ));
+        assert!(c.find_resources("imcl:Printer").is_empty());
+        assert!(!c
+            .graph()
+            .contains("imcl:prn-821", rdf::TYPE, "imcl:hpLaserJet"));
+        assert!(c
+            .graph()
+            .contains("imcl:prn-821", rdf::TYPE, "imcl:Projector"));
+    }
+
+    #[test]
+    fn lease_expiry_deregisters_through_retraction() {
+        let mut c = RegistryCenter::new(SpaceId(0));
+        c.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+        c.register_resource(
+            ResourceRecord::new("imcl:prn-lease", "imcl:hpLaserJet", SpaceId(0), HostId(0))
+                .lease_until(5_000),
+        );
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-keep",
+            "imcl:hpLaserJet",
+            SpaceId(0),
+            HostId(1),
+        ));
+        assert_eq!(c.find_resources("imcl:Printer").len(), 2);
+        assert_eq!(c.expire_leases(4_999), 0);
+        assert_eq!(c.expire_leases(5_000), 1);
+        assert_eq!(c.expire_leases(5_000), 0, "already expired");
+        let full_before = c.full_materializations();
+        let matches = c.find_resources("imcl:Printer");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].resource.name, "imcl:prn-keep");
+        assert_eq!(c.full_materializations(), full_before);
+        assert!(c.retraction_flushes() >= 1);
     }
 
     #[test]

@@ -87,6 +87,11 @@ impl RegistryFederation {
         self.centers.get_mut(&space)
     }
 
+    /// Spaces that currently have a registry center, ascending.
+    pub fn spaces(&self) -> Vec<SpaceId> {
+        self.centers.keys().copied().collect()
+    }
+
     /// Number of centers.
     pub fn len(&self) -> usize {
         self.centers.len()

@@ -196,6 +196,12 @@ pub struct ResourceRecord {
     pub substitutable: bool,
     /// Network address string (the paper's `imcl:address`).
     pub address: String,
+    /// Simulated time (µs) at which the advertisement lapses, if the
+    /// publisher leased it. [`RegistryCenter::expire_leases`] deregisters
+    /// lapsed records through the incremental retraction path.
+    ///
+    /// [`RegistryCenter::expire_leases`]: crate::RegistryCenter::expire_leases
+    pub lease_expiry: Option<u64>,
 }
 
 impl ResourceRecord {
@@ -214,6 +220,7 @@ impl ResourceRecord {
             transferable: false,
             substitutable: true,
             address: String::new(),
+            lease_expiry: None,
         }
     }
 
@@ -232,6 +239,12 @@ impl ResourceRecord {
     /// Sets the address (builder style).
     pub fn address(mut self, addr: impl Into<String>) -> Self {
         self.address = addr.into();
+        self
+    }
+
+    /// Leases the advertisement until `expiry` (builder style).
+    pub fn lease_until(mut self, expiry: u64) -> Self {
+        self.lease_expiry = Some(expiry);
         self
     }
 }

@@ -1,0 +1,128 @@
+//! Interleaved assert/retract churn through the registry center: random
+//! sequences of registrations, replacements, deregistrations and lookups
+//! must keep the center's answers — and its whole materialized ontology —
+//! identical to a center freshly built from just the surviving records,
+//! without ever falling back to a full re-materialization.
+
+use std::collections::BTreeMap;
+
+use mdagent_registry::{RegistryCenter, ResourceRecord};
+use mdagent_simnet::{HostId, SpaceId};
+use proptest::prelude::*;
+
+fn class_name(i: u8) -> String {
+    format!("imcl:Class{i}")
+}
+
+fn record(idx: u8, class: u8) -> ResourceRecord {
+    ResourceRecord::new(
+        format!("imcl:res-{idx}"),
+        class_name(class),
+        SpaceId(0),
+        HostId(u32::from(idx)),
+    )
+    .address(format!("host-{idx}:9100"))
+}
+
+/// One churn step: register (or replace), deregister, or look up.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Register(u8, u8),
+    Deregister(u8),
+    Lookup(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // Bias toward registrations so deregistrations usually have targets.
+    (0u8..4, 0u8..8, 0u8..6).prop_map(|(kind, idx, class)| match kind {
+        0 | 1 => Op::Register(idx, class),
+        2 => Op::Deregister(idx),
+        _ => Op::Lookup(class),
+    })
+}
+
+/// A center with the given axiom forest declared.
+fn center_with_axioms(axioms: &[(u8, u8)]) -> RegistryCenter {
+    let mut c = RegistryCenter::new(SpaceId(0));
+    for (child, parent) in axioms {
+        if child > parent {
+            c.declare_subclass(&class_name(*child), &class_name(*parent));
+        }
+    }
+    c
+}
+
+proptest! {
+    /// Churned center ≡ fresh center over the survivors, at every lookup
+    /// and (triple for triple) at the end — all through the incremental
+    /// assert/retract path.
+    #[test]
+    fn churn_matches_fresh_build(
+        axioms in proptest::collection::vec((1u8..6, 0u8..6), 0..8),
+        ops in proptest::collection::vec(op(), 1..40),
+    ) {
+        let mut churned = center_with_axioms(&axioms);
+        // Shadow model: the records that should currently be registered.
+        let mut shadow: BTreeMap<String, ResourceRecord> = BTreeMap::new();
+
+        let fresh = |shadow: &BTreeMap<String, ResourceRecord>| {
+            let mut c = center_with_axioms(&axioms);
+            for r in shadow.values() {
+                c.register_resource(r.clone());
+            }
+            c
+        };
+
+        for step in &ops {
+            match *step {
+                Op::Register(idx, class) => {
+                    let r = record(idx, class);
+                    shadow.insert(r.name.clone(), r.clone());
+                    churned.register_resource(r);
+                }
+                Op::Deregister(idx) => {
+                    let name = format!("imcl:res-{idx}");
+                    let existed = shadow.remove(&name).is_some();
+                    prop_assert_eq!(churned.deregister_resource(&name), existed);
+                }
+                Op::Lookup(class) => {
+                    let query = class_name(class);
+                    let got: Vec<_> = churned
+                        .find_resources(&query)
+                        .into_iter()
+                        .map(|m| (m.resource.name.clone(), m.quality))
+                        .collect();
+                    let want: Vec<_> = fresh(&shadow)
+                        .find_resources(&query)
+                        .into_iter()
+                        .map(|m| (m.resource.name.clone(), m.quality))
+                        .collect();
+                    prop_assert_eq!(got, want, "lookup for {}", query);
+                }
+            }
+        }
+
+        // The churned ontology is set-identical to one built from scratch
+        // over the survivors.
+        let mut reference = fresh(&shadow);
+        churned.flush_deltas();
+        reference.flush_deltas();
+        let rendered = |c: &RegistryCenter| {
+            let mut v: Vec<String> = c
+                .graph()
+                .store()
+                .iter()
+                .map(|t| t.display(c.graph().interner()).to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(rendered(&churned), rendered(&reference));
+        prop_assert_eq!(
+            churned.full_materializations(),
+            0,
+            "churn must stay on the incremental path"
+        );
+        prop_assert_eq!(churned.resources().count(), shadow.len());
+    }
+}
