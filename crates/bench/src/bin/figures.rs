@@ -4,12 +4,14 @@
 //! cargo run -p mdagent-bench --bin figures                    # everything
 //! cargo run -p mdagent-bench --bin figures -- fig8            # one figure
 //! cargo run -p mdagent-bench --bin figures -- trace follow-me # span export
+//! cargo run -p mdagent-bench --bin figures -- report          # OBS_report.json
 //! ```
 
 use mdagent_bench::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
     bench_faults_json, bench_migration_json, bench_observability_json, bench_reasoning_json,
-    fig10_comparative, fig8_adaptive, fig9_static, trace_scenario, TRACE_SCENARIOS,
+    fig10_comparative, fig8_adaptive, fig9_static, obs_report_json, trace_scenario,
+    TRACE_SCENARIOS,
 };
 
 fn main() {
@@ -86,6 +88,20 @@ fn main() {
         match std::fs::write("BENCH_faults.json", &json) {
             Ok(()) => eprintln!("wrote BENCH_faults.json"),
             Err(e) => eprintln!("could not write BENCH_faults.json: {e}"),
+        }
+        if filter.len() == 1 {
+            return;
+        }
+    }
+
+    // Observability report: spans + metrics + SLO state over the trace
+    // scenarios plus a lossy churn run, aggregated into OBS_report.json.
+    if filter.iter().any(|f| f == "report") {
+        let json = obs_report_json();
+        print!("{json}");
+        match std::fs::write("OBS_report.json", &json) {
+            Ok(()) => eprintln!("wrote OBS_report.json"),
+            Err(e) => eprintln!("could not write OBS_report.json: {e}"),
         }
         if filter.len() == 1 {
             return;

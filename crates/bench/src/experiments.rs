@@ -115,6 +115,84 @@ pub fn run_follow_me_observed(
     (FollowMeResult { report }, spans)
 }
 
+/// [`run_follow_me`] with the tail-based sampler enabled — the third leg
+/// of the observability overhead guardrail. Returns the result plus the
+/// sampler's accounting counters.
+///
+/// # Panics
+///
+/// Panics on scenario construction failures (the topology is static).
+pub fn run_follow_me_sampled(
+    policy: BindingPolicy,
+    file_bytes: usize,
+    sampler: mdagent_core::SamplerOptions,
+) -> (FollowMeResult, mdagent_core::SamplerStats) {
+    let mut b = Middleware::builder();
+    let room_a = b.space("room-a");
+    let room_b = b.space("room-b");
+    let p4 = b.host("p4-1.7ghz", room_a, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let pm = b.host("pm-1.6ghz", room_b, CpuFactor::new(0.94), DeviceProfile::pc);
+    b.link(p4, pm, SimDuration::from_millis(1), 10_000_000, 0.8, true)
+        .expect("link");
+    b.seed(1);
+    b.observability(mdagent_core::ObservabilityOptions {
+        sampler: Some(sampler),
+        ..Default::default()
+    });
+    let (mut world, mut sim) = b.build();
+
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "smart-media-player",
+        p4,
+        [
+            Component::synthetic("codec", ComponentKind::Logic, 180_000),
+            Component::synthetic("player-ui", ComponentKind::Presentation, 60_000),
+            Component::synthetic("music-file", ComponentKind::Data, file_bytes),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    world
+        .provision(
+            pm,
+            "smart-media-player",
+            [Component::synthetic(
+                "player-ui",
+                ComponentKind::Presentation,
+                60_000,
+            )]
+            .into_iter()
+            .collect(),
+        )
+        .expect("provision");
+    sim.run(&mut world);
+    Middleware::migrate_now(
+        &mut world,
+        &mut sim,
+        app,
+        pm,
+        MobilityMode::FollowMe,
+        policy,
+    )
+    .expect("migrate");
+    sim.run(&mut world);
+
+    let report = world
+        .migration_log()
+        .last()
+        .expect("one migration recorded")
+        .clone();
+    let stats = world
+        .telemetry()
+        .sampler_stats()
+        .expect("sampled collector");
+    (FollowMeResult { report }, stats)
+}
+
 fn size_label(mb: f64) -> String {
     format!("{mb:.1}M")
 }

@@ -5,11 +5,11 @@
 use mdagent_context::{BadgeId, ContextData, UserId};
 use mdagent_core::{
     AutonomousAgent, BindingPolicy, Component, ComponentKind, DeviceProfile, Middleware,
-    UserProfile,
+    ObservabilityOptions, SamplerOptions, UserProfile,
 };
 use mdagent_simnet::{CpuFactor, SimDuration, SimTime, Telemetry};
 
-use crate::experiments::run_follow_me_observed;
+use crate::experiments::{run_follow_me_observed, run_follow_me_sampled};
 
 /// Scenario names accepted by [`trace_scenario`].
 pub const TRACE_SCENARIOS: [&str; 2] = ["follow-me", "clone"];
@@ -31,9 +31,11 @@ pub struct TraceArtifacts {
 /// and trace events. Returns `None` for unknown scenario names (see
 /// [`TRACE_SCENARIOS`]).
 pub fn trace_scenario(name: &str) -> Option<TraceArtifacts> {
+    // Observability stays at its defaults here so the committed TRACE_*
+    // artifacts remain bit-identical to the pre-sampler format.
     let world = match name {
-        "follow-me" => trace_follow_me(),
-        "clone" => trace_clone(),
+        "follow-me" => follow_me_world(ObservabilityOptions::default()),
+        "clone" => clone_world(ObservabilityOptions::default()),
         _ => return None,
     };
     let tel = world.telemetry();
@@ -58,8 +60,10 @@ pub fn trace_scenario(name: &str) -> Option<TraceArtifacts> {
 /// An AA-driven follow-me tour: the user walks office → lab → studio and
 /// the autonomous agent reasons about and migrates the application behind
 /// them. Exercises AA decision spans (with reasoner stats) and full
-/// migration span trees.
-fn trace_follow_me() -> Middleware {
+/// migration span trees. The observability options are applied at build
+/// time: pass the default for the committed trace artifacts, or an
+/// enabled pipeline for `OBS_report.json`.
+pub(crate) fn follow_me_world(obs: ObservabilityOptions) -> Middleware {
     let mut b = Middleware::builder();
     let office = b.space("office");
     let lab = b.space("lab");
@@ -70,6 +74,7 @@ fn trace_follow_me() -> Middleware {
     b.gateway(pc0, pc1).expect("gateway");
     b.gateway(pc1, pc2).expect("gateway");
     b.seed(11);
+    b.observability(obs);
     let (mut world, mut sim) = b.build();
     world.attach_user(UserProfile::new(UserId(0)), BadgeId(0), office, 2.0);
     let app = Middleware::deploy_app(
@@ -102,8 +107,9 @@ fn trace_follow_me() -> Middleware {
 
 /// A clone-dispatch lecture: the speaker indicates "dispatch to the lab"
 /// and the manual-only AA clones the slide show there. Exercises the
-/// clone-side migration span handoff and replica trace events.
-fn trace_clone() -> Middleware {
+/// clone-side migration span handoff and replica trace events. Like
+/// [`follow_me_world`], observability is whatever the caller passes.
+pub(crate) fn clone_world(obs: ObservabilityOptions) -> Middleware {
     let mut b = Middleware::builder();
     let office = b.space("office");
     let lab = b.space("lab");
@@ -116,6 +122,7 @@ fn trace_clone() -> Middleware {
     let pc1 = b.host("lab-pc", lab, CpuFactor::REFERENCE, DeviceProfile::pc);
     b.gateway(pc0, pc1).expect("gateway");
     b.seed(12);
+    b.observability(obs);
     let (mut world, mut sim) = b.build();
     let app = Middleware::deploy_app(
         &mut world,
@@ -170,10 +177,18 @@ pub struct ObservabilityBench {
     /// Best steady-state wall-clock of the same run with a disabled
     /// collector.
     pub disabled_ms: f64,
+    /// Best steady-state wall-clock with the tail-based sampler at a 10%
+    /// keep rate (buffering plus finalize cost on top of collection).
+    pub sampled_ms: f64,
     /// Spans recorded across the sweep with telemetry enabled.
     pub spans_enabled: usize,
     /// Spans recorded with telemetry disabled (must be zero).
     pub spans_disabled: usize,
+    /// Spans the sampled run exported (kept after tail-drop).
+    pub spans_sampled_kept: u64,
+    /// Spans the sampled run dropped — kept + dropped must equal the
+    /// enabled-mode span count (exact accounting, no silent loss).
+    pub spans_sampled_dropped: u64,
     /// Mean nanoseconds per disabled-mode `start`/`attr`/`end` call.
     pub disabled_ns_per_op: f64,
 }
@@ -200,18 +215,28 @@ pub fn bench_observability() -> ObservabilityBench {
     const PAYLOAD: usize = 4_300_000;
     const REPS: usize = 5;
 
-    // Untimed warm-up pair: the first runs pay allocator growth and
+    // A 10% keep rate over a healthy run: most spans buffered then
+    // dropped, which is the worst case for sampler bookkeeping.
+    let sampler = SamplerOptions {
+        keep_fraction: 0.1,
+        ..SamplerOptions::default()
+    };
+
+    // Untimed warm-up pass: the first runs pay allocator growth and
     // first-touch page faults for the multi-megabyte payload buffers,
     // which would otherwise swamp the instrumentation cost being measured.
     let _ = run_follow_me_observed(BindingPolicy::Adaptive, PAYLOAD, true);
     let _ = run_follow_me_observed(BindingPolicy::Adaptive, PAYLOAD, false);
+    let _ = run_follow_me_sampled(BindingPolicy::Adaptive, PAYLOAD, sampler);
 
     // Best-of-REPS per mode: the minimum is the steady-state cost with OS
     // scheduling noise filtered out.
     let mut enabled_ms = f64::INFINITY;
     let mut disabled_ms = f64::INFINITY;
+    let mut sampled_ms = f64::INFINITY;
     let mut spans_enabled = 0;
     let mut spans_disabled = 0;
+    let mut sampled_stats = None;
     for _ in 0..REPS {
         let t = Instant::now();
         let (_, spans) = run_follow_me_observed(BindingPolicy::Adaptive, PAYLOAD, true);
@@ -221,7 +246,23 @@ pub fn bench_observability() -> ObservabilityBench {
         let (_, spans) = run_follow_me_observed(BindingPolicy::Adaptive, PAYLOAD, false);
         disabled_ms = disabled_ms.min(t.elapsed().as_secs_f64() * 1e3);
         spans_disabled = spans;
+        let t = Instant::now();
+        let (_, stats) = run_follow_me_sampled(BindingPolicy::Adaptive, PAYLOAD, sampler);
+        sampled_ms = sampled_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        sampled_stats = Some(stats);
     }
+    let sampled_stats = sampled_stats.expect("REPS > 0");
+    assert_eq!(
+        sampled_stats.unaccounted(),
+        0,
+        "sampler accounting must be exact"
+    );
+    assert_eq!(
+        (sampled_stats.spans_kept + sampled_stats.spans_dropped + sampled_stats.spans_buffered)
+            as usize,
+        spans_enabled,
+        "sampled run sees the same span stream as the enabled run"
+    );
 
     let mut tel = Telemetry::disabled();
     const OPS: u32 = 1_000_000;
@@ -238,8 +279,11 @@ pub fn bench_observability() -> ObservabilityBench {
     ObservabilityBench {
         enabled_ms,
         disabled_ms,
+        sampled_ms,
         spans_enabled,
         spans_disabled,
+        spans_sampled_kept: sampled_stats.spans_kept,
+        spans_sampled_dropped: sampled_stats.spans_dropped + sampled_stats.spans_buffered,
         disabled_ns_per_op,
     }
 }
@@ -250,14 +294,14 @@ pub fn bench_observability_json() -> String {
     let b = bench_observability();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mdagent-bench/observability/v1\",\n");
+    out.push_str("  \"schema\": \"mdagent-bench/observability/v2\",\n");
     out.push_str(
         "  \"command\": \"cargo run --release -p mdagent-bench --bin figures -- bench-observability\",\n",
     );
     out.push_str(
-        "  \"note\": \"fig8-shaped follow-me runs, telemetry enabled vs Telemetry::disabled(); \
-         wall_ms is the best of 5 warmed runs per mode, disabled_ns_per_op is the \
-         instrumentation floor\",\n",
+        "  \"note\": \"fig8-shaped follow-me runs: telemetry enabled vs Telemetry::disabled() vs \
+         tail-sampled at 10% keep; wall_ms is the best of 5 warmed runs per mode, \
+         disabled_ns_per_op is the instrumentation floor\",\n",
     );
     out.push_str(&format!(
         "  \"enabled\": {{\"wall_ms\": {:.3}, \"spans\": {}}},\n",
@@ -266,6 +310,10 @@ pub fn bench_observability_json() -> String {
     out.push_str(&format!(
         "  \"disabled\": {{\"wall_ms\": {:.3}, \"spans\": {}}},\n",
         b.disabled_ms, b.spans_disabled
+    ));
+    out.push_str(&format!(
+        "  \"sampled\": {{\"wall_ms\": {:.3}, \"spans_kept\": {}, \"spans_dropped\": {}}},\n",
+        b.sampled_ms, b.spans_sampled_kept, b.spans_sampled_dropped
     ));
     out.push_str(&format!(
         "  \"overhead_percent\": {:.2},\n",
@@ -322,6 +370,17 @@ mod tests {
         let b = bench_observability();
         assert_eq!(b.spans_disabled, 0, "disabled mode must record nothing");
         assert!(b.spans_enabled > 0, "enabled mode must record spans");
+        // Sampled mode keeps a subset and accounts for every other span
+        // (bench_observability itself asserts unaccounted == 0).
+        assert!(
+            (b.spans_sampled_kept as usize) <= b.spans_enabled,
+            "sampling can only shrink the span stream"
+        );
+        assert_eq!(
+            b.spans_sampled_kept + b.spans_sampled_dropped,
+            b.spans_enabled as u64,
+            "kept + dropped covers the whole stream"
+        );
         // Disabled-mode calls are a branch on a bool; leave generous
         // headroom for debug builds and noisy CI.
         assert!(

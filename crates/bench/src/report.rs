@@ -1,0 +1,336 @@
+//! `OBS_report.json`: the aggregated observability report behind
+//! `figures -- report`.
+//!
+//! Runs the follow-me and clone trace scenarios with the full pipeline
+//! enabled (sampler, wire trace context, SLO monitor), plus a high-churn
+//! fault scenario at a 1% keep rate that exercises ring eviction, and
+//! folds spans, metrics and SLO state into one machine-readable document:
+//! per-phase latency breakdown over the *kept* spans, sampler accounting
+//! (drops are first-class, never silent), SLO compliance and burn-rate
+//! alert counts, and exemplar trace ids for the slowest and every aborted
+//! migration.
+
+use std::fmt::Write as _;
+
+use mdagent_context::UserId;
+use mdagent_core::{
+    BindingPolicy, Component, ComponentKind, DeviceProfile, FaultOptions, Middleware, MobilityMode,
+    ObservabilityOptions, SamplerOptions, SloOptions, UserProfile,
+};
+use mdagent_simnet::{AttrValue, CpuFactor, DurationStats, SimDuration, SpanId};
+
+use crate::observe::{clone_world, follow_me_world};
+
+/// The observability configuration the report scenarios run under: keep
+/// everything in the showcase scenarios so the phase breakdown is
+/// complete, propagate trace context, monitor SLOs.
+fn full_keep() -> ObservabilityOptions {
+    ObservabilityOptions {
+        sampler: Some(SamplerOptions {
+            keep_fraction: 1.0,
+            ..SamplerOptions::default()
+        }),
+        propagate_trace_ctx: true,
+        slo: Some(SloOptions::default()),
+    }
+}
+
+/// The churn configuration: 1% keep rate and a small ring, so healthy
+/// traces are overwhelmingly dropped and peak buffering stays bounded
+/// while aborted migrations must still come through complete.
+fn churn_keep() -> ObservabilityOptions {
+    ObservabilityOptions {
+        sampler: Some(SamplerOptions {
+            keep_fraction: 0.01,
+            ring_capacity: 512,
+            ..SamplerOptions::default()
+        }),
+        propagate_trace_ctx: true,
+        slo: Some(SloOptions::default()),
+    }
+}
+
+/// A 2-hop lossy world shuttling one app between two spaces until it has
+/// attempted `migrations` follow-me moves. Transfer drops trigger the
+/// retry watchdog; exhausted retries roll back — aborted traces the
+/// sampler must retain.
+fn churn_world(migrations: usize) -> Middleware {
+    let mut b = Middleware::builder();
+    let office = b.space("office");
+    let away = b.space("away");
+    let src = b.host("src-pc", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let gw = b.host("gw-pc", office, CpuFactor::REFERENCE, DeviceProfile::pc);
+    let dest = b.host("away-pc", away, CpuFactor::new(0.94), DeviceProfile::pc);
+    b.ethernet(src, gw).expect("ethernet");
+    b.gateway(gw, dest).expect("gateway");
+    b.seed(23);
+    b.faults(FaultOptions::with_drop_probability(0.30));
+    b.observability(churn_keep());
+    let (mut world, mut sim) = b.build();
+    let app = Middleware::deploy_app(
+        &mut world,
+        &mut sim,
+        "churned-player",
+        src,
+        [
+            Component::synthetic("codec", ComponentKind::Logic, 180_000),
+            Component::synthetic("player-ui", ComponentKind::Presentation, 60_000),
+            Component::synthetic("music-file", ComponentKind::Data, 250_000),
+        ]
+        .into_iter()
+        .collect(),
+        UserProfile::new(UserId(0)),
+    )
+    .expect("deploy");
+    sim.run(&mut world);
+    for _ in 0..migrations {
+        let here = world.app(app).expect("app").host;
+        let target = if here == src { dest } else { src };
+        Middleware::migrate_now(
+            &mut world,
+            &mut sim,
+            app,
+            target,
+            MobilityMode::FollowMe,
+            BindingPolicy::Adaptive,
+        )
+        .expect("migrate");
+        sim.run(&mut world);
+    }
+    world
+}
+
+/// `{"p50_ms": .., "p99_ms": .., "count": ..}` over the durations of the
+/// kept spans with this name.
+fn phase_json(world: &Middleware, name: &str) -> String {
+    let mut stats = DurationStats::new();
+    for span in world.telemetry().spans_named(name) {
+        stats.record(SimDuration::from_micros(span.duration_micros()));
+    }
+    format!(
+        "{{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"count\": {}}}",
+        stats.quantile(0.5).as_millis_f64(),
+        stats.quantile(0.99).as_millis_f64(),
+        stats.count()
+    )
+}
+
+/// Root span ids of kept `migration` traces, with the slowest first and
+/// every aborted root listed — the exemplars a human starts from when
+/// reading the exported trace files.
+fn exemplars(world: &Middleware) -> (Option<SpanId>, Vec<SpanId>) {
+    let tel = world.telemetry();
+    let slowest = tel
+        .spans_named("migration")
+        .max_by_key(|s| s.duration_micros())
+        .map(|s| s.id);
+    let aborted: Vec<SpanId> = tel
+        .spans_named("migration")
+        .filter(|s| s.attr("status") == Some(&AttrValue::Str("aborted".into())))
+        .map(|s| s.id)
+        .collect();
+    (slowest, aborted)
+}
+
+/// Renders one scenario section of the report.
+fn scenario_json(name: &str, world: &Middleware) -> String {
+    let stats = world
+        .telemetry()
+        .sampler_stats()
+        .expect("report scenarios run sampled");
+    let (slowest, aborted) = exemplars(world);
+    let mut out = String::new();
+    let _ = write!(out, "    {{\n      \"scenario\": \"{name}\",\n");
+    let _ = writeln!(
+        out,
+        "      \"sampler\": {{\"spans_opened\": {}, \"spans_kept\": {}, \"spans_dropped\": {}, \
+         \"spans_buffered\": {}, \"buffered_peak\": {}, \"ring_capacity\": {}, \
+         \"traces_started\": {}, \"traces_kept\": {}, \"traces_dropped\": {}, \
+         \"traces_evicted\": {}, \"unaccounted\": {}}},",
+        stats.spans_opened,
+        stats.spans_kept,
+        stats.spans_dropped,
+        stats.spans_buffered,
+        stats.buffered_peak,
+        world
+            .telemetry()
+            .sampler_options()
+            .map_or(0, |o| o.ring_capacity),
+        stats.traces_started,
+        stats.traces_kept,
+        stats.traces_dropped,
+        stats.traces_evicted,
+        stats.unaccounted()
+    );
+    let _ = writeln!(
+        out,
+        "      \"phases\": {{\"suspend\": {}, \"migrate\": {}, \"resume\": {}, \"total\": {}}},",
+        phase_json(world, "migration.suspend"),
+        phase_json(world, "migration.migrate"),
+        phase_json(world, "migration.resume"),
+        phase_json(world, "migration")
+    );
+    let metrics = world.metrics();
+    let _ = writeln!(
+        out,
+        "      \"migrations\": {{\"completed\": {}, \"clones_completed\": {}, \"rollbacks\": {}, \
+         \"retries\": {}}},",
+        metrics.counter("migration.completed"),
+        metrics.counter("migration.clones_completed"),
+        metrics.counter("migration.rollbacks"),
+        metrics.counter("migration.retries")
+    );
+    out.push_str("      \"slos\": [");
+    if let Some(monitor) = world.slo_monitor() {
+        for (i, slo) in monitor.slos().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"objective\": {}, \"good\": {}, \"bad\": {}, \
+                 \"compliance\": {:.4}, \"alerting\": {}}}",
+                slo.spec().name,
+                slo.spec().objective,
+                slo.good_total(),
+                slo.bad_total(),
+                slo.compliance(),
+                slo.is_alerting()
+            );
+        }
+    }
+    out.push_str("],\n");
+    let _ = writeln!(
+        out,
+        "      \"alerts\": {{\"fired\": {}, \"recovered\": {}}},",
+        metrics.counter("slo.alerts_fired"),
+        metrics.counter("slo.alerts_recovered")
+    );
+    let _ = write!(
+        out,
+        "      \"exemplars\": {{\"slowest_trace\": {}, \"aborted_traces\": [{}]}}\n    }}",
+        slowest.map_or("null".to_string(), |s| s.raw().to_string()),
+        aborted
+            .iter()
+            .map(|s| s.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out
+}
+
+/// Number of follow-me attempts in the churn scenario. High enough that
+/// a 30% per-link drop probability yields both rollbacks and retried
+/// successes, and that a 1% keep rate demonstrably drops most traces.
+pub const CHURN_MIGRATIONS: usize = 40;
+
+/// Builds the `OBS_report.json` document (see the module docs).
+pub fn obs_report_json() -> String {
+    let scenarios = [
+        ("follow-me", follow_me_world(full_keep())),
+        ("clone", clone_world(full_keep())),
+        ("churn", churn_world(CHURN_MIGRATIONS)),
+    ];
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mdagent-bench/obs-report/v1\",\n");
+    out.push_str("  \"command\": \"cargo run -p mdagent-bench --bin figures -- report\",\n");
+    out.push_str(
+        "  \"note\": \"sampled observability pipeline over the trace scenarios plus a lossy \
+         churn run (30% drop, 1% keep, ring 512); latencies are simulated milliseconds over \
+         kept spans; exemplar ids refer to span ids in the sampled collector\",\n",
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, (name, world)) in scenarios.iter().enumerate() {
+        out.push_str(&scenario_json(name, world));
+        out.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section<'a>(report: &'a str, name: &str) -> &'a str {
+        let start = report
+            .find(&format!("\"scenario\": \"{name}\""))
+            .unwrap_or_else(|| panic!("{name} section present"));
+        let rest = &report[start..];
+        let end = rest.find("\n    }").map_or(rest.len(), |e| e + 6);
+        &rest[..end]
+    }
+
+    fn field_u64(section: &str, key: &str) -> u64 {
+        let tag = format!("\"{key}\": ");
+        let start = section
+            .find(&tag)
+            .unwrap_or_else(|| panic!("field {key} present"));
+        section[start + tag.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| panic!("field {key} numeric"))
+    }
+
+    #[test]
+    fn report_accounts_exactly_and_keeps_aborts() {
+        let report = obs_report_json();
+        assert!(report.contains("\"schema\": \"mdagent-bench/obs-report/v1\""));
+        for name in ["follow-me", "clone", "churn"] {
+            let s = section(&report, name);
+            assert_eq!(field_u64(s, "unaccounted"), 0, "{name} accounting exact");
+            assert!(field_u64(s, "traces_kept") > 0, "{name} kept traces");
+        }
+        // The churn run under 30% drop probability must produce aborted
+        // migrations, keep every one of them, and stay within the ring.
+        let churn = section(&report, "churn");
+        let rollbacks = field_u64(churn, "rollbacks");
+        assert!(rollbacks > 0, "lossy churn must roll back some migrations");
+        let aborted_list = churn
+            .split("\"aborted_traces\": [")
+            .nth(1)
+            .expect("aborted exemplar list")
+            .split(']')
+            .next()
+            .expect("list closes");
+        let aborted_count = aborted_list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .count() as u64;
+        assert_eq!(
+            aborted_count, rollbacks,
+            "every rolled-back migration kept as an exemplar"
+        );
+        assert!(
+            field_u64(churn, "buffered_peak") <= field_u64(churn, "ring_capacity"),
+            "peak buffering bounded by the ring"
+        );
+        // 1% keep on a mostly-healthy run: drops are recorded, not silent.
+        assert!(field_u64(churn, "traces_dropped") > 0);
+    }
+
+    #[test]
+    fn churn_completions_and_rollbacks_cover_all_attempts() {
+        let world = churn_world(CHURN_MIGRATIONS);
+        let metrics = world.metrics();
+        let completed = metrics.counter("migration.completed");
+        let rollbacks = metrics.counter("migration.rollbacks");
+        assert_eq!(
+            completed + rollbacks,
+            CHURN_MIGRATIONS as u64,
+            "every attempt either completed or rolled back"
+        );
+        assert!(completed > 0 && rollbacks > 0, "the mix exercises both");
+        // All three SLOs saw the churn; completion compliance reflects
+        // the rollbacks.
+        let slo = world
+            .slo_monitor()
+            .and_then(|m| m.get(mdagent_core::SLO_MIGRATION_COMPLETION))
+            .expect("completion slo");
+        assert_eq!(slo.good_total(), completed);
+        assert_eq!(slo.bad_total(), rollbacks);
+    }
+}

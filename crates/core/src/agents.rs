@@ -634,11 +634,13 @@ impl AutonomousAgent {
             cx.world.env_mut().telemetry.end(decision_span, now);
             return;
         };
-        let mut latency = cx.world.cost_model.reasoning + cx.world.cost_model.registry_lookup;
+        let mut lookup = cx.world.cost_model.registry_lookup;
         if plan.inter_space {
             // The destination registry is queried across the gateway.
-            latency += SimDuration::from_millis_f64(rt_ms);
+            lookup += SimDuration::from_millis_f64(rt_ms);
         }
+        let latency = cx.world.cost_model.reasoning + lookup;
+        Middleware::slo_observe_lookup(cx.world, now, lookup);
         cx.world
             .env_mut()
             .metrics

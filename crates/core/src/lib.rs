@@ -69,6 +69,7 @@ mod error;
 mod messages;
 mod middleware;
 mod mobility;
+mod observability;
 mod profile;
 mod rules;
 mod snapshot;
@@ -82,10 +83,14 @@ pub use component::{Component, ComponentKind, ComponentSet};
 pub use coordinator::{Coordinator, ObserverRec};
 pub use datapath::{ComponentCache, DataPathOptions};
 pub use error::CoreError;
-pub use messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate};
+pub use messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate, TraceContext};
 pub use middleware::{Middleware, MiddlewareBuilder, MigrationReport};
 pub use mobility::{
     BindingPolicy, DataStrategy, MigrationPlan, MobilityDomain, MobilityMode, SpacePrimary,
+};
+pub use observability::{
+    ObservabilityOptions, SloOptions, SLO_MIGRATION_COMPLETION, SLO_MIGRATION_LATENCY,
+    SLO_REGISTRY_LOOKUP,
 };
 pub use profile::{DeviceClass, DeviceProfile, UserProfile};
 pub use rules::{
@@ -97,7 +102,7 @@ pub use timing::{CostModel, HostClock, PhaseTimes, RetryPolicy, RoundTrip};
 // Fault injection is configured through the builder; re-export the simnet
 // types so callers need not depend on mdagent-simnet for the options.
 pub use mdagent_registry::ResourceRecord;
-pub use mdagent_simnet::{FaultInjector, FaultOptions};
+pub use mdagent_simnet::{FaultInjector, FaultOptions, SamplerOptions, SamplerStats, SloMonitor};
 
 // Re-export the context kernel type alongside, for doc linkage.
 pub use mdagent_context::ContextKernel;

@@ -1,6 +1,7 @@
 //! Wire payloads of the ACL conversations between middleware parts.
 
-use mdagent_wire::{impl_wire_struct, Wire};
+use mdagent_wire::bytes::BytesMut;
+use mdagent_wire::{impl_wire_struct, Reader, Wire, WireError};
 
 use crate::component::ComponentSet;
 use crate::mobility::MigrationPlan;
@@ -98,6 +99,27 @@ impl ContextNotice {
     }
 }
 
+/// Compact trace context carried on the wire so a migration's
+/// destination-side spans join the trace the source host started.
+///
+/// `trace_id` is the raw id of the migration's root span in the sending
+/// collector; `parent_span` is the raw id of the in-transit
+/// (`migration.migrate`) span the destination should parent its
+/// check-in spans to. Both are plain raw span ids widened to `u64` so
+/// the encoding stays a pair of varints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Root span id of the sending side's trace.
+    pub trace_id: u64,
+    /// Span the receiving side should parent to.
+    pub parent_span: u64,
+}
+
+impl_wire_struct!(TraceContext {
+    trace_id,
+    parent_span
+});
+
 /// The wrapped bundle a mobile agent carries: plan, snapshot and the
 /// component payloads being shipped. Its wire size *is* the migration
 /// payload the platform bills for.
@@ -117,16 +139,56 @@ pub struct Cargo {
     /// Snapshot state encoded as a delta against a base the destination
     /// holds; when set, [`Cargo::snapshot`] is a header-only stub.
     pub snapshot_delta: Option<SnapshotDelta>,
+    /// Trace context stamped by the source when trace propagation is on.
+    /// Encoded as a *trailing optional*: `None` appends nothing, so the
+    /// byte stream of a defaults-OFF run is identical to the pre-context
+    /// format (and old captures decode as `None`).
+    pub trace_ctx: Option<TraceContext>,
 }
 
-impl_wire_struct!(Cargo {
-    plan,
-    snapshot,
-    components,
-    remote_bytes,
-    elided,
-    snapshot_delta
-});
+// Hand-written (not `impl_wire_struct!`) because of the trailing-optional
+// `trace_ctx`: the six base fields encode exactly as the macro would, and
+// the context is present iff bytes remain after them — an `Option` tag
+// byte would change the defaults-OFF encoding.
+impl Wire for Cargo {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.plan.encode(buf);
+        self.snapshot.encode(buf);
+        self.components.encode(buf);
+        self.remote_bytes.encode(buf);
+        self.elided.encode(buf);
+        self.snapshot_delta.encode(buf);
+        if let Some(ctx) = &self.trace_ctx {
+            ctx.encode(buf);
+        }
+    }
+
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Cargo {
+            plan: Wire::decode(reader)?,
+            snapshot: Wire::decode(reader)?,
+            components: Wire::decode(reader)?,
+            remote_bytes: Wire::decode(reader)?,
+            elided: Wire::decode(reader)?,
+            snapshot_delta: Wire::decode(reader)?,
+            trace_ctx: if reader.is_exhausted() {
+                None
+            } else {
+                Some(Wire::decode(reader)?)
+            },
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.plan.encoded_len()
+            + self.snapshot.encoded_len()
+            + self.components.encoded_len()
+            + self.remote_bytes.encoded_len()
+            + self.elided.encoded_len()
+            + self.snapshot_delta.encoded_len()
+            + self.trace_ctx.as_ref().map_or(0, Wire::encoded_len)
+    }
+}
 
 impl Cargo {
     /// Exact wire size.
@@ -232,6 +294,7 @@ mod tests {
             remote_bytes: 2_000_000,
             elided: Vec::new(),
             snapshot_delta: None,
+            trace_ctx: None,
         };
         let bytes = to_bytes(&cargo);
         assert_eq!(bytes.len() as u64, cargo.wire_len());
@@ -239,6 +302,53 @@ mod tests {
         assert!(cargo.wire_len() < 181_000, "overhead is small");
         let back: Cargo = from_bytes(&bytes).unwrap();
         assert_eq!(back, cargo);
+    }
+
+    #[test]
+    fn cargo_trace_ctx_is_trailing_optional() {
+        let base = Cargo {
+            plan: MigrationPlan {
+                app_raw: 3,
+                mode: MobilityMode::FollowMe,
+                policy: BindingPolicy::Adaptive,
+                dest_host_raw: 1,
+                ship_components: Vec::new(),
+                data_strategy: DataStrategy::RemoteStream,
+                inter_space: true,
+            },
+            snapshot: Snapshot {
+                app_name: "player".into(),
+                coordinator: Default::default(),
+                profile_bytes: Vec::new(),
+                sequence: 9,
+            },
+            components: ComponentSet::new(),
+            remote_bytes: 42,
+            elided: vec![("codec".into(), 0xDEAD)],
+            snapshot_delta: None,
+            trace_ctx: None,
+        };
+        let plain = to_bytes(&base);
+        // None appends nothing: the ctx field is invisible on the wire,
+        // so defaults-OFF runs keep the pre-context byte stream.
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 300,
+        };
+        let stamped = Cargo {
+            trace_ctx: Some(ctx),
+            ..base.clone()
+        };
+        let stamped_bytes = to_bytes(&stamped);
+        assert_eq!(stamped_bytes.len(), plain.len() + ctx.encoded_len());
+        assert_eq!(&stamped_bytes[..plain.len()], &plain[..]);
+        // Old captures (no trailing bytes) decode with ctx = None.
+        let back_plain: Cargo = from_bytes(&plain).unwrap();
+        assert_eq!(back_plain.trace_ctx, None);
+        // Stamped cargo roundtrips, ctx intact.
+        let back: Cargo = from_bytes(&stamped_bytes).unwrap();
+        assert_eq!(back, stamped);
+        assert_eq!(back.trace_ctx, Some(ctx));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use mdagent_fx::FxHashMap;
 use mdagent_registry::{ApplicationRecord, RegistryFederation, ResourceRecord};
 use mdagent_simnet::{
     CpuFactor, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng, SimTime,
-    Simulator, SpaceId, SpanId, Topology, TraceCategory, TraceEvent,
+    Simulator, SloEdge, SloMonitor, SpaceId, SpanId, Telemetry, Topology, TraceCategory,
+    TraceEvent,
 };
 use mdagent_wire::Wire;
 
@@ -22,8 +23,11 @@ use crate::binding::{rebind, BindingTarget, RebindOutcome};
 use crate::component::{Component, ComponentKind, ComponentSet};
 use crate::datapath::{ComponentCache, DataPathOptions};
 use crate::error::CoreError;
-use crate::messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate};
+use crate::messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate, TraceContext};
 use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
+use crate::observability::{
+    ObservabilityOptions, SLO_MIGRATION_COMPLETION, SLO_MIGRATION_LATENCY, SLO_REGISTRY_LOOKUP,
+};
 use crate::profile::{DeviceProfile, UserProfile};
 use crate::snapshot::{Snapshot, SnapshotDelta, SnapshotManager};
 use crate::timing::{CostModel, HostClock, PhaseTimes, RetryPolicy};
@@ -110,6 +114,10 @@ pub struct Middleware {
     in_flight: FxHashMap<AgentId, InFlight>,
     /// Opt-in migration data-path optimizations (cache + delta).
     data_path: DataPathOptions,
+    /// Opt-in observability pipeline configuration.
+    observability: ObservabilityOptions,
+    /// SLO monitor, present iff [`ObservabilityOptions::slo`] was set.
+    slo: Option<SloMonitor>,
     /// Per-host caches of component encodings, keyed by content digest.
     component_caches: FxHashMap<HostId, ComponentCache>,
     /// Content-addressed store of component bytes known to the middleware;
@@ -167,6 +175,7 @@ pub struct MiddlewareBuilder {
     data_path: DataPathOptions,
     faults: FaultOptions,
     retry: RetryPolicy,
+    observability: ObservabilityOptions,
 }
 
 impl Default for MiddlewareBuilder {
@@ -191,6 +200,7 @@ impl MiddlewareBuilder {
             data_path: DataPathOptions::default(),
             faults: FaultOptions::default(),
             retry: RetryPolicy::default(),
+            observability: ObservabilityOptions::default(),
         }
     }
 
@@ -311,6 +321,15 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Enables the observability pipeline (tail-based span sampling,
+    /// wire trace-context propagation, SLO burn-rate monitoring). Off by
+    /// default; when off, telemetry, wire bytes and trace output are
+    /// identical to a build without this call.
+    pub fn observability(&mut self, options: ObservabilityOptions) -> &mut Self {
+        self.observability = options;
+        self
+    }
+
     /// Finalizes the world and a simulator to drive it.
     pub fn build(self) -> (Middleware, Simulator<Middleware>) {
         let mut field = SensorField::new(self.sensor_noise_m);
@@ -348,6 +367,10 @@ impl MiddlewareBuilder {
         }
         let mut env = PlatformEnv::new(self.topology);
         env.faults = FaultInjector::new(self.faults, self.seed ^ 0xFAD7_5EED);
+        if let Some(sampler) = self.observability.sampler {
+            env.telemetry = Telemetry::sampled(sampler);
+        }
+        let slo = self.observability.slo.map(|opts| opts.build_monitor());
         let world = Middleware {
             platform,
             env,
@@ -367,6 +390,8 @@ impl MiddlewareBuilder {
             preinstalled: FxHashMap::default(),
             in_flight: FxHashMap::default(),
             data_path: self.data_path,
+            observability: self.observability,
+            slo,
             component_caches: FxHashMap::default(),
             content_store: FxHashMap::default(),
             snapshot_bases: FxHashMap::default(),
@@ -539,6 +564,80 @@ impl Middleware {
     /// into a no-op for overhead-sensitive runs.
     pub fn set_telemetry(&mut self, telemetry: mdagent_simnet::Telemetry) {
         self.env.telemetry = telemetry;
+    }
+
+    /// The observability configuration this world was built with.
+    pub fn observability(&self) -> &ObservabilityOptions {
+        &self.observability
+    }
+
+    /// The SLO monitor, present iff SLO monitoring was enabled.
+    pub fn slo_monitor(&self) -> Option<&SloMonitor> {
+        self.slo.as_ref()
+    }
+
+    /// Feeds one good/bad event into the named SLO and emits a structured
+    /// trace event (plus an `slo.alerts_*` counter) on alerting-state
+    /// edges. A no-op unless SLO monitoring is enabled.
+    fn slo_record(world: &mut Middleware, now: SimTime, name: &'static str, good: bool) {
+        let Some(monitor) = world.slo.as_mut() else {
+            return;
+        };
+        let Some(signal) = monitor.record(name, now, good) else {
+            return;
+        };
+        let (counter, event) = match signal.edge {
+            SloEdge::Fired => (
+                "slo.alerts_fired",
+                TraceEvent::SloBurnAlert {
+                    slo: signal.name.to_owned(),
+                    short_burn_milli: signal.short_burn_milli,
+                    long_burn_milli: signal.long_burn_milli,
+                },
+            ),
+            SloEdge::Recovered => (
+                "slo.alerts_recovered",
+                TraceEvent::SloRecovered {
+                    slo: signal.name.to_owned(),
+                },
+            ),
+        };
+        world.env.metrics.incr_static(counter);
+        world
+            .env
+            .trace
+            .record_event(now, TraceCategory::Agent, event);
+    }
+
+    /// Feeds a completed migration into the completion and latency SLOs.
+    fn slo_migration_completed(world: &mut Middleware, now: SimTime, latency: SimDuration) {
+        let Some(opts) = world.observability.slo else {
+            return;
+        };
+        Middleware::slo_record(world, now, SLO_MIGRATION_COMPLETION, true);
+        Middleware::slo_record(
+            world,
+            now,
+            SLO_MIGRATION_LATENCY,
+            latency <= opts.migration_latency_target,
+        );
+    }
+
+    /// Feeds a modeled registry lookup latency into the lookup SLO.
+    pub(crate) fn slo_observe_lookup(world: &mut Middleware, now: SimTime, latency: SimDuration) {
+        let Some(opts) = world.observability.slo else {
+            return;
+        };
+        world
+            .env
+            .metrics
+            .observe_static("registry.lookup_latency", latency);
+        Middleware::slo_record(
+            world,
+            now,
+            SLO_REGISTRY_LOOKUP,
+            latency <= opts.lookup_latency_target,
+        );
     }
 
     /// Installs a named rule base after validating that it parses (the AA
@@ -1323,6 +1422,7 @@ impl Middleware {
             remote_bytes,
             elided,
             snapshot_delta,
+            trace_ctx: None,
         };
         let wrapped_bytes = cargo.wire_len();
         let cpu = world.env.topology.host(src_host)?.cpu();
@@ -1397,7 +1497,9 @@ impl Middleware {
             Middleware::arm_watchdog(sim, ma.clone(), 1, suspend_cost + attempt_timeout);
         }
         let kernel_name = world.platform.name().to_owned();
+        let propagate_ctx = world.observability.propagate_trace_ctx;
         sim.schedule_in(suspend_cost, move |w, sim| {
+            let mut cargo = cargo;
             let now = sim.now();
             let root = match w.in_flight.get_mut(&ma) {
                 Some(flight) => {
@@ -1414,6 +1516,15 @@ impl Middleware {
                 let migrate_span = tel.open("migration.migrate", Some(root), now).detach();
                 if let Some(flight) = w.in_flight.get_mut(&ma) {
                     flight.migrate_span = migrate_span;
+                }
+                // Stamp the trace context onto the wire so the
+                // destination parents its check-in spans to the
+                // in-transit span of *this* trace.
+                if propagate_ctx && !root.is_disabled() && !migrate_span.is_disabled() {
+                    cargo.trace_ctx = Some(TraceContext {
+                        trace_id: u64::from(root.raw()),
+                        parent_span: u64::from(migrate_span.raw()),
+                    });
                 }
             }
             w.env.trace.record_event(
@@ -1435,6 +1546,27 @@ impl Middleware {
         Ok(())
     }
 
+    /// Records a destination-side span parented to the trace context the
+    /// cargo carried over the wire (when propagation stamped one), so the
+    /// arrival joins the source host's migration trace causally instead
+    /// of starting a disconnected one.
+    fn ctx_span(
+        world: &mut Middleware,
+        ctx: Option<TraceContext>,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let Some(ctx) = ctx else { return };
+        let parent = u32::try_from(ctx.parent_span)
+            .ok()
+            .map(SpanId::from_raw)
+            .filter(|p| !p.is_disabled());
+        let tel = &mut world.env.telemetry;
+        let span = tel.record_span(name, parent, start, end);
+        tel.attr(span, "trace_id", ctx.trace_id);
+    }
+
     /// Phase 3 for follow-me: the MA has checked in at the destination;
     /// restore, rebind, adapt and resume the application there.
     pub(crate) fn arrive_follow_me(
@@ -1451,6 +1583,7 @@ impl Middleware {
         // check distinguishes a true duplicate from a later, legitimately
         // identical re-migration.
         let digest = mdagent_wire::digest_of(&cargo).as_u64();
+        let arrival_ctx = cargo.trace_ctx;
         let already_here = world.app(app_id).map(|a| a.host) == Ok(dest)
             && world.deployed_digests.get(&app_id.0) == Some(&digest);
         if already_here {
@@ -1458,6 +1591,7 @@ impl Middleware {
                 .env
                 .metrics
                 .incr_static("migration.duplicate_checkins");
+            Middleware::ctx_span(world, arrival_ctx, "migration.duplicate_checkin", now, now);
             if let Some(flight) = world.in_flight.remove(ma) {
                 let tel = &mut world.env.telemetry;
                 tel.end(flight.migrate_span, now);
@@ -1468,6 +1602,7 @@ impl Middleware {
         }
         let Some(flight) = world.in_flight.remove(ma) else {
             world.env.metrics.incr_static("migration.orphan_arrivals");
+            Middleware::ctx_span(world, arrival_ctx, "migration.orphan_arrival", now, now);
             return;
         };
         let migrate = now.saturating_since(flight.departed_at);
@@ -1476,6 +1611,15 @@ impl Middleware {
             .metrics
             .observe_static("migration.migrate", migrate);
         world.env.telemetry.end(flight.migrate_span, now);
+        Middleware::ctx_span(world, arrival_ctx, "migration.checkin", now, now);
+        if flight.attempts > 1 {
+            // Mark retried-but-successful migrations on the root so the
+            // tail sampler always keeps their traces.
+            world
+                .env
+                .telemetry
+                .attr(flight.span, "attempts", u64::from(flight.attempts));
+        }
 
         // Move the application record to the destination.
         let src_host = world.app(app_id).map(|a| a.host).unwrap_or(dest);
@@ -1639,8 +1783,11 @@ impl Middleware {
                     dest: dest.to_string(),
                 },
             );
+            let latency =
+                report_base.phases.suspend + report_base.phases.migrate + report_base.phases.resume;
             w.migration_log.push(report_base.clone());
             w.env.metrics.incr_static("migration.completed");
+            Middleware::slo_migration_completed(w, now, latency);
         });
     }
 
@@ -1821,10 +1968,12 @@ impl Middleware {
         let (suspend, migrate, root) = match flight {
             Some(f) => {
                 world.env.telemetry.end(f.migrate_span, now);
+                Middleware::ctx_span(world, cargo.trace_ctx, "migration.checkin", now, now);
                 (f.suspend, now.saturating_since(f.departed_at), f.span)
             }
             None => {
                 world.env.metrics.incr_static("migration.orphan_arrivals");
+                Middleware::ctx_span(world, cargo.trace_ctx, "migration.orphan_arrival", now, now);
                 (SimDuration::ZERO, SimDuration::ZERO, SpanId::DISABLED)
             }
         };
@@ -1872,8 +2021,10 @@ impl Middleware {
                     replica: replica_id.to_string(),
                 },
             );
+            let latency = report.phases.suspend + report.phases.migrate + report.phases.resume;
             w.migration_log.push(report.clone());
             w.env.metrics.incr_static("migration.clones_completed");
+            Middleware::slo_migration_completed(w, now, latency);
         });
         Some(replica_id)
     }
@@ -2060,6 +2211,7 @@ impl Middleware {
                 attempts: flight.attempts,
             },
         );
+        Middleware::slo_record(world, now, SLO_MIGRATION_COMPLETION, false);
         if flight.cloned {
             world.env.telemetry.end(flight.span, now);
             world.env.metrics.incr_static("migration.clone_aborts");

@@ -8,9 +8,12 @@
 //!   iteration order is identical across runs and builds.
 //! * **R3** `panic-free` — no `.unwrap()` / `.expect()` / `panic!` /
 //!   `todo!` / `unimplemented!` outside test and bench code, workspace-wide.
-//! * **R4** `raw-open-span` — `open_span` may only appear inside the
-//!   telemetry module; all other callers go through the `SpanGuard` RAII
-//!   front or `record_span`.
+//! * **R4** `raw-open-span` — confinement of collector internals: each
+//!   ident in [`R4_CONFINED`] may only appear inside its designated
+//!   module. `open_span` and the tail-sampler bookkeeping belong to the
+//!   telemetry module (callers go through the `SpanGuard` RAII front or
+//!   `record_span`); the SLO window internals belong to the slo module
+//!   (callers go through `Slo::record`).
 //! * **R5** `wire-enum-sync` — every variant of each tracked enum must be
 //!   mentioned in each of its tracked companion functions (hand-written
 //!   encode/decode and kind/Display matches the compiler cannot check).
@@ -30,6 +33,23 @@ pub const MEASUREMENT_CRATES: &[&str] = &["bench"];
 
 /// Where the raw span primitive is allowed to appear (R4).
 pub const TELEMETRY_MODULE: &str = "crates/simnet/src/telemetry.rs";
+
+/// Where the SLO window internals are allowed to appear (R4).
+pub const SLO_MODULE: &str = "crates/simnet/src/slo.rs";
+
+/// The R4 confinement table: `(ident, sanctioned module)`. Each ident
+/// may only appear in its module; everywhere else it is a finding. Add
+/// an entry when introducing a collector internal whose direct use
+/// outside its module would bypass an invariant the public front
+/// maintains (sampler accounting, SLO window pruning).
+pub const R4_CONFINED: &[(&str, &str)] = &[
+    ("open_span", TELEMETRY_MODULE),
+    ("finalize_trace", TELEMETRY_MODULE),
+    ("evict_oldest_trace", TELEMETRY_MODULE),
+    ("buffered_span_mut", TELEMETRY_MODULE),
+    ("prune_window", SLO_MODULE),
+    ("burn_within", SLO_MODULE),
+];
 
 /// A tracked enum for R5: every variant must show up in each site fn.
 pub struct EnumSpec {
@@ -283,14 +303,17 @@ fn rule_r3(ctx: &FileCtx<'_>, toks: &[Tok], lines: &[&str], out: &mut Vec<Findin
 }
 
 fn rule_r4(ctx: &FileCtx<'_>, toks: &[Tok], lines: &[&str], out: &mut Vec<Finding>) {
-    if ctx.rel_path == TELEMETRY_MODULE {
-        return;
-    }
     for t in toks {
         // Deliberately also flagged inside test code: tests must exercise
-        // the guard front like everyone else.
-        if t.is_ident("open_span") {
-            out.push(finding("R4", ctx, lines, t.line));
+        // the public fronts like everyone else.
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        for (ident, module) in R4_CONFINED {
+            if t.text == *ident && ctx.rel_path != *module {
+                out.push(finding("R4", ctx, lines, t.line));
+                break;
+            }
         }
     }
 }

@@ -3,3 +3,9 @@ pub fn profile_step(tel: &mut Telemetry, now: SimTime) {
     guard.close(tel, now);
     tel.record_span("phase", None, now, now);
 }
+
+pub fn watch_slo(slo: &mut Slo, now: SimTime) {
+    // The public front prunes and computes burns internally.
+    let signal = slo.record(now, true);
+    let _ = (signal, slo.short_burn(now), slo.long_burn(now));
+}

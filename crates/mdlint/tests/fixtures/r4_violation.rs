@@ -2,3 +2,14 @@ pub fn profile_step(tel: &mut Telemetry, now: SimTime) {
     let span = tel.open_span("step", None, now);
     tel.end(span, now);
 }
+
+pub fn force_flush(tel: &mut Telemetry, root: SpanId) {
+    tel.finalize_trace(root);
+    evict_oldest_trace(tel.sampler(), None);
+}
+
+pub fn trim_slo(slo: &mut Slo, now: SimTime) {
+    slo.prune_window(now);
+    let burn = slo.burn_within(now, window);
+    let _ = burn;
+}

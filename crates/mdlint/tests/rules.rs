@@ -70,12 +70,23 @@ fn r3_spares_expect_token_should_panic_and_tests() {
 }
 
 #[test]
-fn r4_flags_raw_open_span_outside_telemetry() {
+fn r4_flags_confined_collector_internals_outside_their_modules() {
     let f = scan_source("crates/core/src/fixture.rs", R4_VIOLATION);
-    assert_eq!(coords(&f), vec![("R4", 2)]);
+    assert_eq!(
+        coords(&f),
+        vec![("R4", 2), ("R4", 7), ("R4", 8), ("R4", 12), ("R4", 13)]
+    );
     assert!(scan_source("crates/core/src/fixture.rs", R4_CLEAN).is_empty());
-    // The telemetry module itself is the one sanctioned home.
-    assert!(scan_source("crates/simnet/src/telemetry.rs", R4_VIOLATION).is_empty());
+}
+
+#[test]
+fn r4_sanctions_each_internal_only_in_its_own_module() {
+    // Inside telemetry.rs the sampler internals are legal, but the SLO
+    // internals (lines 12–13) are still foreign — and vice versa.
+    let f = scan_source("crates/simnet/src/telemetry.rs", R4_VIOLATION);
+    assert_eq!(coords(&f), vec![("R4", 12), ("R4", 13)]);
+    let f = scan_source("crates/simnet/src/slo.rs", R4_VIOLATION);
+    assert_eq!(coords(&f), vec![("R4", 2), ("R4", 7), ("R4", 8)]);
 }
 
 const FIXTURE_SPEC: EnumSpec = EnumSpec {

@@ -15,7 +15,10 @@
 //!   drops, transient link-down windows, gateway outage).
 //! * [`MetricsRegistry`] and [`Trace`] — measurement and narration.
 //! * [`Telemetry`] — span-based profiling on the simulated clock, with
-//!   JSONL and Chrome trace-event (Perfetto) exporters.
+//!   JSONL and Chrome trace-event (Perfetto) exporters, plus an opt-in
+//!   bounded tail-based sampler ([`Telemetry::sampled`]).
+//! * [`SloMonitor`] — rolling-window service-level objectives with
+//!   multi-window burn-rate alert edges.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@ mod fault;
 mod metrics;
 mod rng;
 mod sim;
+pub mod slo;
 pub mod telemetry;
 mod time;
 mod topology;
@@ -54,7 +58,8 @@ pub use fault::{FaultInjector, FaultOptions, TransferFault};
 pub use metrics::{DurationStats, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use sim::Simulator;
-pub use telemetry::{AttrValue, Span, SpanGuard, SpanId, Telemetry};
+pub use slo::{Slo, SloEdge, SloMonitor, SloSignal, SloSpec};
+pub use telemetry::{AttrValue, SamplerOptions, SamplerStats, Span, SpanGuard, SpanId, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     CpuFactor, Host, HostId, Link, LinkId, LinkKind, LinkUtilization, PipelinedTransfer, SpaceId,

@@ -19,13 +19,15 @@ use crate::time::SimDuration;
 /// A distribution of simulated durations with simple summary statistics.
 ///
 /// Quantiles are served from a lazily sorted cache: recording appends in
-/// O(1), and the first quantile read after new samples sorts once; further
-/// reads in the same batch (p50, p95, …) reuse the sorted copy.
+/// O(1) and *explicitly invalidates* the cache; the first quantile read
+/// after new samples sorts once, and further reads in the same batch
+/// (p50, p95, …) reuse the sorted copy. `record` and `quantile` calls
+/// may therefore be freely interleaved — a quantile always reflects
+/// every sample recorded before it.
 #[derive(Debug, Clone, Default)]
 pub struct DurationStats {
     samples: Vec<SimDuration>,
-    /// Sorted copy of `samples`, rebuilt when its length falls behind.
-    /// Samples are append-only, so a length match means it is current.
+    /// Sorted copy of `samples`; empty means stale (see [`DurationStats::record`]).
     sorted: RefCell<Vec<SimDuration>>,
 }
 
@@ -35,9 +37,14 @@ impl DurationStats {
         Self::default()
     }
 
-    /// Records one sample.
+    /// Records one sample and invalidates the sorted quantile cache, so
+    /// the next [`DurationStats::quantile`] re-sorts and sees this
+    /// sample. (The length check in `quantile` would also catch the
+    /// append, but clearing here keeps the invalidation explicit rather
+    /// than an inference from "samples are append-only".)
     pub fn record(&mut self, d: SimDuration) {
         self.samples.push(d);
+        self.sorted.get_mut().clear();
     }
 
     /// Number of samples.
@@ -77,13 +84,39 @@ impl DurationStats {
     }
 
     /// The q-quantile (0.0–1.0) by nearest-rank, or zero when empty.
+    ///
+    /// Tiny samples follow directly from nearest-rank
+    /// (`rank = max(1, ceil(n·q))`, 1-indexed into the sorted samples):
+    ///
+    /// * `n = 0` — every quantile is [`SimDuration::ZERO`] (there is no
+    ///   sample to report; zero is the registry-wide "absent" value).
+    /// * `n = 1` — every quantile, p0 through p100, is the lone sample.
+    /// * `n = 2` — `q ≤ 0.5` reports the smaller sample, `q > 0.5` the
+    ///   larger; in particular p50 is the smaller of the two (nearest-
+    ///   rank never interpolates, so every reported value is a real
+    ///   sample).
+    ///
+    /// `q` outside `[0, 1]` is clamped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdagent_simnet::{DurationStats, SimDuration};
+    ///
+    /// let mut stats = DurationStats::new();
+    /// assert_eq!(stats.quantile(0.99), SimDuration::ZERO); // n = 0
+    /// stats.record(SimDuration::from_millis(7));
+    /// assert_eq!(stats.quantile(0.0), SimDuration::from_millis(7)); // n = 1
+    /// stats.record(SimDuration::from_millis(3));
+    /// assert_eq!(stats.quantile(0.5), SimDuration::from_millis(3)); // n = 2
+    /// assert_eq!(stats.quantile(0.51), SimDuration::from_millis(7));
+    /// ```
     pub fn quantile(&self, q: f64) -> SimDuration {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
         let mut sorted = self.sorted.borrow_mut();
-        if sorted.len() != self.samples.len() {
-            sorted.clear();
+        if sorted.is_empty() {
             sorted.extend_from_slice(&self.samples);
             sorted.sort_unstable();
         }
@@ -388,6 +421,46 @@ mod tests {
         m.observe_static("d", SimDuration::from_millis(1));
         m.observe("d", SimDuration::from_millis(2));
         assert_eq!(m.durations("d").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn quantile_tiny_samples_follow_nearest_rank() {
+        let mut s = DurationStats::new();
+        // n = 0: every quantile is the absent value.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), SimDuration::ZERO);
+        }
+        // n = 1: every quantile is the lone sample.
+        s.record(SimDuration::from_millis(7));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), SimDuration::from_millis(7));
+        }
+        // n = 2: q <= 0.5 reports the smaller, q > 0.5 the larger.
+        s.record(SimDuration::from_millis(3));
+        assert_eq!(s.quantile(0.0), SimDuration::from_millis(3));
+        assert_eq!(s.quantile(0.5), SimDuration::from_millis(3));
+        assert_eq!(s.quantile(0.51), SimDuration::from_millis(7));
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(7));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(s.quantile(-1.0), SimDuration::from_millis(3));
+        assert_eq!(s.quantile(2.0), SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn interleaved_record_and_quantile_stay_consistent() {
+        let mut s = DurationStats::new();
+        s.record(SimDuration::from_millis(50));
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(50));
+        // A smaller sample recorded after a quantile read must be seen
+        // by the next read: the cache was explicitly invalidated.
+        s.record(SimDuration::from_millis(10));
+        assert_eq!(s.quantile(0.5), SimDuration::from_millis(10));
+        s.record(SimDuration::from_millis(30));
+        assert_eq!(s.quantile(0.5), SimDuration::from_millis(30));
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(50));
+        s.record(SimDuration::from_millis(70));
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(70));
+        assert_eq!(s.count(), 4);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! and the parent is passed when the child starts.
 //!
 //! Spans are opened through two sanctioned fronts (the raw
-//! [`Telemetry::open_span`] primitive is reserved to this module —
-//! `mdlint` rule R4 rejects calls anywhere else):
+//! `Telemetry::open_span` primitive is private to this module —
+//! `mdlint` rule R4 rejects the identifier anywhere else):
 //!
 //! * [`Telemetry::record_span`] — a phase whose start and end are both
 //!   known at the call site (suspend, wrap, rebind, ...) is recorded
@@ -24,23 +24,45 @@
 //!   dropped guard that was neither closed nor detached trips the
 //!   `must_use` warning at the open site.
 //!
+//! # Tail-based sampling
+//!
+//! A collector built with [`Telemetry::sampled`] buffers spans per trace
+//! (the connected tree under one parentless root) in a bounded ring and
+//! decides keep-or-drop only when the trace's root span ends, so the
+//! decision can see the whole outcome: traces whose root carries a
+//! terminal `status` of `aborted`/`rejected`/`duplicate`, recorded more
+//! than one `attempts`, contain a `*.rollback` phase, or ran at least
+//! [`SamplerOptions::latency_threshold`] are *always* kept; healthy
+//! traces are kept at a seeded, deterministic
+//! [`SamplerOptions::keep_fraction`]. When buffered spans would exceed
+//! [`SamplerOptions::ring_capacity`], the oldest still-open trace is
+//! evicted whole. Every span is accounted for in [`SamplerStats`] —
+//! kept, dropped, or still buffered — so truncation is never silent
+//! (the eviction/drop internals `finalize_trace`, `evict_oldest_trace`
+//! and `buffered_span_mut` are likewise R4-confined to this module).
+//!
 //! Two exporters turn a finished run into artifacts:
 //! [`Telemetry::export_jsonl`] (one JSON object per line: spans then trace
 //! events) and [`Telemetry::export_chrome`] (Chrome trace-event JSON that
 //! loads directly in Perfetto / `chrome://tracing`).
 
 use std::borrow::Cow;
+use std::collections::VecDeque;
 use std::fmt;
 use std::fmt::Write as _;
 
-use crate::time::SimTime;
+use mdagent_fx::FxHashMap;
+
+use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
 /// Handle to a span inside one [`Telemetry`] collector.
 ///
-/// The id is an index into the collector's span list. A telemetry built
-/// with [`Telemetry::disabled`] hands out a sentinel id for which every
-/// operation is a no-op, so instrumented code never branches on enablement.
+/// In a passthrough collector the id is an index into the span list; in a
+/// sampled collector it is a monotonic counter (buffered spans have ids
+/// before they are kept). A telemetry built with [`Telemetry::disabled`]
+/// hands out a sentinel id for which every operation is a no-op, so
+/// instrumented code never branches on enablement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpanId(u32);
 
@@ -52,6 +74,16 @@ impl SpanId {
     /// Raw index value (`u32::MAX` for the disabled sentinel).
     pub fn raw(self) -> u32 {
         self.0
+    }
+
+    /// Rebuilds an id from its raw value — the inverse of
+    /// [`SpanId::raw`], used when a `(trace_id, parent_span_id)` pair
+    /// arrives over the wire and destination-side spans must be parented
+    /// to a source-side span. `u32::MAX` yields the disabled sentinel;
+    /// ids that do not name a live span in the receiving collector are
+    /// ignored by every operation (never exported as dangling edges).
+    pub fn from_raw(raw: u32) -> SpanId {
+        SpanId(raw)
     }
 
     /// Whether this id came from a disabled collector.
@@ -226,6 +258,107 @@ impl Span {
     }
 }
 
+/// Configuration for a tail-based sampling collector
+/// ([`Telemetry::sampled`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplerOptions {
+    /// Fraction of healthy traces kept, in `[0, 1]`. The decision is a
+    /// pure function of `seed` and the trace's root span id, so reruns of
+    /// the same schedule keep the same traces.
+    pub keep_fraction: f64,
+    /// Traces whose root span runs at least this long are always kept,
+    /// regardless of `keep_fraction`.
+    pub latency_threshold: SimDuration,
+    /// Maximum number of spans buffered across all still-open traces.
+    /// When an open would exceed it, the oldest open trace is evicted
+    /// whole (counted in [`SamplerStats::traces_evicted`]). Clamped to a
+    /// minimum of 1.
+    pub ring_capacity: usize,
+    /// Seed for the deterministic keep decision.
+    pub seed: u64,
+}
+
+impl Default for SamplerOptions {
+    fn default() -> Self {
+        SamplerOptions {
+            keep_fraction: 0.1,
+            latency_threshold: SimDuration::from_millis(5_000),
+            ring_capacity: 4_096,
+            seed: 0,
+        }
+    }
+}
+
+/// Exact span/trace accounting of a sampling collector.
+///
+/// The invariant `spans_opened == spans_kept + spans_dropped +
+/// spans_buffered` holds after every operation; [`SamplerStats::unaccounted`]
+/// reports any violation (always 0 in a correct collector), so a report
+/// can prove no span was lost silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SamplerStats {
+    /// Spans ever opened (including ones later dropped).
+    pub spans_opened: u64,
+    /// Spans promoted into the exported set.
+    pub spans_kept: u64,
+    /// Spans dropped: unsampled trace, evicted trace, or parent unknown.
+    pub spans_dropped: u64,
+    /// Spans currently buffered in still-open traces.
+    pub spans_buffered: u64,
+    /// High-water mark of `spans_buffered` (bounded by ring capacity).
+    pub buffered_peak: u64,
+    /// Traces started (parentless spans opened).
+    pub traces_started: u64,
+    /// Traces finalized and kept.
+    pub traces_kept: u64,
+    /// Traces finalized and dropped by the sampling decision.
+    pub traces_dropped: u64,
+    /// Still-open traces evicted whole under ring pressure.
+    pub traces_evicted: u64,
+}
+
+impl SamplerStats {
+    /// Spans not accounted for as kept, dropped or buffered — 0 unless
+    /// the collector's bookkeeping is broken.
+    pub fn unaccounted(&self) -> u64 {
+        (self.spans_kept + self.spans_dropped + self.spans_buffered).abs_diff(self.spans_opened)
+    }
+}
+
+/// Internal state of a sampling collector: per-trace buffers plus the
+/// id-to-location indexes that make `attr`/`end`/`span` work on both
+/// buffered and kept spans.
+#[derive(Debug, Clone)]
+struct SamplerState {
+    opts: SamplerOptions,
+    /// Next raw span id (monotonic; never reused until [`Telemetry::clear`]).
+    next_id: u32,
+    /// Open trace buffers, keyed by root span id; the root is element 0.
+    open: FxHashMap<u32, Vec<Span>>,
+    /// Open trace roots, oldest first (eviction order).
+    order: VecDeque<u32>,
+    /// Buffered span id → its trace's root id.
+    locate: FxHashMap<u32, u32>,
+    /// Kept span id → index into `Telemetry::spans`.
+    kept: FxHashMap<u32, u32>,
+    stats: SamplerStats,
+}
+
+impl SamplerState {
+    fn new(mut opts: SamplerOptions) -> Self {
+        opts.ring_capacity = opts.ring_capacity.max(1);
+        SamplerState {
+            opts,
+            next_id: 0,
+            open: FxHashMap::default(),
+            order: VecDeque::new(),
+            locate: FxHashMap::default(),
+            kept: FxHashMap::default(),
+            stats: SamplerStats::default(),
+        }
+    }
+}
+
 /// Span collector on the simulated clock.
 ///
 /// # Examples
@@ -250,14 +383,17 @@ impl Span {
 pub struct Telemetry {
     spans: Vec<Span>,
     enabled: bool,
+    sampler: Option<Box<SamplerState>>,
 }
 
 impl Telemetry {
-    /// Creates an enabled, empty collector.
+    /// Creates an enabled, empty collector that keeps every span
+    /// (passthrough — no sampling).
     pub fn new() -> Self {
         Telemetry {
             spans: Vec::new(),
             enabled: true,
+            sampler: None,
         }
     }
 
@@ -269,12 +405,38 @@ impl Telemetry {
         Telemetry {
             spans: Vec::new(),
             enabled: false,
+            sampler: None,
+        }
+    }
+
+    /// Creates an enabled collector with tail-based sampling (see the
+    /// module docs for the buffering and keep/drop rules).
+    pub fn sampled(opts: SamplerOptions) -> Self {
+        Telemetry {
+            spans: Vec::new(),
+            enabled: true,
+            sampler: Some(Box::new(SamplerState::new(opts))),
         }
     }
 
     /// Whether spans are kept.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether this collector tail-samples (vs. keeping every span).
+    pub fn is_sampled(&self) -> bool {
+        self.sampler.is_some()
+    }
+
+    /// The sampler configuration, if this collector samples.
+    pub fn sampler_options(&self) -> Option<SamplerOptions> {
+        self.sampler.as_ref().map(|s| s.opts)
+    }
+
+    /// Current sampler accounting, if this collector samples.
+    pub fn sampler_stats(&self) -> Option<SamplerStats> {
+        self.sampler.as_ref().map(|s| s.stats)
     }
 
     /// Opens a span at `at`, returning a guard that must be closed or
@@ -320,19 +482,205 @@ impl Telemetry {
         if !self.enabled {
             return SpanId::DISABLED;
         }
-        let id = SpanId(self.spans.len() as u32);
-        self.spans.push(Span {
+        let parent = parent.filter(|p| !p.is_disabled());
+        let Some(sampler) = self.sampler.as_mut() else {
+            // Passthrough: ids are indices. A parent id carried in from
+            // elsewhere (e.g. wire trace context) that names no span here
+            // is dropped rather than exported as a dangling edge.
+            let parent = parent.filter(|p| (p.0 as usize) < self.spans.len());
+            let id = SpanId(self.spans.len() as u32);
+            self.spans.push(Span {
+                id,
+                parent,
+                name: name.into(),
+                start: at,
+                end: None,
+                // Migration-path spans attach a handful of attributes
+                // right after `start`; reserving up front keeps the hot
+                // path to a single allocation instead of the
+                // grow-by-doubling series.
+                attrs: Vec::with_capacity(6),
+            });
+            return id;
+        };
+        if sampler.next_id == u32::MAX {
+            // The id space is exhausted; u32::MAX is the disabled
+            // sentinel, so refuse rather than alias it.
+            return SpanId::DISABLED;
+        }
+        let id = SpanId(sampler.next_id);
+        sampler.next_id += 1;
+        sampler.stats.spans_opened += 1;
+        let span = Span {
             id,
-            parent: parent.filter(|p| !p.is_disabled()),
+            parent,
             name: name.into(),
             start: at,
             end: None,
-            // Migration-path spans attach a handful of attributes right
-            // after `start`; reserving up front keeps the hot path to a
-            // single allocation instead of the grow-by-doubling series.
             attrs: Vec::with_capacity(6),
-        });
+        };
+        match parent {
+            None => {
+                sampler.stats.traces_started += 1;
+                if !Self::reserve_buffer_slot(sampler, id.0) {
+                    sampler.stats.spans_dropped += 1;
+                    return id;
+                }
+                sampler.open.insert(id.0, vec![span]);
+                sampler.order.push_back(id.0);
+                sampler.locate.insert(id.0, id.0);
+                Self::note_buffered(&mut sampler.stats);
+            }
+            Some(p) => {
+                if let Some(&root) = sampler.locate.get(&p.0) {
+                    if !Self::reserve_buffer_slot(sampler, root) {
+                        sampler.stats.spans_dropped += 1;
+                        return id;
+                    }
+                    if let Some(buf) = sampler.open.get_mut(&root) {
+                        buf.push(span);
+                        sampler.locate.insert(id.0, root);
+                        Self::note_buffered(&mut sampler.stats);
+                    } else {
+                        sampler.stats.spans_dropped += 1;
+                    }
+                } else if sampler.kept.contains_key(&p.0) {
+                    // Late child of an already-kept trace: promote it
+                    // directly so the exported tree stays connected.
+                    sampler.kept.insert(id.0, self.spans.len() as u32);
+                    sampler.stats.spans_kept += 1;
+                    self.spans.push(span);
+                } else {
+                    // Parent was dropped or evicted — dropping the child
+                    // immediately keeps "every exported span's parent is
+                    // exported" true by construction.
+                    sampler.stats.spans_dropped += 1;
+                }
+            }
+        }
         id
+    }
+
+    /// Makes room for one more buffered span, evicting the oldest open
+    /// trace(s) other than `protect` if needed. Returns `false` when no
+    /// room can be made (only the protected trace remains and the ring is
+    /// full).
+    fn reserve_buffer_slot(sampler: &mut SamplerState, protect: u32) -> bool {
+        while sampler.stats.spans_buffered >= sampler.opts.ring_capacity as u64 {
+            if !Self::evict_oldest_trace(sampler, protect) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evicts the oldest still-open trace other than `protect`, dropping
+    /// its buffered spans. Returns `false` if there was nothing evictable.
+    fn evict_oldest_trace(sampler: &mut SamplerState, protect: u32) -> bool {
+        while let Some(&candidate) = sampler.order.front() {
+            if !sampler.open.contains_key(&candidate) {
+                // Stale entry (trace already finalized); discard.
+                sampler.order.pop_front();
+                continue;
+            }
+            if candidate == protect {
+                if sampler.order.len() == 1 {
+                    return false;
+                }
+                // The trace being appended to is exempt; rotating it to
+                // the back keeps the scan finite and treats it as the
+                // most recently active trace, which it is.
+                sampler.order.pop_front();
+                sampler.order.push_back(candidate);
+                continue;
+            }
+            sampler.order.pop_front();
+            if let Some(buf) = sampler.open.remove(&candidate) {
+                for s in &buf {
+                    sampler.locate.remove(&s.id.0);
+                }
+                sampler.stats.spans_buffered = sampler
+                    .stats
+                    .spans_buffered
+                    .saturating_sub(buf.len() as u64);
+                sampler.stats.spans_dropped += buf.len() as u64;
+                sampler.stats.traces_evicted += 1;
+            }
+            return true;
+        }
+        false
+    }
+
+    fn note_buffered(stats: &mut SamplerStats) {
+        stats.spans_buffered += 1;
+        stats.buffered_peak = stats.buffered_peak.max(stats.spans_buffered);
+    }
+
+    /// Finds a buffered span by id inside its trace's buffer.
+    fn buffered_span_mut(
+        open: &mut FxHashMap<u32, Vec<Span>>,
+        root: u32,
+        id: SpanId,
+    ) -> Option<&mut Span> {
+        open.get_mut(&root)?.iter_mut().find(|s| s.id == id)
+    }
+
+    /// Applies the tail keep/drop decision to a trace whose root span
+    /// just ended, draining its buffer into the kept set or the drop
+    /// counters.
+    fn finalize_trace(&mut self, root: u32) {
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        let Some(buf) = sampler.open.remove(&root) else {
+            return;
+        };
+        for s in &buf {
+            sampler.locate.remove(&s.id.0);
+        }
+        if let Some(pos) = sampler.order.iter().position(|&r| r == root) {
+            sampler.order.remove(pos);
+        }
+        sampler.stats.spans_buffered = sampler
+            .stats
+            .spans_buffered
+            .saturating_sub(buf.len() as u64);
+        if Self::should_keep(&sampler.opts, &buf) {
+            sampler.stats.traces_kept += 1;
+            sampler.stats.spans_kept += buf.len() as u64;
+            for span in buf {
+                sampler.kept.insert(span.id.0, self.spans.len() as u32);
+                self.spans.push(span);
+            }
+        } else {
+            sampler.stats.traces_dropped += 1;
+            sampler.stats.spans_dropped += buf.len() as u64;
+        }
+    }
+
+    /// The tail sampling decision: always keep outcome-interesting
+    /// traces, otherwise a deterministic seeded coin on the root id.
+    fn should_keep(opts: &SamplerOptions, buf: &[Span]) -> bool {
+        let Some(root) = buf.first() else {
+            return false;
+        };
+        if let Some(AttrValue::Str(status)) = root.attr("status") {
+            if matches!(status.as_ref(), "aborted" | "rejected" | "duplicate") {
+                return true;
+            }
+        }
+        if let Some(AttrValue::U64(attempts)) = root.attr("attempts") {
+            if *attempts > 1 {
+                return true;
+            }
+        }
+        if buf.iter().any(|s| s.name.ends_with(".rollback")) {
+            return true;
+        }
+        if root.duration_micros() >= opts.latency_threshold.as_micros() {
+            return true;
+        }
+        keep_coin(opts.seed, root.id.0) < opts.keep_fraction
     }
 
     /// Attaches an attribute to an open or closed span.
@@ -340,34 +688,96 @@ impl Telemetry {
         if !self.enabled || id.is_disabled() {
             return;
         }
-        if let Some(span) = self.spans.get_mut(id.0 as usize) {
-            span.attrs.push((key, value.into()));
-        }
-    }
-
-    /// Closes a span at `at`. Closing twice keeps the first end time.
-    pub fn end(&mut self, id: SpanId, at: SimTime) {
-        if !self.enabled || id.is_disabled() {
+        if self.sampler.is_none() {
+            if let Some(span) = self.spans.get_mut(id.0 as usize) {
+                span.attrs.push((key, value.into()));
+            }
             return;
         }
-        if let Some(span) = self.spans.get_mut(id.0 as usize) {
-            if span.end.is_none() {
-                span.end = Some(at.max(span.start));
+        let kept_idx = self
+            .sampler
+            .as_ref()
+            .and_then(|s| s.kept.get(&id.0).copied());
+        if let Some(idx) = kept_idx {
+            if let Some(span) = self.spans.get_mut(idx as usize) {
+                span.attrs.push((key, value.into()));
+            }
+            return;
+        }
+        if let Some(sampler) = self.sampler.as_mut() {
+            if let Some(&root) = sampler.locate.get(&id.0) {
+                if let Some(span) = Self::buffered_span_mut(&mut sampler.open, root, id) {
+                    span.attrs.push((key, value.into()));
+                }
             }
         }
     }
 
-    /// All spans in creation order.
+    /// Closes a span at `at`. Closing twice keeps the first end time. In
+    /// a sampled collector, ending a trace's root span triggers the
+    /// keep/drop decision for the whole trace.
+    pub fn end(&mut self, id: SpanId, at: SimTime) {
+        if !self.enabled || id.is_disabled() {
+            return;
+        }
+        if self.sampler.is_none() {
+            if let Some(span) = self.spans.get_mut(id.0 as usize) {
+                if span.end.is_none() {
+                    span.end = Some(at.max(span.start));
+                }
+            }
+            return;
+        }
+        let kept_idx = self
+            .sampler
+            .as_ref()
+            .and_then(|s| s.kept.get(&id.0).copied());
+        if let Some(idx) = kept_idx {
+            if let Some(span) = self.spans.get_mut(idx as usize) {
+                if span.end.is_none() {
+                    span.end = Some(at.max(span.start));
+                }
+            }
+            return;
+        }
+        let mut finalize_root = None;
+        if let Some(sampler) = self.sampler.as_mut() {
+            if let Some(&root) = sampler.locate.get(&id.0) {
+                if let Some(span) = Self::buffered_span_mut(&mut sampler.open, root, id) {
+                    if span.end.is_none() {
+                        span.end = Some(at.max(span.start));
+                    }
+                }
+                if id.0 == root {
+                    finalize_root = Some(root);
+                }
+            }
+        }
+        if let Some(root) = finalize_root {
+            self.finalize_trace(root);
+        }
+    }
+
+    /// All exported spans in promotion order (passthrough: every span in
+    /// creation order; sampled: kept spans only).
     pub fn spans(&self) -> &[Span] {
         &self.spans
     }
 
-    /// Looks up one span by id.
+    /// Looks up one span by id (buffered spans are visible here until
+    /// their trace is finalized).
     pub fn span(&self, id: SpanId) -> Option<&Span> {
         if id.is_disabled() {
             return None;
         }
-        self.spans.get(id.0 as usize)
+        let Some(sampler) = self.sampler.as_ref() else {
+            return self.spans.get(id.0 as usize);
+        };
+        if let Some(&idx) = sampler.kept.get(&id.0) {
+            return self.spans.get(idx as usize);
+        }
+        let root = sampler.locate.get(&id.0)?;
+        sampler.open.get(root)?.iter().find(|s| s.id == id)
     }
 
     /// Spans whose name matches exactly, in creation order.
@@ -380,14 +790,27 @@ impl Telemetry {
         self.spans.iter().filter(move |s| s.parent == Some(parent))
     }
 
-    /// Drops all spans (keeps enablement).
+    /// Drops all spans and fully resets collector state — the span-id
+    /// counter, per-trace buffers, id indexes and sampler accounting —
+    /// so traces exported after a clear can never alias ids from a prior
+    /// run. Enablement and sampler configuration are kept.
     pub fn clear(&mut self) {
         self.spans.clear();
+        if let Some(sampler) = self.sampler.as_mut() {
+            sampler.next_id = 0;
+            sampler.open.clear();
+            sampler.order.clear();
+            sampler.locate.clear();
+            sampler.kept.clear();
+            sampler.stats = SamplerStats::default();
+        }
     }
 
     /// Exports spans and trace events as a JSONL event log: one JSON
     /// object per line, spans first (creation order) then trace events
-    /// (recording order).
+    /// (recording order). A sampled collector appends one final
+    /// `{"type":"sampler",...}` accounting line so truncation is visible
+    /// in the artifact itself.
     pub fn export_jsonl(&self, trace: &Trace) -> String {
         let mut out = String::new();
         for span in &self.spans {
@@ -425,6 +848,22 @@ impl Telemetry {
                 entry.category,
                 entry.event.kind(),
                 json_escape(&entry.message())
+            );
+        }
+        if let Some(stats) = self.sampler_stats() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"sampler\",\"spans_opened\":{},\"spans_kept\":{},\"spans_dropped\":{},\"spans_buffered\":{},\"buffered_peak\":{},\"traces_started\":{},\"traces_kept\":{},\"traces_dropped\":{},\"traces_evicted\":{},\"unaccounted\":{}}}",
+                stats.spans_opened,
+                stats.spans_kept,
+                stats.spans_dropped,
+                stats.spans_buffered,
+                stats.buffered_peak,
+                stats.traces_started,
+                stats.traces_kept,
+                stats.traces_dropped,
+                stats.traces_evicted,
+                stats.unaccounted()
             );
         }
         out
@@ -474,8 +913,9 @@ impl Telemetry {
         out
     }
 
-    /// Walks parents up to the root ancestor of `id`.
-    fn root_of(&self, id: SpanId) -> SpanId {
+    /// Walks parents up to the root ancestor of `id` — the trace id used
+    /// as the Chrome track and for exemplar links in `OBS_report.json`.
+    pub fn root_of(&self, id: SpanId) -> SpanId {
         let mut cur = id;
         // Parents always have smaller ids, so this terminates.
         while let Some(span) = self.span(cur) {
@@ -486,6 +926,16 @@ impl Telemetry {
         }
         cur
     }
+}
+
+/// Deterministic coin in `[0, 1)` from `(seed, trace root id)` — a
+/// splitmix64 finalizer, so nearby root ids decorrelate.
+fn keep_coin(seed: u64, root_id: u32) -> f64 {
+    let mut z = seed ^ u64::from(root_id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Appends `attrs` as a JSON object to `out`.
@@ -613,5 +1063,200 @@ mod tests {
     fn escaping_handles_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    fn sampler(keep_fraction: f64, ring_capacity: usize) -> Telemetry {
+        Telemetry::sampled(SamplerOptions {
+            keep_fraction,
+            latency_threshold: SimDuration::from_millis(60_000),
+            ring_capacity,
+            seed: 7,
+        })
+    }
+
+    /// Runs one three-span trace to completion; returns the root id.
+    fn run_trace(tel: &mut Telemetry, start_ms: u64, status: Option<&'static str>) -> SpanId {
+        let start = SimTime::from_millis(start_ms);
+        let root = tel.open("migration", None, start).detach();
+        let child = tel.record_span(
+            "migration.suspend",
+            Some(root),
+            start,
+            SimTime::from_millis(start_ms + 1),
+        );
+        tel.attr(child, "bytes", 64u64);
+        let _ = tel.record_span(
+            "migration.resume",
+            Some(root),
+            SimTime::from_millis(start_ms + 1),
+            SimTime::from_millis(start_ms + 2),
+        );
+        if let Some(status) = status {
+            tel.attr(root, "status", status);
+        }
+        tel.end(root, SimTime::from_millis(start_ms + 2));
+        root
+    }
+
+    #[test]
+    fn sampled_always_keeps_outcome_interesting_traces() {
+        // keep_fraction 0: only the always-keep rules can keep a trace.
+        let mut tel = sampler(0.0, 64);
+        let aborted = run_trace(&mut tel, 0, Some("aborted"));
+        let healthy = run_trace(&mut tel, 10, None);
+        let rejected = run_trace(&mut tel, 20, Some("rejected"));
+        // Retried-but-successful migration: attempts > 1, no status.
+        let retried = {
+            let root = tel
+                .open("migration", None, SimTime::from_millis(30))
+                .detach();
+            tel.attr(root, "attempts", 2u64);
+            tel.end(root, SimTime::from_millis(31));
+            root
+        };
+        assert!(tel.span(aborted).is_some());
+        assert!(tel.span(rejected).is_some());
+        assert!(tel.span(retried).is_some());
+        assert!(tel.span(healthy).is_none());
+        // The aborted trace survives with its full causal tree.
+        assert_eq!(tel.children_of(aborted).count(), 2);
+        let stats = tel.sampler_stats().unwrap();
+        assert_eq!(stats.traces_kept, 3);
+        assert_eq!(stats.traces_dropped, 1);
+        assert_eq!(stats.spans_dropped, 3);
+        assert_eq!(stats.unaccounted(), 0);
+    }
+
+    #[test]
+    fn sampled_latency_threshold_always_keeps() {
+        let mut tel = Telemetry::sampled(SamplerOptions {
+            keep_fraction: 0.0,
+            latency_threshold: SimDuration::from_millis(100),
+            ring_capacity: 16,
+            seed: 1,
+        });
+        let slow = tel.open("migration", None, SimTime::ZERO).detach();
+        tel.end(slow, SimTime::from_millis(100));
+        let fast = tel
+            .open("migration", None, SimTime::from_millis(200))
+            .detach();
+        tel.end(fast, SimTime::from_millis(250));
+        assert!(tel.span(slow).is_some());
+        assert!(tel.span(fast).is_none());
+    }
+
+    #[test]
+    fn sampled_keep_fraction_is_deterministic() {
+        let kept_ids = |seed: u64| -> Vec<u32> {
+            let mut tel = Telemetry::sampled(SamplerOptions {
+                keep_fraction: 0.5,
+                latency_threshold: SimDuration::from_millis(60_000),
+                ring_capacity: 8,
+                seed,
+            });
+            for i in 0..200 {
+                let _ = run_trace(&mut tel, i * 10, None);
+            }
+            tel.spans()
+                .iter()
+                .filter(|s| s.parent.is_none())
+                .map(|s| s.id.raw())
+                .collect()
+        };
+        let a = kept_ids(7);
+        let b = kept_ids(7);
+        assert_eq!(a, b, "same seed keeps the same traces");
+        assert!(
+            !a.is_empty() && a.len() < 200,
+            "fraction is neither 0 nor 1"
+        );
+        let c = kept_ids(8);
+        assert_ne!(a, c, "different seed keeps a different set");
+    }
+
+    #[test]
+    fn sampled_ring_evicts_oldest_whole_trace_and_accounts_exactly() {
+        let mut tel = sampler(1.0, 4);
+        // Five roots left open: the ring holds at most 4 buffered spans,
+        // so the oldest trace is evicted whole to admit the fifth.
+        let roots: Vec<SpanId> = (0..5)
+            .map(|i| {
+                tel.open("migration", None, SimTime::from_millis(i))
+                    .detach()
+            })
+            .collect();
+        let stats = tel.sampler_stats().unwrap();
+        assert_eq!(stats.spans_buffered, 4);
+        assert_eq!(stats.buffered_peak, 4);
+        assert_eq!(stats.traces_evicted, 1);
+        assert_eq!(stats.unaccounted(), 0);
+        assert!(tel.span(roots[0]).is_none(), "oldest trace evicted");
+        // A child of the evicted trace is dropped immediately, never
+        // exported as an orphan.
+        let orphan = tel.record_span(
+            "migration.suspend",
+            Some(roots[0]),
+            SimTime::from_millis(9),
+            SimTime::from_millis(10),
+        );
+        assert!(tel.span(orphan).is_none());
+        // Surviving traces finalize normally (keep_fraction 1.0).
+        for root in &roots[1..] {
+            tel.end(*root, SimTime::from_millis(20));
+        }
+        let stats = tel.sampler_stats().unwrap();
+        assert_eq!(stats.spans_buffered, 0);
+        assert_eq!(stats.traces_kept, 4);
+        assert_eq!(stats.spans_kept, 4);
+        assert_eq!(stats.spans_dropped, 2); // evicted root + its late child
+        assert_eq!(stats.unaccounted(), 0);
+    }
+
+    #[test]
+    fn sampled_late_child_of_kept_trace_is_promoted() {
+        let mut tel = sampler(1.0, 16);
+        let root = run_trace(&mut tel, 0, None);
+        assert!(tel.span(root).is_some());
+        let late = tel.record_span(
+            "migration.checkin",
+            Some(root),
+            SimTime::from_millis(3),
+            SimTime::from_millis(4),
+        );
+        let span = tel.span(late).expect("late child promoted");
+        assert_eq!(span.parent, Some(root));
+        assert_eq!(tel.sampler_stats().unwrap().unaccounted(), 0);
+    }
+
+    #[test]
+    fn clear_fully_resets_sampled_collector_state() {
+        let mut tel = sampler(1.0, 16);
+        let first_root = run_trace(&mut tel, 0, None);
+        let dangling = tel
+            .open("migration", None, SimTime::from_millis(50))
+            .detach();
+        assert!(first_root.raw() < dangling.raw());
+        tel.clear();
+        let stats = tel.sampler_stats().unwrap();
+        assert_eq!(stats, SamplerStats::default());
+        assert!(tel.spans().is_empty());
+        assert!(tel.span(dangling).is_none(), "buffers were emptied");
+        // The id counter restarted: the next trace re-uses raw id 0, so
+        // exports after a clear cannot alias ids from the prior run.
+        let reborn = run_trace(&mut tel, 100, None);
+        assert_eq!(reborn.raw(), 0);
+        assert_eq!(tel.spans()[0].id, reborn);
+        assert!(tel.is_sampled() && tel.is_enabled());
+    }
+
+    #[test]
+    fn sampled_jsonl_has_accounting_footer() {
+        let mut tel = sampler(0.0, 16);
+        let _ = run_trace(&mut tel, 0, None);
+        let jsonl = tel.export_jsonl(&Trace::new());
+        let last = jsonl.lines().last().unwrap();
+        assert!(last.starts_with("{\"type\":\"sampler\""));
+        assert!(last.contains("\"spans_dropped\":3"));
+        assert!(last.contains("\"unaccounted\":0"));
     }
 }

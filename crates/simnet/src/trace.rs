@@ -231,6 +231,20 @@ pub enum TraceEvent {
         /// Size of the full snapshot that replaced it, in bytes.
         bytes: u64,
     },
+    /// An SLO's multi-window burn rate crossed its alert threshold.
+    SloBurnAlert {
+        /// Objective that fired.
+        slo: String,
+        /// Short-window burn rate × 1000 at the transition.
+        short_burn_milli: u64,
+        /// Long-window burn rate × 1000 at the transition.
+        long_burn_milli: u64,
+    },
+    /// A firing SLO alert dropped back under its burn threshold.
+    SloRecovered {
+        /// Objective that recovered.
+        slo: String,
+    },
     /// Free-form fallback for events without a structured variant.
     Text(String),
 }
@@ -265,6 +279,8 @@ impl TraceEvent {
             TraceEvent::MigrationRetry { .. } => "migration_retry",
             TraceEvent::MigrationAborted { .. } => "migration_aborted",
             TraceEvent::SnapshotResend { .. } => "snapshot_resend",
+            TraceEvent::SloBurnAlert { .. } => "slo_burn_alert",
+            TraceEvent::SloRecovered { .. } => "slo_recovered",
             TraceEvent::Text(_) => "text",
         }
     }
@@ -399,6 +415,21 @@ impl fmt::Display for TraceEvent {
                 f,
                 "delta rejected for {app_name}; full snapshot resent ({bytes} bytes)"
             ),
+            TraceEvent::SloBurnAlert {
+                slo,
+                short_burn_milli,
+                long_burn_milli,
+            } => write!(
+                f,
+                "SLO {slo} burning error budget at {}.{:03}x short / {}.{:03}x long",
+                short_burn_milli / 1000,
+                short_burn_milli % 1000,
+                long_burn_milli / 1000,
+                long_burn_milli % 1000
+            ),
+            TraceEvent::SloRecovered { slo } => {
+                write!(f, "SLO {slo} recovered; burn rates back under threshold")
+            }
             TraceEvent::Text(message) => f.write_str(message),
         }
     }
