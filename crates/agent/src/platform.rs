@@ -3,10 +3,12 @@
 
 use mdagent_fx::FxHashMap;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use mdagent_simnet::{
-    FaultInjector, HostId, LinkId, MetricsRegistry, PipelinedTransfer, SimDuration, Simulator,
-    Telemetry, Topology, Trace, TraceCategory, TraceEvent, TransferFault, DEFAULT_CHUNK_BYTES,
+    EventData, FaultInjector, HostId, Interner, LinkId, MetricsRegistry, PipelinedTransfer,
+    SimDuration, Simulator, Symbol, Telemetry, Topology, Trace, TraceCategory, TraceEvent,
+    TransferFault, DEFAULT_CHUNK_BYTES,
 };
 
 use crate::acl::AclMessage;
@@ -97,13 +99,17 @@ struct ContainerRec {
 }
 
 struct AgentSlot<W: PlatformHost> {
+    /// The agent's id, shared so hot-path invocation can hand out an
+    /// `&AgentId` without cloning two `String`s per callback.
+    id: Rc<AgentId>,
     container: ContainerId,
     state: LifecycleState,
     agent: Option<Box<dyn Agent<W>>>,
     checked_out: bool,
     buffer: VecDeque<AclMessage>,
     pending: VecDeque<PendingOp>,
-    type_name: String,
+    /// Interned agent type name (factory key).
+    type_sym: Symbol,
 }
 
 enum PendingOp {
@@ -117,7 +123,31 @@ enum PendingOp {
         clone_id: AgentId,
     },
     Kill,
+    Despawn,
 }
+
+/// A repeating timer's record: who it belongs to (by arena handle, so a
+/// reused slot never receives a stale agent's ticks) and its cadence.
+struct TickerRec {
+    active: bool,
+    agent: u32,
+    gen: u32,
+    period: SimDuration,
+    tag: u64,
+}
+
+/// Packs an arena handle into one event-data word.
+const fn pack_handle(idx: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+const fn unpack_handle(h: u64) -> (u32, u32) {
+    (h as u32, (h >> 32) as u32)
+}
+
+/// Sentinel handle that never resolves (used to keep event counts identical
+/// when an operation targets an unknown agent).
+const DEAD_HANDLE: (u32, u32) = (u32::MAX, u32::MAX);
 
 /// Identifier of a repeating timer created by [`Platform::set_ticker`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,17 +162,28 @@ pub struct TickerId(u64);
 pub struct Platform<W: PlatformHost> {
     name: String,
     containers: Vec<ContainerRec>,
-    agents: FxHashMap<AgentId, AgentSlot<W>>,
-    factories: FxHashMap<String, AgentFactory<W>>,
+    /// Agent arena: dense slots reused through a free list, with a
+    /// generation counter per slot so in-flight events addressed to a
+    /// freed slot can never touch its next occupant. 100k agents are 100k
+    /// contiguous records, not 100k scattered map nodes.
+    slots: Vec<Option<AgentSlot<W>>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    index: FxHashMap<AgentId, u32>,
+    /// Interned agent type names.
+    type_names: Interner,
+    factories: FxHashMap<Symbol, AgentFactory<W>>,
     df: Directory,
-    tickers: FxHashMap<TickerId, bool>,
-    next_ticker: u64,
+    tickers: Vec<TickerRec>,
     next_clone: u64,
     next_conversation: u64,
+    /// Interned endpoint codes for the channel clock, so per-send lookups
+    /// hash two `u32`s instead of cloning two `AgentId`s.
+    id_codes: FxHashMap<AgentId, u32>,
     /// Per (sender, receiver) pair: the earliest instant the next message
     /// may be delivered, enforcing in-order delivery as JADE's TCP-based
     /// message transport does.
-    channel_clock: FxHashMap<(AgentId, AgentId), mdagent_simnet::SimTime>,
+    channel_clock: FxHashMap<(u32, u32), mdagent_simnet::SimTime>,
 }
 
 impl<W: PlatformHost> std::fmt::Debug for Platform<W> {
@@ -150,7 +191,7 @@ impl<W: PlatformHost> std::fmt::Debug for Platform<W> {
         f.debug_struct("Platform")
             .field("name", &self.name)
             .field("containers", &self.containers.len())
-            .field("agents", &self.agents.len())
+            .field("agents", &self.index.len())
             .finish()
     }
 }
@@ -161,15 +202,97 @@ impl<W: PlatformHost> Platform<W> {
         Platform {
             name: name.into(),
             containers: Vec::new(),
-            agents: FxHashMap::default(),
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            index: FxHashMap::default(),
+            type_names: Interner::new(),
             factories: FxHashMap::default(),
             df: Directory::new(),
-            tickers: FxHashMap::default(),
-            next_ticker: 0,
+            tickers: Vec::new(),
             next_clone: 0,
             next_conversation: 0,
+            id_codes: FxHashMap::default(),
             channel_clock: FxHashMap::default(),
         }
+    }
+
+    // ---- arena plumbing ---------------------------------------------------
+
+    fn slot(&self, id: &AgentId) -> Option<&AgentSlot<W>> {
+        let &idx = self.index.get(id)?;
+        self.slots.get(idx as usize).and_then(Option::as_ref)
+    }
+
+    fn slot_mut(&mut self, id: &AgentId) -> Option<&mut AgentSlot<W>> {
+        let &idx = self.index.get(id)?;
+        self.slots.get_mut(idx as usize).and_then(Option::as_mut)
+    }
+
+    /// The `(index, generation)` handle for an agent, or the dead sentinel.
+    fn handle(&self, id: &AgentId) -> (u32, u32) {
+        match self.index.get(id) {
+            Some(&idx) => (idx, self.gens[idx as usize]),
+            None => DEAD_HANDLE,
+        }
+    }
+
+    fn slot_at(&self, idx: u32, gen: u32) -> Option<&AgentSlot<W>> {
+        if self.gens.get(idx as usize) != Some(&gen) {
+            return None;
+        }
+        self.slots.get(idx as usize).and_then(Option::as_ref)
+    }
+
+    fn slot_at_mut(&mut self, idx: u32, gen: u32) -> Option<&mut AgentSlot<W>> {
+        if self.gens.get(idx as usize) != Some(&gen) {
+            return None;
+        }
+        self.slots.get_mut(idx as usize).and_then(Option::as_mut)
+    }
+
+    /// Places a slot for `id`, reusing its existing arena cell (respawn over
+    /// a tombstone) or a free-listed one. Always bumps the generation so
+    /// events addressed to any earlier occupant go dead.
+    fn place(&mut self, id: AgentId, slot: AgentSlot<W>) -> (u32, u32) {
+        if let Some(&idx) = self.index.get(&id) {
+            let gen = self.gens[idx as usize].wrapping_add(1);
+            self.gens[idx as usize] = gen;
+            self.slots[idx as usize] = Some(slot);
+            return (idx, gen);
+        }
+        if let Some(idx) = self.free.pop() {
+            let gen = self.gens[idx as usize].wrapping_add(1);
+            self.gens[idx as usize] = gen;
+            self.slots[idx as usize] = Some(slot);
+            self.index.insert(id, idx);
+            (idx, gen)
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Some(slot));
+            self.gens.push(0);
+            self.index.insert(id, idx);
+            (idx, 0)
+        }
+    }
+
+    /// Frees an agent's arena cell for reuse and forgets its id.
+    fn free_slot(&mut self, id: &AgentId) {
+        if let Some(idx) = self.index.remove(id) {
+            self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
+            self.slots[idx as usize] = None;
+            self.free.push(idx);
+        }
+    }
+
+    /// Dense code for a channel endpoint (interned on first sight).
+    fn id_code(&mut self, id: &AgentId) -> u32 {
+        if let Some(&code) = self.id_codes.get(id) {
+            return code;
+        }
+        let code = self.id_codes.len() as u32;
+        self.id_codes.insert(id.clone(), code);
+        code
     }
 
     /// The platform name.
@@ -206,7 +329,8 @@ impl<W: PlatformHost> Platform<W> {
 
     /// Registers a reconstruction factory for an agent type.
     pub fn register_factory(&mut self, type_name: impl Into<String>, factory: AgentFactory<W>) {
-        self.factories.insert(type_name.into(), factory);
+        let sym = self.type_names.intern(&type_name.into());
+        self.factories.insert(sym, factory);
     }
 
     /// Builds an [`AgentId`] on this platform.
@@ -232,21 +356,22 @@ impl<W: PlatformHost> Platform<W> {
 
     /// Current lifecycle state of an agent.
     pub fn agent_state(&self, id: &AgentId) -> Option<LifecycleState> {
-        self.agents.get(id).map(|s| s.state)
+        self.slot(id).map(|s| s.state)
     }
 
     /// The container an agent currently sits in.
     pub fn container_of(&self, id: &AgentId) -> Option<ContainerId> {
-        self.agents.get(id).map(|s| s.container)
+        self.slot(id).map(|s| s.container)
     }
 
     /// Ids of all live (non-deleted) agents in a container, sorted.
     pub fn agents_in(&self, container: ContainerId) -> Vec<AgentId> {
         let mut out: Vec<AgentId> = self
-            .agents
+            .slots
             .iter()
-            .filter(|(_, s)| s.container == container && s.state != LifecycleState::Deleted)
-            .map(|(id, _)| id.clone())
+            .flatten()
+            .filter(|s| s.container == container && s.state != LifecycleState::Deleted)
+            .map(|s| (*s.id).clone())
             .collect();
         out.sort();
         out
@@ -254,8 +379,9 @@ impl<W: PlatformHost> Platform<W> {
 
     /// Number of live agents.
     pub fn agent_count(&self) -> usize {
-        self.agents
-            .values()
+        self.slots
+            .iter()
+            .flatten()
             .filter(|s| s.state != LifecycleState::Deleted)
             .count()
     }
@@ -279,33 +405,59 @@ impl<W: PlatformHost> Platform<W> {
         platform.container_host(container)?;
         let id = platform.agent_id(local_name);
         if platform
-            .agents
-            .get(&id)
+            .slot(&id)
             .is_some_and(|s| s.state != LifecycleState::Deleted)
         {
             return Err(AgentError::DuplicateAgent(id));
         }
-        let type_name = agent.type_name().to_owned();
-        platform.agents.insert(
+        let type_sym = platform.type_names.intern(agent.type_name());
+        let (idx, gen) = platform.place(
             id.clone(),
             AgentSlot {
+                id: Rc::new(id.clone()),
                 container,
                 state: LifecycleState::Active,
                 agent: Some(agent),
                 checked_out: false,
                 buffer: VecDeque::new(),
                 pending: VecDeque::new(),
-                type_name,
+                type_sym,
             },
         );
         world.env_mut().metrics.incr_static("platform.spawned");
-        let started = id.clone();
-        sim.schedule_now(move |w, sim| {
-            Self::invoke(w, sim, &started, |agent, cx| {
-                agent.on_start(Journey::Born, cx);
-            });
-        });
+        sim.schedule_data_now(Self::start_event, EventData::one(pack_handle(idx, gen)));
         Ok(id)
+    }
+
+    /// `on_start(Journey::Born)` dispatch, addressed by arena handle so a
+    /// spawn costs no per-event allocation.
+    fn start_event(world: &mut W, sim: &mut Simulator<W>, d: EventData) {
+        let (idx, gen) = unpack_handle(d.a);
+        Self::invoke_slot(world, sim, idx, gen, |agent, cx| {
+            agent.on_start(Journey::Born, cx);
+        });
+    }
+
+    /// Permanently removes an agent and frees its arena slot for reuse.
+    ///
+    /// [`kill`](Self::kill) keeps a tombstone so late messages dead-letter
+    /// and the id stays reserved; under arrival/departure churn that would
+    /// grow the arena without bound. `despawn` runs the kill semantics and
+    /// then releases the slot and id. Unknown ids are a no-op; if the agent
+    /// is mid-callback the despawn is deferred like other self-operations.
+    pub fn despawn(world: &mut W, id: &AgentId) {
+        {
+            let platform = world.platform_mut();
+            let Some(slot) = platform.slot_mut(id) else {
+                return;
+            };
+            if slot.checked_out {
+                slot.pending.push_back(PendingOp::Despawn);
+                return;
+            }
+        }
+        Self::kill(world, id);
+        world.platform_mut().free_slot(id);
     }
 
     /// Sends an ACL message; delivery is scheduled after the transport
@@ -314,13 +466,11 @@ impl<W: PlatformHost> Platform<W> {
         let delay = {
             let platform = world.platform();
             let src = platform
-                .agents
-                .get(&msg.sender)
+                .slot(&msg.sender)
                 .map(|s| s.container)
                 .and_then(|c| platform.container_host(c).ok());
             let dst = platform
-                .agents
-                .get(&msg.receiver)
+                .slot(&msg.receiver)
                 .map(|s| s.container)
                 .and_then(|c| platform.container_host(c).ok());
             match (src, dst) {
@@ -349,9 +499,12 @@ impl<W: PlatformHost> Platform<W> {
         // earlier one between the same endpoints (TCP semantics, as in
         // JADE's message transport).
         let mut deliver_at = sim.now() + delay;
-        let key = (msg.sender.clone(), msg.receiver.clone());
-        let channel = world
-            .platform_mut()
+        let platform = world.platform_mut();
+        let key = (
+            platform.id_code(&msg.sender),
+            platform.id_code(&msg.receiver),
+        );
+        let channel = platform
             .channel_clock
             .entry(key)
             .or_insert(mdagent_simnet::SimTime::ZERO);
@@ -373,7 +526,7 @@ impl<W: PlatformHost> Platform<W> {
         let receiver = msg.receiver.clone();
         let mut pending = Some(msg);
         let mut inbox_depth = 0usize;
-        let disposition = match world.platform_mut().agents.get_mut(&receiver) {
+        let disposition = match world.platform_mut().slot_mut(&receiver) {
             None => Disposition::Dead,
             Some(slot) => match slot.state {
                 LifecycleState::Deleted => Disposition::Dead,
@@ -420,8 +573,7 @@ impl<W: PlatformHost> Platform<W> {
     pub fn suspend(world: &mut W, id: &AgentId) -> Result<(), AgentError> {
         let slot = world
             .platform_mut()
-            .agents
-            .get_mut(id)
+            .slot_mut(id)
             .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         if slot.state != LifecycleState::Active {
             return Err(AgentError::NotActive(id.clone()));
@@ -439,8 +591,7 @@ impl<W: PlatformHost> Platform<W> {
     pub fn resume(world: &mut W, sim: &mut Simulator<W>, id: &AgentId) -> Result<(), AgentError> {
         let slot = world
             .platform_mut()
-            .agents
-            .get_mut(id)
+            .slot_mut(id)
             .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         if slot.state == LifecycleState::Suspended {
             slot.state = LifecycleState::Active;
@@ -451,7 +602,7 @@ impl<W: PlatformHost> Platform<W> {
 
     /// Terminates an agent; its remaining messages dead-letter.
     pub fn kill(world: &mut W, id: &AgentId) {
-        if let Some(slot) = world.platform_mut().agents.get_mut(id) {
+        if let Some(slot) = world.platform_mut().slot_mut(id) {
             if slot.checked_out {
                 slot.pending.push_back(PendingOp::Kill);
                 return;
@@ -472,13 +623,19 @@ impl<W: PlatformHost> Platform<W> {
         delay: SimDuration,
         tag: u64,
     ) {
-        let _ = world;
-        let id = id.clone();
-        sim.schedule_in(delay, move |w, sim| {
-            if w.platform().agent_state(&id) == Some(LifecycleState::Active) {
-                Self::invoke(w, sim, &id, |agent, cx| agent.on_timer(tag, cx));
-            }
-        });
+        let (idx, gen) = world.platform().handle(id);
+        sim.schedule_data_in(
+            delay,
+            Self::timer_event,
+            EventData::new(pack_handle(idx, gen), tag),
+        );
+    }
+
+    fn timer_event(world: &mut W, sim: &mut Simulator<W>, d: EventData) {
+        let (idx, gen) = unpack_handle(d.a);
+        if world.platform().slot_at(idx, gen).map(|s| s.state) == Some(LifecycleState::Active) {
+            Self::invoke_slot(world, sim, idx, gen, |agent, cx| agent.on_timer(d.b, cx));
+        }
     }
 
     /// Repeating timer with the given period; fires only while the agent is
@@ -492,44 +649,51 @@ impl<W: PlatformHost> Platform<W> {
         tag: u64,
     ) -> TickerId {
         let platform = world.platform_mut();
-        let ticker = TickerId(platform.next_ticker);
-        platform.next_ticker += 1;
-        platform.tickers.insert(ticker, true);
-        Self::schedule_tick(sim, id.clone(), period, tag, ticker);
+        let (idx, gen) = platform.handle(id);
+        let ticker = TickerId(platform.tickers.len() as u64);
+        platform.tickers.push(TickerRec {
+            active: true,
+            agent: idx,
+            gen,
+            period,
+            tag,
+        });
+        sim.schedule_data_in(period, Self::tick_event, EventData::one(ticker.0));
         ticker
     }
 
-    fn schedule_tick(
-        sim: &mut Simulator<W>,
-        id: AgentId,
-        period: SimDuration,
-        tag: u64,
-        ticker: TickerId,
-    ) {
-        sim.schedule_in(period, move |w, sim| {
-            let platform = w.platform();
-            if platform.tickers.get(&ticker) != Some(&true) {
-                return;
+    /// One tick of a repeating timer. The event carries only the ticker
+    /// index; cadence and target live in the ticker record, so a 100k-agent
+    /// tick storm allocates nothing.
+    fn tick_event(world: &mut W, sim: &mut Simulator<W>, d: EventData) {
+        let platform = world.platform();
+        let Some(rec) = platform.tickers.get(d.a as usize) else {
+            return;
+        };
+        if !rec.active {
+            return;
+        }
+        let (idx, gen, period, tag) = (rec.agent, rec.gen, rec.period, rec.tag);
+        match platform.slot_at(idx, gen).map(|s| s.state) {
+            None | Some(LifecycleState::Deleted) => {
+                world.platform_mut().tickers[d.a as usize].active = false;
             }
-            match platform.agent_state(&id) {
-                None | Some(LifecycleState::Deleted) => {
-                    w.platform_mut().tickers.remove(&ticker);
-                }
-                Some(LifecycleState::Active) => {
-                    Self::invoke(w, sim, &id, |agent, cx| agent.on_timer(tag, cx));
-                    Self::schedule_tick(sim, id, period, tag, ticker);
-                }
-                _ => {
-                    // Paused or travelling: skip this tick, keep the ticker.
-                    Self::schedule_tick(sim, id, period, tag, ticker);
-                }
+            Some(LifecycleState::Active) => {
+                Self::invoke_slot(world, sim, idx, gen, |agent, cx| agent.on_timer(tag, cx));
+                sim.schedule_data_in(period, Self::tick_event, EventData::one(d.a));
             }
-        });
+            _ => {
+                // Paused or travelling: skip this tick, keep the ticker.
+                sim.schedule_data_in(period, Self::tick_event, EventData::one(d.a));
+            }
+        }
     }
 
     /// Cancels a repeating timer.
     pub fn cancel_ticker(&mut self, ticker: TickerId) {
-        self.tickers.insert(ticker, false);
+        if let Some(rec) = self.tickers.get_mut(ticker.0 as usize) {
+            rec.active = false;
+        }
     }
 
     /// Moves an agent to another container (follow-me / cut-paste).
@@ -555,8 +719,7 @@ impl<W: PlatformHost> Platform<W> {
         let platform = world.platform_mut();
         let dst_host = platform.container_host(dest)?;
         let slot = platform
-            .agents
-            .get_mut(id)
+            .slot_mut(id)
             .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         if slot.checked_out {
             slot.pending.push_back(PendingOp::Move {
@@ -571,9 +734,15 @@ impl<W: PlatformHost> Platform<W> {
         if slot.state != LifecycleState::Active && slot.state != LifecycleState::Suspended {
             return Err(AgentError::NotActive(id.clone()));
         }
-        if !platform.factories.contains_key(&slot.type_name) {
-            return Err(AgentError::NoFactory(slot.type_name.clone()));
+        let type_sym = slot.type_sym;
+        if !platform.factories.contains_key(&type_sym) {
+            return Err(AgentError::NoFactory(
+                platform.type_names.resolve(type_sym).to_owned(),
+            ));
         }
+        let slot = platform
+            .slot_mut(id)
+            .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         let src = slot.container;
         // `checked_out` was rejected above, so the agent is present; treat
         // an empty slot as not-active rather than assuming.
@@ -613,8 +782,7 @@ impl<W: PlatformHost> Platform<W> {
 
         let slot = world
             .platform_mut()
-            .agents
-            .get_mut(id)
+            .slot_mut(id)
             .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         slot.state = LifecycleState::InTransit;
         slot.agent = None;
@@ -687,8 +855,7 @@ impl<W: PlatformHost> Platform<W> {
         let platform = world.platform_mut();
         let dst_host = platform.container_host(dest)?;
         let slot = platform
-            .agents
-            .get_mut(id)
+            .slot_mut(id)
             .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         if slot.checked_out {
             slot.pending.push_back(PendingOp::Clone {
@@ -701,15 +868,20 @@ impl<W: PlatformHost> Platform<W> {
         if slot.state != LifecycleState::Active {
             return Err(AgentError::NotActive(id.clone()));
         }
-        if !platform.factories.contains_key(&slot.type_name) {
-            return Err(AgentError::NoFactory(slot.type_name.clone()));
+        let type_sym = slot.type_sym;
+        if !platform.factories.contains_key(&type_sym) {
+            return Err(AgentError::NoFactory(
+                platform.type_names.resolve(type_sym).to_owned(),
+            ));
         }
+        let slot = platform
+            .slot_mut(id)
+            .ok_or_else(|| AgentError::UnknownAgent(id.clone()))?;
         let src = slot.container;
         let Some(agent) = slot.agent.as_ref() else {
             return Err(AgentError::NotActive(id.clone()));
         };
         let snapshot = agent.snapshot();
-        let type_name = slot.type_name.clone();
         let src_host = platform.container_host(src)?;
         let bytes = snapshot.len() as u64 + extra_payload_bytes + AGENT_FRAME_BYTES;
         let transfer = world
@@ -749,16 +921,17 @@ impl<W: PlatformHost> Platform<W> {
             },
         );
         // Pre-create the clone slot so messages sent to it meanwhile buffer.
-        world.platform_mut().agents.insert(
+        world.platform_mut().place(
             clone_id.clone(),
             AgentSlot {
+                id: Rc::new(clone_id.clone()),
                 container: dest,
                 state: LifecycleState::InTransit,
                 agent: None,
                 checked_out: false,
                 buffer: VecDeque::new(),
                 pending: VecDeque::new(),
-                type_name,
+                type_sym,
             },
         );
         let arriving = clone_id;
@@ -790,7 +963,7 @@ impl<W: PlatformHost> Platform<W> {
         cloned: bool,
     ) {
         let platform = world.platform_mut();
-        let Some(slot) = platform.agents.get(id) else {
+        let Some(slot) = platform.slot(id) else {
             return; // killed in transit
         };
         if slot.state == LifecycleState::Deleted {
@@ -802,7 +975,7 @@ impl<W: PlatformHost> Platform<W> {
             link: link.0,
         };
         if cloned {
-            if let Some(slot) = platform.agents.get_mut(id) {
+            if let Some(slot) = platform.slot_mut(id) {
                 slot.state = LifecycleState::Deleted;
                 slot.agent = None;
                 slot.buffer.clear();
@@ -812,15 +985,15 @@ impl<W: PlatformHost> Platform<W> {
             env.trace.record_event(now, TraceCategory::Agent, dropped);
             return;
         }
-        let type_name = slot.type_name.clone();
+        let type_sym = slot.type_sym;
         let src = slot.container;
         let rebuilt = platform
             .factories
-            .get(&type_name)
+            .get(&type_sym)
             .map(|factory| factory(&snapshot));
         match rebuilt {
             Some(Ok(agent)) => {
-                if let Some(slot) = platform.agents.get_mut(id) {
+                if let Some(slot) = platform.slot_mut(id) {
                     slot.agent = Some(agent);
                     slot.state = LifecycleState::Active;
                 }
@@ -831,7 +1004,7 @@ impl<W: PlatformHost> Platform<W> {
             }
             _ => {
                 // Cannot restore the snapshot either: the agent is lost.
-                if let Some(slot) = platform.agents.get_mut(id) {
+                if let Some(slot) = platform.slot_mut(id) {
                     slot.state = LifecycleState::Deleted;
                 }
                 let env = world.env_mut();
@@ -871,14 +1044,14 @@ impl<W: PlatformHost> Platform<W> {
         cloned: bool,
     ) {
         let platform = world.platform_mut();
-        let Some(slot) = platform.agents.get(id) else {
+        let Some(slot) = platform.slot(id) else {
             return; // killed in transit
         };
         if slot.state == LifecycleState::Deleted {
             return;
         }
-        let type_name = slot.type_name.clone();
-        let rebuilt = match platform.factories.get(&type_name) {
+        let type_sym = slot.type_sym;
+        let rebuilt = match platform.factories.get(&type_sym) {
             Some(factory) => factory(&snapshot),
             None => Err(mdagent_wire::WireError::InvalidTag {
                 tag: 0,
@@ -888,7 +1061,7 @@ impl<W: PlatformHost> Platform<W> {
         match rebuilt {
             Err(_) => {
                 // Reconstruction failure: the agent is lost; surface loudly.
-                let Some(slot) = platform.agents.get_mut(id) else {
+                let Some(slot) = platform.slot_mut(id) else {
                     return;
                 };
                 slot.state = LifecycleState::Deleted;
@@ -905,7 +1078,7 @@ impl<W: PlatformHost> Platform<W> {
                 );
             }
             Ok(agent) => {
-                let Some(slot) = platform.agents.get_mut(id) else {
+                let Some(slot) = platform.slot_mut(id) else {
                     return;
                 };
                 slot.agent = Some(agent);
@@ -934,7 +1107,7 @@ impl<W: PlatformHost> Platform<W> {
     fn flush_buffer(world: &mut W, sim: &mut Simulator<W>, id: &AgentId) {
         loop {
             let (msg, depth) = {
-                let Some(slot) = world.platform_mut().agents.get_mut(id) else {
+                let Some(slot) = world.platform_mut().slot_mut(id) else {
                     return;
                 };
                 if slot.state != LifecycleState::Active {
@@ -966,8 +1139,23 @@ impl<W: PlatformHost> Platform<W> {
         id: &AgentId,
         f: impl FnOnce(&mut dyn Agent<W>, Cx<'_, W>),
     ) {
-        let mut agent = {
-            let Some(slot) = world.platform_mut().agents.get_mut(id) else {
+        let (idx, gen) = world.platform().handle(id);
+        Self::invoke_slot(world, sim, idx, gen, f);
+    }
+
+    /// Handle-addressed invoke: checks the agent out of its arena slot,
+    /// runs `f`, checks it back in and executes any operations the handler
+    /// queued on itself. The id is shared out of the slot (one `Rc` bump),
+    /// so a 100k-agent tick storm clones no strings.
+    fn invoke_slot(
+        world: &mut W,
+        sim: &mut Simulator<W>,
+        idx: u32,
+        gen: u32,
+        f: impl FnOnce(&mut dyn Agent<W>, Cx<'_, W>),
+    ) {
+        let (mut agent, id) = {
+            let Some(slot) = world.platform_mut().slot_at_mut(idx, gen) else {
                 return;
             };
             if slot.checked_out {
@@ -977,32 +1165,44 @@ impl<W: PlatformHost> Platform<W> {
                 return;
             };
             slot.checked_out = true;
-            agent
+            (agent, Rc::clone(&slot.id))
         };
-        f(agent.as_mut(), Cx { id, world, sim });
+        let id_ref: &AgentId = &id;
+        f(
+            agent.as_mut(),
+            Cx {
+                id: id_ref,
+                world,
+                sim,
+            },
+        );
         // Check back in (unless the slot vanished or was deleted meanwhile).
-        let Some(slot) = world.platform_mut().agents.get_mut(id) else {
+        let Some(slot) = world.platform_mut().slot_at_mut(idx, gen) else {
             return;
         };
         slot.checked_out = false;
         if slot.state != LifecycleState::Deleted {
             slot.agent = Some(agent);
         }
-        Self::run_pending(world, sim, id);
+        Self::run_pending(world, sim, idx, gen);
     }
 
-    fn run_pending(world: &mut W, sim: &mut Simulator<W>, id: &AgentId) {
+    fn run_pending(world: &mut W, sim: &mut Simulator<W>, idx: u32, gen: u32) {
         loop {
-            let op = {
-                let Some(slot) = world.platform_mut().agents.get_mut(id) else {
+            let (op, id) = {
+                let Some(slot) = world.platform_mut().slot_at_mut(idx, gen) else {
                     return;
                 };
-                slot.pending.pop_front()
+                match slot.pending.pop_front() {
+                    None => return,
+                    Some(op) => (op, Rc::clone(&slot.id)),
+                }
             };
+            let id: &AgentId = &id;
             match op {
-                None => return,
-                Some(PendingOp::Kill) => Self::kill(world, id),
-                Some(PendingOp::Move { dest, extra }) => {
+                PendingOp::Kill => Self::kill(world, id),
+                PendingOp::Despawn => Self::despawn(world, id),
+                PendingOp::Move { dest, extra } => {
                     if let Err(e) = Self::move_agent(world, sim, id, dest, extra) {
                         world
                             .env_mut()
@@ -1016,11 +1216,11 @@ impl<W: PlatformHost> Platform<W> {
                         );
                     }
                 }
-                Some(PendingOp::Clone {
+                PendingOp::Clone {
                     dest,
                     extra,
                     clone_id,
-                }) => match Self::clone_agent_as(world, sim, id, dest, extra, clone_id.clone()) {
+                } => match Self::clone_agent_as(world, sim, id, dest, extra, clone_id.clone()) {
                     Ok(_) => {}
                     Err(e) => {
                         world

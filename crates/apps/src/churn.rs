@@ -1,0 +1,391 @@
+//! City-scale churn workload: commuting agents on a diurnal schedule.
+//!
+//! This is the population model behind `figures -- bench-scale`. Each
+//! [`ChurnAgent`] commutes between a home and a work container, pausing a
+//! pseudo-random dwell between trips; the driving world spawns and
+//! despawns agents so the live population tracks a [`DiurnalModel`] —
+//! the arrival/departure churn of a city of pervasive spaces over a day.
+//! Everything is deterministic: dwell jitter comes from per-agent
+//! xorshift state seeded from the agent's seat number, so the same
+//! configuration always produces the same event schedule.
+
+use mdagent_agent::{Agent, ContainerId, Cx, Journey, Platform, PlatformHost};
+use mdagent_simnet::{DurationStats, SimDuration, SimTime};
+use mdagent_wire::{impl_wire_struct, to_bytes};
+
+/// Timer tag a [`ChurnAgent`] uses for its commute departures.
+pub const COMMUTE_TAG: u64 = 0xC0_FFEE;
+
+/// Hour-by-hour population profile, as a percentage of the daily peak.
+///
+/// The model compresses a full diurnal cycle into `24 * hour` of
+/// simulated time; shrinking `hour` keeps event counts bounded without
+/// flattening the shape of the day.
+#[derive(Debug, Clone)]
+pub struct DiurnalModel {
+    /// Percent of the peak population present during each hour `0..24`.
+    pub profile: [u32; 24],
+    /// Length of one model hour on the simulated clock.
+    pub hour: SimDuration,
+}
+
+impl DiurnalModel {
+    /// A city-like shape: quiet nights, a steep morning ramp, a working
+    /// plateau at the peak, and an evening wind-down.
+    pub fn city(hour: SimDuration) -> Self {
+        DiurnalModel {
+            profile: [
+                20, 15, 12, 10, 10, 15, // 00-05 night
+                35, 60, 85, 100, 100, 100, // 06-11 morning ramp to plateau
+                95, 100, 100, 100, 95, 85, // 12-17 working day
+                70, 55, 45, 35, 30, 25, // 18-23 evening decline
+            ],
+            hour,
+        }
+    }
+
+    /// Model-hour index (`0..24`) at instant `at`.
+    pub fn hour_index(&self, at: SimTime) -> usize {
+        ((at.as_micros() / self.hour.as_micros().max(1)) % 24) as usize
+    }
+
+    /// Target live population at `at`, for a daily peak of `peak` agents.
+    pub fn target(&self, peak: u64, at: SimTime) -> u64 {
+        peak * u64::from(self.profile[self.hour_index(at)]) / 100
+    }
+}
+
+/// Aggregated outcome counters for a churn run.
+#[derive(Debug)]
+pub struct ChurnStats {
+    /// Commute latencies, from the departure decision to
+    /// `on_start(Journey::Moved)` at the destination.
+    pub arrivals: DurationStats,
+    /// Commutes requested via [`Platform::move_agent`].
+    pub trips_started: u64,
+    /// Commutes that completed with an arrival callback.
+    pub trips_completed: u64,
+}
+
+impl Default for ChurnStats {
+    fn default() -> Self {
+        ChurnStats {
+            arrivals: DurationStats::new(),
+            trips_started: 0,
+            trips_completed: 0,
+        }
+    }
+}
+
+/// Shared bulletin the churn agents read and write through their world.
+#[derive(Debug)]
+pub struct ChurnBoard {
+    /// Number of containers agents may commute between (`0..containers`).
+    pub containers: u32,
+    /// Extra payload bytes carried on every commute (application cargo).
+    pub payload_bytes: u64,
+    /// Mean dwell between commutes; actual dwells are jittered over
+    /// `[mean/2, 3*mean/2)`.
+    pub mean_pause: SimDuration,
+    /// When `true`, agents stop commuting so the run can drain.
+    pub closing: bool,
+    /// Outcome counters.
+    pub stats: ChurnStats,
+}
+
+impl ChurnBoard {
+    /// A board for `containers` containers with the given cargo and dwell.
+    pub fn new(containers: u32, payload_bytes: u64, mean_pause: SimDuration) -> Self {
+        ChurnBoard {
+            containers,
+            payload_bytes,
+            mean_pause,
+            closing: false,
+            stats: ChurnStats::default(),
+        }
+    }
+}
+
+/// Worlds that can host the churn workload: a platform plus the shared
+/// [`ChurnBoard`] the agents report into.
+pub trait ChurnHost: PlatformHost {
+    /// The shared churn bulletin.
+    fn churn(&self) -> &ChurnBoard;
+    /// Mutable access to the churn bulletin.
+    fn churn_mut(&mut self) -> &mut ChurnBoard;
+}
+
+/// xorshift64* step — deterministic per-agent jitter, no global RNG.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = (*state).max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A commuting agent: lives at `home`, works at `work`, and shuttles
+/// between the two with jittered dwells, reporting every completed trip's
+/// latency to the world's [`ChurnBoard`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnAgent {
+    /// Home container index.
+    pub home: u64,
+    /// Work container index.
+    pub work: u64,
+    /// Private xorshift state for dwell jitter.
+    pub rng: u64,
+    /// Microsecond timestamp of the current departure (`0` = at rest).
+    pub departed_us: u64,
+    /// Completed commutes.
+    pub trips: u64,
+}
+
+impl_wire_struct!(ChurnAgent {
+    home,
+    work,
+    rng,
+    departed_us,
+    trips
+});
+
+impl ChurnAgent {
+    /// Stable type tag (factory key).
+    pub const TYPE_NAME: &'static str = "churn-commuter";
+
+    /// A commuter for seat `seat` in a city of `containers` containers.
+    ///
+    /// Home and work are derived deterministically from the seat number;
+    /// work is always a different container when more than one exists.
+    pub fn new(seat: u64, containers: u32) -> Self {
+        let n = u64::from(containers.max(1));
+        let mut rng = seat.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let home = xorshift(&mut rng) % n;
+        let mut work = xorshift(&mut rng) % n;
+        if n > 1 && work == home {
+            work = (work + 1) % n;
+        }
+        ChurnAgent {
+            home,
+            work,
+            rng,
+            departed_us: 0,
+            trips: 0,
+        }
+    }
+
+    /// Next dwell before leaving, jittered over `[mean/2, 3*mean/2)`.
+    fn dwell(&mut self, mean: SimDuration) -> SimDuration {
+        let mean_us = mean.as_micros().max(1);
+        SimDuration::from_micros(mean_us / 2 + xorshift(&mut self.rng) % mean_us)
+    }
+
+    /// Arms the next commute departure unless the world is closing.
+    fn arm<W: ChurnHost>(&mut self, cx: &mut Cx<'_, W>) {
+        if cx.world.churn().closing {
+            return;
+        }
+        let pause = self.dwell(cx.world.churn().mean_pause);
+        Platform::set_timer(cx.world, cx.sim, cx.id, pause, COMMUTE_TAG);
+    }
+}
+
+impl<W: ChurnHost> Agent<W> for ChurnAgent {
+    fn type_name(&self) -> &'static str {
+        Self::TYPE_NAME
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    fn on_start(&mut self, journey: Journey, mut cx: Cx<'_, W>) {
+        if let Journey::Moved { .. } = journey {
+            let latency = cx
+                .sim
+                .now()
+                .saturating_since(SimTime::from_micros(self.departed_us));
+            self.departed_us = 0;
+            self.trips += 1;
+            let stats = &mut cx.world.churn_mut().stats;
+            stats.arrivals.record(latency);
+            stats.trips_completed += 1;
+        }
+        self.arm(&mut cx);
+    }
+
+    fn on_timer(&mut self, tag: u64, mut cx: Cx<'_, W>) {
+        if tag != COMMUTE_TAG || cx.world.churn().closing {
+            return;
+        }
+        let here = cx.world.platform().container_of(cx.id);
+        let dest = if here == Some(ContainerId(self.work as u32)) {
+            ContainerId(self.home as u32)
+        } else {
+            ContainerId(self.work as u32)
+        };
+        self.departed_us = cx.sim.now().as_micros();
+        let payload = cx.world.churn().payload_bytes;
+        // Called from inside a callback, so the platform defers the move
+        // until this handler returns; the departure snapshot then already
+        // carries `departed_us` for the arrival-side latency measurement.
+        match Platform::move_agent(cx.world, cx.sim, cx.id, dest, payload) {
+            Ok(_) => cx.world.churn_mut().stats.trips_started += 1,
+            Err(_) => {
+                // No route or not active: stay put and try again later.
+                self.departed_us = 0;
+                self.arm(&mut cx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdagent_agent::{Platform, PlatformEnv};
+    use mdagent_simnet::{Simulator, Topology};
+    use mdagent_wire::from_bytes;
+
+    struct MiniCity {
+        platform: Platform<MiniCity>,
+        env: PlatformEnv,
+        board: ChurnBoard,
+    }
+
+    impl PlatformHost for MiniCity {
+        fn platform(&self) -> &Platform<MiniCity> {
+            &self.platform
+        }
+        fn platform_mut(&mut self) -> &mut Platform<MiniCity> {
+            &mut self.platform
+        }
+        fn env(&self) -> &PlatformEnv {
+            &self.env
+        }
+        fn env_mut(&mut self) -> &mut PlatformEnv {
+            &mut self.env
+        }
+    }
+
+    impl ChurnHost for MiniCity {
+        fn churn(&self) -> &ChurnBoard {
+            &self.board
+        }
+        fn churn_mut(&mut self) -> &mut ChurnBoard {
+            &mut self.board
+        }
+    }
+
+    fn mini_city() -> (MiniCity, Simulator<MiniCity>) {
+        let topo = Topology::grid_city(2, 1).expect("grid");
+        let mut platform = Platform::new("mini");
+        let hosts: Vec<_> = topo.hosts().map(|h| h.id()).collect();
+        for (i, h) in hosts.iter().enumerate() {
+            platform.create_container(format!("c{i}"), *h);
+        }
+        platform.register_factory(
+            ChurnAgent::TYPE_NAME,
+            Box::new(|bytes| {
+                from_bytes::<ChurnAgent>(bytes).map(|a| Box::new(a) as Box<dyn Agent<MiniCity>>)
+            }),
+        );
+        let board = ChurnBoard::new(hosts.len() as u32, 4_096, SimDuration::from_secs(30));
+        let world = MiniCity {
+            platform,
+            env: PlatformEnv::new(topo),
+            board,
+        };
+        (world, Simulator::new())
+    }
+
+    #[test]
+    fn diurnal_model_tracks_the_day() {
+        let m = DiurnalModel::city(SimDuration::from_mins(1));
+        assert_eq!(m.target(1_000, SimTime::ZERO), 200);
+        // Hour 9 is the plateau; hour 3 the overnight trough.
+        let h9 = SimTime::ZERO + SimDuration::from_mins(9);
+        let h3 = SimTime::ZERO + SimDuration::from_mins(3);
+        assert_eq!(m.target(1_000, h9), 1_000);
+        assert_eq!(m.target(1_000, h3), 100);
+        // Day 2 wraps around to the same shape.
+        let next_day = SimTime::ZERO + SimDuration::from_mins(24 + 9);
+        assert_eq!(m.hour_index(next_day), 9);
+    }
+
+    #[test]
+    fn commuters_shuttle_and_report_latencies() {
+        let (mut world, mut sim) = mini_city();
+        for seat in 0..8u64 {
+            let agent = ChurnAgent::new(seat, world.board.containers);
+            let home = ContainerId(agent.home as u32);
+            Platform::spawn(
+                &mut world,
+                &mut sim,
+                home,
+                &format!("commuter-{seat}"),
+                Box::new(agent),
+            )
+            .expect("spawn");
+        }
+        sim.run_until(&mut world, SimTime::from_secs(600));
+        world.board.closing = true;
+        sim.run(&mut world);
+        let stats = &world.board.stats;
+        assert!(stats.trips_started > 8, "agents should keep commuting");
+        assert!(stats.trips_completed > 0);
+        assert!(stats.arrivals.count() > 0);
+        // Every measured arrival paid at least the migration handshake.
+        assert!(stats.arrivals.quantile(0.0) >= SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let run = || {
+            let (mut world, mut sim) = mini_city();
+            for seat in 0..4u64 {
+                let agent = ChurnAgent::new(seat, world.board.containers);
+                let home = ContainerId(agent.home as u32);
+                Platform::spawn(
+                    &mut world,
+                    &mut sim,
+                    home,
+                    &format!("commuter-{seat}"),
+                    Box::new(agent),
+                )
+                .expect("spawn");
+            }
+            sim.run_until(&mut world, SimTime::from_secs(300));
+            (
+                sim.executed(),
+                world.board.stats.trips_completed,
+                world.board.stats.arrivals.mean(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn despawn_mid_transit_is_safe() {
+        let (mut world, mut sim) = mini_city();
+        let agent = ChurnAgent::new(1, world.board.containers);
+        let home = ContainerId(agent.home as u32);
+        let id = Platform::spawn(&mut world, &mut sim, home, "transient", Box::new(agent))
+            .expect("spawn");
+        // Let it depart, then despawn while the transfer is in flight.
+        sim.run_until(&mut world, SimTime::from_secs(60));
+        Platform::despawn(&mut world, &id);
+        sim.run(&mut world);
+        assert_eq!(world.platform.agent_state(&id), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let mut a = ChurnAgent::new(7, 16);
+        a.trips = 3;
+        a.departed_us = 1_234;
+        let b: ChurnAgent = from_bytes(&to_bytes(&a)).expect("roundtrip");
+        assert_eq!(a, b);
+    }
+}

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod editor;
 mod handheld;
 mod media_player;
@@ -35,6 +36,7 @@ mod messenger;
 mod slideshow;
 pub mod testkit;
 
+pub use churn::{ChurnAgent, ChurnBoard, ChurnHost, ChurnStats, DiurnalModel, COMMUTE_TAG};
 pub use editor::Editor;
 pub use handheld::{HandheldEditor, HandheldPlayer};
 pub use media_player::MediaPlayer;

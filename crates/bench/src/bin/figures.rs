@@ -10,16 +10,18 @@
 use mdagent_bench::{
     ablation_clone_dispatch, ablation_matching, ablation_prestaging, ablation_reasoning,
     bench_faults_json, bench_migration_json, bench_observability_json, bench_reasoning_json,
-    fig10_comparative, fig8_adaptive, fig9_static, obs_report_json, trace_scenario,
-    TRACE_SCENARIOS,
+    bench_scale_json, fig10_comparative, fig8_adaptive, fig9_static, obs_report_json,
+    trace_scenario, TRACE_SCENARIOS,
 };
 
 fn main() {
     let mut filter: Vec<String> = std::env::args().skip(1).collect();
     // `--with-naive` lifts the naive reference engine's size gate for
-    // `bench-reasoning`; it is a modifier, not a figure selector.
+    // `bench-reasoning`; `--smoke` shrinks `bench-scale` to its CI slice.
+    // Both are modifiers, not figure selectors.
     let with_naive = filter.iter().any(|f| f == "--with-naive");
-    filter.retain(|f| f != "--with-naive");
+    let smoke = filter.iter().any(|f| f == "--smoke");
+    filter.retain(|f| f != "--with-naive" && f != "--smoke");
     let want = |key: &str| filter.is_empty() || filter.iter().any(|f| f == key);
 
     // Scenario trace export: writes TRACE_<scenario>.jsonl plus a Chrome
@@ -102,6 +104,20 @@ fn main() {
         match std::fs::write("OBS_report.json", &json) {
             Ok(()) => eprintln!("wrote OBS_report.json"),
             Err(e) => eprintln!("could not write OBS_report.json: {e}"),
+        }
+        if filter.len() == 1 {
+            return;
+        }
+    }
+
+    // City-scale churn benchmark: queue comparison + diurnal churn runs
+    // (wall-clock + RSS; `--smoke` for the fast CI slice).
+    if filter.iter().any(|f| f == "bench-scale") {
+        let json = bench_scale_json(smoke);
+        print!("{json}");
+        match std::fs::write("BENCH_scale.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_scale.json"),
+            Err(e) => eprintln!("could not write BENCH_scale.json: {e}"),
         }
         if filter.len() == 1 {
             return;

@@ -16,6 +16,7 @@ pub mod faults;
 pub mod migration;
 pub mod observe;
 pub mod report;
+pub mod scale;
 pub mod table;
 
 pub use experiments::{
@@ -37,4 +38,8 @@ pub use observe::{
     TraceArtifacts, TRACE_SCENARIOS,
 };
 pub use report::{obs_report_json, CHURN_MIGRATIONS};
+pub use scale::{
+    bench_scale_json, compare_queues, run_churn, ChurnRun, CityWorld, QueueMode, QUEUE_AGENTS,
+    QUEUE_EVENT_BUDGET,
+};
 pub use table::{Figure, Row};

@@ -11,8 +11,8 @@ use mdagent_context::{
 use mdagent_fx::FxHashMap;
 use mdagent_registry::{ApplicationRecord, RegistryFederation, ResourceRecord};
 use mdagent_simnet::{
-    CpuFactor, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng, SimTime,
-    Simulator, SloEdge, SloMonitor, SpaceId, SpanId, Telemetry, Topology, TraceCategory,
+    CpuFactor, EventData, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng,
+    SimTime, Simulator, SloEdge, SloMonitor, SpaceId, SpanId, Telemetry, Topology, TraceCategory,
     TraceEvent,
 };
 use mdagent_wire::Wire;
@@ -133,6 +133,10 @@ pub struct Middleware {
     rule_bases: FxHashMap<String, String>,
     sense_period: SimDuration,
     sensing: bool,
+    /// Registered recurring probe rounds: `(host pairs, period)`. The
+    /// recurring probe event carries only an index into this table, so
+    /// each round schedules allocation-free.
+    probe_sets: Vec<(Vec<(HostId, HostId)>, SimDuration)>,
 }
 
 impl std::fmt::Debug for Middleware {
@@ -403,6 +407,7 @@ impl MiddlewareBuilder {
             )]),
             sense_period: self.sense_period,
             sensing: false,
+            probe_sets: Vec::new(),
         };
         (world, Simulator::new())
     }
@@ -985,14 +990,15 @@ impl Middleware {
             return;
         }
         world.sensing = true;
-        Middleware::schedule_sense(sim, world.sense_period);
+        sim.schedule_fn_in(world.sense_period, Middleware::sense_event);
     }
 
-    fn schedule_sense(sim: &mut Simulator<Middleware>, period: SimDuration) {
-        sim.schedule_in(period, move |w, sim| {
-            Middleware::sense_once(w, sim);
-            Middleware::schedule_sense(sim, period);
-        });
+    /// One round of the recurring sensing loop. A plain function-pointer
+    /// event (the period lives in the world), so each round is
+    /// allocation-free no matter how many sensors fire.
+    fn sense_event(world: &mut Middleware, sim: &mut Simulator<Middleware>) {
+        Middleware::sense_once(world, sim);
+        sim.schedule_fn_in(world.sense_period, Middleware::sense_event);
     }
 
     fn sense_once(world: &mut Middleware, sim: &mut Simulator<Middleware>) {
@@ -1100,29 +1106,36 @@ impl Middleware {
         pairs: Vec<(HostId, HostId)>,
         period: SimDuration,
     ) {
-        let _ = world;
-        Middleware::schedule_probe(sim, pairs, period);
+        let idx = world.probe_sets.len() as u64;
+        world.probe_sets.push((pairs, period));
+        sim.schedule_data_in(period, Middleware::probe_event, EventData::one(idx));
     }
 
-    fn schedule_probe(
-        sim: &mut Simulator<Middleware>,
-        pairs: Vec<(HostId, HostId)>,
-        period: SimDuration,
-    ) {
-        sim.schedule_in(period, move |w, sim| {
-            for &(from, to) in &pairs {
-                let millis = w.response_time_ms(from, to);
-                if millis.is_finite() {
-                    Middleware::publish_context(
-                        w,
-                        sim,
-                        ContextData::ResponseTime { from, to, millis },
-                    );
-                    w.env.metrics.incr_static("probe.rounds");
-                }
+    /// One probe round for the registered pair set `d.a`. The pair list is
+    /// taken out of the world while probing (publishing needs `&mut`), then
+    /// restored — no per-round clone.
+    fn probe_event(world: &mut Middleware, sim: &mut Simulator<Middleware>, d: EventData) {
+        let idx = d.a as usize;
+        let Some(entry) = world.probe_sets.get_mut(idx) else {
+            return;
+        };
+        let pairs = std::mem::take(&mut entry.0);
+        let period = entry.1;
+        for &(from, to) in &pairs {
+            let millis = world.response_time_ms(from, to);
+            if millis.is_finite() {
+                Middleware::publish_context(
+                    world,
+                    sim,
+                    ContextData::ResponseTime { from, to, millis },
+                );
+                world.env.metrics.incr_static("probe.rounds");
             }
-            Middleware::schedule_probe(sim, pairs, period);
-        });
+        }
+        if let Some(entry) = world.probe_sets.get_mut(idx) {
+            entry.0 = pairs;
+        }
+        sim.schedule_data_in(period, Middleware::probe_event, EventData::one(d.a));
     }
 
     // ---- state updates & replica sync ---------------------------------------------

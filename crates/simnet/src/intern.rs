@@ -1,0 +1,111 @@
+//! String interning for hot identifiers.
+//!
+//! City-scale worlds repeat the same handful of strings — agent type names,
+//! space names — across hundreds of thousands of records. Interning maps
+//! each distinct string to a dense [`Symbol`] once, so records store a
+//! 4-byte copyable key instead of their own heap `String`, and lookups hash
+//! 4 bytes instead of the whole string.
+
+use mdagent_fx::FxHashMap;
+
+/// Dense handle to an interned string. `Copy`, 4 bytes, cheap to hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw dense index (0-based, in interning order).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A deterministic string interner: the first occurrence of each string
+/// gets the next dense [`Symbol`], so identical insertion orders yield
+/// identical symbols across runs.
+///
+/// # Examples
+///
+/// ```
+/// use mdagent_simnet::Interner;
+///
+/// let mut names = Interner::new();
+/// let a = names.intern("sentinel");
+/// let b = names.intern("walker");
+/// assert_eq!(a, names.intern("sentinel"));
+/// assert_ne!(a, b);
+/// assert_eq!(names.resolve(b), "walker");
+/// ```
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    index: FxHashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the symbol for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it is already interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.index.get(s).copied()
+    }
+
+    /// The string behind a symbol. Symbols come only from this interner's
+    /// [`intern`](Self::intern), so resolution cannot miss; a foreign
+    /// symbol resolves to `""` rather than panicking.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.strings.get(sym.0 as usize).map_or("", String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.get("beta"), Some(b));
+        assert_eq!(i.get("gamma"), None);
+    }
+
+    #[test]
+    fn foreign_symbol_resolves_empty() {
+        let mut other = Interner::new();
+        other.intern("x");
+        other.intern("y");
+        let sym = other.intern("z");
+        let i = Interner::new();
+        assert_eq!(i.resolve(sym), "");
+    }
+}

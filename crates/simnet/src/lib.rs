@@ -44,6 +44,7 @@
 
 mod event;
 mod fault;
+mod intern;
 mod metrics;
 mod rng;
 mod sim;
@@ -53,8 +54,9 @@ mod time;
 mod topology;
 mod trace;
 
-pub use event::EventId;
+pub use event::{EventData, EventId, QueueKind};
 pub use fault::{FaultInjector, FaultOptions, TransferFault};
+pub use intern::{Interner, Symbol};
 pub use metrics::{DurationStats, Histogram, MetricsRegistry};
 pub use rng::SimRng;
 pub use sim::Simulator;

@@ -5,7 +5,7 @@
 //! registries and applications inside the world; the simulator stays a thin,
 //! reusable kernel.
 
-use crate::event::{EventId, EventQueue};
+use crate::event::{EventData, EventId, EventQueue, Payload, QueueKind};
 use crate::time::{SimDuration, SimTime};
 
 /// A deterministic discrete-event simulator.
@@ -53,14 +53,28 @@ impl<W> Default for Simulator<W> {
 }
 
 impl<W> Simulator<W> {
-    /// Creates an empty simulator at time zero.
+    /// Creates an empty simulator at time zero, on the default queue
+    /// (the calendar queue, unless the `reference-queue` feature flips it).
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::default())
+    }
+
+    /// Creates an empty simulator on an explicit queue implementation.
+    ///
+    /// [`QueueKind::ReferenceHeap`] selects the original binary-heap
+    /// scheduler — useful as an equivalence or performance baseline.
+    pub fn with_queue(kind: QueueKind) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::new(kind),
             executed: 0,
             limit: None,
         }
+    }
+
+    /// Which queue implementation this simulator runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     /// The current simulated instant.
@@ -92,8 +106,7 @@ impl<W> Simulator<W> {
     where
         F: FnOnce(&mut W, &mut Simulator<W>) + 'static,
     {
-        let at = at.max(self.now);
-        self.queue.push(at, Box::new(action))
+        self.push(at, Payload::Boxed(Box::new(action)))
     }
 
     /// Schedules `action` after the relative delay `delay`.
@@ -113,6 +126,58 @@ impl<W> Simulator<W> {
         self.schedule_at(self.now, action)
     }
 
+    /// Schedules a plain function pointer at the absolute instant `at` —
+    /// no allocation, no captured state. Past instants clamp to *now*.
+    pub fn schedule_fn_at(&mut self, at: SimTime, f: fn(&mut W, &mut Simulator<W>)) -> EventId {
+        self.push(at, Payload::Fn(f))
+    }
+
+    /// Schedules a plain function pointer after `delay` (allocation-free).
+    pub fn schedule_fn_in(
+        &mut self,
+        delay: SimDuration,
+        f: fn(&mut W, &mut Simulator<W>),
+    ) -> EventId {
+        self.schedule_fn_at(self.now + delay, f)
+    }
+
+    /// Schedules a function pointer with a two-word [`EventData`] payload
+    /// at the absolute instant `at` — the allocation-free hot path. Past
+    /// instants clamp to *now*.
+    pub fn schedule_data_at(
+        &mut self,
+        at: SimTime,
+        f: fn(&mut W, &mut Simulator<W>, EventData),
+        data: EventData,
+    ) -> EventId {
+        self.push(at, Payload::Data(f, data))
+    }
+
+    /// Schedules a data-carrying function pointer after `delay`.
+    pub fn schedule_data_in(
+        &mut self,
+        delay: SimDuration,
+        f: fn(&mut W, &mut Simulator<W>, EventData),
+        data: EventData,
+    ) -> EventId {
+        self.schedule_data_at(self.now + delay, f, data)
+    }
+
+    /// Schedules a data-carrying function pointer at the current instant,
+    /// after already-queued events for this instant.
+    pub fn schedule_data_now(
+        &mut self,
+        f: fn(&mut W, &mut Simulator<W>, EventData),
+        data: EventData,
+    ) -> EventId {
+        self.schedule_data_at(self.now, f, data)
+    }
+
+    fn push(&mut self, at: SimTime, payload: Payload<W>) -> EventId {
+        let at = at.max(self.now);
+        self.queue.push(at, payload)
+    }
+
     /// Cancels a pending event. Returns `false` if the event already ran,
     /// was already cancelled, or never existed.
     pub fn cancel(&mut self, id: EventId) -> bool {
@@ -125,11 +190,15 @@ impl<W> Simulator<W> {
     pub fn step(&mut self, world: &mut W) -> bool {
         match self.queue.pop() {
             None => false,
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now, "time must be monotonic");
-                self.now = ev.at;
+            Some((at, payload)) => {
+                debug_assert!(at >= self.now, "time must be monotonic");
+                self.now = at;
                 self.executed += 1;
-                (ev.action)(world, self);
+                match payload {
+                    Payload::Boxed(f) => f(world, self),
+                    Payload::Fn(f) => f(world, self),
+                    Payload::Data(f, data) => f(world, self, data),
+                }
                 true
             }
         }

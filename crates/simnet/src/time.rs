@@ -105,6 +105,16 @@ impl SimDuration {
         SimDuration(secs * 1_000_000)
     }
 
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60 * 1_000_000)
+    }
+
+    /// Creates a duration from whole hours — diurnal-scale scenarios.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600 * 1_000_000)
+    }
+
     /// Creates a duration from fractional seconds, saturating at zero for
     /// negative or non-finite input.
     pub fn from_secs_f64(secs: f64) -> Self {

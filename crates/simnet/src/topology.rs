@@ -6,6 +6,7 @@
 //! that inter-space migration needs gateway support (Fig. 1).
 
 use mdagent_fx::FxHashMap;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -263,12 +264,70 @@ pub struct Topology {
     hosts: Vec<Host>,
     links: Vec<Link>,
     adjacency: FxHashMap<HostId, Vec<LinkId>>,
+    /// Memoized fewest-hops routes; invalidated whenever a link is added.
+    /// At city scale, migrations repeat the same host pairs constantly —
+    /// without this, per-migration BFS dwarfs the scheduler itself.
+    route_cache: RefCell<FxHashMap<(HostId, HostId), Vec<LinkId>>>,
 }
 
 impl Topology {
     /// Creates an empty topology.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds a city: a `side` × `side` grid of smart spaces with
+    /// `hosts_per_space` hosts each. Hosts within a space form a LAN star
+    /// on the first host (1 ms, 100 Mbps); spaces are joined to their grid
+    /// neighbours by gateway links between their first hosts (8 ms,
+    /// 10 Mbps), mirroring the paper's testbed link classes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates link-construction errors (cannot occur for valid
+    /// `side >= 1`, `hosts_per_space >= 1`).
+    pub fn grid_city(side: u32, hosts_per_space: u32) -> Result<Topology, TopologyError> {
+        let mut topo = Topology::new();
+        let side = side.max(1);
+        let hosts_per_space = hosts_per_space.max(1);
+        let mut anchors: Vec<HostId> = Vec::with_capacity((side * side) as usize);
+        for r in 0..side {
+            for c in 0..side {
+                let space = topo.add_space(format!("s{r}x{c}"));
+                let anchor = topo.add_host(format!("s{r}x{c}-h0"), space, CpuFactor::REFERENCE);
+                for k in 1..hosts_per_space {
+                    let h = topo.add_host(format!("s{r}x{c}-h{k}"), space, CpuFactor::new(0.9));
+                    topo.add_lan_link(anchor, h, SimDuration::from_millis(1), 100_000_000, 0.8)?;
+                }
+                anchors.push(anchor);
+            }
+        }
+        for r in 0..side {
+            for c in 0..side {
+                let here = anchors[(r * side + c) as usize];
+                if c + 1 < side {
+                    let east = anchors[(r * side + c + 1) as usize];
+                    topo.add_gateway_link(
+                        here,
+                        east,
+                        SimDuration::from_millis(8),
+                        10_000_000,
+                        0.8,
+                    )?;
+                }
+                if r + 1 < side {
+                    let south = anchors[((r + 1) * side + c) as usize];
+                    topo.add_gateway_link(
+                        here,
+                        south,
+                        SimDuration::from_millis(8),
+                        10_000_000,
+                        0.8,
+                    )?;
+                }
+            }
+        }
+        Ok(topo)
     }
 
     /// Adds a smart space and returns its id.
@@ -361,6 +420,7 @@ impl Topology {
         });
         self.adjacency.entry(a).or_default().push(id);
         self.adjacency.entry(b).or_default().push(id);
+        self.route_cache.borrow_mut().clear();
         id
     }
 
@@ -430,6 +490,17 @@ impl Topology {
         if from == to {
             return Ok(Vec::new());
         }
+        if let Some(path) = self.route_cache.borrow().get(&(from, to)) {
+            return Ok(path.clone());
+        }
+        let path = self.route_uncached(from, to)?;
+        self.route_cache
+            .borrow_mut()
+            .insert((from, to), path.clone());
+        Ok(path)
+    }
+
+    fn route_uncached(&self, from: HostId, to: HostId) -> Result<Vec<LinkId>, TopologyError> {
         let mut prev: FxHashMap<HostId, (HostId, LinkId)> = FxHashMap::default();
         let mut queue = VecDeque::from([from]);
         'bfs: while let Some(cur) = queue.pop_front() {
@@ -678,6 +749,39 @@ mod tests {
         let a = topo.add_host("a", s, CpuFactor::REFERENCE);
         let b = topo.add_host("b", s, CpuFactor::REFERENCE);
         assert_eq!(topo.route(a, b), Err(TopologyError::NoRoute(a, b)));
+    }
+
+    #[test]
+    fn route_cache_invalidates_on_new_links() {
+        let mut topo = Topology::new();
+        let s = topo.add_space("s");
+        let a = topo.add_host("a", s, CpuFactor::REFERENCE);
+        let b = topo.add_host("b", s, CpuFactor::REFERENCE);
+        let c = topo.add_host("c", s, CpuFactor::REFERENCE);
+        topo.add_lan_link(a, b, SimDuration::from_millis(1), 1_000_000, 0.8)
+            .unwrap();
+        topo.add_lan_link(b, c, SimDuration::from_millis(1), 1_000_000, 0.8)
+            .unwrap();
+        assert_eq!(topo.route(a, c).unwrap().len(), 2);
+        // Repeat hits the cache and must agree.
+        assert_eq!(topo.route(a, c).unwrap().len(), 2);
+        // A new direct link must invalidate the memoized 2-hop route.
+        topo.add_lan_link(a, c, SimDuration::from_millis(1), 1_000_000, 0.8)
+            .unwrap();
+        assert_eq!(topo.route(a, c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn grid_city_connects_all_spaces() {
+        let topo = Topology::grid_city(3, 2).unwrap();
+        assert_eq!(topo.space_count(), 9);
+        assert_eq!(topo.hosts().count(), 18);
+        // Opposite corners are routable, with a fewest-hops Manhattan path
+        // between their anchors (4 gateway hops for a 3x3 grid).
+        let first = HostId(0);
+        let hosts: Vec<_> = topo.hosts().map(|h| h.id()).collect();
+        let last_anchor = hosts[hosts.len() - 2];
+        assert_eq!(topo.route(first, last_anchor).unwrap().len(), 4);
     }
 
     #[test]
