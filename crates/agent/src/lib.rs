@@ -43,6 +43,6 @@ pub use error::AgentError;
 pub use fsm::{Fsm, InvalidTransition};
 pub use id::{AgentId, ContainerId};
 pub use platform::{
-    AgentFactory, Platform, PlatformEnv, PlatformHost, TickerId, AGENT_FRAME_BYTES, LOCAL_DELIVERY,
-    MIGRATION_SETUP, REMOTE_OVERHEAD,
+    AgentFactory, DeferredFailure, Platform, PlatformEnv, PlatformHost, TickerId,
+    AGENT_FRAME_BYTES, LOCAL_DELIVERY, MIGRATION_SETUP, REMOTE_OVERHEAD,
 };

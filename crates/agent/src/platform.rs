@@ -88,6 +88,42 @@ pub trait PlatformHost: Sized + 'static {
     fn env(&self) -> &PlatformEnv;
     /// Mutable environment access.
     fn env_mut(&mut self) -> &mut PlatformEnv;
+    /// Hears that a deferred operation of `id` failed when its queue
+    /// drained (see [`DeferredFailure`]). The original requester already
+    /// received `Ok` for the queued operation, so this hook is the
+    /// world's only chance to unwind bookkeeping keyed to the promised
+    /// move or clone. Does nothing by default.
+    fn deferred_op_failed(
+        world: &mut Self,
+        sim: &mut Simulator<Self>,
+        id: &AgentId,
+        failure: DeferredFailure,
+    ) {
+        let _ = (world, sim, id, failure);
+    }
+}
+
+/// A deferred lifecycle operation that failed when its queue drained.
+///
+/// Moves and clones requested while an agent is checked out (inside one
+/// of its own callbacks) are queued and report `Ok` to the caller; the
+/// real attempt runs when the agent checks back in. A failure at that
+/// point is reported to the world through
+/// [`PlatformHost::deferred_op_failed`].
+#[derive(Debug)]
+pub enum DeferredFailure {
+    /// A queued move never left the source.
+    Move {
+        /// Why the move could not start.
+        error: AgentError,
+    },
+    /// A queued clone never materialized at the destination.
+    Clone {
+        /// The clone id that was promised to the requester.
+        clone_id: AgentId,
+        /// Why the clone could not start.
+        error: AgentError,
+    },
 }
 
 /// Factory reconstructing an agent from its snapshot after migration.
@@ -1214,6 +1250,7 @@ impl<W: PlatformHost> Platform<W> {
                             TraceCategory::Agent,
                             format!("deferred move of {id} failed: {e}"),
                         );
+                        W::deferred_op_failed(world, sim, id, DeferredFailure::Move { error: e });
                     }
                 }
                 PendingOp::Clone {
@@ -1232,6 +1269,12 @@ impl<W: PlatformHost> Platform<W> {
                             now,
                             TraceCategory::Agent,
                             format!("deferred clone {clone_id} of {id} failed: {e}"),
+                        );
+                        W::deferred_op_failed(
+                            world,
+                            sim,
+                            id,
+                            DeferredFailure::Clone { clone_id, error: e },
                         );
                     }
                 },

@@ -152,7 +152,7 @@ const QUEUE_ROUNDS: usize = 3;
 
 /// All four queue-comparison modes on the same schedule, seed first.
 ///
-/// Each mode runs [`QUEUE_ROUNDS`] times, round-robin across modes so
+/// Each mode runs `QUEUE_ROUNDS` times, round-robin across modes so
 /// clock drift hits every mode alike, and reports its fastest round.
 pub fn compare_queues(agents: u64, budget: u64) -> Vec<QueueMode> {
     let configs: [(&'static str, QueueKind, bool); 4] = [

@@ -11,6 +11,7 @@ use mdagent_wire::{impl_wire_struct, to_bytes};
 
 use crate::app::{AppId, AppState};
 use crate::component::ComponentKind;
+use crate::layers::TransferFlow;
 use crate::messages::{ontologies, Cargo, ContextNotice};
 use crate::middleware::Middleware;
 use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
@@ -143,6 +144,17 @@ impl MobileAgent {
                 .incr_static("ma.no_dest_container");
             return;
         };
+        // Any policy layer may veto the departure before bytes move
+        // (e.g. an admission cap at the destination space).
+        if let TransferFlow::Reject(_) = Middleware::transfer_gate(cx.world, cx.sim, cx.id, cargo) {
+            cx.world
+                .env_mut()
+                .metrics
+                .incr_static("ma.departure_rejected");
+            Middleware::abort_departure(cx.world, cx.sim, cx.id);
+            self.cargo = None;
+            return;
+        }
         match mode {
             MobilityMode::FollowMe => {
                 // Deferred until this handler returns (we are the agent
@@ -154,24 +166,9 @@ impl MobileAgent {
                 let id = cx.id.clone();
                 match Platform::clone_agent(cx.world, cx.sim, &id, container, 0) {
                     Ok((clone_id, _)) => {
-                        let now = cx.sim.now();
-                        if let Some((app, suspend, shipped, spans)) =
-                            cx.world.in_flight_suspend(&id)
-                        {
-                            let watchdog = Middleware::note_clone_departure(
-                                cx.world,
-                                now,
-                                clone_id.clone(),
-                                app,
-                                dest_host,
-                                shipped,
-                                suspend,
-                                spans,
-                            );
-                            if let Some(delay) = watchdog {
-                                Middleware::arm_watchdog(cx.sim, clone_id, 1, delay);
-                            }
-                        }
+                        Middleware::note_clone_dispatched(
+                            cx.world, cx.sim, &id, clone_id, dest_host,
+                        );
                         // Drop the cargo copy once the (deferred) clone
                         // snapshot has been taken.
                         Platform::set_timer(
@@ -183,7 +180,12 @@ impl MobileAgent {
                         );
                     }
                     Err(_) => {
+                        // A refused clone leaves the original running; the
+                        // source flight must not linger as a leaked record
+                        // with an unclosed root span.
                         cx.world.env_mut().metrics.incr_static("ma.clone_failed");
+                        Middleware::abort_departure(cx.world, cx.sim, &id);
+                        self.cargo = None;
                     }
                 }
             }

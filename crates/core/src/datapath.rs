@@ -49,6 +49,9 @@ impl DataPathOptions {
 pub struct ComponentCache {
     /// Least recently used at the front, most recently used at the back.
     entries: Vec<(u64, u64)>,
+    /// Running sum of the cached entry sizes — kept in lock-step with
+    /// `entries` so the admission check is O(1) instead of a rescan.
+    used: u64,
 }
 
 impl ComponentCache {
@@ -75,20 +78,34 @@ impl ComponentCache {
         }
     }
 
+    /// Removes the entry under `digest`, returning its recorded size.
+    fn take(&mut self, digest: u64) -> Option<u64> {
+        let i = self.entries.iter().position(|(d, _)| *d == digest)?;
+        let (_, bytes) = self.entries.remove(i);
+        self.used -= bytes;
+        Some(bytes)
+    }
+
     /// Inserts content of `bytes` size under `digest`, evicting least
     /// recently used entries to stay within `capacity_bytes`. Entries
     /// larger than the whole budget are not cached.
+    ///
+    /// Re-inserting a digest already present updates its recency (and
+    /// recorded size) without counting its bytes twice against the
+    /// budget: the old entry is removed before admission, so a full cache
+    /// never evicts *other* entries just because one of its own residents
+    /// was inserted again.
     pub fn insert(&mut self, digest: u64, bytes: u64, capacity_bytes: u64) {
-        if self.touch(digest) {
-            return;
-        }
+        self.take(digest);
         if bytes > capacity_bytes {
             return;
         }
-        while !self.entries.is_empty() && self.bytes_used() + bytes > capacity_bytes {
-            self.entries.remove(0);
+        while !self.entries.is_empty() && self.used + bytes > capacity_bytes {
+            let (_, evicted) = self.entries.remove(0);
+            self.used -= evicted;
         }
         self.entries.push((digest, bytes));
+        self.used += bytes;
     }
 
     /// Number of cached entries.
@@ -103,7 +120,7 @@ impl ComponentCache {
 
     /// Total cached bytes.
     pub fn bytes_used(&self) -> u64 {
-        self.entries.iter().map(|(_, b)| *b).sum()
+        self.used
     }
 }
 
@@ -147,6 +164,40 @@ mod tests {
         assert!(!c.contains(2), "LRU entry must be evicted");
         assert!(c.contains(1) && c.contains(3));
         assert!(c.bytes_used() <= 1000);
+    }
+
+    #[test]
+    fn reinsert_never_double_counts_or_evicts() {
+        // A full cache re-inserting one of its own residents must not
+        // count that resident's bytes twice against the budget — which
+        // would spuriously evict the other entries.
+        let mut c = ComponentCache::new();
+        c.insert(1, 600, 1000);
+        c.insert(2, 400, 1000); // exactly at capacity
+        for _ in 0..10 {
+            c.insert(1, 600, 1000);
+            c.insert(2, 400, 1000);
+            assert_eq!(c.len(), 2, "re-insert must never evict a co-resident");
+            assert_eq!(c.bytes_used(), 1000, "bytes counted exactly once");
+        }
+        // Recency is still updated: after re-inserting 1 last, 2 is LRU.
+        c.insert(1, 600, 1000);
+        c.insert(3, 400, 1000);
+        assert!(!c.contains(2), "LRU entry evicted");
+        assert!(c.contains(1) && c.contains(3));
+        assert_eq!(c.bytes_used(), 1000);
+    }
+
+    #[test]
+    fn reinsert_revalidates_against_capacity() {
+        // Re-insert runs the same admission path as a fresh insert: an
+        // entry re-offered under a now-smaller budget is dropped rather
+        // than silently retained past the cap.
+        let mut c = ComponentCache::new();
+        c.insert(1, 400, 1000);
+        c.insert(1, 400, 300);
+        assert!(!c.contains(1));
+        assert_eq!(c.bytes_used(), 0);
     }
 
     #[test]

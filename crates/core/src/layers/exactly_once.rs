@@ -1,0 +1,112 @@
+//! [`ExactlyOnceLayer`]: digest-guarded duplicate/orphan check-in.
+//!
+//! Owns the idempotency guard of PR 4: every follow-me deployment is
+//! recorded in the [`CheckinLedger`] under the cargo's content digest, a
+//! retried wrap whose predecessor already landed is acknowledged (never
+//! deployed a second time), and an arrival whose flight bookkeeping is
+//! gone is swallowed as an orphan. Clone arrivals install replicas
+//! unconditionally, so this layer passes them through.
+
+use mdagent_agent::AgentId;
+use mdagent_fx::FxHashMap;
+use mdagent_simnet::Simulator;
+
+use crate::messages::Cargo;
+use crate::middleware::Middleware;
+use crate::mobility::MobilityMode;
+
+use super::{Arrival, CheckinFlow, InFlight, MigrationLayer};
+
+/// Digest of the cargo last deployed per app (raw id) — the idempotency
+/// guard that turns a duplicate check-in into an acknowledgement.
+#[derive(Debug, Default)]
+pub(crate) struct CheckinLedger {
+    deployed: FxHashMap<u32, u64>,
+}
+
+impl CheckinLedger {
+    /// Whether `digest` is exactly what was last deployed for this app.
+    fn matches(&self, app_raw: u32, digest: u64) -> bool {
+        self.deployed.get(&app_raw) == Some(&digest)
+    }
+
+    /// Records the digest just deployed for this app.
+    fn note(&mut self, app_raw: u32, digest: u64) {
+        self.deployed.insert(app_raw, digest);
+    }
+}
+
+/// The exactly-once check-in concern as a drop-in layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactlyOnceLayer;
+
+impl MigrationLayer for ExactlyOnceLayer {
+    fn name(&self) -> &'static str {
+        "exactly-once"
+    }
+
+    fn wrap_checkin(
+        &self,
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        ma: &AgentId,
+        cargo: &Cargo,
+        arrival: &mut Arrival,
+    ) -> CheckinFlow {
+        if cargo.plan.mode != MobilityMode::FollowMe {
+            return CheckinFlow::Proceed;
+        }
+        let app_id = cargo.plan.app();
+        let dest = cargo.plan.dest_host();
+        let now = sim.now();
+        // Idempotent check-in: a retried wrap whose predecessor already
+        // landed is acknowledged, never deployed a second time. The host
+        // check distinguishes a true duplicate from a later, legitimately
+        // identical re-migration.
+        let already_here = world.app(app_id).map(|a| a.host) == Ok(dest)
+            && world.checkin_ledger.matches(app_id.0, arrival.digest);
+        if already_here {
+            world
+                .env
+                .metrics
+                .incr_static("migration.duplicate_checkins");
+            Middleware::ctx_span(
+                world,
+                cargo.trace_ctx,
+                "migration.duplicate_checkin",
+                now,
+                now,
+            );
+            if let Some(flight) = world.in_flight.remove(ma) {
+                let tel = &mut world.env.telemetry;
+                tel.end(flight.migrate_span, now);
+                tel.attr(flight.span, "status", "duplicate");
+                tel.end(flight.span, now);
+            }
+            return CheckinFlow::Drop;
+        }
+        if !world.in_flight.contains_key(ma) {
+            world.env.metrics.incr_static("migration.orphan_arrivals");
+            Middleware::ctx_span(world, cargo.trace_ctx, "migration.orphan_arrival", now, now);
+            return CheckinFlow::Drop;
+        }
+        CheckinFlow::Proceed
+    }
+
+    fn after_checkin(
+        &self,
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        cargo: &Cargo,
+        flight: Option<&InFlight>,
+        arrival: &Arrival,
+    ) {
+        let _ = (sim, flight);
+        if cargo.plan.mode != MobilityMode::FollowMe {
+            return;
+        }
+        world
+            .checkin_ledger
+            .note(cargo.plan.app().0, arrival.digest);
+    }
+}

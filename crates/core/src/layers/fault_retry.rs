@@ -1,0 +1,393 @@
+//! [`FaultRetryLayer`]: watchdogs, bounded backoff, rollback.
+//!
+//! Owns the fault-tolerance machinery of PR 4: the per-attempt transfer
+//! timeout, the watchdog that distinguishes "still in transit" from
+//! "transfer lost", RETRY nudges with bounded backoff, and the rollback
+//! that restores a follow-me application at its source when attempts run
+//! out. Without this layer nothing is armed and a lost transfer is simply
+//! lost (exactly the pre-PR-4 behavior — only safe with faults off).
+
+use mdagent_agent::{AclMessage, AgentId, LifecycleState, Performative, Platform};
+use mdagent_simnet::{
+    CpuFactor, SimDuration, SimTime, Simulator, SpanId, TraceCategory, TraceEvent,
+};
+
+use crate::app::{AppId, AppState};
+use crate::messages::{ontologies, RetryNotice};
+use crate::middleware::Middleware;
+use crate::observability::SLO_MIGRATION_COMPLETION;
+use crate::snapshot::SnapshotManager;
+
+use super::{FlightSetup, InFlight, MigrationLayer};
+
+/// The retry/rollback concern as a drop-in layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultRetryLayer;
+
+impl MigrationLayer for FaultRetryLayer {
+    fn name(&self) -> &'static str {
+        "fault-retry"
+    }
+
+    fn before_depart(
+        &self,
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        setup: &mut FlightSetup,
+    ) {
+        let _ = sim;
+        // Per-attempt transfer window: setup + estimated pipelined transfer
+        // plus the policy's slack. Only computed (and a watchdog armed)
+        // when faults are on, so fault-free runs schedule nothing extra.
+        if world.env.faults.enabled() {
+            let transfer = world
+                .env
+                .topology
+                .pipelined_transfer_time(
+                    setup.src_host,
+                    setup.dest_host,
+                    setup.wrapped_bytes + mdagent_agent::AGENT_FRAME_BYTES,
+                )
+                .unwrap_or(SimDuration::ZERO);
+            setup.timeout = mdagent_agent::MIGRATION_SETUP + transfer + world.retry.timeout_margin;
+        }
+    }
+
+    fn after_suspend(&self, world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
+        // Clone flights get their own watchdog at dispatch time (the
+        // source flight is transient bookkeeping); follow-me is guarded
+        // from the start.
+        let Some(flight) = world.in_flight.get(ma) else {
+            return;
+        };
+        if world.env.faults.enabled() && !flight.cloned {
+            Middleware::arm_watchdog(sim, ma.clone(), 1, flight.suspend + flight.timeout);
+        }
+    }
+}
+
+impl Middleware {
+    /// The suspend cost recorded for an MA currently in flight (clone
+    /// bookkeeping). The span pair is (migration root, open migrate child),
+    /// handed over to the clone's in-flight record by
+    /// [`Middleware::note_clone_departure`].
+    fn in_flight_suspend(
+        &self,
+        ma: &AgentId,
+    ) -> Option<(AppId, SimDuration, u64, (SpanId, SpanId))> {
+        self.in_flight
+            .get(ma)
+            .map(|f| (f.app, f.suspend, f.shipped_bytes, (f.span, f.migrate_span)))
+    }
+
+    /// Notes a clone departure for timing purposes (called by the source
+    /// MA when it dispatches a clone). Returns the watchdog delay the
+    /// caller should arm for the clone's flight — `None` when faults are
+    /// off (no watchdog; nothing extra is scheduled).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn note_clone_departure(
+        world: &mut Middleware,
+        now: SimTime,
+        clone_id: AgentId,
+        app: AppId,
+        dest_host: mdagent_simnet::HostId,
+        shipped_bytes: u64,
+        suspend: SimDuration,
+        spans: (SpanId, SpanId),
+    ) -> Option<SimDuration> {
+        // The migration root and open migrate spans travel with the clone:
+        // the original MA's bookkeeping is cleared by the caller (which
+        // never ends spans), and the clone's arrival ends both at the
+        // destination.
+        let (span, migrate_span) = spans;
+        let src_host = world
+            .apps
+            .get(app.0 as usize)
+            .map(|a| a.host)
+            .unwrap_or(dest_host);
+        let timeout = if world.env.faults.enabled() {
+            let transfer = world
+                .env
+                .topology
+                .pipelined_transfer_time(
+                    src_host,
+                    dest_host,
+                    shipped_bytes + mdagent_agent::AGENT_FRAME_BYTES,
+                )
+                .unwrap_or(SimDuration::ZERO);
+            mdagent_agent::MIGRATION_SETUP + transfer + world.retry.timeout_margin
+        } else {
+            SimDuration::ZERO
+        };
+        world.in_flight.insert(
+            clone_id,
+            InFlight {
+                app,
+                suspend,
+                departed_at: now,
+                shipped_bytes,
+                remote_bytes: 0,
+                span,
+                migrate_span,
+                attempts: 1,
+                cloned: true,
+                src_host,
+                dest_host,
+                started_at: now,
+                timeout,
+            },
+        );
+        world.env.faults.enabled().then_some(timeout)
+    }
+
+    /// The clone slot was created: hand the source MA's flight bookkeeping
+    /// over to the clone's id and guard the clone's transfer with a
+    /// watchdog (faults on only). The unconfined front the mobile agent
+    /// calls, keeping the watchdog machinery inside the layer modules.
+    pub(crate) fn note_clone_dispatched(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        source_ma: &AgentId,
+        clone_id: AgentId,
+        dest_host: mdagent_simnet::HostId,
+    ) {
+        let now = sim.now();
+        let Some((app, suspend, shipped, spans)) = world.in_flight_suspend(source_ma) else {
+            return;
+        };
+        let watchdog = Middleware::note_clone_departure(
+            world,
+            now,
+            clone_id.clone(),
+            app,
+            dest_host,
+            shipped,
+            suspend,
+            spans,
+        );
+        if let Some(delay) = watchdog {
+            Middleware::arm_watchdog(sim, clone_id, 1, delay);
+        }
+    }
+
+    /// Abandons a flight whose departure was refused before any bytes
+    /// moved (platform rejection or a `wrap_transfer` veto): closes its
+    /// spans and, for follow-me, resumes the application in place at the
+    /// source. The unconfined front the mobile agent calls.
+    pub(crate) fn abort_departure(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        ma: &AgentId,
+    ) {
+        Middleware::rollback_migration(world, sim, ma);
+    }
+
+    /// Unwinds a departure whose deferred move or clone failed at queue
+    /// drain time. The platform reported `Ok` when the operation was
+    /// queued, so this hook is the middleware's only notification: the
+    /// clone's flight would otherwise linger with an open root span
+    /// until a watchdog times out — or forever, when no watchdog is
+    /// armed for it.
+    pub(crate) fn deferred_departure_failed(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        ma: &AgentId,
+        failure: mdagent_agent::DeferredFailure,
+    ) {
+        match failure {
+            mdagent_agent::DeferredFailure::Move { error } => {
+                // A link-down refusal while faults are on is the armed
+                // watchdog's business: its retry nudges the agent again
+                // once the outage clears or attempts run out. Every other
+                // failure has no guardian and must roll back here.
+                if world.env.faults.enabled()
+                    && matches!(error, mdagent_agent::AgentError::LinkDown(_))
+                {
+                    return;
+                }
+                Middleware::abort_departure(world, sim, ma);
+            }
+            mdagent_agent::DeferredFailure::Clone { clone_id, .. } => {
+                // The clone's flight record owns the telemetry spans; the
+                // source entry is transient bookkeeping the cargo timer
+                // clears without closing them. Aborting now (instead of
+                // waiting out the watchdog, when one is armed at all) is
+                // deterministic and covers the fault-free leak.
+                world.env.metrics.incr_static("ma.clone_failed");
+                Middleware::abort_departure(world, sim, &clone_id);
+            }
+        }
+    }
+
+    // ---- fault-tolerant migration: watchdog, retry, rollback ----------------
+
+    /// Arms a watchdog that re-examines a flight after `delay`. Only
+    /// called when fault injection is on, so fault-free runs schedule
+    /// nothing extra.
+    pub(crate) fn arm_watchdog(
+        sim: &mut Simulator<Middleware>,
+        ma: AgentId,
+        attempt: u32,
+        delay: SimDuration,
+    ) {
+        sim.schedule_in(delay, move |w, sim| {
+            Middleware::check_migration(w, sim, &ma, attempt);
+        });
+    }
+
+    /// The watchdog body: decides between "still in transit — wait",
+    /// "transfer lost — retry" and "out of attempts — roll back". A
+    /// watchdog whose attempt number no longer matches the flight's is
+    /// stale (a newer attempt owns the flight) and does nothing.
+    fn check_migration(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        ma: &AgentId,
+        attempt: u32,
+    ) {
+        let Some(flight) = world.in_flight.get(ma) else {
+            return; // arrived or already rolled back
+        };
+        if flight.attempts != attempt {
+            return;
+        }
+        let cloned = flight.cloned;
+        let timeout = flight.timeout;
+        let app_id = flight.app;
+        match world.platform.agent_state(ma) {
+            Some(LifecycleState::InTransit) => {
+                // Transfer still running — the estimate was short; wait
+                // one more margin and look again.
+                let margin = world.retry.timeout_margin;
+                Middleware::arm_watchdog(sim, ma.clone(), attempt, margin);
+            }
+            Some(LifecycleState::Active | LifecycleState::Suspended)
+                if !cloned && attempt < world.retry.max_attempts =>
+            {
+                // The agent bounced back to the source: the transfer was
+                // dropped. Nudge it to re-dispatch after a backoff.
+                let next = attempt + 1;
+                if let Some(f) = world.in_flight.get_mut(ma) {
+                    f.attempts = next;
+                }
+                world.env.metrics.incr_static("migration.retries");
+                world.env.trace.record_event(
+                    sim.now(),
+                    TraceCategory::Agent,
+                    TraceEvent::MigrationRetry {
+                        app: app_id.to_string(),
+                        attempt: next,
+                    },
+                );
+                let backoff = world.retry.backoff(next - 1);
+                let kernel_name = world.platform.name().to_owned();
+                let target = ma.clone();
+                sim.schedule_in(backoff, move |w, sim| {
+                    let msg = AclMessage::new(
+                        Performative::Inform,
+                        AgentId::new("middleware", kernel_name),
+                        target.clone(),
+                    )
+                    .with_ontology(ontologies::RETRY)
+                    .with_payload(&RetryNotice { attempt: next });
+                    Platform::send(w, sim, msg);
+                });
+                Middleware::arm_watchdog(sim, ma.clone(), next, backoff + timeout);
+            }
+            _ => Middleware::rollback_migration(world, sim, ma),
+        }
+    }
+
+    /// Gives up on a flight: closes its telemetry spans and, for
+    /// follow-me, restores the retained snapshot and resumes the
+    /// application in place at the source. Clone flights are simply
+    /// aborted — the original application never stopped running.
+    fn rollback_migration(world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
+        let Some(flight) = world.in_flight.remove(ma) else {
+            return;
+        };
+        let now = sim.now();
+        let app_id = flight.app;
+        {
+            let tel = &mut world.env.telemetry;
+            tel.end(flight.migrate_span, now);
+            tel.attr(flight.span, "status", "aborted");
+            tel.attr(flight.span, "attempts", u64::from(flight.attempts));
+        }
+        world.env.trace.record_event(
+            now,
+            TraceCategory::Agent,
+            TraceEvent::MigrationAborted {
+                app: app_id.to_string(),
+                dest: flight.dest_host.to_string(),
+                attempts: flight.attempts,
+            },
+        );
+        Middleware::slo_record(world, now, SLO_MIGRATION_COMPLETION, false);
+        if flight.cloned {
+            world.env.telemetry.end(flight.span, now);
+            world.env.metrics.incr_static("migration.clone_aborts");
+            return;
+        }
+        // Unwrap the retained snapshot and resume where we started.
+        {
+            let Middleware {
+                snapshots, apps, ..
+            } = &mut *world;
+            if let Some(app) = apps.get_mut(app_id.0 as usize) {
+                if let Some(snap) = snapshots.latest(&app.name) {
+                    let _ = SnapshotManager::restore(snap, app);
+                }
+                app.host = flight.src_host;
+            }
+        }
+        let cpu = world
+            .env
+            .topology
+            .host(flight.src_host)
+            .map(|h| h.cpu())
+            .unwrap_or(CpuFactor::REFERENCE);
+        let resume_cost = cpu.scale(world.cost_model.resume_cost(flight.shipped_bytes, 0));
+        world.env.metrics.incr_static("migration.rollbacks");
+        world.env.metrics.observe_static(
+            "migration.rollback_latency",
+            now.saturating_since(flight.started_at) + resume_cost,
+        );
+        {
+            let tel = &mut world.env.telemetry;
+            tel.record_span(
+                "migration.rollback",
+                Some(flight.span),
+                now,
+                now + resume_cost,
+            );
+        }
+        // The MA still holds the dead cargo; expire it through its own
+        // timer path (a no-op if the agent itself was lost).
+        Platform::set_timer(
+            world,
+            sim,
+            ma,
+            SimDuration::ZERO,
+            crate::agents::TAG_CLEAR_CARGO,
+        );
+        let src = flight.src_host;
+        let root = flight.span;
+        sim.schedule_in(resume_cost, move |w, sim| {
+            let now = sim.now();
+            if let Ok(app) = w.app_mut(app_id) {
+                app.state = AppState::Running;
+                app.host = src;
+            }
+            w.env.telemetry.end(root, now);
+            w.env.trace.record_event(
+                now,
+                TraceCategory::Application,
+                TraceEvent::Resumed {
+                    app: app_id.to_string(),
+                    dest: src.to_string(),
+                },
+            );
+        });
+    }
+}

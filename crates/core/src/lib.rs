@@ -66,6 +66,7 @@ mod component;
 mod coordinator;
 mod datapath;
 mod error;
+mod layers;
 mod messages;
 mod middleware;
 mod mobility;
@@ -83,6 +84,11 @@ pub use component::{Component, ComponentKind, ComponentSet};
 pub use coordinator::{Coordinator, ObserverRec};
 pub use datapath::{ComponentCache, DataPathOptions};
 pub use error::CoreError;
+pub use layers::{
+    AbortReason, AdmissionControlLayer, Arrival, CargoDraft, CheckinFlow, DataPathLayer,
+    ExactlyOnceLayer, FaultRetryLayer, FlightSetup, InFlight, LayerStack, MigrationLayer,
+    ResumeOutcome, SloLayer, TelemetryLayer, TransferFlow,
+};
 pub use messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate, TraceContext};
 pub use middleware::{Middleware, MiddlewareBuilder, MigrationReport};
 pub use mobility::{

@@ -1,8 +1,7 @@
 //! The MDAgent middleware: the world that ties all four layers together.
 
 use mdagent_agent::{
-    AclMessage, Agent, AgentId, ContainerId, LifecycleState, Performative, Platform, PlatformEnv,
-    PlatformHost,
+    AclMessage, Agent, AgentId, ContainerId, Performative, Platform, PlatformEnv, PlatformHost,
 };
 use mdagent_context::{
     BadgeId, BadgePosition, ContextData, ContextEvent, ContextKernel, SensorField, SubscriberId,
@@ -12,24 +11,25 @@ use mdagent_fx::FxHashMap;
 use mdagent_registry::{ApplicationRecord, RegistryFederation, ResourceRecord};
 use mdagent_simnet::{
     CpuFactor, EventData, FaultInjector, FaultOptions, HostId, LinkKind, SimDuration, SimRng,
-    SimTime, Simulator, SloEdge, SloMonitor, SpaceId, SpanId, Telemetry, Topology, TraceCategory,
+    SimTime, Simulator, SloMonitor, SpaceId, SpanId, Telemetry, Topology, TraceCategory,
     TraceEvent,
 };
-use mdagent_wire::Wire;
 
 use crate::adaptor::{adapt, AdaptationReport};
 use crate::app::{AppId, AppState, Application};
 use crate::binding::{rebind, BindingTarget, RebindOutcome};
-use crate::component::{Component, ComponentKind, ComponentSet};
-use crate::datapath::{ComponentCache, DataPathOptions};
+use crate::component::{ComponentKind, ComponentSet};
+use crate::datapath::DataPathOptions;
 use crate::error::CoreError;
-use crate::messages::{ontologies, Cargo, ContextNotice, RetryNotice, SyncUpdate, TraceContext};
-use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
-use crate::observability::{
-    ObservabilityOptions, SLO_MIGRATION_COMPLETION, SLO_MIGRATION_LATENCY, SLO_REGISTRY_LOOKUP,
+use crate::layers::{
+    self, Arrival, CargoDraft, CheckinFlow, CheckinLedger, ContentState, FlightSetup, InFlight,
+    LayerStack, MigrationLayer, ResumeOutcome,
 };
+use crate::messages::{ontologies, Cargo, ContextNotice, SyncUpdate};
+use crate::mobility::{BindingPolicy, DataStrategy, MigrationPlan, MobilityMode};
+use crate::observability::ObservabilityOptions;
 use crate::profile::{DeviceProfile, UserProfile};
-use crate::snapshot::{Snapshot, SnapshotDelta, SnapshotManager};
+use crate::snapshot::SnapshotManager;
 use crate::timing::{CostModel, HostClock, PhaseTimes, RetryPolicy};
 
 /// A completed migration, as recorded for the benchmarks.
@@ -57,32 +57,6 @@ pub struct MigrationReport {
     pub adaptation: AdaptationReport,
 }
 
-#[derive(Debug, Clone)]
-struct InFlight {
-    app: AppId,
-    suspend: SimDuration,
-    departed_at: SimTime,
-    shipped_bytes: u64,
-    remote_bytes: u64,
-    /// Root telemetry span for the whole migration; ends at resume.
-    span: SpanId,
-    /// Open `migration.migrate` child span; ends on arrival.
-    migrate_span: SpanId,
-    /// Transfer attempts so far (1-based; the initial send is attempt 1).
-    attempts: u32,
-    /// Clone-dispatch flight: never retried, aborted on loss.
-    cloned: bool,
-    /// Source host — rollback target.
-    src_host: HostId,
-    /// Destination host.
-    dest_host: HostId,
-    /// Instant the migration was requested (watchdog latency base).
-    started_at: SimTime,
-    /// Per-attempt transfer window the watchdog waits before declaring a
-    /// timeout. Zero when faults are disabled (no watchdog armed).
-    timeout: SimDuration,
-}
-
 /// The middleware world: platform + context kernel + registries +
 /// applications, driven by one deterministic simulator.
 ///
@@ -103,7 +77,7 @@ pub struct Middleware {
     pub retry: RetryPolicy,
     /// Deterministic randomness.
     pub rng: SimRng,
-    apps: Vec<Application>,
+    pub(crate) apps: Vec<Application>,
     containers: FxHashMap<HostId, ContainerId>,
     device_profiles: FxHashMap<HostId, DeviceProfile>,
     user_profiles: FxHashMap<UserId, UserProfile>,
@@ -111,24 +85,20 @@ pub struct Middleware {
     subscriber_agents: FxHashMap<SubscriberId, AgentId>,
     host_clocks: FxHashMap<HostId, HostClock>,
     preinstalled: FxHashMap<(u32, String), ComponentSet>,
-    in_flight: FxHashMap<AgentId, InFlight>,
+    pub(crate) in_flight: FxHashMap<AgentId, InFlight>,
     /// Opt-in migration data-path optimizations (cache + delta).
-    data_path: DataPathOptions,
+    pub(crate) data_path: DataPathOptions,
     /// Opt-in observability pipeline configuration.
-    observability: ObservabilityOptions,
+    pub(crate) observability: ObservabilityOptions,
     /// SLO monitor, present iff [`ObservabilityOptions::slo`] was set.
-    slo: Option<SloMonitor>,
-    /// Per-host caches of component encodings, keyed by content digest.
-    component_caches: FxHashMap<HostId, ComponentCache>,
-    /// Content-addressed store of component bytes known to the middleware;
-    /// a destination resolves elided digests against it.
-    content_store: FxHashMap<u64, Component>,
-    /// Last snapshot sequence each host acknowledged per app — the base a
-    /// delta may be computed against.
-    snapshot_bases: FxHashMap<(u32, String), u64>,
-    /// Digest of the cargo last deployed per app (raw id) — the idempotency
-    /// guard that turns a duplicate check-in into an acknowledgement.
-    deployed_digests: FxHashMap<u32, u64>,
+    pub(crate) slo: Option<SloMonitor>,
+    /// Content-addressed state backing the data-path layer.
+    pub(crate) content: ContentState,
+    /// Exactly-once check-in ledger backing the exactly-once layer.
+    pub(crate) checkin_ledger: CheckinLedger,
+    /// The onion chain of cross-cutting concerns around the migration
+    /// lifecycle.
+    pub(crate) layers: LayerStack,
     migration_log: Vec<MigrationReport>,
     rule_bases: FxHashMap<String, String>,
     sense_period: SimDuration,
@@ -162,6 +132,14 @@ impl PlatformHost for Middleware {
     fn env_mut(&mut self) -> &mut PlatformEnv {
         &mut self.env
     }
+    fn deferred_op_failed(
+        world: &mut Middleware,
+        sim: &mut Simulator<Middleware>,
+        id: &AgentId,
+        failure: mdagent_agent::DeferredFailure,
+    ) {
+        Middleware::deferred_departure_failed(world, sim, id, failure);
+    }
 }
 
 /// Builder assembling the environment: spaces, hosts, links, sensors.
@@ -180,6 +158,8 @@ pub struct MiddlewareBuilder {
     faults: FaultOptions,
     retry: RetryPolicy,
     observability: ObservabilityOptions,
+    base_layers: Option<Vec<Box<dyn MigrationLayer>>>,
+    extra_layers: Vec<Box<dyn MigrationLayer>>,
 }
 
 impl Default for MiddlewareBuilder {
@@ -205,6 +185,8 @@ impl MiddlewareBuilder {
             faults: FaultOptions::default(),
             retry: RetryPolicy::default(),
             observability: ObservabilityOptions::default(),
+            base_layers: None,
+            extra_layers: Vec::new(),
         }
     }
 
@@ -334,6 +316,25 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Replaces the whole migration layer stack (outermost first). The
+    /// default is [`LayerStack::standard`] — the five built-in concerns
+    /// in their byte-identical pre-refactor order. Passing an empty list
+    /// runs the bare lifecycle skeleton: no spans, no watchdogs, no
+    /// elision, no duplicate guard, no SLO feeds.
+    pub fn layers(&mut self, layers: Vec<Box<dyn MigrationLayer>>) -> &mut Self {
+        self.base_layers = Some(layers);
+        self
+    }
+
+    /// Appends one layer at the innermost position of the stack (after
+    /// the base layers — the standard five unless [`Self::layers`]
+    /// replaced them). The extension point for drop-in policy layers such
+    /// as [`crate::AdmissionControlLayer`].
+    pub fn layer(&mut self, layer: Box<dyn MigrationLayer>) -> &mut Self {
+        self.extra_layers.push(layer);
+        self
+    }
+
     /// Finalizes the world and a simulator to drive it.
     pub fn build(self) -> (Middleware, Simulator<Middleware>) {
         let mut field = SensorField::new(self.sensor_noise_m);
@@ -375,6 +376,8 @@ impl MiddlewareBuilder {
             env.telemetry = Telemetry::sampled(sampler);
         }
         let slo = self.observability.slo.map(|opts| opts.build_monitor());
+        let mut stack = self.base_layers.unwrap_or_else(LayerStack::standard);
+        stack.extend(self.extra_layers);
         let world = Middleware {
             platform,
             env,
@@ -396,10 +399,9 @@ impl MiddlewareBuilder {
             data_path: self.data_path,
             observability: self.observability,
             slo,
-            component_caches: FxHashMap::default(),
-            content_store: FxHashMap::default(),
-            snapshot_bases: FxHashMap::default(),
-            deployed_digests: FxHashMap::default(),
+            content: ContentState::default(),
+            checkin_ledger: CheckinLedger::default(),
+            layers: LayerStack::new(stack),
             migration_log: Vec::new(),
             rule_bases: FxHashMap::from_iter([(
                 "default".to_owned(),
@@ -581,70 +583,6 @@ impl Middleware {
         self.slo.as_ref()
     }
 
-    /// Feeds one good/bad event into the named SLO and emits a structured
-    /// trace event (plus an `slo.alerts_*` counter) on alerting-state
-    /// edges. A no-op unless SLO monitoring is enabled.
-    fn slo_record(world: &mut Middleware, now: SimTime, name: &'static str, good: bool) {
-        let Some(monitor) = world.slo.as_mut() else {
-            return;
-        };
-        let Some(signal) = monitor.record(name, now, good) else {
-            return;
-        };
-        let (counter, event) = match signal.edge {
-            SloEdge::Fired => (
-                "slo.alerts_fired",
-                TraceEvent::SloBurnAlert {
-                    slo: signal.name.to_owned(),
-                    short_burn_milli: signal.short_burn_milli,
-                    long_burn_milli: signal.long_burn_milli,
-                },
-            ),
-            SloEdge::Recovered => (
-                "slo.alerts_recovered",
-                TraceEvent::SloRecovered {
-                    slo: signal.name.to_owned(),
-                },
-            ),
-        };
-        world.env.metrics.incr_static(counter);
-        world
-            .env
-            .trace
-            .record_event(now, TraceCategory::Agent, event);
-    }
-
-    /// Feeds a completed migration into the completion and latency SLOs.
-    fn slo_migration_completed(world: &mut Middleware, now: SimTime, latency: SimDuration) {
-        let Some(opts) = world.observability.slo else {
-            return;
-        };
-        Middleware::slo_record(world, now, SLO_MIGRATION_COMPLETION, true);
-        Middleware::slo_record(
-            world,
-            now,
-            SLO_MIGRATION_LATENCY,
-            latency <= opts.migration_latency_target,
-        );
-    }
-
-    /// Feeds a modeled registry lookup latency into the lookup SLO.
-    pub(crate) fn slo_observe_lookup(world: &mut Middleware, now: SimTime, latency: SimDuration) {
-        let Some(opts) = world.observability.slo else {
-            return;
-        };
-        world
-            .env
-            .metrics
-            .observe_static("registry.lookup_latency", latency);
-        Middleware::slo_record(
-            world,
-            now,
-            SLO_REGISTRY_LOOKUP,
-            latency <= opts.lookup_latency_target,
-        );
-    }
-
     /// Installs a named rule base after validating that it parses (the AA
     /// manager's rule-manager role, §4.1). Autonomous agents reference
     /// rule bases by name via
@@ -774,6 +712,11 @@ impl Middleware {
     /// Expires lapsed resource leases in every space registry. Each space
     /// with expiries gets one incremental repair and one `aa.retract`
     /// span. Returns the number of records expired.
+    ///
+    /// A lease expiring exactly at `now` is already lapsed — the same
+    /// endpoint-exclusive boundary lease-aware lookups
+    /// ([`RegistryFederation::find_resources_at`]) apply, so the sweep and
+    /// a lookup at the same instant never disagree about liveness.
     pub fn expire_resource_leases(&mut self, now: SimTime) -> usize {
         let mut expired = 0;
         for space in self.federation.spaces() {
@@ -811,43 +754,6 @@ impl Middleware {
         self.env
             .metrics
             .observe_hist_static("reasoner.retract_latency", cost);
-    }
-
-    /// Records that `host` holds the bytes of `component` (content store +
-    /// per-host LRU cache). No-op when the component cache is disabled.
-    fn remember_content(&mut self, host: HostId, digest: u64, component: &Component) {
-        if !self.data_path.component_cache {
-            return;
-        }
-        let bytes = component.encoded_len() as u64;
-        self.content_store
-            .entry(digest)
-            .or_insert_with(|| component.clone());
-        self.component_caches.entry(host).or_default().insert(
-            digest,
-            bytes,
-            self.data_path.cache_capacity_bytes,
-        );
-    }
-
-    /// Whether `host` already holds content with this digest — via its LRU
-    /// cache or a registry record advertising the digest for its space.
-    fn host_holds_content(&self, host: HostId, digest: u64) -> bool {
-        if self
-            .component_caches
-            .get(&host)
-            .is_some_and(|c| c.contains(digest))
-        {
-            return true;
-        }
-        let Ok(space) = self.space_of(host) else {
-            return false;
-        };
-        self.federation.center(space).is_some_and(|center| {
-            center
-                .applications()
-                .any(|r| r.host == host && r.has_digest(digest))
-        })
     }
 
     /// Components of `app_name` preinstalled on `host` (empty default).
@@ -1366,75 +1272,32 @@ impl Middleware {
             );
         }
 
-        // Content-addressed elision: components whose bytes the destination
-        // already holds travel as digests only.
+        // The wrap-phase layers rewrite what ships (the data-path layer
+        // elides cached components and swaps the snapshot for a delta).
         let dest_host = plan.dest_host();
-        let mut elided: Vec<(String, u64)> = Vec::new();
-        let mut bytes_saved_cache: u64 = 0;
-        let components = if world.data_path.component_cache {
-            let mut kept = ComponentSet::new();
-            for component in components.iter() {
-                let digest = mdagent_wire::digest_of(component).as_u64();
-                let encoded = component.encoded_len() as u64;
-                world
-                    .content_store
-                    .entry(digest)
-                    .or_insert_with(|| component.clone());
-                if world.host_holds_content(dest_host, digest) {
-                    bytes_saved_cache += encoded;
-                    elided.push((component.name.clone(), digest));
-                    world.env.metrics.incr_static("migration.cache_hits");
-                } else {
-                    world.env.metrics.incr_static("migration.cache_misses");
-                    kept.insert(component.clone());
-                }
-            }
-            kept
-        } else {
-            components
+        let mode = plan.mode;
+        let mut draft = CargoDraft {
+            app: app_id,
+            mode,
+            src_host,
+            dest_host,
+            snapshot,
+            components,
+            remote_bytes,
+            elided: Vec::new(),
+            snapshot_delta: None,
+            bytes_saved_cache: 0,
+            bytes_saved_delta: 0,
         };
-        if bytes_saved_cache > 0 {
-            world
-                .env
-                .metrics
-                .incr_by_static("migration.bytes_saved_cache", bytes_saved_cache);
-        }
-
-        // Delta snapshots: when the destination acknowledged an earlier
-        // snapshot, ship only the encoding diff against it (if smaller).
-        let mut bytes_saved_delta: u64 = 0;
-        let mut snapshot_delta = None;
-        let mut ship_snapshot = snapshot;
-        if world.data_path.delta_snapshots {
-            let key = (dest_host.0, ship_snapshot.app_name.clone());
-            if let Some(base) = world
-                .snapshot_bases
-                .get(&key)
-                .and_then(|seq| world.snapshots.by_sequence(&ship_snapshot.app_name, *seq))
-            {
-                let delta = SnapshotDelta::between(base, &ship_snapshot);
-                let header = ship_snapshot.header();
-                let delta_len = delta.wire_len() + header.wire_len();
-                let full_len = ship_snapshot.wire_len();
-                if delta_len < full_len {
-                    bytes_saved_delta = full_len - delta_len;
-                    snapshot_delta = Some(delta);
-                    ship_snapshot = header;
-                    world
-                        .env
-                        .metrics
-                        .incr_by_static("migration.bytes_saved_delta", bytes_saved_delta);
-                }
-            }
-        }
+        layers::stack_before_wrap(world, sim, &mut draft);
 
         let cargo = Cargo {
             plan,
-            snapshot: ship_snapshot,
-            components,
-            remote_bytes,
-            elided,
-            snapshot_delta,
+            snapshot: draft.snapshot,
+            components: draft.components,
+            remote_bytes: draft.remote_bytes,
+            elided: draft.elided,
+            snapshot_delta: draft.snapshot_delta,
             trace_ctx: None,
         };
         let wrapped_bytes = cargo.wire_len();
@@ -1444,102 +1307,37 @@ impl Middleware {
             .env
             .metrics
             .observe_static("migration.suspend", suspend_cost);
-        // Root span for the whole migration; one child per pipeline phase.
-        // Detached: it rides the in-flight record and closes at arrival
-        // or rollback.
-        let root = world.env.telemetry.open("migration", None, now).detach();
-        {
-            // Raw ids as integers: keeps this hot path free of formatting
-            // allocations (the exporters render them).
-            let tel = &mut world.env.telemetry;
-            tel.attr(root, "app", u64::from(app_id.0));
-            tel.attr(root, "mode", cargo.plan.mode.tag());
-            tel.attr(root, "src_host", u64::from(src_host.0));
-            tel.attr(root, "dest_host", u64::from(cargo.plan.dest_host().0));
-            tel.attr(root, "bytes", wrapped_bytes);
-            if bytes_saved_cache > 0 {
-                tel.attr(root, "bytes_saved_cache", bytes_saved_cache);
-            }
-            if bytes_saved_delta > 0 {
-                tel.attr(root, "bytes_saved_delta", bytes_saved_delta);
-            }
-            let suspend_span =
-                tel.record_span("migration.suspend", Some(root), now, now + suspend_cost);
-            let _ = suspend_span;
-        }
-        // Per-attempt transfer window: setup + estimated pipelined transfer
-        // plus the policy's slack. Only computed (and a watchdog armed)
-        // when faults are on, so fault-free runs schedule nothing extra.
-        let faults_on = world.env.faults.enabled();
-        let attempt_timeout = if faults_on {
-            let transfer = world
-                .env
-                .topology
-                .pipelined_transfer_time(
-                    src_host,
-                    dest_host,
-                    wrapped_bytes + mdagent_agent::AGENT_FRAME_BYTES,
-                )
-                .unwrap_or(SimDuration::ZERO);
-            mdagent_agent::MIGRATION_SETUP + transfer + world.retry.timeout_margin
-        } else {
-            SimDuration::ZERO
+        // The departure layers fill in the rest of the flight record: the
+        // telemetry layer opens the migration root span, the fault layer
+        // computes the per-attempt watchdog window.
+        let mut setup = FlightSetup {
+            app: app_id,
+            mode,
+            src_host,
+            dest_host,
+            wrapped_bytes,
+            remote_bytes: cargo.remote_bytes,
+            suspend_cost,
+            bytes_saved_cache: draft.bytes_saved_cache,
+            bytes_saved_delta: draft.bytes_saved_delta,
+            span: SpanId::DISABLED,
+            timeout: SimDuration::ZERO,
         };
-        world.in_flight.insert(
-            ma.clone(),
-            InFlight {
-                app: app_id,
-                suspend: suspend_cost,
-                departed_at: now, // refined when cargo is handed over
-                shipped_bytes: wrapped_bytes,
-                remote_bytes,
-                span: root,
-                migrate_span: SpanId::DISABLED,
-                attempts: 1,
-                cloned: cargo.plan.mode != MobilityMode::FollowMe,
-                src_host,
-                dest_host,
-                started_at: now,
-                timeout: attempt_timeout,
-            },
-        );
-        // Clone flights get their own watchdog at dispatch time (the
-        // source flight is transient bookkeeping); follow-me is guarded
-        // from the start.
-        if faults_on && cargo.plan.mode == MobilityMode::FollowMe {
-            Middleware::arm_watchdog(sim, ma.clone(), 1, suspend_cost + attempt_timeout);
-        }
+        layers::stack_before_depart(world, sim, &mut setup);
+        world
+            .in_flight
+            .insert(ma.clone(), InFlight::from_setup(&setup, now));
+        layers::stack_after_suspend(world, sim, &ma);
         let kernel_name = world.platform.name().to_owned();
-        let propagate_ctx = world.observability.propagate_trace_ctx;
         sim.schedule_in(suspend_cost, move |w, sim| {
             let mut cargo = cargo;
             let now = sim.now();
-            let root = match w.in_flight.get_mut(&ma) {
-                Some(flight) => {
-                    flight.departed_at = now;
-                    Some(flight.span)
-                }
-                None => None,
-            };
-            if let Some(root) = root {
-                let tel = &mut w.env.telemetry;
-                let wrap_span = tel.record_span("migration.wrap", Some(root), now, now);
-                tel.attr(wrap_span, "bytes", wrapped_bytes);
-                // Detached: closed when the transfer lands (or rolls back).
-                let migrate_span = tel.open("migration.migrate", Some(root), now).detach();
-                if let Some(flight) = w.in_flight.get_mut(&ma) {
-                    flight.migrate_span = migrate_span;
-                }
-                // Stamp the trace context onto the wire so the
-                // destination parents its check-in spans to the
-                // in-transit span of *this* trace.
-                if propagate_ctx && !root.is_disabled() && !migrate_span.is_disabled() {
-                    cargo.trace_ctx = Some(TraceContext {
-                        trace_id: u64::from(root.raw()),
-                        parent_span: u64::from(migrate_span.raw()),
-                    });
-                }
+            if let Some(flight) = w.in_flight.get_mut(&ma) {
+                flight.departed_at = now;
             }
+            // Last chance to stamp the wire (the telemetry layer opens the
+            // wrap/migrate spans and propagates the trace context here).
+            layers::stack_before_transfer(w, sim, &ma, &mut cargo);
             w.env.trace.record_event(
                 now,
                 TraceCategory::Agent,
@@ -1559,27 +1357,6 @@ impl Middleware {
         Ok(())
     }
 
-    /// Records a destination-side span parented to the trace context the
-    /// cargo carried over the wire (when propagation stamped one), so the
-    /// arrival joins the source host's migration trace causally instead
-    /// of starting a disconnected one.
-    fn ctx_span(
-        world: &mut Middleware,
-        ctx: Option<TraceContext>,
-        name: &'static str,
-        start: SimTime,
-        end: SimTime,
-    ) {
-        let Some(ctx) = ctx else { return };
-        let parent = u32::try_from(ctx.parent_span)
-            .ok()
-            .map(SpanId::from_raw)
-            .filter(|p| !p.is_disabled());
-        let tel = &mut world.env.telemetry;
-        let span = tel.record_span(name, parent, start, end);
-        tel.attr(span, "trace_id", ctx.trace_id);
-    }
-
     /// Phase 3 for follow-me: the MA has checked in at the destination;
     /// restore, rebind, adapt and resume the application there.
     pub(crate) fn arrive_follow_me(
@@ -1591,31 +1368,16 @@ impl Middleware {
         let app_id = cargo.plan.app();
         let dest = cargo.plan.dest_host();
         let now = sim.now();
-        // Idempotent check-in: a retried wrap whose predecessor already
-        // landed is acknowledged, never deployed a second time. The host
-        // check distinguishes a true duplicate from a later, legitimately
-        // identical re-migration.
-        let digest = mdagent_wire::digest_of(&cargo).as_u64();
-        let arrival_ctx = cargo.trace_ctx;
-        let already_here = world.app(app_id).map(|a| a.host) == Ok(dest)
-            && world.deployed_digests.get(&app_id.0) == Some(&digest);
-        if already_here {
-            world
-                .env
-                .metrics
-                .incr_static("migration.duplicate_checkins");
-            Middleware::ctx_span(world, arrival_ctx, "migration.duplicate_checkin", now, now);
-            if let Some(flight) = world.in_flight.remove(ma) {
-                let tel = &mut world.env.telemetry;
-                tel.end(flight.migrate_span, now);
-                tel.attr(flight.span, "status", "duplicate");
-                tel.end(flight.span, now);
-            }
+        let mut arrival = Arrival::new(mdagent_wire::digest_of(&cargo).as_u64());
+        // The exactly-once layer swallows duplicate and orphan check-ins
+        // here; any layer may veto the arrival.
+        if let CheckinFlow::Drop = layers::stack_wrap_checkin(world, sim, ma, &cargo, &mut arrival)
+        {
             return;
         }
         let Some(flight) = world.in_flight.remove(ma) else {
-            world.env.metrics.incr_static("migration.orphan_arrivals");
-            Middleware::ctx_span(world, arrival_ctx, "migration.orphan_arrival", now, now);
+            // Without a bookkeeping record there is nothing to deploy
+            // against (the exactly-once layer normally catches this).
             return;
         };
         let migrate = now.saturating_since(flight.departed_at);
@@ -1623,35 +1385,33 @@ impl Middleware {
             .env
             .metrics
             .observe_static("migration.migrate", migrate);
-        world.env.telemetry.end(flight.migrate_span, now);
-        Middleware::ctx_span(world, arrival_ctx, "migration.checkin", now, now);
-        if flight.attempts > 1 {
-            // Mark retried-but-successful migrations on the root so the
-            // tail sampler always keeps their traces.
-            world
-                .env
-                .telemetry
-                .attr(flight.span, "attempts", u64::from(flight.attempts));
-        }
+        layers::stack_before_checkin(world, sim, &cargo, Some(&flight), &mut arrival);
 
         // Move the application record to the destination.
         let src_host = world.app(app_id).map(|a| a.host).unwrap_or(dest);
         let src_space = world.space_of(src_host).ok();
         let dest_space = world.space_of(dest).ok();
-        let snapshot = match Middleware::resolve_snapshot(world, &cargo) {
-            Ok(snapshot) => snapshot,
-            Err(_) => Middleware::resend_full_snapshot(world, now, &cargo),
-        };
-        let elided_components = Middleware::fetch_elided(world, &cargo);
+        // The data-path layer resolves deltas/elision into the arrival;
+        // with an empty stack the wire payload deploys as-is.
+        let snapshot = arrival
+            .snapshot
+            .take()
+            .unwrap_or_else(|| cargo.snapshot.clone());
+        let elided_components = std::mem::take(&mut arrival.components);
         {
             let preinstalled = world.preinstalled_components(dest, &snapshot.app_name);
             let Ok(app) = world.app_mut(app_id) else {
-                // Destination rejected the check-in: close the telemetry
-                // root instead of leaking an open span and a dead flight.
+                // Destination rejected the check-in: unwind the layers
+                // (closing the telemetry root) instead of leaking an open
+                // span and a dead flight.
                 world.env.metrics.incr_static("migration.arrival_failures");
-                let tel = &mut world.env.telemetry;
-                tel.attr(flight.span, "status", "rejected");
-                tel.end(flight.span, now);
+                layers::stack_on_abort(
+                    world,
+                    sim,
+                    ma,
+                    Some(&flight),
+                    layers::AbortReason::ArrivalRejected,
+                );
                 return;
             };
             app.host = dest;
@@ -1667,8 +1427,7 @@ impl Middleware {
             app.components = inventory;
             let _ = SnapshotManager::restore(&snapshot, app);
         }
-        world.deployed_digests.insert(app_id.0, digest);
-        Middleware::note_arrival(world, dest, &cargo, &snapshot);
+        arrival.snapshot = Some(snapshot);
         // Rebind each binding according to the destination inventory.
         let mut rebind_cost = SimDuration::ZERO;
         let rebind_outcomes = Middleware::rebind_app(world, app_id, &cargo, src_host);
@@ -1712,39 +1471,13 @@ impl Middleware {
             .env
             .metrics
             .observe_static("migration.resume", resume_cost);
-        // Child spans partition [now, now + resume_cost]: scaled rebind and
-        // adapt windows first, then resume absorbs the remainder (including
-        // any scaling-rounding residue), so the children always sum to the
-        // root within integer-microsecond rounding.
-        {
-            let root = flight.span;
-            let scaled_rebind = cpu.scale(rebind_cost);
-            let scaled_adapt = cpu.scale(adapt_cost);
-            let rebind_end = now + scaled_rebind;
-            let adapt_end = rebind_end + scaled_adapt;
-            let root_end = now + resume_cost;
-            let tel = &mut world.env.telemetry;
-            let rebind_span = tel.record_span(
-                "migration.rebind",
-                Some(root),
-                now,
-                rebind_end.min(root_end),
-            );
-            tel.attr(rebind_span, "bindings", rebind_outcomes.len());
-            let adapt_span = tel.record_span(
-                "migration.adapt",
-                Some(root),
-                rebind_end.min(root_end),
-                adapt_end.min(root_end),
-            );
-            tel.attr(adapt_span, "actions", adaptation.actions.len());
-            tel.record_span(
-                "migration.resume",
-                Some(root),
-                adapt_end.min(root_end),
-                root_end,
-            );
-        }
+        arrival.rebind_cost = rebind_cost;
+        arrival.adapt_cost = adapt_cost;
+        arrival.resume_cost = resume_cost;
+        arrival.rebind_bindings = rebind_outcomes.len();
+        arrival.adapt_actions = adaptation.actions.len();
+        arrival.cpu = cpu;
+        layers::stack_after_checkin(world, sim, &cargo, Some(&flight), &arrival);
         world.env.trace.record_event(
             now,
             TraceCategory::Agent,
@@ -1787,7 +1520,14 @@ impl Middleware {
             if let Ok(app) = w.app_mut(app_id) {
                 app.state = AppState::Running;
             }
-            w.env.telemetry.end(root, now);
+            let latency =
+                report_base.phases.suspend + report_base.phases.migrate + report_base.phases.resume;
+            let outcome = ResumeOutcome {
+                app: app_id,
+                root,
+                latency,
+            };
+            layers::stack_before_resume(w, sim, &outcome);
             w.env.trace.record_event(
                 now,
                 TraceCategory::Application,
@@ -1796,108 +1536,10 @@ impl Middleware {
                     dest: dest.to_string(),
                 },
             );
-            let latency =
-                report_base.phases.suspend + report_base.phases.migrate + report_base.phases.resume;
             w.migration_log.push(report_base.clone());
             w.env.metrics.incr_static("migration.completed");
-            Middleware::slo_migration_completed(w, now, latency);
+            layers::stack_after_resume(w, sim, &outcome);
         });
-    }
-
-    /// The snapshot a cargo carries: the full one, or the reconstruction
-    /// of its delta against the base the destination holds.
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::SnapshotDeltaMismatch`] when the base is gone or its
-    /// digest diverged — the caller must resend the full snapshot, never
-    /// silently deploy the header stub.
-    fn resolve_snapshot(world: &mut Middleware, cargo: &Cargo) -> Result<Snapshot, CoreError> {
-        let Some(delta) = &cargo.snapshot_delta else {
-            return Ok(cargo.snapshot.clone());
-        };
-        world
-            .snapshots
-            .by_sequence(&delta.app_name, delta.base_sequence)
-            .and_then(|base| delta.apply(base).ok())
-            .ok_or_else(|| {
-                world.env.metrics.incr_static("migration.delta_base_miss");
-                CoreError::SnapshotDeltaMismatch(delta.app_name.clone())
-            })
-    }
-
-    /// Recovery from a rejected delta: fetch the full snapshot the delta
-    /// stood for from the (world-global) snapshot manager — modeling the
-    /// source resending it — and bill the resend in the metrics. The
-    /// header stub is the last resort when even the manager evicted it.
-    fn resend_full_snapshot(world: &mut Middleware, now: SimTime, cargo: &Cargo) -> Snapshot {
-        let app_name = &cargo.snapshot.app_name;
-        let full = cargo
-            .snapshot_delta
-            .as_ref()
-            .and_then(|delta| world.snapshots.by_sequence(app_name, delta.sequence))
-            .or_else(|| world.snapshots.latest(app_name))
-            .cloned();
-        match full {
-            Some(snapshot) => {
-                let bytes = snapshot.wire_len();
-                world.env.metrics.incr_static("migration.delta_resends");
-                world
-                    .env
-                    .metrics
-                    .incr_by_static("migration.delta_resend_bytes", bytes);
-                world.env.trace.record_event(
-                    now,
-                    TraceCategory::Agent,
-                    TraceEvent::SnapshotResend {
-                        app_name: app_name.clone(),
-                        bytes,
-                    },
-                );
-                snapshot
-            }
-            None => {
-                world
-                    .env
-                    .metrics
-                    .incr_static("migration.delta_unrecoverable");
-                cargo.snapshot.clone()
-            }
-        }
-    }
-
-    /// Materializes cache-elided components from the content store.
-    fn fetch_elided(world: &mut Middleware, cargo: &Cargo) -> Vec<Component> {
-        let mut out = Vec::with_capacity(cargo.elided.len());
-        for (_, digest) in &cargo.elided {
-            match world.content_store.get(digest) {
-                Some(component) => out.push(component.clone()),
-                None => world.env.metrics.incr_static("migration.elided_miss"),
-            }
-        }
-        out
-    }
-
-    /// Destination-side bookkeeping after a cargo lands: remember shipped
-    /// content in the host's cache and record which snapshot sequence the
-    /// host now holds (the base a future delta is computed against).
-    fn note_arrival(world: &mut Middleware, dest: HostId, cargo: &Cargo, snapshot: &Snapshot) {
-        if world.data_path.component_cache {
-            for component in cargo.components.iter() {
-                let digest = mdagent_wire::digest_of(component).as_u64();
-                world.remember_content(dest, digest, component);
-            }
-            for (_, digest) in &cargo.elided {
-                if let Some(cache) = world.component_caches.get_mut(&dest) {
-                    cache.touch(*digest);
-                }
-            }
-        }
-        if world.data_path.delta_snapshots {
-            world
-                .snapshot_bases
-                .insert((dest.0, snapshot.app_name.clone()), snapshot.sequence);
-        }
     }
 
     fn rebind_app(
@@ -1941,11 +1583,19 @@ impl Middleware {
         let source_app = cargo.plan.app();
         let now = sim.now();
 
-        let snapshot = match Middleware::resolve_snapshot(world, &cargo) {
-            Ok(snapshot) => snapshot,
-            Err(_) => Middleware::resend_full_snapshot(world, now, &cargo),
-        };
-        let elided_components = Middleware::fetch_elided(world, &cargo);
+        let mut arrival = Arrival::new(mdagent_wire::digest_of(&cargo).as_u64());
+        if let CheckinFlow::Drop =
+            layers::stack_wrap_checkin(world, sim, clone_ma, &cargo, &mut arrival)
+        {
+            return None;
+        }
+        let flight = world.in_flight.remove(clone_ma);
+        layers::stack_before_checkin(world, sim, &cargo, flight.as_ref(), &mut arrival);
+        let snapshot = arrival
+            .snapshot
+            .take()
+            .unwrap_or_else(|| cargo.snapshot.clone());
+        let elided_components = std::mem::take(&mut arrival.components);
         let replica_id = AppId(world.apps.len() as u32);
         let mut replica = Application::new(replica_id, snapshot.app_name.clone(), dest);
         let mut inventory = world.preinstalled_components(dest, &snapshot.app_name);
@@ -1958,7 +1608,7 @@ impl Middleware {
         replica.mobile_agent = Some(clone_ma.clone());
         replica.cloned_from = Some(source_app);
         let _ = SnapshotManager::restore(&snapshot, &mut replica);
-        Middleware::note_arrival(world, dest, &cargo, &snapshot);
+        arrival.snapshot = Some(snapshot);
         // The replica's own sync links start from the original's links; it
         // must at least link back to the source.
         replica.coordinator.add_sync_link(source_app);
@@ -1977,24 +1627,14 @@ impl Middleware {
             .map(|h| h.cpu())
             .unwrap_or(CpuFactor::REFERENCE);
         let resume_cost = cpu.scale(world.cost_model.resume_cost(shipped, 0));
-        let flight = world.in_flight.remove(clone_ma);
-        let (suspend, migrate, root) = match flight {
-            Some(f) => {
-                world.env.telemetry.end(f.migrate_span, now);
-                Middleware::ctx_span(world, cargo.trace_ctx, "migration.checkin", now, now);
-                (f.suspend, now.saturating_since(f.departed_at), f.span)
-            }
-            None => {
-                world.env.metrics.incr_static("migration.orphan_arrivals");
-                Middleware::ctx_span(world, cargo.trace_ctx, "migration.orphan_arrival", now, now);
-                (SimDuration::ZERO, SimDuration::ZERO, SpanId::DISABLED)
-            }
+        let (suspend, migrate, root) = match flight.as_ref() {
+            Some(f) => (f.suspend, now.saturating_since(f.departed_at), f.span),
+            None => (SimDuration::ZERO, SimDuration::ZERO, SpanId::DISABLED),
         };
-        {
-            let tel = &mut world.env.telemetry;
-            tel.record_span("migration.resume", Some(root), now, now + resume_cost);
-            tel.attr(root, "replica", u64::from(replica_id.0));
-        }
+        arrival.resume_cost = resume_cost;
+        arrival.cpu = cpu;
+        arrival.replica = Some(replica_id);
+        layers::stack_after_checkin(world, sim, &cargo, flight.as_ref(), &arrival);
         world.env.trace.record_event(
             now,
             TraceCategory::Agent,
@@ -2026,7 +1666,13 @@ impl Middleware {
             if let Ok(app) = w.app_mut(replica_id) {
                 app.state = AppState::Running;
             }
-            w.env.telemetry.end(root, now);
+            let latency = report.phases.suspend + report.phases.migrate + report.phases.resume;
+            let outcome = ResumeOutcome {
+                app: replica_id,
+                root,
+                latency,
+            };
+            layers::stack_before_resume(w, sim, &outcome);
             w.env.trace.record_event(
                 now,
                 TraceCategory::Application,
@@ -2034,261 +1680,15 @@ impl Middleware {
                     replica: replica_id.to_string(),
                 },
             );
-            let latency = report.phases.suspend + report.phases.migrate + report.phases.resume;
             w.migration_log.push(report.clone());
             w.env.metrics.incr_static("migration.clones_completed");
-            Middleware::slo_migration_completed(w, now, latency);
+            layers::stack_after_resume(w, sim, &outcome);
         });
         Some(replica_id)
-    }
-
-    /// Notes a clone departure for timing purposes (called by the source
-    /// MA when it dispatches a clone). Returns the watchdog delay the
-    /// caller should arm for the clone's flight — `None` when faults are
-    /// off (no watchdog; nothing extra is scheduled).
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn note_clone_departure(
-        world: &mut Middleware,
-        now: SimTime,
-        clone_id: AgentId,
-        app: AppId,
-        dest_host: HostId,
-        shipped_bytes: u64,
-        suspend: SimDuration,
-        spans: (SpanId, SpanId),
-    ) -> Option<SimDuration> {
-        // The migration root and open migrate spans travel with the clone:
-        // the original MA's bookkeeping is cleared by the caller (which
-        // never ends spans), and the clone's arrival ends both at the
-        // destination.
-        let (span, migrate_span) = spans;
-        let src_host = world
-            .apps
-            .get(app.0 as usize)
-            .map(|a| a.host)
-            .unwrap_or(dest_host);
-        let timeout = if world.env.faults.enabled() {
-            let transfer = world
-                .env
-                .topology
-                .pipelined_transfer_time(
-                    src_host,
-                    dest_host,
-                    shipped_bytes + mdagent_agent::AGENT_FRAME_BYTES,
-                )
-                .unwrap_or(SimDuration::ZERO);
-            mdagent_agent::MIGRATION_SETUP + transfer + world.retry.timeout_margin
-        } else {
-            SimDuration::ZERO
-        };
-        world.in_flight.insert(
-            clone_id,
-            InFlight {
-                app,
-                suspend,
-                departed_at: now,
-                shipped_bytes,
-                remote_bytes: 0,
-                span,
-                migrate_span,
-                attempts: 1,
-                cloned: true,
-                src_host,
-                dest_host,
-                started_at: now,
-                timeout,
-            },
-        );
-        world.env.faults.enabled().then_some(timeout)
-    }
-
-    /// The suspend cost recorded for an MA currently in flight (clone
-    /// bookkeeping). The span pair is (migration root, open migrate child),
-    /// handed over to the clone's in-flight record by
-    /// [`Middleware::note_clone_departure`].
-    pub(crate) fn in_flight_suspend(
-        &self,
-        ma: &AgentId,
-    ) -> Option<(AppId, SimDuration, u64, (SpanId, SpanId))> {
-        self.in_flight
-            .get(ma)
-            .map(|f| (f.app, f.suspend, f.shipped_bytes, (f.span, f.migrate_span)))
     }
 
     /// Drops in-flight bookkeeping for an MA (after clone dispatch).
     pub(crate) fn remove_in_flight(&mut self, ma: &AgentId) {
         self.in_flight.remove(ma);
-    }
-
-    // ---- fault-tolerant migration: watchdog, retry, rollback -------------------------
-
-    /// Arms a watchdog that re-examines a flight after `delay`. Only
-    /// called when fault injection is on, so fault-free runs schedule
-    /// nothing extra.
-    pub(crate) fn arm_watchdog(
-        sim: &mut Simulator<Middleware>,
-        ma: AgentId,
-        attempt: u32,
-        delay: SimDuration,
-    ) {
-        sim.schedule_in(delay, move |w, sim| {
-            Middleware::check_migration(w, sim, &ma, attempt);
-        });
-    }
-
-    /// The watchdog body: decides between "still in transit — wait",
-    /// "transfer lost — retry" and "out of attempts — roll back". A
-    /// watchdog whose attempt number no longer matches the flight's is
-    /// stale (a newer attempt owns the flight) and does nothing.
-    fn check_migration(
-        world: &mut Middleware,
-        sim: &mut Simulator<Middleware>,
-        ma: &AgentId,
-        attempt: u32,
-    ) {
-        let Some(flight) = world.in_flight.get(ma) else {
-            return; // arrived or already rolled back
-        };
-        if flight.attempts != attempt {
-            return;
-        }
-        let cloned = flight.cloned;
-        let timeout = flight.timeout;
-        let app_id = flight.app;
-        match world.platform.agent_state(ma) {
-            Some(LifecycleState::InTransit) => {
-                // Transfer still running — the estimate was short; wait
-                // one more margin and look again.
-                let margin = world.retry.timeout_margin;
-                Middleware::arm_watchdog(sim, ma.clone(), attempt, margin);
-            }
-            Some(LifecycleState::Active | LifecycleState::Suspended)
-                if !cloned && attempt < world.retry.max_attempts =>
-            {
-                // The agent bounced back to the source: the transfer was
-                // dropped. Nudge it to re-dispatch after a backoff.
-                let next = attempt + 1;
-                if let Some(f) = world.in_flight.get_mut(ma) {
-                    f.attempts = next;
-                }
-                world.env.metrics.incr_static("migration.retries");
-                world.env.trace.record_event(
-                    sim.now(),
-                    TraceCategory::Agent,
-                    TraceEvent::MigrationRetry {
-                        app: app_id.to_string(),
-                        attempt: next,
-                    },
-                );
-                let backoff = world.retry.backoff(next - 1);
-                let kernel_name = world.platform.name().to_owned();
-                let target = ma.clone();
-                sim.schedule_in(backoff, move |w, sim| {
-                    let msg = AclMessage::new(
-                        Performative::Inform,
-                        AgentId::new("middleware", kernel_name),
-                        target.clone(),
-                    )
-                    .with_ontology(ontologies::RETRY)
-                    .with_payload(&RetryNotice { attempt: next });
-                    Platform::send(w, sim, msg);
-                });
-                Middleware::arm_watchdog(sim, ma.clone(), next, backoff + timeout);
-            }
-            _ => Middleware::rollback_migration(world, sim, ma),
-        }
-    }
-
-    /// Gives up on a flight: closes its telemetry spans and, for
-    /// follow-me, restores the retained snapshot and resumes the
-    /// application in place at the source. Clone flights are simply
-    /// aborted — the original application never stopped running.
-    fn rollback_migration(world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
-        let Some(flight) = world.in_flight.remove(ma) else {
-            return;
-        };
-        let now = sim.now();
-        let app_id = flight.app;
-        {
-            let tel = &mut world.env.telemetry;
-            tel.end(flight.migrate_span, now);
-            tel.attr(flight.span, "status", "aborted");
-            tel.attr(flight.span, "attempts", u64::from(flight.attempts));
-        }
-        world.env.trace.record_event(
-            now,
-            TraceCategory::Agent,
-            TraceEvent::MigrationAborted {
-                app: app_id.to_string(),
-                dest: flight.dest_host.to_string(),
-                attempts: flight.attempts,
-            },
-        );
-        Middleware::slo_record(world, now, SLO_MIGRATION_COMPLETION, false);
-        if flight.cloned {
-            world.env.telemetry.end(flight.span, now);
-            world.env.metrics.incr_static("migration.clone_aborts");
-            return;
-        }
-        // Unwrap the retained snapshot and resume where we started.
-        {
-            let Middleware {
-                snapshots, apps, ..
-            } = &mut *world;
-            if let Some(app) = apps.get_mut(app_id.0 as usize) {
-                if let Some(snap) = snapshots.latest(&app.name) {
-                    let _ = SnapshotManager::restore(snap, app);
-                }
-                app.host = flight.src_host;
-            }
-        }
-        let cpu = world
-            .env
-            .topology
-            .host(flight.src_host)
-            .map(|h| h.cpu())
-            .unwrap_or(CpuFactor::REFERENCE);
-        let resume_cost = cpu.scale(world.cost_model.resume_cost(flight.shipped_bytes, 0));
-        world.env.metrics.incr_static("migration.rollbacks");
-        world.env.metrics.observe_static(
-            "migration.rollback_latency",
-            now.saturating_since(flight.started_at) + resume_cost,
-        );
-        {
-            let tel = &mut world.env.telemetry;
-            tel.record_span(
-                "migration.rollback",
-                Some(flight.span),
-                now,
-                now + resume_cost,
-            );
-        }
-        // The MA still holds the dead cargo; expire it through its own
-        // timer path (a no-op if the agent itself was lost).
-        Platform::set_timer(
-            world,
-            sim,
-            ma,
-            SimDuration::ZERO,
-            crate::agents::TAG_CLEAR_CARGO,
-        );
-        let src = flight.src_host;
-        let root = flight.span;
-        sim.schedule_in(resume_cost, move |w, sim| {
-            let now = sim.now();
-            if let Ok(app) = w.app_mut(app_id) {
-                app.state = AppState::Running;
-                app.host = src;
-            }
-            w.env.telemetry.end(root, now);
-            w.env.trace.record_event(
-                now,
-                TraceCategory::Application,
-                TraceEvent::Resumed {
-                    app: app_id.to_string(),
-                    dest: src.to_string(),
-                },
-            );
-        });
     }
 }

@@ -17,7 +17,7 @@
 /// One allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id, `R1`..`R5`.
+    /// Rule id, `R1`..`R6`.
     pub rule: String,
     /// Workspace-relative file path the exception applies to.
     pub path: String,
@@ -50,7 +50,7 @@ fn finish(entry: Option<AllowEntry>, out: &mut Vec<AllowEntry>) -> Result<(), St
     let Some(e) = entry else {
         return Ok(());
     };
-    if !matches!(e.rule.as_str(), "R1" | "R2" | "R3" | "R4" | "R5") {
+    if !matches!(e.rule.as_str(), "R1" | "R2" | "R3" | "R4" | "R5" | "R6") {
         return Err(format!("lint-allow.toml: unknown rule `{}`", e.rule));
     }
     if e.path.is_empty() {

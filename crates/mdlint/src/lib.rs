@@ -14,6 +14,7 @@
 //! | R3   | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` outside tests |
 //! | R4   | raw `open_span` only inside the telemetry module |
 //! | R5   | tracked enums stay in sync with hand-written encode/decode/match fns |
+//! | R6   | migration concern internals only inside `crates/core/src/layers/` |
 //!
 //! Run it two ways:
 //!
@@ -38,7 +39,7 @@ use std::path::{Path, PathBuf};
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id (`R1`..`R5`).
+    /// Rule id (`R1`..`R6`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,

@@ -1,4 +1,4 @@
-//! The five mdlint rules (see DESIGN.md §11 for the catalog).
+//! The six mdlint rules (see DESIGN.md §11 for the catalog).
 //!
 //! * **R1** `wallclock-entropy-env` — no `Instant::now` / `SystemTime::now` /
 //!   `thread_rng` / `rand::random` / `std::env` outside the bench crate and
@@ -17,6 +17,12 @@
 //! * **R5** `wire-enum-sync` — every variant of each tracked enum must be
 //!   mentioned in each of its tracked companion functions (hand-written
 //!   encode/decode and kind/Display matches the compiler cannot check).
+//! * **R6** `concern-confinement` — migration lifecycle concerns stay in
+//!   their layer modules: each ident in [`R6_CONFINED`] (telemetry span
+//!   plumbing, watchdog/rollback machinery, content-store resolution, SLO
+//!   feeds) may only appear in files under [`LAYERS_DIR`]. The migration
+//!   driver reaches the layers through the `LayerStack` traversal front
+//!   and the reviewed unconfined seams; see DESIGN.md §15.
 
 use crate::lexer::{lex, Tok, TokKind};
 use crate::Finding;
@@ -49,6 +55,40 @@ pub const R4_CONFINED: &[(&str, &str)] = &[
     ("buffered_span_mut", TELEMETRY_MODULE),
     ("prune_window", SLO_MODULE),
     ("burn_within", SLO_MODULE),
+];
+
+/// The directory holding the migration layer modules. R6 sanctions the
+/// confined idents anywhere under this prefix (the concerns cooperate
+/// across layer files), nowhere else.
+pub const LAYERS_DIR: &str = "crates/core/src/layers/";
+
+/// The R6 confinement table: idents that implement one of the five layer
+/// concerns and must not be referenced outside [`LAYERS_DIR`]. Add an
+/// entry when a layer grows an internal whose direct use from the
+/// migration driver would smuggle a concern back into `middleware.rs`.
+/// Deliberate cross-cutting seams (`transfer_gate`, `abort_departure`,
+/// `note_clone_dispatched`, the in-flight table accessors) are *not*
+/// listed — they are the reviewed surface the driver may touch.
+pub const R6_CONFINED: &[&str] = &[
+    // telemetry layer: span plumbing for the migration trace tree
+    "ctx_span",
+    "migrate_span",
+    // fault-retry layer: watchdogs, retry nudges, rollback
+    "arm_watchdog",
+    "check_migration",
+    "rollback_migration",
+    "note_clone_departure",
+    "in_flight_suspend",
+    // data-path layer: content store and snapshot resolution
+    "remember_content",
+    "host_holds_content",
+    "resolve_snapshot",
+    "resend_full_snapshot",
+    "fetch_elided",
+    "note_arrival",
+    // SLO layer: burn-rate feeds
+    "slo_record",
+    "slo_migration_completed",
 ];
 
 /// A tracked enum for R5: every variant must show up in each site fn.
@@ -153,7 +193,7 @@ fn matches_seq(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
     })
 }
 
-/// Runs R1–R4 over one file's source. R5 runs separately via
+/// Runs R1–R4 and R6 over one file's source. R5 runs separately via
 /// [`check_enum_spec`] because it is driven by [`R5_TRACKED`].
 pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let ctx = FileCtx::from_rel_path(rel_path);
@@ -164,6 +204,7 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     rule_r2(&ctx, &toks, &lines, &mut out);
     rule_r3(&ctx, &toks, &lines, &mut out);
     rule_r4(&ctx, &toks, &lines, &mut out);
+    rule_r6(&ctx, &toks, &lines, &mut out);
     out
 }
 
@@ -314,6 +355,25 @@ fn rule_r4(ctx: &FileCtx<'_>, toks: &[Tok], lines: &[&str], out: &mut Vec<Findin
                 out.push(finding("R4", ctx, lines, t.line));
                 break;
             }
+        }
+    }
+}
+
+fn rule_r6(ctx: &FileCtx<'_>, toks: &[Tok], lines: &[&str], out: &mut Vec<Finding>) {
+    // Inside the layers directory every concern ident is at home — the
+    // layers legitimately call across each other (the fault layer feeds
+    // the SLO layer on rollback).
+    if ctx.rel_path.starts_with(LAYERS_DIR) {
+        return;
+    }
+    for t in toks {
+        // As with R4, test code is not exempt: tests drive migrations
+        // through the public lifecycle, never a layer's internals.
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if R6_CONFINED.contains(&t.text.as_str()) {
+            out.push(finding("R6", ctx, lines, t.line));
         }
     }
 }

@@ -1,0 +1,13 @@
+pub fn reroute(world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
+    // The driver's reviewed surface: stack traversal fronts and the
+    // in-flight table, never a layer's internals.
+    if let Some(flight) = world.in_flight(ma) {
+        let reason = flight.attempts;
+        let _ = reason;
+    }
+    Middleware::abort_departure(world, sim, ma);
+}
+
+pub fn admit(world: &Middleware, cargo: &Cargo) -> bool {
+    world.in_flight_count() < 4 && cargo.components.total_bytes() > 0
+}

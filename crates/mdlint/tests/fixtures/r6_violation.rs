@@ -1,0 +1,14 @@
+pub fn hurry_migration(world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
+    world.arm_watchdog(sim, ma, Duration::ZERO);
+    Middleware::check_migration(world, sim, ma, 0);
+}
+
+pub fn give_up(world: &mut Middleware, sim: &mut Simulator<Middleware>, ma: &AgentId) {
+    Middleware::rollback_migration(world, sim, ma);
+    world.slo_record(false);
+}
+
+pub fn seed_cache(world: &mut Middleware, host: HostId, component: &Component) {
+    let digest = digest_of(component).as_u64();
+    world.remember_content(host, digest, component);
+}

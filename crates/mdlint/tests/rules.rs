@@ -1,4 +1,4 @@
-//! Fixture-based tests for the five mdlint rules.
+//! Fixture-based tests for the six mdlint rules.
 //!
 //! Each rule gets a violating fixture (asserting exact rule IDs and line
 //! numbers), a clean fixture, and an allowlisted case. Fixtures live under
@@ -19,6 +19,8 @@ const R4_VIOLATION: &str = include_str!("fixtures/r4_violation.rs");
 const R4_CLEAN: &str = include_str!("fixtures/r4_clean.rs");
 const R5_VIOLATION: &str = include_str!("fixtures/r5_violation.rs");
 const R5_CLEAN: &str = include_str!("fixtures/r5_clean.rs");
+const R6_VIOLATION: &str = include_str!("fixtures/r6_violation.rs");
+const R6_CLEAN: &str = include_str!("fixtures/r6_clean.rs");
 
 /// (rule, line) pairs of the findings, in scan order.
 fn coords(findings: &[mdlint::Finding]) -> Vec<(&'static str, u32)> {
@@ -87,6 +89,25 @@ fn r4_sanctions_each_internal_only_in_its_own_module() {
     assert_eq!(coords(&f), vec![("R4", 12), ("R4", 13)]);
     let f = scan_source("crates/simnet/src/slo.rs", R4_VIOLATION);
     assert_eq!(coords(&f), vec![("R4", 2), ("R4", 7), ("R4", 8)]);
+}
+
+#[test]
+fn r6_flags_layer_concern_idents_outside_the_layers_dir() {
+    let f = scan_source("crates/core/src/middleware.rs", R6_VIOLATION);
+    assert_eq!(
+        coords(&f),
+        vec![("R6", 2), ("R6", 3), ("R6", 7), ("R6", 8), ("R6", 13)]
+    );
+    // Tests are not exempt: they drive the public lifecycle.
+    let f = scan_source("crates/core/tests/fixture.rs", R6_VIOLATION);
+    assert_eq!(coords(&f).len(), 5);
+    assert!(scan_source("crates/core/src/middleware.rs", R6_CLEAN).is_empty());
+}
+
+#[test]
+fn r6_sanctions_concern_idents_anywhere_under_layers() {
+    assert!(scan_source("crates/core/src/layers/fault_retry.rs", R6_VIOLATION).is_empty());
+    assert!(scan_source("crates/core/src/layers/mod.rs", R6_VIOLATION).is_empty());
 }
 
 const FIXTURE_SPEC: EnumSpec = EnumSpec {

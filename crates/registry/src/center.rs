@@ -323,11 +323,16 @@ impl RegistryCenter {
     /// Deregisters every resource whose lease lapsed at or before `now`,
     /// retracting its mirrored facts through the incremental path.
     /// Returns the number of records expired.
+    ///
+    /// The boundary is [`ResourceRecord::lease_active`]'s: a lease expiring
+    /// exactly at `now` is already lapsed, so the sweep and lookup-time
+    /// filtering ([`RegistryCenter::find_resources_at`]) can never disagree
+    /// about a record's liveness at the same instant.
     pub fn expire_leases(&mut self, now: u64) -> usize {
         let expired: Vec<String> = self
             .resources
             .values()
-            .filter(|r| r.lease_expiry.is_some_and(|at| at <= now))
+            .filter(|r| !r.lease_active(now))
             .map(|r| r.name.clone())
             .collect();
         for name in &expired {
@@ -488,6 +493,18 @@ impl RegistryCenter {
                 .cmp(&b.quality)
                 .then_with(|| a.resource.name.cmp(&b.resource.name))
         });
+        out
+    }
+
+    /// Lease-aware semantic lookup: [`RegistryCenter::find_resources`]
+    /// restricted to records whose lease is still active at simulated
+    /// time `now` (µs). A record lapsing exactly at `now` is excluded —
+    /// the same boundary [`RegistryCenter::expire_leases`] uses — so a
+    /// lookup between sweeps never serves an advertisement the next sweep
+    /// would have deregistered.
+    pub fn find_resources_at(&mut self, required_class: &str, now: u64) -> Vec<ResourceMatch> {
+        let mut out = self.find_resources(required_class);
+        out.retain(|m| m.resource.lease_active(now));
         out
     }
 
@@ -930,6 +947,42 @@ mod tests {
         assert_eq!(matches[0].resource.name, "imcl:prn-keep");
         assert_eq!(c.full_materializations(), full_before);
         assert!(c.retraction_flushes() >= 1);
+    }
+
+    #[test]
+    fn lease_boundary_consistent_between_sweep_and_lookup() {
+        // Pin the lease-endpoint semantics: `lease_until(t)` is active
+        // strictly before `t`. The sweep and lookup-time filtering must
+        // agree at every instant around the boundary — in particular a
+        // lookup must never serve a record the sweep at the same `now`
+        // would deregister.
+        let mut c = RegistryCenter::new(SpaceId(0));
+        c.declare_subclass("imcl:hpLaserJet", "imcl:Printer");
+        c.register_resource(
+            ResourceRecord::new("imcl:prn-lease", "imcl:hpLaserJet", SpaceId(0), HostId(0))
+                .lease_until(5_000),
+        );
+        // One tick before expiry: live for both consumers.
+        assert_eq!(c.find_resources_at("imcl:Printer", 4_999).len(), 1);
+        assert_eq!(c.expire_leases(4_999), 0);
+        // Exactly at expiry: lapsed for both consumers — the lookup
+        // filters the record out even though no sweep has run yet.
+        assert_eq!(c.find_resources_at("imcl:Printer", 5_000).len(), 0);
+        assert_eq!(
+            c.find_resources("imcl:Printer").len(),
+            1,
+            "time-blind lookup still sees the unswept record"
+        );
+        assert_eq!(c.expire_leases(5_000), 1);
+        assert_eq!(c.find_resources_at("imcl:Printer", 5_000).len(), 0);
+        // Unleased records are always active.
+        c.register_resource(ResourceRecord::new(
+            "imcl:prn-keep",
+            "imcl:hpLaserJet",
+            SpaceId(0),
+            HostId(1),
+        ));
+        assert_eq!(c.find_resources_at("imcl:Printer", u64::MAX).len(), 1);
     }
 
     #[test]

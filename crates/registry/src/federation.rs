@@ -144,6 +144,33 @@ impl RegistryFederation {
             crossed_gateway: origin != target,
         })
     }
+
+    /// Lease-aware semantic resource lookup in `target` space, from
+    /// `origin` space: records whose lease lapsed at or before `now` (µs)
+    /// are filtered out, with the same endpoint-exclusive boundary the
+    /// expiry sweep uses (see [`ResourceRecord::lease_active`]).
+    ///
+    /// [`ResourceRecord::lease_active`]: crate::record::ResourceRecord::lease_active
+    ///
+    /// # Errors
+    ///
+    /// [`FederationError::NoCenter`] when the target space has no registry.
+    pub fn find_resources_at(
+        &mut self,
+        origin: SpaceId,
+        target: SpaceId,
+        required_class: &str,
+        now: u64,
+    ) -> Result<Federated<Vec<ResourceMatch>>, FederationError> {
+        let center = self
+            .centers
+            .get_mut(&target)
+            .ok_or(FederationError::NoCenter(target))?;
+        Ok(Federated {
+            value: center.find_resources_at(required_class, now),
+            crossed_gateway: origin != target,
+        })
+    }
 }
 
 #[cfg(test)]

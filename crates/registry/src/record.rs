@@ -242,10 +242,25 @@ impl ResourceRecord {
         self
     }
 
-    /// Leases the advertisement until `expiry` (builder style).
+    /// Leases the advertisement until `expiry` (builder style). The lease
+    /// is exclusive of its endpoint: the record is active while
+    /// `now < expiry` and lapsed from `now == expiry` onward (see
+    /// [`ResourceRecord::lease_active`]).
     pub fn lease_until(mut self, expiry: u64) -> Self {
         self.lease_expiry = Some(expiry);
         self
+    }
+
+    /// Whether the advertisement is still live at simulated time `now`
+    /// (µs). Unleased records never lapse. The expiry instant itself is
+    /// *lapsed* — `lease_until(t)` means active strictly before `t` — and
+    /// every consumer (the [`RegistryCenter::expire_leases`] sweep and
+    /// lookup-time filtering alike) shares this boundary through this one
+    /// predicate.
+    ///
+    /// [`RegistryCenter::expire_leases`]: crate::RegistryCenter::expire_leases
+    pub fn lease_active(&self, now: u64) -> bool {
+        self.lease_expiry.is_none_or(|at| now < at)
     }
 }
 
