@@ -623,6 +623,7 @@ impl Middleware {
     // ---- environment setup --------------------------------------------------
 
     /// Registers a user: profile, badge binding and initial placement.
+    // mdlint::entry
     pub fn attach_user(
         &mut self,
         profile: UserProfile,
@@ -640,6 +641,7 @@ impl Middleware {
 
     /// Moves a user's badge (scenario ground truth); the sensing loop will
     /// notice within a few rounds.
+    // mdlint::entry
     pub fn move_user(&mut self, badge: BadgeId, space: SpaceId, position_m: f64) {
         self.kernel
             .field
@@ -652,6 +654,7 @@ impl Middleware {
     /// # Errors
     ///
     /// Propagates topology errors for unknown hosts.
+    // mdlint::entry
     pub fn provision(
         &mut self,
         host: HostId,
@@ -688,6 +691,7 @@ impl Middleware {
     /// Registers a shareable resource in its space's registry center
     /// (creating the center if needed). Its ontology facts flush lazily
     /// at the next semantic lookup.
+    // mdlint::entry
     pub fn register_space_resource(&mut self, record: ResourceRecord) {
         self.federation
             .add_center(record.space)
@@ -698,6 +702,7 @@ impl Middleware {
     /// ontology closure incrementally (no full re-materialization),
     /// under an `aa.retract` telemetry span; the modeled repair cost
     /// lands in the `reasoner.retract_latency` histogram.
+    // mdlint::entry
     pub fn deregister_space_resource(&mut self, space: SpaceId, name: &str, now: SimTime) -> bool {
         let Some(center) = self.federation.center_mut(space) else {
             return false;
@@ -717,6 +722,7 @@ impl Middleware {
     /// endpoint-exclusive boundary lease-aware lookups
     /// ([`RegistryFederation::find_resources_at`]) apply, so the sweep and
     /// a lookup at the same instant never disagree about liveness.
+    // mdlint::entry
     pub fn expire_resource_leases(&mut self, now: SimTime) -> usize {
         let mut expired = 0;
         for space in self.federation.spaces() {
@@ -771,6 +777,7 @@ impl Middleware {
     /// # Errors
     ///
     /// Container/topology/agent errors.
+    // mdlint::entry
     pub fn deploy_app(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -797,7 +804,10 @@ impl Middleware {
             &ma,
             mdagent_agent::ServiceDescription::new("mobile-agent", name),
         );
-        world.apps[id.0 as usize].mobile_agent = Some(ma);
+        match world.apps.get_mut(id.0 as usize) {
+            Some(app) => app.mobile_agent = Some(ma),
+            None => return Err(CoreError::UnknownApp(id)),
+        }
         Middleware::register_app_record(world, id)?;
         let now = sim.now();
         world.env.trace.record_event(
@@ -870,6 +880,7 @@ impl Middleware {
     /// # Errors
     ///
     /// Container/agent errors.
+    // mdlint::entry
     pub fn spawn_autonomous_agent(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -891,6 +902,7 @@ impl Middleware {
     // ---- sensing loop ---------------------------------------------------------
 
     /// Starts the recurring sensing loop (idempotent).
+    // mdlint::entry
     pub fn start_sensing(world: &mut Middleware, sim: &mut Simulator<Middleware>) {
         if world.sensing {
             return;
@@ -930,6 +942,7 @@ impl Middleware {
 
     /// Publishes an externally produced context event (user indications,
     /// probes) and routes it to subscribed agents.
+    // mdlint::entry
     pub fn publish_context(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1006,6 +1019,7 @@ impl Middleware {
     /// Starts recurring network probes between the given host pairs; each
     /// round measures the response time and publishes it as a context
     /// event (the "network connectivity, latency" sensors of §4.1).
+    // mdlint::entry
     pub fn start_network_probes(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1052,6 +1066,7 @@ impl Middleware {
     /// # Errors
     ///
     /// [`CoreError::UnknownApp`] for bad ids.
+    // mdlint::entry
     pub fn update_app_state(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1099,6 +1114,7 @@ impl Middleware {
     }
 
     /// Applies a replica sync update (invoked by the receiving MA).
+    // mdlint::entry
     pub(crate) fn apply_sync(world: &mut Middleware, update: &SyncUpdate) {
         let Ok(app) = world.app_mut(AppId(update.app_raw)) else {
             return;
@@ -1130,6 +1146,7 @@ impl Middleware {
     /// # Errors
     ///
     /// Unknown apps/hosts or unreachable destinations.
+    // mdlint::entry
     pub fn prestage(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1182,6 +1199,7 @@ impl Middleware {
     ///
     /// [`CoreError::Registry`] when no plan can be built, plus the
     /// pipeline's own errors.
+    // mdlint::entry
     pub fn migrate_now(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1212,6 +1230,7 @@ impl Middleware {
     /// # Errors
     ///
     /// [`CoreError`] variants for unknown apps/hosts or bad states.
+    // mdlint::entry
     pub fn suspend_and_wrap(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1359,6 +1378,7 @@ impl Middleware {
 
     /// Phase 3 for follow-me: the MA has checked in at the destination;
     /// restore, rebind, adapt and resume the application there.
+    // mdlint::entry
     pub(crate) fn arrive_follow_me(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,
@@ -1542,6 +1562,7 @@ impl Middleware {
         });
     }
 
+    // mdlint::entry
     fn rebind_app(
         world: &mut Middleware,
         app_id: AppId,
@@ -1573,6 +1594,7 @@ impl Middleware {
     /// Phase 3 for clone-dispatch: install a replica application at the
     /// destination, linked for synchronization with its original.
     /// Returns the replica id.
+    // mdlint::entry
     pub(crate) fn arrive_clone(
         world: &mut Middleware,
         sim: &mut Simulator<Middleware>,

@@ -17,7 +17,7 @@
 /// One allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id, `R1`..`R6`.
+    /// Rule id, `R1`..`R10`.
     pub rule: String,
     /// Workspace-relative file path the exception applies to.
     pub path: String,
@@ -26,6 +26,9 @@ pub struct AllowEntry {
     pub line: Option<u32>,
     /// Mandatory human justification.
     pub reason: String,
+    /// Line of this entry's `[[allow]]` header in `lint-allow.toml` —
+    /// where a stale-entry finding points.
+    pub toml_line: u32,
 }
 
 impl AllowEntry {
@@ -50,7 +53,12 @@ fn finish(entry: Option<AllowEntry>, out: &mut Vec<AllowEntry>) -> Result<(), St
     let Some(e) = entry else {
         return Ok(());
     };
-    if !matches!(e.rule.as_str(), "R1" | "R2" | "R3" | "R4" | "R5" | "R6") {
+    // Note `STALE` (the stale-entry meta rule) is deliberately not
+    // accepted: a stale suppression cannot itself be suppressed.
+    if !matches!(
+        e.rule.as_str(),
+        "R1" | "R2" | "R3" | "R4" | "R5" | "R6" | "R7" | "R8" | "R9" | "R10"
+    ) {
         return Err(format!("lint-allow.toml: unknown rule `{}`", e.rule));
     }
     if e.path.is_empty() {
@@ -87,6 +95,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
                 path: String::new(),
                 line: None,
                 reason: String::new(),
+                toml_line: lineno as u32,
             });
             continue;
         }

@@ -1,10 +1,15 @@
 //! `cargo run -p mdlint` — scan the workspace, write `LINT_report.json`,
 //! exit nonzero on unallowed findings.
 //!
+//! `cargo run -p mdlint -- --write-wire-schema` instead regenerates the
+//! `WIRE_schema.json` lock from source (run it after a reviewed,
+//! wire-compatible evolution; R10 fails until the lock matches).
+//!
 //! The workspace root is derived from this crate's compile-time manifest
-//! path (two levels up from `crates/mdlint`), so the tool needs no
-//! arguments and — deliberately — no `std::env` at runtime (R1 applies to
-//! mdlint itself).
+//! path (two levels up from `crates/mdlint`), so the scan itself needs no
+//! environment. The single `std::env::args` read below is mdlint's own R1
+//! finding, suppressed by a line-pinned `lint-allow.toml` entry — the
+//! allowlist machinery dogfooded on the linter.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -15,6 +20,22 @@ fn main() -> ExitCode {
         eprintln!("mdlint: cannot locate workspace root from {manifest_dir:?}");
         return ExitCode::from(2);
     };
+    let write_schema = std::env::args().any(|a| a == "--write-wire-schema");
+    if write_schema {
+        return match mdlint::write_wire_schema(root) {
+            Ok(n) => {
+                println!(
+                    "mdlint: wrote {} with {n} wire types",
+                    mdlint::wire_schema::LOCK_FILE
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mdlint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match mdlint::run(root) {
         Ok(0) => ExitCode::SUCCESS,
         Ok(_) => ExitCode::FAILURE,

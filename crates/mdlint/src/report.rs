@@ -30,7 +30,7 @@ pub fn render_report(findings: &[Finding]) -> String {
     let unallowed = findings.len() - allowed;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mdlint-report-v1\",\n");
+    out.push_str("  \"schema\": \"mdlint-report-v2\",\n");
     out.push_str(&format!(
         "  \"counts\": {{ \"total\": {}, \"allowed\": {}, \"unallowed\": {} }},\n",
         findings.len(),
@@ -53,6 +53,17 @@ pub fn render_report(findings: &[Finding]) -> String {
         ));
         if let Some(reason) = &f.reason {
             out.push_str(&format!(", \"reason\": \"{}\"", escape(reason)));
+        }
+        // v2: graph rules attach the entry-to-site call path.
+        if !f.call_path.is_empty() {
+            out.push_str(", \"call_path\": [");
+            for (k, hop) in f.call_path.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", escape(hop)));
+            }
+            out.push(']');
         }
         out.push_str(" }");
     }

@@ -169,6 +169,7 @@ fn finding(rule: &'static str, ctx: &FileCtx<'_>, lines: &[&str], line: u32) -> 
         snippet: snippet(lines, line),
         allowed: false,
         reason: None,
+        call_path: Vec::new(),
     }
 }
 
@@ -393,6 +394,7 @@ pub fn check_enum_spec(spec: &EnumSpec, source: &str) -> Vec<Finding> {
             snippet: format!("tracked enum `{}` not found", spec.enum_name),
             allowed: false,
             reason: None,
+            call_path: Vec::new(),
         });
         return out;
     };
@@ -406,6 +408,7 @@ pub fn check_enum_spec(spec: &EnumSpec, source: &str) -> Vec<Finding> {
                 snippet: format!("tracked site fn `{site}` not found"),
                 allowed: false,
                 reason: None,
+                call_path: Vec::new(),
             });
             continue;
         };
@@ -421,6 +424,7 @@ pub fn check_enum_spec(spec: &EnumSpec, source: &str) -> Vec<Finding> {
                     ),
                     allowed: false,
                     reason: None,
+                    call_path: Vec::new(),
                 });
             }
         }

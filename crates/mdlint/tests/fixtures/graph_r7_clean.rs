@@ -1,0 +1,15 @@
+//! R7 fixture: the entry path uses only non-panicking operations, and a
+//! panic in an *unreachable* fn is not a finding.
+
+// mdlint::entry
+pub fn handle_request(world: &mut World) {
+    if let Some(slot) = world.slots.last() {
+        consume(slot);
+    }
+}
+
+fn consume(_slot: &Slot) {}
+
+fn lonely_panic() {
+    panic!("not reachable from any entry point");
+}

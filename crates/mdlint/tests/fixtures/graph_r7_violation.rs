@@ -1,0 +1,14 @@
+//! R7 fixture: panic ops transitively reachable from an entry point.
+
+// mdlint::entry
+pub fn handle_request(world: &mut World) {
+    step_one(world);
+}
+
+fn step_one(world: &mut World) {
+    step_two(world);
+}
+
+fn step_two(world: &mut World) {
+    world.slots.last().unwrap();
+}

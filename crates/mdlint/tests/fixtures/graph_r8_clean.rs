@@ -1,0 +1,23 @@
+//! R8 fixture: reserved pushes are plain writes, and a `// mdlint::cold`
+//! barrier keeps sanctioned amortized work out of the hot set.
+
+// mdlint::hot
+pub fn tick(buf: &mut Buffer) {
+    record(buf);
+    if buf.is_full() {
+        rebuild(buf);
+    }
+}
+
+fn record(buf: &mut Buffer) {
+    if buf.items.len() == buf.items.capacity() {
+        buf.items.reserve(64);
+    }
+    buf.items.push(1);
+}
+
+// mdlint::cold
+fn rebuild(buf: &mut Buffer) {
+    let spare: Vec<u32> = (0..4).collect();
+    buf.items.extend(spare);
+}

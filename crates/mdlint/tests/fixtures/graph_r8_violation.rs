@@ -1,0 +1,12 @@
+//! R8 fixture: allocations transitively reachable from a hot fn.
+
+// mdlint::hot
+pub fn tick(buf: &mut Buffer) {
+    record(buf);
+}
+
+fn record(buf: &mut Buffer) {
+    buf.items.push(1);
+    let label = format!("tick-{}", buf.seq);
+    buf.labels.push(label);
+}

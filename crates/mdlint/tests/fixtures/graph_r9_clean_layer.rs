@@ -1,0 +1,10 @@
+//! R9 fixture (clean): the layer nudges the lifecycle through the async
+//! message boundary — delivery runs in a later event turn, not re-entrance.
+
+pub struct RetryLayer;
+
+impl RetryLayer {
+    pub fn on_abort(&self, world: &mut World) {
+        Platform::send(world);
+    }
+}

@@ -1,0 +1,16 @@
+//! Companion to `graph_r9_clean_layer.rs`: the enqueue side. R9 must not
+//! traverse `Platform::send` into the eventual lifecycle call.
+
+pub struct Platform;
+
+impl Platform {
+    pub fn send(world: &mut World) {
+        Middleware::migrate_now(world);
+    }
+}
+
+pub struct Middleware;
+
+impl Middleware {
+    pub fn migrate_now(_world: &mut World) {}
+}

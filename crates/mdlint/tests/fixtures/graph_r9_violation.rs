@@ -1,0 +1,16 @@
+//! R9 fixture: a layer hook that synchronously re-enters the migration
+//! lifecycle. Parsed under a `crates/core/src/layers/` path in the test.
+
+pub struct RetryLayer;
+
+impl RetryLayer {
+    pub fn on_abort(&self, world: &mut World) {
+        Middleware::migrate_now(world);
+    }
+}
+
+pub struct Middleware;
+
+impl Middleware {
+    pub fn migrate_now(_world: &mut World) {}
+}

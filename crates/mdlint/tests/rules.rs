@@ -183,7 +183,12 @@ fn allowlist_entry_without_reason_is_rejected() {
     assert!(err.contains("reason"), "{err}");
 
     let err =
-        parse_allowlist("[[allow]]\nrule = \"R9\"\npath = \"x\"\nreason = \"y\"\n").unwrap_err();
+        parse_allowlist("[[allow]]\nrule = \"R42\"\npath = \"x\"\nreason = \"y\"\n").unwrap_err();
+    assert!(err.contains("unknown rule"), "{err}");
+
+    // STALE marks rotted allow entries; it cannot itself be allowlisted.
+    let err =
+        parse_allowlist("[[allow]]\nrule = \"STALE\"\npath = \"x\"\nreason = \"y\"\n").unwrap_err();
     assert!(err.contains("unknown rule"), "{err}");
 }
 
@@ -196,7 +201,7 @@ fn report_is_valid_shape_and_sorted_fields() {
     .unwrap();
     apply_allowlist(&mut findings, &entries);
     let json = render_report(&findings);
-    assert!(json.contains("\"schema\": \"mdlint-report-v1\""));
+    assert!(json.contains("\"schema\": \"mdlint-report-v2\""));
     assert!(json.contains("\"counts\": { \"total\": 4, \"allowed\": 4, \"unallowed\": 0 }"));
     assert!(json.contains("\"rule\": \"R3\""));
     assert!(json.contains("\"reason\": \"all of it\""));
@@ -209,4 +214,56 @@ fn empty_report_renders_empty_array() {
     let json = render_report(&[]);
     assert!(json.contains("\"findings\": []"));
     assert!(json.contains("\"total\": 0"));
+}
+
+// ---------------------------------------------------------------------------
+// Lexer hardening
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lexer_elides_raw_and_byte_string_contents() {
+    let src = r####"
+fn f() -> usize {
+    let a = r#"x.unwrap() panic!("boom")"#;
+    let b = b"panic!";
+    let c = r"todo!()";
+    a.len() + b.len() + c.len()
+}
+"####;
+    assert!(scan_source("crates/core/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn lexer_tracks_nested_block_comments() {
+    // If nesting were mishandled, the comment would end at the inner `*/`
+    // and the trailing tokens would lex as code; and if comment recovery
+    // were off, `g`'s real unwrap would be mis-lined.
+    let src = "\
+fn f(v: &Option<u32>) {
+    /* outer /* inner x.unwrap() */ still comment panic!( */
+    let _ = v;
+}
+fn g(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+";
+    let f = scan_source("crates/core/src/fixture.rs", src);
+    assert_eq!(coords(&f), vec![("R3", 6)]);
+}
+
+#[test]
+fn lexer_keeps_line_numbers_across_multiline_strings() {
+    let src = "\
+fn f() -> String {
+    let s = \"line one
+line two
+line three\";
+    s.to_owned()
+}
+fn g(v: Option<u32>) -> u32 {
+    v.expect(\"present\")
+}
+";
+    let f = scan_source("crates/core/src/fixture.rs", src);
+    assert_eq!(coords(&f), vec![("R3", 8)]);
 }

@@ -789,6 +789,7 @@ fn resolve_pt(pt: PatternTerm, b: &[Option<Term>]) -> Option<Term> {
 
 /// The posting list matching a mask with exactly one free position;
 /// `None` when the other two positions are not both bound.
+// mdlint::hot
 fn posting_for<'a>(
     store: &'a Store,
     free_pos: usize,
@@ -817,6 +818,7 @@ fn posting_for<'a>(
 /// exactly that shape (a few candidates per seed row against one long
 /// overdeleted posting, re-walked once per row).
 #[inline]
+// mdlint::hot
 fn for_each_absent(cs: &[Term], es: &[Term], mut f: impl FnMut(Term)) {
     if es.len() > 16 && es.len() / 4 > cs.len() {
         for &v in cs {
@@ -845,6 +847,7 @@ fn for_each_absent(cs: &[Term], es: &[Term], mut f: impl FnMut(Term)) {
 /// the conclusion mask, so survivors never hash-probe the full (large)
 /// triple set.
 #[inline]
+// mdlint::hot
 fn for_each_present_absent(cs: &[Term], ins: &[Term], outs: &[Term], mut f: impl FnMut(Term)) {
     let (mut ji, mut jo) = (0usize, 0usize);
     for &v in cs {

@@ -66,8 +66,8 @@ impl BuiltinOp {
                     BuiltinOp::LessThan => x < y,
                     BuiltinOp::GreaterThan => x > y,
                     BuiltinOp::LessOrEqual => x <= y,
-                    BuiltinOp::GreaterOrEqual => x >= y,
-                    _ => unreachable!(),
+                    // The outer arm admits only the four ordering ops.
+                    _ => x >= y,
                 }
             }
             BuiltinOp::Equal => match (a.as_f64(), b.as_f64()) {

@@ -53,11 +53,11 @@ impl Interner {
 
     /// Resolves an id back to its string.
     ///
-    /// # Panics
-    ///
-    /// Panics if `id` was produced by a different interner.
+    /// Ids minted by a different interner resolve to the empty string,
+    /// which no interned symbol can alias (interned strings are non-empty
+    /// identifiers and IRIs).
     pub fn resolve(&self, id: SymbolId) -> &str {
-        &self.strings[id.0 as usize]
+        self.strings.get(id.0 as usize).map_or("", String::as_str)
     }
 
     /// Number of distinct interned strings.

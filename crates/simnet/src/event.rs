@@ -306,6 +306,7 @@ impl<W> Calendar<W> {
     /// entry heads the staged run, then returns `(at, from_late)` for it;
     /// `None` when the queue is drained. Both `pop` and `peek_time` funnel
     /// through this one helper, so the two paths cannot drift.
+    // mdlint::hot
     fn settle(&mut self) -> Option<(SimTime, bool)> {
         loop {
             let run = self.current.last();
@@ -344,6 +345,7 @@ impl<W> Calendar<W> {
         at.as_micros() >> self.wshift
     }
 
+    // mdlint::hot
     fn push(&mut self, at: SimTime, payload: Payload<W>) -> EventId {
         let (slot, gen) = self.table.alloc();
         let seq = self.next_seq;
@@ -389,6 +391,7 @@ impl<W> Calendar<W> {
         }
     }
 
+    // mdlint::hot
     fn pop(&mut self) -> Option<(SimTime, Payload<W>)> {
         let (at, from_late) = self.settle()?;
         let e = if from_late {
@@ -528,6 +531,7 @@ impl<W> Calendar<W> {
 
     /// Redistributes wheel + overflow entries under a new width and/or
     /// bucket count. `current` (the already-staged past) is untouched.
+    // mdlint::cold
     fn rebuild(&mut self, wshift: u32, nbuckets: usize) {
         let mut entries: Vec<Entry<W>> = Vec::with_capacity(self.wheel_count + self.overflow.len());
         for b in &mut self.buckets {
@@ -616,6 +620,7 @@ impl<W> ReferenceHeap<W> {
         }
     }
 
+    // mdlint::hot
     fn push(&mut self, at: SimTime, payload: Payload<W>) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -646,6 +651,7 @@ impl<W> ReferenceHeap<W> {
         }
     }
 
+    // mdlint::hot
     fn pop(&mut self) -> Option<(SimTime, Payload<W>)> {
         self.skip_cancelled();
         let ev = self.heap.pop()?;
@@ -689,6 +695,7 @@ impl<W> EventQueue<W> {
         }
     }
 
+    // mdlint::hot
     pub fn push(&mut self, at: SimTime, payload: Payload<W>) -> EventId {
         match self {
             EventQueue::Calendar(q) => q.push(at, payload),
@@ -704,6 +711,7 @@ impl<W> EventQueue<W> {
     }
 
     /// Pops the next live (non-cancelled) event.
+    // mdlint::hot
     pub fn pop(&mut self) -> Option<(SimTime, Payload<W>)> {
         match self {
             EventQueue::Calendar(q) => q.pop(),

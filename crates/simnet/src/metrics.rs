@@ -43,6 +43,11 @@ impl DurationStats {
     /// append, but clearing here keeps the invalidation explicit rather
     /// than an inference from "samples are append-only".)
     pub fn record(&mut self, d: SimDuration) {
+        if self.samples.len() == self.samples.capacity() {
+            // Grow in explicit 1k-sample chunks so per-record cost on hot
+            // measurement paths is a branch, not an implicit realloc policy.
+            self.samples.reserve(1024);
+        }
         self.samples.push(d);
         self.sorted.get_mut().clear();
     }
@@ -190,7 +195,13 @@ impl Histogram {
     pub fn observe(&mut self, d: SimDuration) {
         let us = d.as_micros();
         let idx = self.bounds.partition_point(|&b| b < us);
-        self.counts[idx] += 1;
+        // `counts` has `bounds.len() + 1` slots, so `idx` is always in
+        // range; `get_mut` keeps the overflow bucket total even if a
+        // future constructor gets the arithmetic wrong.
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
+        debug_assert!(idx < self.counts.len());
         self.total += 1;
         self.sum_micros = self.sum_micros.saturating_add(us);
     }
@@ -287,6 +298,7 @@ impl MetricsRegistry {
     }
 
     /// Adds 1 to a counter keyed by a `&'static str`: never allocates.
+    // mdlint::hot
     pub fn incr_static(&mut self, name: &'static str) {
         self.incr_by_static(name, 1);
     }
@@ -316,6 +328,7 @@ impl MetricsRegistry {
 
     /// Records a duration sample under a `&'static str` name: never
     /// allocates for the name.
+    // mdlint::hot
     pub fn observe_static(&mut self, name: &'static str, d: SimDuration) {
         self.durations
             .entry(Cow::Borrowed(name))
@@ -330,6 +343,7 @@ impl MetricsRegistry {
 
     /// Records an observation in the fixed-bucket histogram `name`,
     /// creating it with [`Histogram::DEFAULT_BOUNDS_MICROS`] on first use.
+    // mdlint::hot
     pub fn observe_hist_static(&mut self, name: &'static str, d: SimDuration) {
         self.histograms
             .entry(Cow::Borrowed(name))

@@ -144,6 +144,7 @@ impl<W> Simulator<W> {
     /// Schedules a function pointer with a two-word [`EventData`] payload
     /// at the absolute instant `at` — the allocation-free hot path. Past
     /// instants clamp to *now*.
+    // mdlint::hot
     pub fn schedule_data_at(
         &mut self,
         at: SimTime,
@@ -154,6 +155,7 @@ impl<W> Simulator<W> {
     }
 
     /// Schedules a data-carrying function pointer after `delay`.
+    // mdlint::hot
     pub fn schedule_data_in(
         &mut self,
         delay: SimDuration,
@@ -165,6 +167,7 @@ impl<W> Simulator<W> {
 
     /// Schedules a data-carrying function pointer at the current instant,
     /// after already-queued events for this instant.
+    // mdlint::hot
     pub fn schedule_data_now(
         &mut self,
         f: fn(&mut W, &mut Simulator<W>, EventData),

@@ -256,6 +256,16 @@ impl Span {
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
         self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
+
+    /// Appends an attribute. Spans are created with room for the common
+    /// case; growth past that is explicit and chunked rather than left
+    /// to the implicit doubling policy.
+    fn push_attr(&mut self, key: &'static str, value: AttrValue) {
+        if self.attrs.len() == self.attrs.capacity() {
+            self.attrs.reserve(6);
+        }
+        self.attrs.push((key, value));
+    }
 }
 
 /// Configuration for a tail-based sampling collector
@@ -458,6 +468,7 @@ impl Telemetry {
     /// adapt, resume) whose cost is computed at the call site: a span
     /// recorded closed can never leak open. Attributes can still be
     /// attached afterwards through the returned id.
+    // mdlint::hot
     pub fn record_span(
         &mut self,
         name: impl Into<Cow<'static, str>>,
@@ -526,7 +537,9 @@ impl Telemetry {
                     sampler.stats.spans_dropped += 1;
                     return id;
                 }
-                sampler.open.insert(id.0, vec![span]);
+                let mut buf = Vec::with_capacity(8);
+                buf.push(span);
+                sampler.open.insert(id.0, buf);
                 sampler.order.push_back(id.0);
                 sampler.locate.insert(id.0, id.0);
                 Self::note_buffered(&mut sampler.stats);
@@ -648,6 +661,9 @@ impl Telemetry {
         if Self::should_keep(&sampler.opts, &buf) {
             sampler.stats.traces_kept += 1;
             sampler.stats.spans_kept += buf.len() as u64;
+            // One reservation for the whole trace instead of letting the
+            // per-span pushes grow the kept-span store incrementally.
+            self.spans.reserve(buf.len());
             for span in buf {
                 sampler.kept.insert(span.id.0, self.spans.len() as u32);
                 self.spans.push(span);
@@ -684,13 +700,14 @@ impl Telemetry {
     }
 
     /// Attaches an attribute to an open or closed span.
+    // mdlint::hot
     pub fn attr(&mut self, id: SpanId, key: &'static str, value: impl Into<AttrValue>) {
         if !self.enabled || id.is_disabled() {
             return;
         }
         if self.sampler.is_none() {
             if let Some(span) = self.spans.get_mut(id.0 as usize) {
-                span.attrs.push((key, value.into()));
+                span.push_attr(key, value.into());
             }
             return;
         }
@@ -700,14 +717,14 @@ impl Telemetry {
             .and_then(|s| s.kept.get(&id.0).copied());
         if let Some(idx) = kept_idx {
             if let Some(span) = self.spans.get_mut(idx as usize) {
-                span.attrs.push((key, value.into()));
+                span.push_attr(key, value.into());
             }
             return;
         }
         if let Some(sampler) = self.sampler.as_mut() {
             if let Some(&root) = sampler.locate.get(&id.0) {
                 if let Some(span) = Self::buffered_span_mut(&mut sampler.open, root, id) {
-                    span.attrs.push((key, value.into()));
+                    span.push_attr(key, value.into());
                 }
             }
         }
@@ -716,6 +733,7 @@ impl Telemetry {
     /// Closes a span at `at`. Closing twice keeps the first end time. In
     /// a sampled collector, ending a trace's root span triggers the
     /// keep/drop decision for the whole trace.
+    // mdlint::hot
     pub fn end(&mut self, id: SpanId, at: SimTime) {
         if !self.enabled || id.is_disabled() {
             return;

@@ -502,6 +502,11 @@ impl Trace {
     /// Appends a free-form entry (no-op when disabled).
     pub fn record(&mut self, at: SimTime, category: TraceCategory, message: impl Into<String>) {
         if self.enabled {
+            if self.entries.len() == self.entries.capacity() {
+                // Entry log grows for the whole run; grow in explicit 1k
+                // chunks so appends on measurement paths stay a branch.
+                self.entries.reserve(1024);
+            }
             self.entries.push(TraceEntry {
                 at,
                 category,
